@@ -1,0 +1,43 @@
+//! Fig. 1 bench: one pipeline step of each robot on the upgraded baseline
+//! and on Tartan. Criterion reports host throughput; the printed lines
+//! report the simulated bottleneck share the figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_bench::{prepared_robot, step_cycles};
+use tartan_core::{MachineConfig, RobotKind, SoftwareConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_breakdown");
+    group.sample_size(10);
+    for kind in RobotKind::all() {
+        for (cfg_name, hw, sw) in [
+            ("B", MachineConfig::upgraded_baseline(), SoftwareConfig::legacy()),
+            ("T", MachineConfig::tartan(), SoftwareConfig::approximable()),
+        ] {
+            let (mut machine, mut robot) = prepared_robot(kind, hw, sw);
+            // Print the simulated breakdown once.
+            let cycles = step_cycles(&mut machine, robot.as_mut());
+            let stats = machine.stats();
+            let bn: u64 = robot
+                .bottleneck_phases()
+                .iter()
+                .map(|ph| stats.phase_cycles(ph))
+                .sum();
+            let total: u64 = stats.phases.values().map(|p| p.cycles).sum();
+            println!(
+                "[fig1] {} {}: {} simulated cycles/step, bottleneck {:.1}%",
+                kind.name(),
+                cfg_name,
+                cycles,
+                100.0 * bn as f64 / total.max(1) as f64
+            );
+            group.bench_function(format!("{}_{}", kind.name(), cfg_name), |b| {
+                b.iter(|| step_cycles(&mut machine, robot.as_mut()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 6 bench: ray-casting with the four oriented-fetch methods
+//! (Scalar / Gather / OVEC / RACOD) on a warm occupancy grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_kernels::grid::Grid2;
+use tartan_kernels::raycast::{cast, RayCastConfig, VecMethod};
+use tartan_sim::{Machine, MachineConfig, MemPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_ovec");
+    group.sample_size(20);
+    for (name, method) in [
+        ("B_scalar", VecMethod::Scalar),
+        ("G_gather", VecMethod::Gather),
+        ("O_ovec", VecMethod::Ovec),
+        ("R_racod", VecMethod::Racod),
+    ] {
+        let mut machine = Machine::new(MachineConfig::tartan());
+        let grid = Grid2::generate(&mut machine, 192, 192, 24, true, 1, MemPolicy::Normal);
+        let cfg = RayCastConfig {
+            max_range: 96.0,
+            ..RayCastConfig::new(method)
+        };
+        // Warm pass + one measured sweep for the simulated numbers.
+        machine.run(|p| {
+            for ray in 0..64 {
+                cast(p, &grid, 60.0, 96.0, ray as f32 * 0.098, &cfg);
+            }
+        });
+        let w0 = machine.wall_cycles();
+        let i0 = machine.stats().instructions;
+        machine.run(|p| {
+            for ray in 0..64 {
+                cast(p, &grid, 60.0, 96.0, ray as f32 * 0.098, &cfg);
+            }
+        });
+        println!(
+            "[fig6] {name}: {} simulated cycles, {} instructions per 64-ray sweep",
+            machine.wall_cycles() - w0,
+            machine.stats().instructions - i0
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                machine.run(|p| {
+                    for ray in 0..16 {
+                        cast(p, &grid, 60.0, 96.0, ray as f32 * 0.39, &cfg);
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 7 bench: ray-casting with bilinear interpolation, with and without
+//! OVEC and the Intel accelerator's local voxel storage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_kernels::grid::Grid2;
+use tartan_kernels::raycast::{cast, RayCastConfig, VecMethod};
+use tartan_sim::{Machine, MachineConfig, MemPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_interp");
+    group.sample_size(20);
+    for (name, ovec, intel) in [
+        ("B", false, false),
+        ("O", true, false),
+        ("I", false, true),
+        ("O+I", true, true),
+    ] {
+        let mut hw = if ovec {
+            MachineConfig::tartan()
+        } else {
+            MachineConfig::upgraded_baseline()
+        };
+        hw.intel_lvs = intel;
+        let mut machine = Machine::new(hw);
+        let policy = if intel { MemPolicy::IntelLvs } else { MemPolicy::Normal };
+        let grid = Grid2::generate(&mut machine, 192, 192, 24, true, 1, policy);
+        let cfg = RayCastConfig {
+            method: if ovec { VecMethod::Ovec } else { VecMethod::Scalar },
+            interpolate: true,
+            intel_accel: intel,
+            max_range: 96.0,
+            step: 1.0,
+        };
+        let w0 = machine.wall_cycles();
+        machine.run(|p| {
+            for ray in 0..64 {
+                cast(p, &grid, 60.0, 96.0, ray as f32 * 0.098, &cfg);
+            }
+        });
+        println!(
+            "[fig7] {name}: {} simulated cycles per 64-ray interpolated sweep",
+            machine.wall_cycles() - w0
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                machine.run(|p| {
+                    for ray in 0..16 {
+                        cast(p, &grid, 60.0, 96.0, ray as f32 * 0.39, &cfg);
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 8 bench: one neural-acceleration invocation per arrangement —
+//! integrated NPU, software MLP execution, and the co-processor model —
+//! for the paper's three network topologies (Table II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_nn::{Mlp, Topology};
+use tartan_npu::NpuDevice;
+use tartan_sim::{Accelerator, Machine, MachineConfig, NpuMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_npu");
+    group.sample_size(30);
+    for (robot, topo_str) in [
+        ("FlyBot", "6/16/16/1"),
+        ("HomeBot", "192/32/32/6"),
+        ("PatrolBot", "50/1024/512/1"),
+    ] {
+        let topo: Topology = topo_str.parse().expect("valid topology");
+        let inputs = vec![0.1f32; topo.input()];
+        for (mode_name, mode) in [
+            ("H_integrated", NpuMode::Integrated { pes: 4 }),
+            ("C_coprocessor", NpuMode::Coprocessor),
+        ] {
+            let mlp = Mlp::new(&topo, 7);
+            let mut device = NpuDevice::new(mlp, mode, 8, 4, 104);
+            let mut out = Vec::new();
+            let cost = device.invoke(&inputs, &mut out);
+            println!(
+                "[fig8] {robot} {mode_name}: {} comm + {} compute simulated cycles/invoke",
+                cost.comm_cycles, cost.compute_cycles
+            );
+            group.bench_function(format!("{robot}_{mode_name}"), |b| {
+                b.iter(|| {
+                    out.clear();
+                    device.invoke(&inputs, &mut out)
+                });
+            });
+        }
+        // Software execution: the MLP on the simulated CPU.
+        let mlp = Mlp::new(&topo, 7);
+        let mut machine = Machine::new(MachineConfig::upgraded_baseline());
+        let macs = topo.mac_count() as u64;
+        let w0 = machine.wall_cycles();
+        machine.run(|p| {
+            p.flop(2 * macs);
+            p.instr(2 * macs);
+            let _ = mlp.forward(&inputs);
+        });
+        println!(
+            "[fig8] {robot} S_software: {} simulated cycles/invoke",
+            machine.wall_cycles() - w0
+        );
+        group.bench_function(format!("{robot}_S_software"), |b| {
+            b.iter(|| mlp.forward(&inputs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 9 bench: nearest-neighbor queries with the four engines over a
+//! paper-scale point cloud.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tartan_nns::{BruteForce, KdTree, LshConfig, LshNns, NnsEngine, PointSet};
+use tartan_sim::{Machine, MachineConfig, PrefetcherKind};
+
+fn points(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..3).map(|_| rng.random_range(-2.0f32..2.0)).collect())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_nns");
+    group.sample_size(20);
+    let pts = points(2500, 11);
+    for anl in [false, true] {
+        let suffix = if anl { "+" } else { "" };
+        for engine_name in ["B", "V", "F", "K"] {
+            let mut hw = MachineConfig::upgraded_baseline();
+            hw.prefetcher = if anl { PrefetcherKind::Anl } else { PrefetcherKind::None };
+            let mut machine = Machine::new(hw);
+            let set = PointSet::new(&mut machine, &pts);
+            let engine: Box<dyn NnsEngine> = match engine_name {
+                "B" => Box::new(BruteForce::new()),
+                "V" => Box::new(LshNns::build(&mut machine, &set, LshConfig::vln(1.0))),
+                "F" => Box::new(LshNns::build(&mut machine, &set, LshConfig::flann(1.0))),
+                _ => Box::new(KdTree::build(&mut machine, &set)),
+            };
+            let w0 = machine.wall_cycles();
+            let m0 = machine.stats().l2.misses;
+            machine.run(|p| {
+                for i in 0..200 {
+                    let q = pts[(i * 13) % pts.len()].clone();
+                    engine.nearest(p, &set, &q);
+                }
+            });
+            println!(
+                "[fig9] {engine_name}{suffix}: {} simulated cycles, {} L2 misses per 200 queries",
+                machine.wall_cycles() - w0,
+                machine.stats().l2.misses - m0
+            );
+            group.bench_function(format!("{engine_name}{suffix}"), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    let q = pts[(i * 13) % pts.len()].clone();
+                    machine.run(|p| engine.nearest(p, &set, &q))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

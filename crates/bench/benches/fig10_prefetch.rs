@@ -1,0 +1,37 @@
+//! Fig. 10 bench: one DeliBot/MoveBot pipeline step under each prefetcher.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_bench::{prepared_robot, step_cycles};
+use tartan_core::{MachineConfig, PrefetcherKind, RobotKind, SoftwareConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_prefetch");
+    group.sample_size(10);
+    for kind in [RobotKind::DeliBot, RobotKind::MoveBot] {
+        for (name, pf) in [
+            ("No", PrefetcherKind::None),
+            ("ANL", PrefetcherKind::Anl),
+            ("NL", PrefetcherKind::NextLine),
+            ("Bingo", PrefetcherKind::Bingo),
+        ] {
+            let mut hw = MachineConfig::upgraded_baseline();
+            hw.prefetcher = pf;
+            let (mut machine, mut robot) = prepared_robot(kind, hw, SoftwareConfig::legacy());
+            let cycles = step_cycles(&mut machine, robot.as_mut());
+            let l2 = machine.stats().l2;
+            println!(
+                "[fig10] {} {name}: {cycles} simulated cycles/step, coverage {:.1}%, accuracy {:.1}%",
+                kind.name(),
+                100.0 * l2.coverage(),
+                100.0 * l2.accuracy()
+            );
+            group.bench_function(format!("{}_{name}", kind.name()), |b| {
+                b.iter(|| step_cycles(&mut machine, robot.as_mut()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 11 bench: CarriBot's multi-path search step under the FCP
+//! parameter sweep (region size × XOR bits × manipulation function).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_bench::{prepared_robot, step_cycles};
+use tartan_core::{FcpConfig, FcpManipulation, MachineConfig, RobotKind, SoftwareConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_fcp");
+    group.sample_size(10);
+    let mut configs: Vec<(String, Option<FcpConfig>)> = vec![("none".into(), None)];
+    for (mname, m) in [
+        ("x+1", FcpManipulation::Increment),
+        ("2x", FcpManipulation::Double),
+        ("x^2", FcpManipulation::Square),
+    ] {
+        for region in [512u64, 1024] {
+            for l in [2u32, 3] {
+                configs.push((
+                    format!("{}B-{l}b-{mname}", region),
+                    Some(FcpConfig {
+                        region_bytes: region,
+                        xor_bits: l,
+                        manipulation: m,
+                    }),
+                ));
+            }
+        }
+    }
+    for (name, fcp) in configs {
+        let mut hw = MachineConfig::upgraded_baseline();
+        hw.fcp = fcp;
+        let (mut machine, mut robot) =
+            prepared_robot(RobotKind::CarriBot, hw, SoftwareConfig::legacy());
+        let cycles = step_cycles(&mut machine, robot.as_mut());
+        println!(
+            "[fig11] CarriBot {name}: {cycles} simulated cycles/step, {} L2 misses",
+            machine.stats().l2.misses
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| step_cycles(&mut machine, robot.as_mut()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

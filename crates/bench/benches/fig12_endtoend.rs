@@ -1,0 +1,39 @@
+//! Fig. 12 bench: full pipeline steps on the baseline vs Tartan for all
+//! six robots and the three software tiers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_bench::{prepared_robot, step_cycles};
+use tartan_core::{MachineConfig, RobotKind, SoftwareConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_endtoend");
+    group.sample_size(10);
+    for kind in RobotKind::all() {
+        let configs = [
+            ("baseline", MachineConfig::upgraded_baseline(), SoftwareConfig::legacy()),
+            ("tartan_legacy", MachineConfig::tartan(), SoftwareConfig::legacy()),
+            ("tartan_optimized", MachineConfig::tartan(), SoftwareConfig::optimized()),
+            ("tartan_approx", MachineConfig::tartan(), SoftwareConfig::approximable()),
+        ];
+        let mut base_cycles = 0u64;
+        for (name, hw, sw) in configs {
+            let (mut machine, mut robot) = prepared_robot(kind, hw, sw);
+            let cycles = step_cycles(&mut machine, robot.as_mut());
+            if name == "baseline" {
+                base_cycles = cycles.max(1);
+            }
+            println!(
+                "[fig12] {} {name}: {cycles} simulated cycles/step ({:.2}x)",
+                kind.name(),
+                base_cycles as f64 / cycles as f64
+            );
+            group.bench_function(format!("{}_{name}", kind.name()), |b| {
+                b.iter(|| step_cycles(&mut machine, robot.as_mut()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

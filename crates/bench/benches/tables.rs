@@ -1,0 +1,61 @@
+//! Tables II–IV benches: model training (Table II's offline step), NPU
+//! inference across PE counts (Table III), and the overhead constants
+//! (Table IV, printed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tartan_nn::{Loss, Mlp, Topology, Trainer};
+use tartan_npu::{NpuAreaModel, NpuDevice};
+use tartan_sim::{Accelerator, NpuMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    // Table II: one training epoch of the AXAR heuristic model.
+    let topo = Topology::new(&[6, 16, 16, 1]);
+    let xs: Vec<Vec<f32>> = (0..256)
+        .map(|i| (0..6).map(|d| ((i * 7 + d) % 100) as f32 / 100.0).collect())
+        .collect();
+    let ys: Vec<Vec<f32>> = xs.iter().map(|x| vec![x.iter().sum::<f32>() / 6.0]).collect();
+    group.bench_function("table2_axar_training_epoch", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(&topo, 1);
+            Trainer::new(Loss::Asymmetric { alpha: 8.0 })
+                .l2(0.01)
+                .clip_norm(2.5)
+                .epochs(1)
+                .fit(&mut mlp, &xs, &ys)
+        });
+    });
+
+    // Table III: NPU inference across PE counts.
+    for pes in [2u32, 4, 8] {
+        let model = NpuAreaModel::new(pes);
+        let mlp = Mlp::new(&Topology::new(&[50, 1024, 512, 1]), 3);
+        let mut device = NpuDevice::new(mlp, NpuMode::Integrated { pes }, 8, 4, 104);
+        let inputs = vec![0.1f32; 50];
+        let mut out = Vec::new();
+        let cost = device.invoke(&inputs, &mut out);
+        println!(
+            "[table3] {pes} PEs: {:.1} KB SRAM, {:.0} um^2, {} compute cycles/inference",
+            model.sram_kilobytes(),
+            model.area_um2(),
+            cost.compute_cycles
+        );
+        group.bench_function(format!("table3_npu_{pes}pe_inference"), |b| {
+            b.iter(|| {
+                out.clear();
+                device.invoke(&inputs, &mut out)
+            });
+        });
+    }
+
+    // Table IV: print the overhead breakdown (constants + live models).
+    let rows = tartan_core::overhead::table4(4, 4);
+    println!("{}", tartan_core::overhead::format_table4(&rows));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

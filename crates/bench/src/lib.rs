@@ -1,0 +1,29 @@
+//! Shared helpers for the Tartan benchmark harnesses.
+//!
+//! Each `benches/figNN_*.rs` target regenerates one table or figure of the
+//! paper's evaluation: it measures host-side simulator throughput with
+//! Criterion *and* prints the simulated-cycle results the figure reports
+//! (the numbers that matter for the reproduction live in `results/*.csv`
+//! via `cargo run --release --example paper_figures`).
+
+use tartan_robots::{RobotKind, Scale, SoftwareConfig};
+use tartan_sim::{Machine, MachineConfig};
+
+/// Builds a machine + robot pair ready to step (setup/training excluded
+/// from measurement).
+pub fn prepared_robot(
+    kind: RobotKind,
+    hw: MachineConfig,
+    sw: SoftwareConfig,
+) -> (Machine, Box<dyn tartan_robots::Robot>) {
+    let mut machine = Machine::new(hw);
+    let robot = kind.build(&mut machine, sw, Scale::small(), 42);
+    (machine, robot)
+}
+
+/// Steps the robot once and returns the simulated cycles consumed.
+pub fn step_cycles(machine: &mut Machine, robot: &mut dyn tartan_robots::Robot) -> u64 {
+    let start = machine.wall_cycles();
+    robot.step(machine);
+    machine.wall_cycles() - start
+}

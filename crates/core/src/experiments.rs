@@ -1,0 +1,1015 @@
+//! Experiment drivers: one function per figure/table of the paper's
+//! evaluation (§VIII), each returning typed rows plus a text formatter.
+//!
+//! | Paper result | Driver |
+//! |---|---|
+//! | Fig. 1 execution-time breakdown        | [`fig1_breakdown`] |
+//! | Fig. 6 oriented vectorization          | [`fig6_ovec`] |
+//! | Fig. 7 ray-casting w/ interpolation    | [`fig7_interpolation`] |
+//! | Table II neural workloads              | [`table2_networks`] |
+//! | Fig. 8 neural acceleration             | [`fig8_npu`] |
+//! | Table III NPU configurations           | [`table3_npu_pes`] |
+//! | Fig. 9 NNS approaches                  | [`fig9_nns`] |
+//! | Fig. 10 prefetchers                    | [`fig10_prefetch`] |
+//! | Fig. 11 FCP parameters                 | [`fig11_fcp`] |
+//! | Fig. 12 end-to-end speedup             | [`fig12_end_to_end`] |
+//! | §III-A engineering upgrades            | [`baseline_upgrades`] |
+//! | Table I application parameters         | [`format_table1`] |
+//! | Table IV overheads                     | [`crate::overhead::table4`] |
+
+use std::fmt::Write as _;
+
+use tartan_robots::{NeuralExec, NnsKind, RobotKind, SoftwareConfig};
+use tartan_sim::{
+    FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind,
+};
+
+use crate::runner::{gmean, run_robot, ExperimentParams};
+use tartan_kernels::raycast::VecMethod;
+
+// ---------------------------------------------------------------- Fig. 1
+
+/// One Fig. 1 bar: a robot on Baseline or Tartan, with the bottleneck
+/// share of execution.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// Robot name.
+    pub robot: &'static str,
+    /// `"B"` (upgraded baseline) or `"T"` (Tartan).
+    pub config: &'static str,
+    /// Fraction of attributed cycles in the bottleneck operation.
+    pub bottleneck_fraction: f64,
+    /// Wall time normalized to the robot's baseline run.
+    pub normalized_time: f64,
+}
+
+/// Fig. 1: execution-time breakdown and bottleneck analysis.
+pub fn fig1_breakdown(params: &ExperimentParams) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for kind in RobotKind::all() {
+        let base = run_robot(
+            kind,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            params,
+        );
+        let tartan = run_robot(
+            kind,
+            MachineConfig::tartan(),
+            SoftwareConfig::approximable(),
+            params,
+        );
+        rows.push(Fig1Row {
+            robot: base.robot,
+            config: "B",
+            bottleneck_fraction: base.bottleneck_fraction(),
+            normalized_time: 1.0,
+        });
+        rows.push(Fig1Row {
+            robot: tartan.robot,
+            config: "T",
+            bottleneck_fraction: tartan.bottleneck_fraction(),
+            normalized_time: tartan.wall_cycles as f64 / base.wall_cycles as f64,
+        });
+    }
+    rows
+}
+
+/// Renders Fig. 1.
+pub fn format_fig1(rows: &[Fig1Row]) -> String {
+    let mut out = String::from("Fig. 1: Execution time breakdown (bottleneck share)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>4} {:>12} {:>12}",
+        "Robot", "Cfg", "Bottleneck%", "Norm. time"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:>11.1}% {:>12.3}",
+            r.robot,
+            r.config,
+            100.0 * r.bottleneck_fraction,
+            r.normalized_time
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 6
+
+/// One Fig. 6 bar: a vectorization method on a ray-casting/collision robot.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Robot name (DeliBot: ray-casting; CarriBot: collision).
+    pub robot: &'static str,
+    /// `"B"`, `"O"`, `"G"`, or `"R"`.
+    pub method: &'static str,
+    /// Wall time normalized to the scalar baseline.
+    pub normalized_time: f64,
+    /// Dynamic instructions normalized to the scalar baseline.
+    pub normalized_instructions: f64,
+    /// Bottleneck share of the attributed cycles.
+    pub bottleneck_fraction: f64,
+}
+
+/// Fig. 6: OVEC vs Gather vs RACOD on the oriented-access robots.
+pub fn fig6_ovec(params: &ExperimentParams) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for kind in [RobotKind::DeliBot, RobotKind::CarriBot] {
+        let mut base_time = 0.0;
+        let mut base_instr = 0.0;
+        for (label, method) in [
+            ("B", VecMethod::Scalar),
+            ("O", VecMethod::Ovec),
+            ("G", VecMethod::Gather),
+            ("R", VecMethod::Racod),
+        ] {
+            let sw = SoftwareConfig {
+                vec_method: method,
+                ..SoftwareConfig::legacy()
+            };
+            // Tartan hardware hosts all methods so OVEC is available; the
+            // baseline bars differ only in the software's fetch variant.
+            let out = run_robot(kind, MachineConfig::tartan(), sw, params);
+            if label == "B" {
+                base_time = out.wall_cycles as f64;
+                base_instr = out.instructions as f64;
+            }
+            rows.push(Fig6Row {
+                robot: out.robot,
+                method: label,
+                normalized_time: out.wall_cycles as f64 / base_time,
+                normalized_instructions: out.instructions as f64 / base_instr,
+                bottleneck_fraction: out.bottleneck_fraction(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 6.
+pub fn format_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::from("Fig. 6: Oriented access patterns and vectorization methods\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>3} {:>11} {:>12} {:>12}",
+        "Robot", "M", "Norm. time", "Norm. instr", "Bottleneck%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>3} {:>11.3} {:>12.3} {:>11.1}%",
+            r.robot,
+            r.method,
+            r.normalized_time,
+            r.normalized_instructions,
+            100.0 * r.bottleneck_fraction
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+/// One Fig. 7 bar: ray-casting time with interpolation enabled.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// `"B"`, `"O"`, `"I"`, or `"O+I"`.
+    pub config: &'static str,
+    /// Ray-casting phase time normalized to the baseline.
+    pub normalized_raycast_time: f64,
+}
+
+/// Fig. 7: ray-casting with trilinear interpolation — OVEC vs Intel's
+/// accelerator vs both.
+pub fn fig7_interpolation(params: &ExperimentParams) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for (label, ovec, intel) in [
+        ("B", false, false),
+        ("O", true, false),
+        ("I", false, true),
+        ("O+I", true, true),
+    ] {
+        let mut hw = if ovec {
+            MachineConfig::tartan()
+        } else {
+            MachineConfig::upgraded_baseline()
+        };
+        hw.intel_lvs = intel;
+        let sw = SoftwareConfig {
+            vec_method: if ovec { VecMethod::Ovec } else { VecMethod::Scalar },
+            interpolate_raycast: true,
+            ..SoftwareConfig::legacy()
+        };
+        let out = run_robot(RobotKind::DeliBot, hw, sw, params);
+        let raycast = out.bottleneck_cycles as f64;
+        if label == "B" {
+            base = raycast;
+        }
+        rows.push(Fig7Row {
+            config: label,
+            normalized_raycast_time: raycast / base,
+        });
+    }
+    rows
+}
+
+/// Renders Fig. 7.
+pub fn format_fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::from("Fig. 7: Ray-casting time with interpolation\n");
+    for r in rows {
+        let _ = writeln!(out, "{:<5} {:>8.3}", r.config, r.normalized_raycast_time);
+    }
+    out
+}
+
+// -------------------------------------------------------------- Table II
+
+/// One Table II row: an approximated function and its observed error.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// `AXAR` / `TRAP` / `Native`.
+    pub kind: &'static str,
+    /// Robot.
+    pub robot: &'static str,
+    /// Approximated function.
+    pub function: &'static str,
+    /// MLP topology.
+    pub topology: &'static str,
+    /// Observed error (%, robot-specific metric; see the field docs of
+    /// each robot's `quality`).
+    pub error_percent: f64,
+}
+
+/// Table II: the three neural workloads and their quality loss.
+pub fn table2_networks(params: &ExperimentParams) -> Vec<Table2Row> {
+    // FlyBot: path-cost inflation of AXAR vs exact (paper: 0%).
+    let fly_exact = run_robot(
+        RobotKind::FlyBot,
+        MachineConfig::tartan(),
+        SoftwareConfig::optimized(),
+        params,
+    );
+    let fly_axar = run_robot(
+        RobotKind::FlyBot,
+        MachineConfig::tartan(),
+        SoftwareConfig::approximable(),
+        params,
+    );
+    let fly_err = ((fly_axar.quality / fly_exact.quality.max(1e-9)) - 1.0).max(0.0) * 100.0;
+
+    // HomeBot: geometric-mean transform error of TRAP (paper: 6.8%).
+    let home_trap = run_robot(
+        RobotKind::HomeBot,
+        MachineConfig::tartan(),
+        SoftwareConfig::approximable(),
+        params,
+    );
+    let home_err = home_trap.quality * 100.0;
+
+    // PatrolBot: classification error of the PCA+MLP port (paper: 1.3%).
+    let patrol = run_robot(
+        RobotKind::PatrolBot,
+        MachineConfig::tartan(),
+        SoftwareConfig::approximable(),
+        params,
+    );
+    let patrol_err = patrol.quality * 100.0;
+
+    vec![
+        Table2Row {
+            kind: "AXAR",
+            robot: "FlyBot",
+            function: "Heuristic Cost",
+            topology: "6/16/16/1",
+            error_percent: fly_err,
+        },
+        Table2Row {
+            kind: "TRAP",
+            robot: "HomeBot",
+            function: "T Prediction",
+            topology: "192/32/32/6",
+            error_percent: home_err,
+        },
+        Table2Row {
+            kind: "Native",
+            robot: "PatrolBot",
+            function: "Classification",
+            topology: "50/1024/512/1",
+            error_percent: patrol_err,
+        },
+    ]
+}
+
+/// Renders Table II.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from("Table II: Neural network workloads\n");
+    let _ = writeln!(
+        out,
+        "{:<7} {:<10} {:<16} {:<14} {:>7}",
+        "Type", "Robot", "Function", "Topology", "Error"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<7} {:<10} {:<16} {:<14} {:>6.1}%",
+            r.kind, r.robot, r.function, r.topology, r.error_percent
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+/// One Fig. 8 bar: a neural-execution arrangement on one robot.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Robot.
+    pub robot: &'static str,
+    /// `"B"` baseline, `"H"` hardware NPU, `"S"` software, `"C"`
+    /// co-processor.
+    pub config: &'static str,
+    /// Wall time normalized to B.
+    pub normalized_time: f64,
+    /// Instructions normalized to B.
+    pub normalized_instructions: f64,
+    /// Target-function share of attributed cycles.
+    pub target_fraction: f64,
+    /// Communication share of attributed cycles.
+    pub comm_fraction: f64,
+}
+
+/// Fig. 8: neural acceleration of robotics — baseline vs integrated NPU vs
+/// software execution vs co-processor.
+pub fn fig8_npu(params: &ExperimentParams) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for kind in [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot] {
+        let mut base_time = 0.0;
+        let mut base_instr = 0.0;
+        for (label, npu, neural) in [
+            ("B", NpuMode::None, NeuralExec::None),
+            ("H", NpuMode::Integrated { pes: 4 }, NeuralExec::Npu),
+            ("S", NpuMode::None, NeuralExec::Software),
+            ("C", NpuMode::Coprocessor, NeuralExec::Npu),
+        ] {
+            let mut hw = MachineConfig::upgraded_baseline();
+            hw.npu = npu;
+            let sw = SoftwareConfig {
+                neural,
+                ..SoftwareConfig::legacy()
+            };
+            let out = run_robot(kind, hw, sw, params);
+            if label == "B" {
+                base_time = out.wall_cycles as f64;
+                base_instr = out.instructions as f64;
+            }
+            let total = out.phase_total().max(1) as f64;
+            rows.push(Fig8Row {
+                robot: out.robot,
+                config: label,
+                normalized_time: out.wall_cycles as f64 / base_time,
+                normalized_instructions: out.instructions as f64 / base_instr,
+                target_fraction: out.bottleneck_cycles as f64 / total,
+                comm_fraction: out.comm_cycles as f64 / total,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 8.
+pub fn format_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::from("Fig. 8: Neural acceleration arrangements\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>3} {:>11} {:>12} {:>9} {:>7}",
+        "Robot", "C", "Norm. time", "Norm. instr", "Target%", "Comm%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>3} {:>11.3} {:>12.3} {:>8.1}% {:>6.1}%",
+            r.robot,
+            r.config,
+            r.normalized_time,
+            r.normalized_instructions,
+            100.0 * r.target_fraction,
+            100.0 * r.comm_fraction
+        );
+    }
+    out
+}
+
+// -------------------------------------------------------------- Table III
+
+/// One Table III row: an NPU size.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Processing elements.
+    pub pes: u32,
+    /// SRAM in KB.
+    pub memory_kb: f64,
+    /// Geometric-mean speedup over the no-NPU baseline across the three
+    /// neural robots.
+    pub gmean_speedup: f64,
+    /// Area in µm².
+    pub area_um2: f64,
+}
+
+/// Table III: NPU configurations (2/4/8 PEs).
+pub fn table3_npu_pes(params: &ExperimentParams) -> Vec<Table3Row> {
+    let robots = [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot];
+    let baselines: Vec<f64> = robots
+        .iter()
+        .map(|&kind| {
+            run_robot(
+                kind,
+                MachineConfig::upgraded_baseline(),
+                SoftwareConfig::legacy(),
+                params,
+            )
+            .wall_cycles as f64
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for pes in [2u32, 4, 8] {
+        let mut speedups = Vec::new();
+        for (i, &kind) in robots.iter().enumerate() {
+            let mut hw = MachineConfig::upgraded_baseline();
+            hw.npu = NpuMode::Integrated { pes };
+            let sw = SoftwareConfig {
+                neural: NeuralExec::Npu,
+                ..SoftwareConfig::legacy()
+            };
+            let out = run_robot(kind, hw, sw, params);
+            speedups.push(baselines[i] / out.wall_cycles as f64);
+        }
+        let model = tartan_npu::NpuAreaModel::new(pes);
+        rows.push(Table3Row {
+            pes,
+            memory_kb: model.sram_kilobytes(),
+            gmean_speedup: gmean(speedups),
+            area_um2: model.area_um2(),
+        });
+    }
+    rows
+}
+
+/// Renders Table III.
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::from("Table III: NPU configurations\n");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>14} {:>12}",
+        "PEs", "Mem [KB]", "GMean speedup", "Area [um^2]"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10.1} {:>13.2}x {:>12.0}",
+            r.pes, r.memory_kb, r.gmean_speedup, r.area_um2
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+/// One Fig. 9 bar: an NNS approach (with or without ANL).
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Robot (MoveBot or HomeBot).
+    pub robot: &'static str,
+    /// `"B"`, `"B+"`, `"V"`, `"V+"`, `"F"`, `"F+"`, `"K"`, `"K+"`.
+    pub config: String,
+    /// Wall time normalized to brute force without ANL.
+    pub normalized_time: f64,
+    /// L2 demand misses normalized to brute force without ANL.
+    pub normalized_l2_misses: f64,
+}
+
+/// Fig. 9: NNS with different approaches; `+` adds the ANL prefetcher.
+pub fn fig9_nns(params: &ExperimentParams) -> Vec<Fig9Row> {
+    let engines = [
+        ("B", NnsKind::Brute),
+        ("V", NnsKind::Vln),
+        ("F", NnsKind::Flann),
+        ("K", NnsKind::KdTree),
+    ];
+    // The NNS study stresses the memory system with a larger cloud than
+    // the end-to-end runs (the paper tunes each study's inputs, §VIII-C).
+    let mut params = *params;
+    params.scale.map_points = params.scale.map_points * 4;
+    let params = &params;
+    let mut rows = Vec::new();
+    for kind in [RobotKind::MoveBot, RobotKind::HomeBot] {
+        let mut base_time = 0.0;
+        let mut base_misses = 0.0;
+        for (label, nns) in engines {
+            for anl in [false, true] {
+                let mut hw = MachineConfig::upgraded_baseline();
+                hw.prefetcher = if anl {
+                    PrefetcherKind::Anl
+                } else {
+                    PrefetcherKind::None
+                };
+                let sw = SoftwareConfig {
+                    nns,
+                    ..SoftwareConfig::legacy()
+                };
+                let out = run_robot(kind, hw, sw, params);
+                let misses = out.stats.l2.demand_misses() as f64;
+                if label == "B" && !anl {
+                    base_time = out.wall_cycles as f64;
+                    base_misses = misses.max(1.0);
+                }
+                rows.push(Fig9Row {
+                    robot: out.robot,
+                    config: format!("{label}{}", if anl { "+" } else { "" }),
+                    normalized_time: out.wall_cycles as f64 / base_time,
+                    normalized_l2_misses: misses / base_misses,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 9.
+pub fn format_fig9(rows: &[Fig9Row]) -> String {
+    let mut out = String::from("Fig. 9: NNS with different approaches (+ = ANL)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>4} {:>11} {:>14}",
+        "Robot", "Cfg", "Norm. time", "Norm. L2 miss"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:>11.3} {:>14.3}",
+            r.robot, r.config, r.normalized_time, r.normalized_l2_misses
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 10
+
+/// One Fig. 10 bar: a prefetcher on one robot.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Robot name or `"GMean"`.
+    pub robot: &'static str,
+    /// `"No"`, `"ANL"`, `"NL"`, `"Bingo"`.
+    pub prefetcher: &'static str,
+    /// Wall time normalized to no prefetching.
+    pub normalized_time: f64,
+    /// L2 miss coverage.
+    pub coverage: f64,
+    /// Prefetch accuracy.
+    pub accuracy: f64,
+}
+
+/// Fig. 10: prefetching approaches across all six robots.
+///
+/// ANL is a *bucket-revisit* prefetcher (§VI-D), so this study runs the
+/// Tartan-tuned software (VLN's contiguous buckets) over clouds sized past
+/// the private L2 — the regime whose sparse/dense heterogeneity ANL was
+/// designed for.
+pub fn fig10_prefetch(params: &ExperimentParams) -> Vec<Fig10Row> {
+    let kinds = [
+        ("No", PrefetcherKind::None),
+        ("ANL", PrefetcherKind::Anl),
+        ("NL", PrefetcherKind::NextLine),
+        ("Bi", PrefetcherKind::Bingo),
+    ];
+    let mut params = *params;
+    params.scale.map_points *= 20;
+    let params = &params;
+    let mut rows = Vec::new();
+    let mut per_pf_ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for robot in RobotKind::all() {
+        let mut base_time = 0.0;
+        for (i, (label, pf)) in kinds.iter().enumerate() {
+            let mut hw = MachineConfig::upgraded_baseline();
+            hw.prefetcher = *pf;
+            let mut sw = SoftwareConfig::optimized().effective(&hw);
+            sw.nns = NnsKind::Vln;
+            let out = run_robot(robot, hw, sw, params);
+            if i == 0 {
+                base_time = out.wall_cycles as f64;
+            }
+            let ratio = out.wall_cycles as f64 / base_time;
+            per_pf_ratios[i].push(ratio);
+            rows.push(Fig10Row {
+                robot: out.robot,
+                prefetcher: label,
+                normalized_time: ratio,
+                coverage: out.stats.l2.coverage(),
+                accuracy: out.stats.l2.accuracy(),
+            });
+        }
+    }
+    for (i, (label, _)) in kinds.iter().enumerate() {
+        rows.push(Fig10Row {
+            robot: "GMean",
+            prefetcher: label,
+            normalized_time: gmean(per_pf_ratios[i].iter().copied()),
+            coverage: 0.0,
+            accuracy: 0.0,
+        });
+    }
+    rows
+}
+
+/// Renders Fig. 10.
+pub fn format_fig10(rows: &[Fig10Row]) -> String {
+    let mut out = String::from("Fig. 10: Prefetching approaches\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>11} {:>9} {:>9}",
+        "Robot", "PF", "Norm. time", "Coverage", "Accuracy"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>11.3} {:>8.1}% {:>8.1}%",
+            r.robot,
+            r.prefetcher,
+            r.normalized_time,
+            100.0 * r.coverage,
+            100.0 * r.accuracy
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+/// One Fig. 11 bar: an FCP parameterization on one robot.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Robot.
+    pub robot: &'static str,
+    /// Configuration label, e.g. `"1KB-2b x^2"`.
+    pub config: String,
+    /// Wall time normalized to no FCP.
+    pub normalized_time: f64,
+    /// L2 misses normalized to no FCP.
+    pub normalized_l2_misses: f64,
+}
+
+/// Fig. 11: FCP with different region sizes, XOR widths, and manipulation
+/// functions.
+pub fn fig11_fcp(params: &ExperimentParams) -> Vec<Fig11Row> {
+    let manips = [
+        ("x+1", FcpManipulation::Increment),
+        ("2x", FcpManipulation::Double),
+        ("x^2", FcpManipulation::Square),
+    ];
+    let geoms = [("512B", 512u64), ("1KB", 1024)];
+    let bits = [2u32, 3];
+    let mut rows = Vec::new();
+    for robot in RobotKind::all() {
+        let base = run_robot(
+            robot,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            params,
+        );
+        let base_time = base.wall_cycles as f64;
+        let base_misses = base.stats.l2.demand_misses().max(1) as f64;
+        for (mlabel, m) in manips {
+            for (glabel, region) in geoms {
+                for l in bits {
+                    let mut hw = MachineConfig::upgraded_baseline();
+                    hw.fcp = Some(FcpConfig {
+                        region_bytes: region,
+                        xor_bits: l,
+                        manipulation: m,
+                    });
+                    let out = run_robot(robot, hw, SoftwareConfig::legacy(), params);
+                    rows.push(Fig11Row {
+                        robot: out.robot,
+                        config: format!("{glabel}-{l}b {mlabel}"),
+                        normalized_time: out.wall_cycles as f64 / base_time,
+                        normalized_l2_misses: out.stats.l2.demand_misses() as f64 / base_misses,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 11.
+pub fn format_fig11(rows: &[Fig11Row]) -> String {
+    let mut out = String::from("Fig. 11: FCP parameter sweep\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<12} {:>11} {:>14}",
+        "Robot", "Config", "Norm. time", "Norm. L2 miss"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<12} {:>11.3} {:>14.3}",
+            r.robot, r.config, r.normalized_time, r.normalized_l2_misses
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+/// One Fig. 12 bar: a robot's end-to-end speedup on Tartan for one
+/// software tier.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Robot name or `"GMean"`.
+    pub robot: &'static str,
+    /// `"legacy"`, `"optimized"`, or `"approximable"`.
+    pub software: &'static str,
+    /// Speedup of Tartan over the upgraded baseline running legacy
+    /// software.
+    pub speedup: f64,
+}
+
+/// Fig. 12: end-to-end Tartan speedup for the three software tiers
+/// (paper: 1.2× legacy, 1.61× optimized, 2.11× approximable).
+pub fn fig12_end_to_end(params: &ExperimentParams) -> Vec<Fig12Row> {
+    let tiers = [
+        ("legacy", SoftwareConfig::legacy()),
+        ("optimized", SoftwareConfig::optimized()),
+        ("approximable", SoftwareConfig::approximable()),
+    ];
+    let mut rows = Vec::new();
+    let mut per_tier: Vec<Vec<f64>> = vec![Vec::new(); tiers.len()];
+    for robot in RobotKind::all() {
+        let base = run_robot(
+            robot,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            params,
+        );
+        for (i, (label, sw)) in tiers.iter().enumerate() {
+            let out = run_robot(robot, MachineConfig::tartan(), *sw, params);
+            let speedup = base.wall_cycles as f64 / out.wall_cycles as f64;
+            per_tier[i].push(speedup);
+            rows.push(Fig12Row {
+                robot: out.robot,
+                software: label,
+                speedup,
+            });
+        }
+    }
+    for (i, (label, _)) in tiers.iter().enumerate() {
+        rows.push(Fig12Row {
+            robot: "GMean",
+            software: label,
+            speedup: gmean(per_tier[i].iter().copied()),
+        });
+    }
+    rows
+}
+
+/// Renders Fig. 12.
+pub fn format_fig12(rows: &[Fig12Row]) -> String {
+    let mut out = String::from("Fig. 12: End-to-end Tartan speedup\n");
+    let _ = writeln!(out, "{:<10} {:<14} {:>8}", "Robot", "Software", "Speedup");
+    for r in rows {
+        let _ = writeln!(out, "{:<10} {:<14} {:>7.2}x", r.robot, r.software, r.speedup);
+    }
+    out
+}
+
+// ------------------------------------------------- §III-A upgrades
+
+/// Results of the engineering-upgrade study (§III-A).
+#[derive(Debug, Clone)]
+pub struct UpgradeRow {
+    /// Robot.
+    pub robot: &'static str,
+    /// DRAM traffic (UDM) with 64 B lines / with 32 B lines.
+    pub udm_reduction: f64,
+    /// L3 traffic without / with write-through regions.
+    pub l3_traffic_reduction: f64,
+    /// Wall-time ratio legacy-baseline / upgraded-baseline.
+    pub speedup: f64,
+}
+
+/// §III-A: 32 B cachelines cut unnecessary data movement; write-through
+/// producer/consumer regions cut L3 traffic.
+pub fn baseline_upgrades(params: &ExperimentParams) -> Vec<UpgradeRow> {
+    let mut rows = Vec::new();
+    for robot in [RobotKind::DeliBot, RobotKind::HomeBot, RobotKind::CarriBot] {
+        let legacy = run_robot(
+            robot,
+            MachineConfig::legacy_baseline(),
+            SoftwareConfig::legacy(),
+            params,
+        );
+        let upgraded = run_robot(
+            robot,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            params,
+        );
+        rows.push(UpgradeRow {
+            robot: legacy.robot,
+            udm_reduction: legacy.stats.dram_bytes as f64 / upgraded.stats.dram_bytes.max(1) as f64,
+            l3_traffic_reduction: legacy.stats.l3_traffic_bytes as f64
+                / upgraded.stats.l3_traffic_bytes.max(1) as f64,
+            speedup: legacy.wall_cycles as f64 / upgraded.wall_cycles as f64,
+        });
+    }
+    rows
+}
+
+/// Renders the upgrade study.
+pub fn format_upgrades(rows: &[UpgradeRow]) -> String {
+    let mut out = String::from("Engineering upgrades (Sec. III-A)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>11} {:>8}",
+        "Robot", "UDM red.", "L3-traffic", "Speedup"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7.2}x {:>10.2}x {:>7.2}x",
+            r.robot, r.udm_reduction, r.l3_traffic_reduction, r.speedup
+        );
+    }
+    out
+}
+
+// ------------------------------------------------------------- Ablations
+
+/// One ablation row: a single design knob swept around Tartan's default.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The knob and its value, e.g. `"ANL region 4096B"`.
+    pub config: String,
+    /// Wall time normalized to Tartan's default configuration.
+    pub normalized_time: f64,
+    /// Prefetch accuracy (for the ANL sweep; 0 otherwise).
+    pub accuracy: f64,
+}
+
+/// Design-choice ablations the paper discusses but does not plot:
+/// ANL's region size (§VI-D argues 1 KB minimizes overprediction) and
+/// OVEC's address-generation latency (§VIII-A estimates 5 cycles).
+pub fn ablations(params: &ExperimentParams) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    // ANL region-size sweep on DeliBot (the grid-walking robot).
+    let mut sw = SoftwareConfig::optimized();
+    sw.nns = NnsKind::Vln;
+    let mut base_time = 0.0;
+    for region in [512u64, 1024, 2048, 4096] {
+        let mut hw = MachineConfig::tartan();
+        hw.anl_region_bytes = region;
+        let out = run_robot(RobotKind::DeliBot, hw, sw, params);
+        if region == 1024 {
+            base_time = out.wall_cycles as f64;
+        }
+        rows.push(AblationRow {
+            config: format!("ANL region {region}B"),
+            normalized_time: out.wall_cycles as f64,
+            accuracy: out.stats.l2.accuracy(),
+        });
+    }
+    for r in rows.iter_mut() {
+        r.normalized_time /= base_time;
+    }
+    // OVEC address-generation latency sensitivity on DeliBot.
+    let mut ovec_rows = Vec::new();
+    let mut base = 0.0;
+    for lat in [1u64, 5, 10, 20] {
+        let mut hw = MachineConfig::tartan();
+        hw.ovec_addr_gen_latency = lat;
+        let out = run_robot(RobotKind::DeliBot, hw, SoftwareConfig::optimized(), params);
+        if lat == 5 {
+            base = out.wall_cycles as f64;
+        }
+        ovec_rows.push((format!("OVEC addr-gen {lat}cy"), out.wall_cycles as f64));
+    }
+    for (config, t) in ovec_rows {
+        rows.push(AblationRow {
+            config,
+            normalized_time: t / base,
+            accuracy: 0.0,
+        });
+    }
+    rows
+}
+
+/// Renders the ablation study.
+pub fn format_ablations(rows: &[AblationRow]) -> String {
+    let mut out = String::from("Ablations (design-choice sensitivity)\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8.3} (accuracy {:>5.1}%)",
+            r.config,
+            r.normalized_time,
+            100.0 * r.accuracy
+        );
+    }
+    out
+}
+
+// --------------------------------------------------------------- Table I
+
+/// Renders Table I (application parameters).
+pub fn format_table1() -> String {
+    let mut out = String::from("Table I: Application parameters\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:<26} {:<14}",
+        "Robot", "Resembling", "Major Algorithms", "Pipeline"
+    );
+    for kind in RobotKind::all() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<14} {:<26} {:<14}",
+            kind.name(),
+            kind.resembling(),
+            kind.algorithms(),
+            kind.pipeline_threads()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shapes_hold_at_quick_scale() {
+        let rows = fig6_ovec(&ExperimentParams::quick());
+        assert_eq!(rows.len(), 8);
+        let get = |robot: &str, m: &str| {
+            rows.iter()
+                .find(|r| r.robot == robot && r.method == m)
+                .expect("present")
+                .clone()
+        };
+        for robot in ["DeliBot", "CarriBot"] {
+            let b = get(robot, "B");
+            let o = get(robot, "O");
+            let g = get(robot, "G");
+            let r = get(robot, "R");
+            assert!(o.normalized_time < b.normalized_time, "{robot}: OVEC wins");
+            // RACOD always beats the scalar baseline; OVEC may exceed it
+            // outright (see EXPERIMENTS.md, Fig. 6).
+            assert!(r.normalized_time < b.normalized_time, "{robot}: RACOD wins");
+            assert!(
+                g.normalized_instructions > 1.0,
+                "{robot}: gather raises instructions"
+            );
+            assert!(
+                o.normalized_instructions < 0.75,
+                "{robot}: OVEC cuts instructions, got {}",
+                o.normalized_instructions
+            );
+        }
+        assert!(!format_fig6(&rows).is_empty());
+    }
+
+    #[test]
+    fn table1_lists_all_robots() {
+        let t = format_table1();
+        for name in ["DeliBot", "PatrolBot", "MoveBot", "HomeBot", "FlyBot", "CarriBot"] {
+            assert!(t.contains(name));
+        }
+    }
+
+    #[test]
+    fn fig12_single_robot_sanity() {
+        // Full Fig. 12 runs in the integration suite; here just check the
+        // driver plumbing with one robot by calling run_robot directly.
+        let params = ExperimentParams::quick();
+        let base = run_robot(
+            RobotKind::DeliBot,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            &params,
+        );
+        let tartan = run_robot(
+            RobotKind::DeliBot,
+            MachineConfig::tartan(),
+            SoftwareConfig::approximable(),
+            &params,
+        );
+        assert!(
+            tartan.wall_cycles < base.wall_cycles,
+            "Tartan must beat the baseline: {} vs {}",
+            tartan.wall_cycles,
+            base.wall_cycles
+        );
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Tartan's top level: the hardware/software configuration matrix and the
+//! experiment drivers that regenerate every figure and table of the paper's
+//! evaluation (§VIII).
+//!
+//! Each `figN_*`/`tableN_*` function in [`experiments`] runs the relevant
+//! robots on the relevant machine configurations, returns typed result
+//! rows, and can render them as text tables. The `bench` crate and the
+//! `paper_figures` example drive them at paper scale; integration tests
+//! use [`tartan_robots::Scale::small`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tartan_core::{experiments, runner::ExperimentParams};
+//!
+//! let params = ExperimentParams::quick();
+//! let rows = experiments::fig12_end_to_end(&params);
+//! println!("{}", experiments::format_fig12(&rows));
+//! ```
+
+pub mod experiments;
+pub mod overhead;
+pub mod runner;
+
+pub use runner::{run_robot, ExperimentParams, RunOutcome};
+
+pub use tartan_robots::{NeuralExec, NnsKind, RobotKind, Scale, SoftwareConfig};
+pub use tartan_sim::{FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind};

@@ -1,0 +1,153 @@
+//! The experiment runner: builds a machine + robot, runs the pipeline, and
+//! snapshots everything the figures need.
+
+use tartan_robots::{RobotKind, Scale, SoftwareConfig};
+use tartan_sim::{Machine, MachineConfig, MachineStats};
+
+/// Sizing knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentParams {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Pipeline periods per run.
+    pub steps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// Fast parameters for tests.
+    pub fn quick() -> Self {
+        ExperimentParams {
+            scale: Scale::small(),
+            steps: 2,
+            seed: 42,
+        }
+    }
+
+    /// The scale the figure harnesses use.
+    pub fn paper() -> Self {
+        ExperimentParams {
+            scale: Scale::paper(),
+            steps: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Everything a figure needs from one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Robot name.
+    pub robot: &'static str,
+    /// End-to-end wall cycles.
+    pub wall_cycles: u64,
+    /// Dynamic instructions.
+    pub instructions: u64,
+    /// Cycles attributed to the robot's bottleneck phases (Fig. 1).
+    pub bottleneck_cycles: u64,
+    /// Cycles attributed to CPU↔NPU communication (Fig. 8).
+    pub comm_cycles: u64,
+    /// Full statistics snapshot.
+    pub stats: MachineStats,
+    /// Robot-specific quality metric (lower is better).
+    pub quality: f64,
+}
+
+impl RunOutcome {
+    /// Total cycles attributed to phases (the breakdown denominator).
+    pub fn phase_total(&self) -> u64 {
+        self.stats.phases.values().map(|p| p.cycles).sum()
+    }
+
+    /// Fraction of attributed cycles spent in the bottleneck.
+    pub fn bottleneck_fraction(&self) -> f64 {
+        let total = self.phase_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bottleneck_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Runs one robot on one configuration and snapshots the outcome.
+pub fn run_robot(
+    kind: RobotKind,
+    hw: MachineConfig,
+    sw: SoftwareConfig,
+    params: &ExperimentParams,
+) -> RunOutcome {
+    let mut machine = Machine::new(hw);
+    let mut robot = kind.build(&mut machine, sw, params.scale, params.seed);
+    // Setup (environment generation, model training) happens in `build`
+    // and is untimed except for explicit configuration costs; reset the
+    // wall clock contribution by measuring a delta.
+    let start_wall = machine.wall_cycles();
+    let start_stats = machine.stats();
+    robot.run(&mut machine, params.steps);
+    let mut stats = machine.stats();
+    // Subtract setup-time contributions (e.g., streaming NPU weights at
+    // configuration) so every reported quantity covers the same window.
+    for (name, phase) in stats.phases.iter_mut() {
+        if let Some(before) = start_stats.phases.get(name) {
+            phase.cycles -= before.cycles;
+            phase.instructions -= before.instructions;
+        }
+    }
+    let bottleneck_cycles = robot
+        .bottleneck_phases()
+        .iter()
+        .map(|ph| stats.phase_cycles(ph))
+        .sum();
+    RunOutcome {
+        robot: robot.name(),
+        wall_cycles: stats.wall_cycles - start_wall,
+        instructions: stats.instructions - start_stats.instructions,
+        bottleneck_cycles,
+        comm_cycles: stats.phase_cycles(tartan_sim::PHASE_COMM),
+        stats,
+        quality: robot.quality(),
+    }
+}
+
+/// Geometric mean of an iterator of positive numbers.
+pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_outcome_has_consistent_fields() {
+        let out = run_robot(
+            RobotKind::DeliBot,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            &ExperimentParams::quick(),
+        );
+        assert_eq!(out.robot, "DeliBot");
+        assert!(out.wall_cycles > 0);
+        assert!(out.instructions > 0);
+        assert!(out.bottleneck_fraction() > 0.0 && out.bottleneck_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn gmean_of_equal_values() {
+        assert!((gmean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(Vec::<f64>::new()), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Behavior trees (HomeBot's decision stage, Table I): composite
+//! sequence/selector nodes over condition and action leaves, with the node
+//! table in simulated memory (ticking is a pointer chase).
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+const PC_BT: u64 = 0x7_8000;
+
+/// Result of ticking a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtStatus {
+    /// The node succeeded.
+    Success,
+    /// The node failed.
+    Failure,
+    /// The node needs more ticks.
+    Running,
+}
+
+/// Node types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtNodeKind {
+    /// Succeeds when all children succeed, in order.
+    Sequence,
+    /// Succeeds when any child succeeds, in order.
+    Selector,
+    /// A leaf evaluated by the blackboard callback with this id.
+    Leaf(u32),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PackedNode {
+    /// 0 = sequence, 1 = selector, 2 = leaf.
+    kind: u32,
+    /// Leaf id (leaves) or unused.
+    leaf: u32,
+    /// First child index, -1 if none.
+    first_child: i32,
+    /// Next sibling index, -1 if none.
+    next_sibling: i32,
+}
+
+/// A behavior tree stored in simulated memory.
+#[derive(Debug)]
+pub struct BehaviorTree {
+    nodes: Buffer<PackedNode>,
+    root: i32,
+}
+
+/// A declarative tree description used to build a [`BehaviorTree`].
+#[derive(Debug, Clone)]
+pub enum BtSpec {
+    /// Sequence of children.
+    Sequence(Vec<BtSpec>),
+    /// Fallback over children.
+    Selector(Vec<BtSpec>),
+    /// Leaf with an id the tick callback interprets.
+    Leaf(u32),
+}
+
+impl BehaviorTree {
+    /// Builds the packed tree.
+    pub fn build(machine: &mut Machine, spec: &BtSpec) -> Self {
+        let mut nodes = Vec::new();
+        let root = Self::pack(spec, &mut nodes);
+        BehaviorTree {
+            nodes: machine.buffer_from_vec(nodes, MemPolicy::Normal),
+            root,
+        }
+    }
+
+    fn pack(spec: &BtSpec, nodes: &mut Vec<PackedNode>) -> i32 {
+        let me = nodes.len() as i32;
+        nodes.push(PackedNode::default());
+        match spec {
+            BtSpec::Leaf(id) => {
+                nodes[me as usize] = PackedNode {
+                    kind: 2,
+                    leaf: *id,
+                    first_child: -1,
+                    next_sibling: -1,
+                };
+            }
+            BtSpec::Sequence(children) | BtSpec::Selector(children) => {
+                let kind = if matches!(spec, BtSpec::Sequence(_)) { 0 } else { 1 };
+                let mut first = -1i32;
+                let mut prev = -1i32;
+                for c in children {
+                    let ci = Self::pack(c, nodes);
+                    if first < 0 {
+                        first = ci;
+                    }
+                    if prev >= 0 {
+                        nodes[prev as usize].next_sibling = ci;
+                    }
+                    prev = ci;
+                }
+                nodes[me as usize] = PackedNode {
+                    kind,
+                    leaf: 0,
+                    first_child: first,
+                    next_sibling: nodes[me as usize].next_sibling,
+                };
+            }
+        }
+        me
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ticks the tree; `leaf_tick(p, id)` evaluates leaves.
+    pub fn tick(
+        &self,
+        p: &mut Proc<'_>,
+        leaf_tick: &mut impl FnMut(&mut Proc<'_>, u32) -> BtStatus,
+    ) -> BtStatus {
+        self.tick_node(p, self.root, leaf_tick)
+    }
+
+    fn tick_node(
+        &self,
+        p: &mut Proc<'_>,
+        node: i32,
+        leaf_tick: &mut impl FnMut(&mut Proc<'_>, u32) -> BtStatus,
+    ) -> BtStatus {
+        let n = self.nodes.get_dep(p, PC_BT, node as usize);
+        p.instr(3);
+        match n.kind {
+            2 => leaf_tick(p, n.leaf),
+            kind => {
+                let mut child = n.first_child;
+                while child >= 0 {
+                    let status = self.tick_node(p, child, leaf_tick);
+                    match (kind, status) {
+                        (0, BtStatus::Success) | (1, BtStatus::Failure) => {
+                            let c = self.nodes.get_dep(p, PC_BT, child as usize);
+                            child = c.next_sibling;
+                        }
+                        (_, s) => return s,
+                    }
+                }
+                if kind == 0 {
+                    BtStatus::Success
+                } else {
+                    BtStatus::Failure
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    /// HomeBot-style tree:
+    ///   Selector
+    ///     Sequence [battery_low (0), dock (1)]
+    ///     Sequence [dirt_here (2), clean (3)]
+    ///     explore (4)
+    fn homebot_tree(m: &mut Machine) -> BehaviorTree {
+        BehaviorTree::build(
+            m,
+            &BtSpec::Selector(vec![
+                BtSpec::Sequence(vec![BtSpec::Leaf(0), BtSpec::Leaf(1)]),
+                BtSpec::Sequence(vec![BtSpec::Leaf(2), BtSpec::Leaf(3)]),
+                BtSpec::Leaf(4),
+            ]),
+        )
+    }
+
+    #[test]
+    fn selector_falls_through_to_explore() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let tree = homebot_tree(&mut m);
+        let mut ticked = Vec::new();
+        let status = m.run(|p| {
+            tree.tick(p, &mut |pp, id| {
+                pp.flop(2);
+                ticked.push(id);
+                match id {
+                    0 | 2 => BtStatus::Failure, // battery fine, no dirt
+                    _ => BtStatus::Success,
+                }
+            })
+        });
+        assert_eq!(status, BtStatus::Success);
+        assert_eq!(ticked, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn battery_low_takes_priority() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let tree = homebot_tree(&mut m);
+        let mut ticked = Vec::new();
+        let status = m.run(|p| {
+            tree.tick(p, &mut |_pp, id| {
+                ticked.push(id);
+                BtStatus::Success // battery IS low → dock
+            })
+        });
+        assert_eq!(status, BtStatus::Success);
+        assert_eq!(ticked, vec![0, 1], "dock path short-circuits");
+    }
+
+    #[test]
+    fn running_propagates() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let tree = homebot_tree(&mut m);
+        let status = m.run(|p| {
+            tree.tick(p, &mut |_pp, id| {
+                if id == 0 {
+                    BtStatus::Running
+                } else {
+                    BtStatus::Failure
+                }
+            })
+        });
+        assert_eq!(status, BtStatus::Running);
+    }
+
+    #[test]
+    fn ticking_charges_simulated_time() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let tree = homebot_tree(&mut m);
+        m.run(|p| {
+            tree.tick(p, &mut |_pp, _id| BtStatus::Failure);
+        });
+        assert!(m.wall_cycles() > 0);
+        assert_eq!(tree.len(), 8);
+    }
+}

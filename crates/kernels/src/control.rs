@@ -1,0 +1,317 @@
+//! Control-stage kernels: PID, pure pursuit, model-predictive control,
+//! dynamic movement primitives, and the greedy waypoint follower
+//! (Table I's control algorithms).
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+const PC_PATH: u64 = 0x7_7000;
+const PC_DMP: u64 = 0x7_7100;
+
+/// A PID controller (MoveBot's joint control, §III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pid {
+    /// Proportional gain.
+    pub kp: f32,
+    /// Integral gain.
+    pub ki: f32,
+    /// Derivative gain.
+    pub kd: f32,
+    integral: f32,
+    last_error: f32,
+}
+
+impl Pid {
+    /// Creates a controller with the given gains.
+    pub fn new(kp: f32, ki: f32, kd: f32) -> Self {
+        Pid {
+            kp,
+            ki,
+            kd,
+            integral: 0.0,
+            last_error: 0.0,
+        }
+    }
+
+    /// One control step.
+    pub fn step(&mut self, p: &mut Proc<'_>, error: f32, dt: f32) -> f32 {
+        p.flop(9);
+        self.integral += error * dt;
+        let derivative = (error - self.last_error) / dt;
+        self.last_error = error;
+        self.kp * error + self.ki * self.integral + self.kd * derivative
+    }
+}
+
+/// A waypoint path in simulated memory (x, y pairs).
+#[derive(Debug)]
+pub struct WaypointPath {
+    data: Buffer<f32>,
+}
+
+impl WaypointPath {
+    /// Uploads waypoints.
+    pub fn new(machine: &mut Machine, waypoints: &[[f32; 2]]) -> Self {
+        let mut flat = Vec::with_capacity(waypoints.len() * 2);
+        for w in waypoints {
+            flat.extend_from_slice(w);
+        }
+        WaypointPath {
+            data: machine.buffer_from_vec(flat, MemPolicy::Normal),
+        }
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.data.len() / 2
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Timed waypoint load.
+    pub fn load(&self, p: &mut Proc<'_>, i: usize) -> [f32; 2] {
+        [
+            self.data.get(p, PC_PATH, i * 2),
+            self.data.get(p, PC_PATH, i * 2 + 1),
+        ]
+    }
+}
+
+/// Pure pursuit (PatrolBot): finds the lookahead point on the path and
+/// returns the commanded curvature.
+pub fn pure_pursuit(
+    p: &mut Proc<'_>,
+    path: &WaypointPath,
+    pose: (f32, f32, f32),
+    lookahead: f32,
+) -> f32 {
+    let (x, y, theta) = pose;
+    // Scan the path for the first point at least `lookahead` away.
+    let mut target = None;
+    for i in 0..path.len() {
+        let w = path.load(p, i);
+        p.flop(5);
+        p.instr(2);
+        let d = ((w[0] - x).powi(2) + (w[1] - y).powi(2)).sqrt();
+        if d >= lookahead {
+            target = Some(w);
+            break;
+        }
+    }
+    let target = target.unwrap_or_else(|| {
+        [
+            path.data.peek((path.len() - 1) * 2),
+            path.data.peek((path.len() - 1) * 2 + 1),
+        ]
+    });
+    p.flop(12);
+    // Transform to the robot frame, curvature = 2·y_r / L².
+    let dx = target[0] - x;
+    let dy = target[1] - y;
+    let y_r = -theta.sin() * dx + theta.cos() * dy;
+    2.0 * y_r / (lookahead * lookahead)
+}
+
+/// Model-predictive control (FlyBot, §III-B): gradient descent over a
+/// control horizon minimizing tracking error to a reference trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mpc {
+    /// Horizon length.
+    pub horizon: usize,
+    /// Gradient-descent iterations per step.
+    pub iterations: usize,
+    /// Step size.
+    pub rate: f32,
+}
+
+impl Default for Mpc {
+    fn default() -> Self {
+        Mpc {
+            horizon: 8,
+            iterations: 10,
+            rate: 0.2,
+        }
+    }
+}
+
+impl Mpc {
+    /// Computes the control sequence for a velocity-controlled point
+    /// (`x_{j+1} = x_j + u_j`) tracking `reference` from `pos`. Returns the
+    /// first control of the optimized sequence.
+    pub fn solve(&self, p: &mut Proc<'_>, pos: f32, reference: &[f32]) -> f32 {
+        let h = self.horizon.min(reference.len());
+        let mut u = vec![0.0f32; h];
+        for _ in 0..self.iterations {
+            // Forward rollout + analytic gradient per control.
+            p.flop((h * 12) as u64);
+            let mut states = Vec::with_capacity(h);
+            let mut x = pos;
+            for &uk in u.iter().take(h) {
+                x += uk;
+                states.push(x);
+            }
+            // d x_j / d u_k = 1 for j ≥ k.
+            let mut grad = vec![0.0f32; h];
+            for k in 0..h {
+                let mut g = 0.0;
+                for (j, &xj) in states.iter().enumerate().skip(k) {
+                    g += 2.0 * (xj - reference[j]);
+                }
+                g += 0.2 * u[k]; // control effort regularizer
+                grad[k] = g;
+            }
+            for k in 0..h {
+                u[k] -= self.rate * grad[k] / h as f32;
+            }
+        }
+        u[0]
+    }
+}
+
+/// Dynamic movement primitives (CarriBot): a learned forcing term over
+/// `n` radial basis functions reproduces a demonstrated trajectory shape.
+#[derive(Debug)]
+pub struct Dmp {
+    weights: Buffer<f32>,
+    centers: Vec<f32>,
+    width: f32,
+    /// Spring constant.
+    pub k: f32,
+    /// Damping.
+    pub d: f32,
+}
+
+impl Dmp {
+    /// Creates a DMP with `n` basis functions and the given weights.
+    pub fn new(machine: &mut Machine, weights: Vec<f32>, k: f32, d: f32) -> Self {
+        let n = weights.len();
+        let centers = (0..n).map(|i| (i as f32 + 0.5) / n as f32).collect();
+        Dmp {
+            weights: machine.buffer_from_vec(weights, MemPolicy::Normal),
+            centers,
+            width: (weights_width(n)).max(1e-3),
+            k,
+            d,
+        }
+    }
+
+    /// One integration step toward `goal` at phase `s ∈ [0, 1]`.
+    pub fn step(
+        &self,
+        p: &mut Proc<'_>,
+        pos: f32,
+        vel: f32,
+        goal: f32,
+        s: f32,
+        dt: f32,
+    ) -> (f32, f32) {
+        // Forcing term: weighted RBF evaluation, one weight load each.
+        let mut num = 0.0f32;
+        let mut den = 1e-9f32;
+        for (i, &c) in self.centers.iter().enumerate() {
+            let w = self.weights.get(p, PC_DMP, i);
+            p.flop(6);
+            let phi = (-(s - c) * (s - c) / self.width).exp();
+            num += phi * w;
+            den += phi;
+        }
+        p.flop(10);
+        let force = num / den * s;
+        let acc = self.k * (goal - pos) - self.d * vel + force;
+        let nv = vel + acc * dt;
+        (pos + nv * dt, nv)
+    }
+}
+
+fn weights_width(n: usize) -> f32 {
+    1.0 / (n as f32 * n as f32)
+}
+
+/// The greedy waypoint follower (DeliBot's control, Table I): step toward
+/// the next waypoint in the direction minimizing remaining distance.
+pub fn greedy_step(p: &mut Proc<'_>, pose: (f32, f32), target: [f32; 2], speed: f32) -> (f32, f32) {
+    p.flop(10);
+    let dx = target[0] - pose.0;
+    let dy = target[1] - pose.1;
+    let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+    let step = speed.min(d);
+    (pose.0 + dx / d * step, pose.1 + dy / d * step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn pid_drives_error_to_zero() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut pid = Pid::new(0.8, 0.02, 0.05);
+        let mut x = 0.0f32;
+        m.run(|p| {
+            for _ in 0..600 {
+                let u = pid.step(p, 1.0 - x, 0.05);
+                x += 0.05 * u;
+            }
+        });
+        assert!((x - 1.0).abs() < 0.05, "settled at {x}");
+    }
+
+    #[test]
+    fn pure_pursuit_turns_toward_the_path() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let wps: Vec<[f32; 2]> = (0..20).map(|i| [i as f32, 5.0]).collect();
+        let path = WaypointPath::new(&mut m, &wps);
+        // Robot below the path heading east: should command a left turn
+        // (positive curvature).
+        let kappa = m.run(|p| pure_pursuit(p, &path, (0.0, 0.0, 0.0), 3.0));
+        assert!(kappa > 0.0, "curvature {kappa}");
+    }
+
+    #[test]
+    fn mpc_tracks_a_ramp() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mpc = Mpc::default();
+        let mut pos = 0.0f32;
+        m.run(|p| {
+            for step in 0..40 {
+                let reference: Vec<f32> =
+                    (1..=8).map(|k| 0.1 * (step + k) as f32).collect();
+                let u = mpc.solve(p, pos, &reference);
+                pos += u;
+            }
+        });
+        assert!((pos - 0.1 * 40.0).abs() < 0.5, "tracked to {pos}");
+    }
+
+    #[test]
+    fn dmp_converges_to_goal() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let dmp = Dmp::new(&mut m, vec![0.5; 16], 25.0, 10.0);
+        let (mut pos, mut vel) = (0.0f32, 0.0f32);
+        m.run(|p| {
+            for step in 0..300 {
+                let s = 1.0 - step as f32 / 300.0;
+                let (np, nv) = dmp.step(p, pos, vel, 2.0, s, 0.01);
+                pos = np;
+                vel = nv;
+            }
+        });
+        assert!((pos - 2.0).abs() < 0.15, "DMP ended at {pos}");
+    }
+
+    #[test]
+    fn greedy_reaches_target() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut pose = (0.0f32, 0.0f32);
+        m.run(|p| {
+            for _ in 0..50 {
+                pose = greedy_step(p, pose, [3.0, 4.0], 0.2);
+            }
+        });
+        let d = ((pose.0 - 3.0).powi(2) + (pose.1 - 4.0).powi(2)).sqrt();
+        assert!(d < 1e-3, "distance {d}");
+    }
+}

@@ -1,0 +1,240 @@
+//! An extended Kalman filter for planar pose tracking (PatrolBot, §III-B).
+//!
+//! State `(x, y, θ)`, unicycle motion model, range-bearing landmark
+//! observations. Matrix work is small (3×3) but charged faithfully.
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+const PC_LANDMARK: u64 = 0x7_6000;
+
+/// EKF state and covariance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ekf {
+    /// State mean `(x, y, θ)`.
+    pub state: [f32; 3],
+    /// 3×3 covariance, row-major.
+    pub cov: [f32; 9],
+    /// Motion noise diagonal.
+    pub q: [f32; 3],
+    /// Observation noise (range, bearing).
+    pub r: [f32; 2],
+}
+
+/// Known landmark positions in simulated memory.
+#[derive(Debug)]
+pub struct LandmarkMap {
+    data: Buffer<f32>,
+}
+
+impl LandmarkMap {
+    /// Uploads `(x, y)` landmark pairs.
+    pub fn new(machine: &mut Machine, landmarks: &[[f32; 2]]) -> Self {
+        let mut flat = Vec::with_capacity(landmarks.len() * 2);
+        for l in landmarks {
+            flat.extend_from_slice(l);
+        }
+        LandmarkMap {
+            data: machine.buffer_from_vec(flat, MemPolicy::Normal),
+        }
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.data.len() / 2
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Timed load of landmark `i`.
+    pub fn load(&self, p: &mut Proc<'_>, i: usize) -> [f32; 2] {
+        let x = self.data.get(p, PC_LANDMARK, i * 2);
+        let y = self.data.get(p, PC_LANDMARK, i * 2 + 1);
+        [x, y]
+    }
+
+    /// Untimed landmark position.
+    pub fn peek(&self, i: usize) -> [f32; 2] {
+        [self.data.peek(i * 2), self.data.peek(i * 2 + 1)]
+    }
+}
+
+impl Ekf {
+    /// Creates a filter at the initial pose with diagonal covariance.
+    pub fn new(initial: [f32; 3]) -> Self {
+        Ekf {
+            state: initial,
+            cov: [0.1, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.05],
+            q: [0.01, 0.01, 0.005],
+            r: [0.05, 0.02],
+        }
+    }
+
+    /// Motion prediction with control `(v, ω)` over `dt`.
+    pub fn predict(&mut self, p: &mut Proc<'_>, v: f32, omega: f32, dt: f32) {
+        let theta = self.state[2];
+        p.flop(40); // motion model + Jacobian + covariance propagation
+        self.state[0] += v * dt * theta.cos();
+        self.state[1] += v * dt * theta.sin();
+        self.state[2] += omega * dt;
+        // F = I + dF; propagate P = F P Fᵀ + Q with the unicycle Jacobian.
+        let fx = -v * dt * theta.sin();
+        let fy = v * dt * theta.cos();
+        let mut np = self.cov;
+        // Only the θ column couples: P' = F P Fᵀ expanded for
+        // F = [[1,0,fx],[0,1,fy],[0,0,1]].
+        np[0] = self.cov[0] + fx * (self.cov[6] + self.cov[2]) + fx * fx * self.cov[8];
+        np[1] = self.cov[1] + fx * self.cov[7] + fy * self.cov[2] + fx * fy * self.cov[8];
+        np[2] = self.cov[2] + fx * self.cov[8];
+        np[3] = np[1];
+        np[4] = self.cov[4] + fy * (self.cov[7] + self.cov[5]) + fy * fy * self.cov[8];
+        np[5] = self.cov[5] + fy * self.cov[8];
+        np[6] = np[2];
+        np[7] = np[5];
+        self.cov = np;
+        for i in 0..3 {
+            self.cov[i * 3 + i] += self.q[i];
+        }
+    }
+
+    /// Range-bearing update against landmark `i` of `map`.
+    pub fn update(&mut self, p: &mut Proc<'_>, map: &LandmarkMap, i: usize, range: f32, bearing: f32) {
+        let lm = map.load(p, i);
+        p.flop(90); // innovation, Jacobian, 2×2 inverse, Kalman gain, update
+        let dx = lm[0] - self.state[0];
+        let dy = lm[1] - self.state[1];
+        let q = dx * dx + dy * dy;
+        if q < 1e-9 {
+            return;
+        }
+        let sqrt_q = q.sqrt();
+        let predicted_range = sqrt_q;
+        let predicted_bearing = dy.atan2(dx) - self.state[2];
+        let innov = [
+            range - predicted_range,
+            normalize_angle(bearing - predicted_bearing),
+        ];
+        // H = [[-dx/√q, -dy/√q, 0], [dy/q, -dx/q, -1]].
+        let h = [
+            [-dx / sqrt_q, -dy / sqrt_q, 0.0],
+            [dy / q, -dx / q, -1.0],
+        ];
+        // S = H P Hᵀ + R; K = P Hᵀ S⁻¹.
+        let pht = mat3_mul_ht(&self.cov, &h);
+        let mut s = [[0.0f32; 2]; 2];
+        for r in 0..2 {
+            for c in 0..2 {
+                s[r][c] = (0..3).map(|k| h[r][k] * pht[k][c]).sum::<f32>();
+            }
+        }
+        s[0][0] += self.r[0];
+        s[1][1] += self.r[1];
+        let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+        if det.abs() < 1e-9 {
+            return;
+        }
+        let sinv = [
+            [s[1][1] / det, -s[0][1] / det],
+            [-s[1][0] / det, s[0][0] / det],
+        ];
+        let mut k = [[0.0f32; 2]; 3];
+        for r in 0..3 {
+            for c in 0..2 {
+                k[r][c] = (0..2).map(|j| pht[r][j] * sinv[j][c]).sum::<f32>();
+            }
+        }
+        for r in 0..3 {
+            self.state[r] += k[r][0] * innov[0] + k[r][1] * innov[1];
+        }
+        self.state[2] = normalize_angle(self.state[2]);
+        // P = (I - K H) P.
+        let mut kh = [0.0f32; 9];
+        for r in 0..3 {
+            for c in 0..3 {
+                kh[r * 3 + c] = k[r][0] * h[0][c] + k[r][1] * h[1][c];
+            }
+        }
+        let mut np = [0.0f32; 9];
+        for r in 0..3 {
+            for c in 0..3 {
+                let ikh: f32 = (0..3)
+                    .map(|j| {
+                        let i_rj = if r == j { 1.0 } else { 0.0 };
+                        (i_rj - kh[r * 3 + j]) * self.cov[j * 3 + c]
+                    })
+                    .sum();
+                np[r * 3 + c] = ikh;
+            }
+        }
+        self.cov = np;
+    }
+}
+
+fn mat3_mul_ht(p: &[f32; 9], h: &[[f32; 3]; 2]) -> [[f32; 2]; 3] {
+    let mut out = [[0.0f32; 2]; 3];
+    for r in 0..3 {
+        for c in 0..2 {
+            out[r][c] = (0..3).map(|k| p[r * 3 + k] * h[c][k]).sum();
+        }
+    }
+    out
+}
+
+fn normalize_angle(a: f32) -> f32 {
+    let mut a = a;
+    while a > std::f32::consts::PI {
+        a -= std::f32::consts::TAU;
+    }
+    while a < -std::f32::consts::PI {
+        a += std::f32::consts::TAU;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn prediction_moves_the_mean() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut ekf = Ekf::new([0.0, 0.0, 0.0]);
+        m.run(|p| ekf.predict(p, 1.0, 0.0, 1.0));
+        assert!((ekf.state[0] - 1.0).abs() < 1e-6);
+        assert!(ekf.cov[0] > 0.1, "uncertainty grows without updates");
+    }
+
+    #[test]
+    fn updates_shrink_uncertainty_and_correct_pose() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let map = LandmarkMap::new(&mut m, &[[5.0, 0.0], [0.0, 5.0], [5.0, 5.0]]);
+        // Truth: robot at (1, 0, 0); filter starts offset.
+        let truth = [1.0f32, 0.0, 0.0];
+        let mut ekf = Ekf::new([0.6, 0.3, 0.05]);
+        m.run(|p| {
+            for _round in 0..10 {
+                ekf.predict(p, 0.0, 0.0, 0.1);
+                for i in 0..map.len() {
+                    let lm = map.peek(i);
+                    let dx = lm[0] - truth[0];
+                    let dy = lm[1] - truth[1];
+                    let range = (dx * dx + dy * dy).sqrt();
+                    let bearing = dy.atan2(dx) - truth[2];
+                    ekf.update(p, &map, i, range, bearing);
+                }
+            }
+        });
+        let err = ((ekf.state[0] - truth[0]).powi(2) + (ekf.state[1] - truth[1]).powi(2)).sqrt();
+        assert!(err < 0.1, "pose error {err}, state {:?}", ekf.state);
+        assert!(ekf.cov[0] < 0.1, "covariance must shrink: {:?}", ekf.cov);
+    }
+
+    #[test]
+    fn angle_normalization_wraps() {
+        assert!((normalize_angle(3.0 * std::f32::consts::PI) - std::f32::consts::PI).abs() < 1e-5);
+        assert!(normalize_angle(-4.0).abs() < std::f32::consts::PI);
+    }
+}

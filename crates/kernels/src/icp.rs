@@ -1,0 +1,324 @@
+//! Point-based fusion for 3-D reconstruction (HomeBot, §III-B): per-frame
+//! point-cloud matching (NNS-heavy) and rigid-transform estimation, the
+//! "T prediction" that consumes 56% of HomeBot's time — plus the TRAP
+//! neural replacement evaluated in §VIII-B.
+
+use tartan_nns::{NnsEngine, PointSet};
+use tartan_sim::{AccelId, Machine, Proc};
+
+/// A rigid 3-D transform: small-angle rotation `(rx, ry, rz)` plus
+/// translation `(tx, ty, tz)` — the 6-vector the paper's 192/32/32/6 MLP
+/// predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Transform {
+    /// Small-angle rotations around x, y, z.
+    pub rot: [f32; 3],
+    /// Translation.
+    pub trans: [f32; 3],
+}
+
+impl Transform {
+    /// Applies the transform to a point (small-angle rotation model).
+    pub fn apply(&self, p: &[f32; 3]) -> [f32; 3] {
+        let [rx, ry, rz] = self.rot;
+        [
+            p[0] - rz * p[1] + ry * p[2] + self.trans[0],
+            rz * p[0] + p[1] - rx * p[2] + self.trans[1],
+            -ry * p[0] + rx * p[1] + p[2] + self.trans[2],
+        ]
+    }
+
+    /// Rotation error magnitude against another transform.
+    pub fn rot_error(&self, other: &Transform) -> f32 {
+        self.rot
+            .iter()
+            .zip(other.rot.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Translation error magnitude against another transform.
+    pub fn trans_error(&self, other: &Transform) -> f32 {
+        self.trans
+            .iter()
+            .zip(other.trans.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Number of correspondences the TRAP MLP consumes: 32 pairs × 6 coords =
+/// the paper's 192 inputs.
+pub const TRAP_CORRESPONDENCES: usize = 32;
+
+/// A matched correspondence: the transformed source point and its nearest
+/// map point index.
+pub type Correspondence = ([f32; 3], usize);
+
+/// Matches source points `[start, end)` (under the current transform `t`)
+/// to their nearest map points — the granular API HomeBot's 8-thread
+/// perception stage drives. NNS cycles land in the `"nns"` phase.
+pub fn match_range(
+    p: &mut Proc<'_>,
+    map: &PointSet,
+    nns: &dyn NnsEngine,
+    source: &[[f32; 3]],
+    t: &Transform,
+    start: usize,
+    end: usize,
+) -> Vec<Correspondence> {
+    let mut out = Vec::new();
+    for s in &source[start.min(source.len())..end.min(source.len())] {
+        let moved = t.apply(s);
+        let q: Vec<f32> = moved.to_vec();
+        if let Some(j) = p.with_phase("nns", |p| nns.nearest(p, map, &q)) {
+            out.push((moved, j));
+        }
+    }
+    out
+}
+
+/// Accumulates and solves the 6×6 normal equations over matched
+/// correspondences, returning the incremental transform.
+pub fn estimate_from_matches(
+    p: &mut Proc<'_>,
+    map: &PointSet,
+    matches: &[Correspondence],
+) -> Option<Transform> {
+    let mut ata = [[0.0f64; 6]; 6];
+    let mut atb = [0.0f64; 6];
+    for &(moved, j) in matches {
+        let m = map.point(j);
+        p.flop(60); // Jacobian row products for 3 residual rows
+        // Rows of the point-to-point Jacobian wrt (rx, ry, rz, tx, ty, tz):
+        // r = moved - m; d r_x/d = [0, z, -y, 1, 0, 0] etc.
+        let (x, y, z) = (
+            f64::from(moved[0]),
+            f64::from(moved[1]),
+            f64::from(moved[2]),
+        );
+        let rows = [
+            ([0.0, z, -y, 1.0, 0.0, 0.0], f64::from(m[0]) - x),
+            ([-z, 0.0, x, 0.0, 1.0, 0.0], f64::from(m[1]) - y),
+            ([y, -x, 0.0, 0.0, 0.0, 1.0], f64::from(m[2]) - z),
+        ];
+        for (row, r) in rows {
+            for a in 0..6 {
+                atb[a] += row[a] * r;
+                for b in 0..6 {
+                    ata[a][b] += row[a] * row[b];
+                }
+            }
+        }
+    }
+    // Solve the 6×6 system by Gaussian elimination (heavy FP, §III-B:
+    // "solving a large linear equation system").
+    p.flop(6 * 6 * 6 + 6 * 6);
+    solve6(ata, atb).map(|delta| Transform {
+        rot: [delta[0] as f32, delta[1] as f32, delta[2] as f32],
+        trans: [delta[3] as f32, delta[4] as f32, delta[5] as f32],
+    })
+}
+
+/// Estimates the rigid transform aligning `source` onto the map via
+/// point-to-point ICP with linearized (small-angle) least squares.
+///
+/// Per iteration: every source point is matched to its nearest map point
+/// through `nns` (the §VIII-C memory bottleneck), then a 6×6 normal-equation
+/// system is accumulated and solved.
+pub fn icp_estimate(
+    p: &mut Proc<'_>,
+    map: &PointSet,
+    nns: &dyn NnsEngine,
+    source: &[[f32; 3]],
+    iterations: usize,
+) -> Transform {
+    let mut t = Transform::default();
+    for _ in 0..iterations {
+        let matches = match_range(p, map, nns, source, &t, 0, source.len());
+        let Some(delta) = estimate_from_matches(p, map, &matches) else {
+            break;
+        };
+        for a in 0..3 {
+            t.rot[a] += delta.rot[a];
+            t.trans[a] += delta.trans[a];
+        }
+    }
+    t
+}
+
+/// Gaussian elimination with partial pivoting for the 6×6 normal equations.
+fn solve6(mut a: [[f64; 6]; 6], mut b: [f64; 6]) -> Option<[f64; 6]> {
+    for col in 0..6 {
+        let pivot = (col..6).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..6 {
+            let f = a[row][col] / a[col][col];
+            for k in col..6 {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; 6];
+    for col in (0..6).rev() {
+        let mut acc = b[col];
+        for k in col + 1..6 {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Builds the 192-float MLP input from the first [`TRAP_CORRESPONDENCES`]
+/// source points and their current nearest map points (untimed pairing —
+/// the NPU path's *point* is to skip the per-iteration NNS).
+pub fn trap_inputs(map: &PointSet, source: &[[f32; 3]]) -> Vec<f32> {
+    let mut inputs = Vec::with_capacity(TRAP_CORRESPONDENCES * 6);
+    for k in 0..TRAP_CORRESPONDENCES {
+        let s = source[k % source.len()];
+        // Cheap grid-free pairing: match by index stride (the MLP learns
+        // the mapping from raw pairs to T).
+        let m = map.point((k * 7) % map.len());
+        inputs.extend_from_slice(&s);
+        inputs.extend_from_slice(&m[..3]);
+    }
+    inputs
+}
+
+/// TRAP path: one NPU invocation predicts the 6-vector transform.
+pub fn npu_estimate(p: &mut Proc<'_>, accel: AccelId, inputs: &[f32]) -> Transform {
+    let mut out = Vec::with_capacity(6);
+    p.invoke_accel(accel, inputs, &mut out);
+    Transform {
+        rot: [out[0], out[1], out[2]],
+        trans: [out[3], out[4], out[5]],
+    }
+}
+
+/// Generates a synthetic registration problem: a map cloud, a ground-truth
+/// transform, and the source cloud observed under it.
+pub fn synthetic_frame(
+    n: usize,
+    truth: Transform,
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<[f32; 3]>) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let map: Vec<[f32; 3]> = (0..n)
+        .map(|_| {
+            [
+                rng.random_range(-2.0f32..2.0),
+                rng.random_range(-2.0f32..2.0),
+                rng.random_range(-2.0f32..2.0),
+            ]
+        })
+        .collect();
+    // source = inverse-truth applied to map points: aligning source onto
+    // map should recover `truth`.
+    let inv = Transform {
+        rot: [-truth.rot[0], -truth.rot[1], -truth.rot[2]],
+        trans: [-truth.trans[0], -truth.trans[1], -truth.trans[2]],
+    };
+    let source: Vec<[f32; 3]> = map.iter().map(|m| inv.apply(m)).collect();
+    (map.iter().map(|m| m.to_vec()).collect(), source)
+}
+
+/// Convenience: builds a [`PointSet`] map for a synthetic frame.
+pub fn upload_map(machine: &mut Machine, map: &[Vec<f32>]) -> PointSet {
+    PointSet::new(machine, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_nns::BruteForce;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn transform_apply_is_consistent() {
+        let t = Transform {
+            rot: [0.0, 0.0, 0.1],
+            trans: [1.0, 0.0, 0.0],
+        };
+        let p = t.apply(&[1.0, 0.0, 0.0]);
+        assert!((p[0] - 2.0).abs() < 1e-6);
+        assert!((p[1] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn icp_recovers_a_known_transform() {
+        let truth = Transform {
+            rot: [0.02, -0.03, 0.05],
+            trans: [0.3, -0.2, 0.1],
+        };
+        let (map_pts, source) = synthetic_frame(300, truth, 42);
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let map = upload_map(&mut m, &map_pts);
+        let est = m.run(|p| icp_estimate(p, &map, &BruteForce::new(), &source, 4));
+        assert!(
+            est.rot_error(&truth) < 0.01,
+            "rot {:?} vs {:?}",
+            est.rot,
+            truth.rot
+        );
+        assert!(
+            est.trans_error(&truth) < 0.05,
+            "trans {:?} vs {:?}",
+            est.trans,
+            truth.trans
+        );
+    }
+
+    #[test]
+    fn solve6_inverts_identity() {
+        let mut a = [[0.0f64; 6]; 6];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = 2.0;
+        }
+        let b = [2.0f64; 6];
+        let x = solve6(a, b).expect("nonsingular");
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve6_rejects_singular() {
+        let a = [[0.0f64; 6]; 6];
+        assert!(solve6(a, [1.0; 6]).is_none());
+    }
+
+    #[test]
+    fn trap_inputs_have_paper_width() {
+        let (map_pts, source) = synthetic_frame(100, Transform::default(), 1);
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let map = upload_map(&mut m, &map_pts);
+        let inputs = trap_inputs(&map, &source);
+        assert_eq!(inputs.len(), 192); // Table II topology input
+    }
+
+    #[test]
+    fn nns_phase_is_charged_during_icp() {
+        let (map_pts, source) = synthetic_frame(400, Transform::default(), 2);
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let map = upload_map(&mut m, &map_pts);
+        m.run(|p| {
+            icp_estimate(p, &map, &BruteForce::new(), &source[..64], 2);
+        });
+        assert!(m.stats().phase_cycles("nns") > 0);
+    }
+}

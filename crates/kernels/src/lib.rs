@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Robotic kernels for the Tartan reproduction: every algorithm Table I of
+//! the paper attributes to the six RoWild robots, implemented over the
+//! instrumented simulator.
+//!
+//! | Stage      | Kernels |
+//! |------------|---------|
+//! | Perception | [`mcl`] (MCL + ray-casting), [`perception`] (CNN / PCA+MLP, POM, LT), [`icp`] (point-based fusion) |
+//! | Planning   | [`search`] (Dijkstra / A* / WA* / Anytime A* + AXAR), [`rrt`], [`heuristics`] (FlyBot's expensive heuristic) |
+//! | Control    | [`control`] (PID, pure pursuit, MPC, DMP, greedy), [`bt`] (behavior trees), [`ekf`] |
+//! | Substrate  | [`grid`] (occupancy grids), [`raycast`] (§IV oriented walks), [`collision`] (CCCD + pose checks) |
+//!
+//! All kernels charge their instructions and memory accesses through
+//! [`tartan_sim::Proc`], and all timed variants are checked against
+//! untimed functional references in their unit tests.
+
+pub mod bt;
+pub mod collision;
+pub mod control;
+pub mod ekf;
+pub mod grid;
+pub mod heuristics;
+pub mod icp;
+pub mod mcl;
+pub mod perception;
+pub mod raycast;
+pub mod rrt;
+pub mod search;

@@ -1,0 +1,377 @@
+//! Monte-Carlo Localization (DeliBot, §III-B): a particle filter whose
+//! sensor update ray-casts every particle against the map — 74% of
+//! DeliBot's end-to-end time on the baseline.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+use crate::grid::Grid2;
+use crate::raycast::{cast, cast_untimed, RayCastConfig};
+
+const PC_PARTICLE: u64 = 0x7_4000;
+
+/// MCL parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MclConfig {
+    /// Number of particles.
+    pub particles: usize,
+    /// Rays per sensor scan.
+    pub rays: usize,
+    /// Sensor noise standard deviation (cells).
+    pub sigma: f32,
+    /// Ray-casting configuration (the bottleneck kernel's variant).
+    pub ray: RayCastConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A particle pose estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose {
+    /// X in cells.
+    pub x: f32,
+    /// Y in cells.
+    pub y: f32,
+    /// Heading in radians.
+    pub theta: f32,
+}
+
+/// The particle filter. Particles live in simulated memory as interleaved
+/// `(x, y, θ, w)` records.
+#[derive(Debug)]
+pub struct Mcl {
+    cfg: MclConfig,
+    particles: Buffer<f32>,
+    rng: StdRng,
+}
+
+impl Mcl {
+    /// Initializes `cfg.particles` particles around `initial` with small
+    /// jitter.
+    pub fn new(machine: &mut Machine, cfg: MclConfig, initial: Pose) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut data = Vec::with_capacity(cfg.particles * 4);
+        for _ in 0..cfg.particles {
+            data.push(initial.x + rng.random_range(-2.0f32..2.0));
+            data.push(initial.y + rng.random_range(-2.0f32..2.0));
+            data.push(initial.theta + rng.random_range(-0.2f32..0.2));
+            data.push(1.0 / cfg.particles as f32);
+        }
+        Mcl {
+            cfg,
+            particles: machine.buffer_from_vec(data, MemPolicy::Normal),
+            rng,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MclConfig {
+        &self.cfg
+    }
+
+    /// Simulates the robot's laser from the *true* pose (sensor hardware;
+    /// untimed).
+    pub fn sense(grid: &Grid2, truth: Pose, rays: usize, ray_cfg: &RayCastConfig) -> Vec<f32> {
+        (0..rays)
+            .map(|r| {
+                let theta = truth.theta + r as f32 * std::f32::consts::TAU / rays as f32;
+                cast_untimed(grid, truth.x, truth.y, theta, ray_cfg)
+            })
+            .collect()
+    }
+
+    /// Number of particles.
+    pub fn particles(&self) -> usize {
+        self.cfg.particles
+    }
+
+    /// Motion update with noise for particles in `[start, end)` — the
+    /// granular API DeliBot's 8-thread perception stage drives.
+    pub fn motion_update_range(
+        &mut self,
+        p: &mut Proc<'_>,
+        motion: (f32, f32, f32),
+        start: usize,
+        end: usize,
+    ) {
+        for i in start..end.min(self.cfg.particles) {
+            let x = self.particles.get(p, PC_PARTICLE, i * 4);
+            let y = self.particles.get(p, PC_PARTICLE, i * 4 + 1);
+            let t = self.particles.get(p, PC_PARTICLE, i * 4 + 2);
+            p.flop(9);
+            let nx = x + motion.0 + self.rng.random_range(-0.1f32..0.1);
+            let ny = y + motion.1 + self.rng.random_range(-0.1f32..0.1);
+            let nt = t + motion.2 + self.rng.random_range(-0.02f32..0.02);
+            self.particles.set(p, PC_PARTICLE, i * 4, nx);
+            self.particles.set(p, PC_PARTICLE, i * 4 + 1, ny);
+            self.particles.set(p, PC_PARTICLE, i * 4 + 2, nt);
+        }
+    }
+
+    /// Ray-casting sensor update for particles in `[start, end)`,
+    /// attributed to the `"raycast"` phase.
+    pub fn weight_range(
+        &mut self,
+        p: &mut Proc<'_>,
+        grid: &Grid2,
+        observed: &[f32],
+        start: usize,
+        end: usize,
+    ) {
+        let inv_2sig = 1.0 / (2.0 * self.cfg.sigma * self.cfg.sigma);
+        for i in start..end.min(self.cfg.particles) {
+            let x = self.particles.peek(i * 4);
+            let y = self.particles.peek(i * 4 + 1);
+            let t = self.particles.peek(i * 4 + 2);
+            let mut log_w = 0.0f32;
+            p.with_phase("raycast", |p| {
+                for (r, &z) in observed.iter().enumerate() {
+                    let theta = t + r as f32 * std::f32::consts::TAU / observed.len() as f32;
+                    let expected = cast(p, grid, x, y, theta, &self.cfg.ray);
+                    p.flop(5);
+                    let d = expected - z;
+                    log_w -= d * d * inv_2sig;
+                }
+            });
+            let w = log_w.exp().max(1e-30);
+            self.particles.set(p, PC_PARTICLE, i * 4 + 3, w);
+        }
+    }
+
+    /// Weighted-mean estimate plus systematic resampling (single-threaded
+    /// tail of the filter step).
+    pub fn estimate_and_resample(&mut self, p: &mut Proc<'_>) -> Pose {
+        let n = self.cfg.particles;
+        let mut total_w = 0.0f32;
+        for i in 0..n {
+            total_w += self.particles.get(p, PC_PARTICLE, i * 4 + 3);
+            p.flop(1);
+        }
+        let total_w = total_w.max(1e-30);
+        let (mut ex, mut ey, mut et) = (0.0f32, 0.0f32, 0.0f32);
+        for i in 0..n {
+            let w = self.particles.get(p, PC_PARTICLE, i * 4 + 3) / total_w;
+            p.flop(6);
+            ex += w * self.particles.peek(i * 4);
+            ey += w * self.particles.peek(i * 4 + 1);
+            et += w * self.particles.peek(i * 4 + 2);
+        }
+        // Systematic resampling.
+        let step = total_w / n as f32;
+        let mut u = self.rng.random_range(0.0f32..step);
+        let mut acc = self.particles.peek(3);
+        let mut j = 0usize;
+        let mut resampled = Vec::with_capacity(n * 4);
+        for _ in 0..n {
+            while acc < u && j + 1 < n {
+                j += 1;
+                acc += self.particles.get(p, PC_PARTICLE, j * 4 + 3);
+                p.instr(3);
+            }
+            resampled.extend_from_slice(&[
+                self.particles.peek(j * 4),
+                self.particles.peek(j * 4 + 1),
+                self.particles.peek(j * 4 + 2),
+                1.0 / n as f32,
+            ]);
+            u += step;
+        }
+        for (i, v) in resampled.into_iter().enumerate() {
+            self.particles.set(p, PC_PARTICLE, i, v);
+        }
+        Pose {
+            x: ex,
+            y: ey,
+            theta: et,
+        }
+    }
+
+    /// One filter step: motion update, ray-casting sensor update, and
+    /// systematic resampling. Returns the weighted mean pose estimate.
+    ///
+    /// Ray-casting cycles are attributed to the `"raycast"` phase.
+    pub fn step(
+        &mut self,
+        p: &mut Proc<'_>,
+        grid: &Grid2,
+        motion: (f32, f32, f32),
+        observed: &[f32],
+    ) -> Pose {
+        let n = self.cfg.particles;
+        // Motion update with noise.
+        for i in 0..n {
+            let x = self.particles.get(p, PC_PARTICLE, i * 4);
+            let y = self.particles.get(p, PC_PARTICLE, i * 4 + 1);
+            let t = self.particles.get(p, PC_PARTICLE, i * 4 + 2);
+            p.flop(9);
+            let nx = x + motion.0 + self.rng.random_range(-0.1f32..0.1);
+            let ny = y + motion.1 + self.rng.random_range(-0.1f32..0.1);
+            let nt = t + motion.2 + self.rng.random_range(-0.02f32..0.02);
+            self.particles.set(p, PC_PARTICLE, i * 4, nx);
+            self.particles.set(p, PC_PARTICLE, i * 4 + 1, ny);
+            self.particles.set(p, PC_PARTICLE, i * 4 + 2, nt);
+        }
+        // Sensor update: ray-cast each particle (the bottleneck).
+        let inv_2sig = 1.0 / (2.0 * self.cfg.sigma * self.cfg.sigma);
+        let mut total_w = 0.0f32;
+        for i in 0..n {
+            let x = self.particles.peek(i * 4);
+            let y = self.particles.peek(i * 4 + 1);
+            let t = self.particles.peek(i * 4 + 2);
+            let mut log_w = 0.0f32;
+            p.with_phase("raycast", |p| {
+                for (r, &z) in observed.iter().enumerate() {
+                    let theta = t + r as f32 * std::f32::consts::TAU / observed.len() as f32;
+                    let expected = cast(p, grid, x, y, theta, &self.cfg.ray);
+                    p.flop(5);
+                    let d = expected - z;
+                    log_w -= d * d * inv_2sig;
+                }
+            });
+            let w = log_w.exp().max(1e-30);
+            self.particles.set(p, PC_PARTICLE, i * 4 + 3, w);
+            total_w += w;
+        }
+        // Estimate: weighted mean.
+        let (mut ex, mut ey, mut et) = (0.0f32, 0.0f32, 0.0f32);
+        for i in 0..n {
+            let w = self.particles.get(p, PC_PARTICLE, i * 4 + 3) / total_w;
+            p.flop(6);
+            ex += w * self.particles.peek(i * 4);
+            ey += w * self.particles.peek(i * 4 + 1);
+            et += w * self.particles.peek(i * 4 + 2);
+        }
+        // Systematic resampling.
+        let step = total_w / n as f32;
+        let mut u = self.rng.random_range(0.0f32..step);
+        let mut acc = self.particles.peek(3);
+        let mut j = 0usize;
+        let mut resampled = Vec::with_capacity(n * 4);
+        for _ in 0..n {
+            while acc < u && j + 1 < n {
+                j += 1;
+                acc += self.particles.get(p, PC_PARTICLE, j * 4 + 3);
+                p.instr(3);
+            }
+            resampled.extend_from_slice(&[
+                self.particles.peek(j * 4),
+                self.particles.peek(j * 4 + 1),
+                self.particles.peek(j * 4 + 2),
+                1.0 / n as f32,
+            ]);
+            u += step;
+        }
+        for (i, v) in resampled.into_iter().enumerate() {
+            self.particles.set(p, PC_PARTICLE, i, v);
+        }
+        Pose {
+            x: ex,
+            y: ey,
+            theta: et,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raycast::VecMethod;
+    use tartan_sim::MachineConfig;
+
+    fn test_grid(m: &mut Machine) -> Grid2 {
+        Grid2::generate(m, 96, 96, 14, false, 23, MemPolicy::Normal)
+    }
+
+    #[test]
+    fn tracks_a_moving_robot() {
+        let mut m = Machine::new(MachineConfig::tartan());
+        let g = test_grid(&mut m);
+        let ray = RayCastConfig {
+            max_range: 40.0,
+            ..RayCastConfig::new(VecMethod::Ovec)
+        };
+        let cfg = MclConfig {
+            particles: 80,
+            rays: 16,
+            sigma: 1.0,
+            ray,
+            seed: 5,
+        };
+        let mut truth = Pose {
+            x: 20.0,
+            y: 48.0,
+            theta: 0.0,
+        };
+        let mut mcl = Mcl::new(&mut m, cfg.clone(), truth);
+        let mut final_err = f32::MAX;
+        m.run(|p| {
+            for _ in 0..6 {
+                truth.x += 1.0;
+                let scan = Mcl::sense(&g, truth, cfg.rays, &cfg.ray);
+                let est = mcl.step(p, &g, (1.0, 0.0, 0.0), &scan);
+                final_err = ((est.x - truth.x).powi(2) + (est.y - truth.y).powi(2)).sqrt();
+            }
+        });
+        assert!(final_err < 4.0, "final localization error {final_err}");
+    }
+
+    #[test]
+    fn raycast_phase_dominates() {
+        // §III-B: ray-casting consumes 74% of DeliBot's time.
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = test_grid(&mut m);
+        let ray = RayCastConfig {
+            max_range: 40.0,
+            ..RayCastConfig::new(VecMethod::Scalar)
+        };
+        let cfg = MclConfig {
+            particles: 60,
+            rays: 16,
+            sigma: 1.0,
+            ray,
+            seed: 6,
+        };
+        let truth = Pose {
+            x: 30.0,
+            y: 40.0,
+            theta: 0.3,
+        };
+        let mut mcl = Mcl::new(&mut m, cfg.clone(), truth);
+        m.run(|p| {
+            let scan = Mcl::sense(&g, truth, cfg.rays, &cfg.ray);
+            mcl.step(p, &g, (0.0, 0.0, 0.0), &scan);
+        });
+        let frac = m.stats().phase_fraction("raycast");
+        assert!(frac > 0.6, "raycast fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::tartan());
+            let g = test_grid(&mut m);
+            let ray = RayCastConfig::new(VecMethod::Ovec);
+            let cfg = MclConfig {
+                particles: 30,
+                rays: 8,
+                sigma: 1.0,
+                ray,
+                seed: 9,
+            };
+            let truth = Pose {
+                x: 25.0,
+                y: 25.0,
+                theta: 0.0,
+            };
+            let mut mcl = Mcl::new(&mut m, cfg.clone(), truth);
+            let est = m.run(|p| {
+                let scan = Mcl::sense(&g, truth, cfg.rays, &cfg.ray);
+                mcl.step(p, &g, (0.5, 0.0, 0.0), &scan)
+            });
+            (est.x, est.y, m.wall_cycles())
+        };
+        assert_eq!(run(), run());
+    }
+}

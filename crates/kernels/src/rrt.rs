@@ -1,0 +1,329 @@
+//! Rapidly-exploring Random Trees (MoveBot's planner, §III-B), generic over
+//! the configuration space and the NNS engine (§VI-B: RRT's stochastic
+//! nature absorbs approximate NNS).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tartan_nns::{DynNns, DynPointStore};
+use tartan_sim::{Machine, Proc};
+
+/// RRT parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RrtConfig {
+    /// Maximum tree nodes before giving up.
+    pub max_nodes: usize,
+    /// Extension step length.
+    pub step: f32,
+    /// Probability of sampling the goal directly.
+    pub goal_bias: f32,
+    /// Distance at which the goal counts as reached.
+    pub goal_tolerance: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RrtConfig {
+    fn default() -> Self {
+        RrtConfig {
+            max_nodes: 2000,
+            step: 0.5,
+            goal_bias: 0.1,
+            goal_tolerance: 0.6,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// An RRT planner over a box-bounded configuration space.
+#[derive(Debug)]
+pub struct Rrt {
+    store: DynPointStore,
+    parents: Vec<i32>,
+    cfg: RrtConfig,
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+}
+
+impl Rrt {
+    /// Creates a planner for the box `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds have mismatched widths or are inverted.
+    pub fn new(machine: &mut Machine, lo: &[f32], hi: &[f32], cfg: RrtConfig) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bounds must share a width");
+        assert!(
+            lo.iter().zip(hi.iter()).all(|(a, b)| a < b),
+            "bounds must be non-degenerate"
+        );
+        let store = DynPointStore::new(machine, lo.len(), cfg.max_nodes + 1);
+        Rrt {
+            store,
+            parents: Vec::new(),
+            cfg,
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
+    }
+
+    /// Nodes grown so far.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Plans from `start` to `goal`. `collides(p, config)` must return
+    /// `true` for configurations in collision (it charges its own cost,
+    /// e.g. CCCD scans). Returns the configuration path on success.
+    pub fn plan(
+        &mut self,
+        p: &mut Proc<'_>,
+        start: &[f32],
+        goal: &[f32],
+        nns: &mut dyn DynNns,
+        mut collides: impl FnMut(&mut Proc<'_>, &[f32]) -> bool,
+    ) -> Option<Vec<Vec<f32>>> {
+        let dim = self.lo.len();
+        assert_eq!(start.len(), dim, "start width mismatch");
+        assert_eq!(goal.len(), dim, "goal width mismatch");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let root = self.store.push(p, start);
+        self.parents.clear();
+        self.parents.push(-1);
+        nns.insert(p, &self.store, root);
+
+        while self.store.len() < self.cfg.max_nodes {
+            // Sample (goal-biased).
+            p.flop(2 * dim as u64 + 2);
+            let target: Vec<f32> = if rng.random_range(0.0f32..1.0) < self.cfg.goal_bias {
+                goal.to_vec()
+            } else {
+                (0..dim)
+                    .map(|d| rng.random_range(self.lo[d]..self.hi[d]))
+                    .collect()
+            };
+            // Nearest tree node (the §VIII-C bottleneck).
+            let near = p.with_phase("nns", |p| nns.nearest(p, &self.store, &target))?;
+            // Steer one step toward the sample.
+            let near_pt = self.store.point(near).to_vec();
+            let d_near = dist(&near_pt, &target);
+            p.flop(3 * dim as u64 + 4);
+            if d_near < 1e-6 {
+                continue;
+            }
+            let scale = self.cfg.step.min(d_near) / d_near;
+            let new_pt: Vec<f32> = near_pt
+                .iter()
+                .zip(target.iter())
+                .map(|(a, b)| a + (b - a) * scale)
+                .collect();
+            // Validate the segment with interpolated collision checks.
+            let checks = 4;
+            let mut blocked = false;
+            for k in 1..=checks {
+                let t = k as f32 / checks as f32;
+                let probe: Vec<f32> = near_pt
+                    .iter()
+                    .zip(new_pt.iter())
+                    .map(|(a, b)| a + (b - a) * t)
+                    .collect();
+                p.flop(dim as u64);
+                if p.with_phase("collision", |p| collides(p, &probe)) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                continue;
+            }
+            let idx = self.store.push(p, &new_pt);
+            self.parents.push(near as i32);
+            nns.insert(p, &self.store, idx);
+            // Goal test.
+            p.flop(3 * dim as u64);
+            if dist(&new_pt, goal) <= self.cfg.goal_tolerance {
+                return Some(self.trace(idx));
+            }
+        }
+        None
+    }
+
+    fn trace(&self, mut idx: usize) -> Vec<Vec<f32>> {
+        let mut path = Vec::new();
+        loop {
+            path.push(self.store.point(idx).to_vec());
+            let parent = self.parents[idx];
+            if parent < 0 {
+                break;
+            }
+            idx = parent as usize;
+        }
+        path.reverse();
+        path
+    }
+}
+
+fn dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_nns::{DynBrute, DynKdTree, DynLsh, LshConfig};
+    use tartan_sim::MachineConfig;
+
+    /// A spherical obstacle at the middle of the unit cube.
+    fn ball_collides(probe: &[f32]) -> bool {
+        let c = 0.5f32;
+        let d: f32 = probe.iter().map(|x| (x - c) * (x - c)).sum();
+        d.sqrt() < 0.22
+    }
+
+    /// A wall at x = 0.5 with a single narrow gap near the top corner:
+    /// RRT must grow a large tree to thread it.
+    fn wall_collides(probe: &[f32]) -> bool {
+        let near_wall = (probe[0] - 0.5).abs() < 0.03;
+        let in_gap = probe[1] > 0.85 && probe[2] > 0.85;
+        near_wall && !in_gap
+    }
+
+    fn plan_with(nns: &mut dyn DynNns, m: &mut Machine) -> Option<Vec<Vec<f32>>> {
+        let lo = [0.0f32; 3];
+        let hi = [1.0f32; 3];
+        let mut rrt = Rrt::new(
+            m,
+            &lo,
+            &hi,
+            RrtConfig {
+                step: 0.08,
+                goal_tolerance: 0.08,
+                max_nodes: 4000,
+                ..RrtConfig::default()
+            },
+        );
+        m.run(|p| {
+            rrt.plan(p, &[0.1, 0.1, 0.1], &[0.9, 0.9, 0.9], nns, |pp, probe| {
+                pp.flop(8);
+                ball_collides(probe)
+            })
+        })
+    }
+
+    #[test]
+    fn finds_a_path_around_the_ball() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut brute = DynBrute::new();
+        let path = plan_with(&mut brute, &mut m).expect("path exists");
+        assert!(path.len() >= 3);
+        // Path avoids the obstacle and connects start to goal region.
+        for cfg in &path {
+            assert!(!ball_collides(cfg), "path enters the obstacle: {cfg:?}");
+        }
+        let first = &path[0];
+        let last = path.last().expect("non-empty");
+        assert!(dist(first, &[0.1, 0.1, 0.1]) < 1e-5);
+        assert!(dist(last, &[0.9, 0.9, 0.9]) < 0.15);
+        // Consecutive configurations move by at most the step length.
+        for w in path.windows(2) {
+            assert!(dist(&w[0], &w[1]) <= 0.08 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_engines_solve_the_problem() {
+        for engine in ["brute", "kd", "vln"] {
+            let mut m = Machine::new(MachineConfig::upgraded_baseline());
+            let found = match engine {
+                "brute" => plan_with(&mut DynBrute::new(), &mut m).is_some(),
+                "kd" => {
+                    let mut kd = DynKdTree::new(&mut m, 4100);
+                    plan_with(&mut kd, &mut m).is_some()
+                }
+                _ => {
+                    let mut lsh = DynLsh::new(&mut m, 3, 4100, LshConfig::vln(0.15));
+                    plan_with(&mut lsh, &mut m).is_some()
+                }
+            };
+            assert!(found, "{engine} failed to find a path");
+        }
+    }
+
+    fn plan_hard(nns: &mut dyn DynNns, m: &mut Machine) -> (bool, usize) {
+        let lo = [0.0f32; 3];
+        let hi = [1.0f32; 3];
+        let mut rrt = Rrt::new(
+            m,
+            &lo,
+            &hi,
+            RrtConfig {
+                step: 0.05,
+                goal_tolerance: 0.06,
+                max_nodes: 9000,
+                goal_bias: 0.05,
+                ..RrtConfig::default()
+            },
+        );
+        let found = m.run(|p| {
+            rrt.plan(p, &[0.1, 0.1, 0.1], &[0.9, 0.2, 0.2], nns, |pp, probe| {
+                pp.flop(8);
+                wall_collides(probe)
+            })
+            .is_some()
+        });
+        (found, rrt.len())
+    }
+
+    #[test]
+    fn vln_nns_is_cheaper_per_node_than_brute() {
+        // The narrow-gap world forces a large tree, the regime where NNS
+        // dominates (§VIII-C). Because the engines return (validly)
+        // different neighbors, the trees differ; compare the NNS cost
+        // normalized per grown node.
+        let mut m1 = Machine::new(MachineConfig::upgraded_baseline());
+        let mut brute = DynBrute::new();
+        let (_, nodes_b) = plan_hard(&mut brute, &mut m1);
+        assert!(nodes_b > 500, "problem too easy: {nodes_b} nodes");
+        let brute_nns = m1.stats().phase_cycles("nns") as f64 / nodes_b as f64;
+        let mut m2 = Machine::new(MachineConfig::upgraded_baseline());
+        let mut lsh = DynLsh::new(&mut m2, 3, 9100, LshConfig::vln(0.12));
+        let (_, nodes_v) = plan_hard(&mut lsh, &mut m2);
+        assert!(nodes_v > 500, "problem too easy for VLN: {nodes_v} nodes");
+        let vln_nns = m2.stats().phase_cycles("nns") as f64 / nodes_v as f64;
+        assert!(
+            vln_nns < brute_nns,
+            "VLN {vln_nns:.0} cy/node vs brute {brute_nns:.0} cy/node"
+        );
+    }
+
+    #[test]
+    fn nns_phase_dominates_brute_force_planning() {
+        // §III-B: once CCCD is parallelized, NNS is MoveBot's bottleneck
+        // (45% of execution). With brute-force NNS the phase share is high.
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut brute = DynBrute::new();
+        plan_with(&mut brute, &mut m);
+        let stats = m.stats();
+        assert!(
+            stats.phase_fraction("nns") > 0.3,
+            "nns fraction {}",
+            stats.phase_fraction("nns")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn inverted_bounds_rejected() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let _ = Rrt::new(&mut m, &[1.0], &[0.0], RrtConfig::default());
+    }
+}

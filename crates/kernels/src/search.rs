@@ -1,0 +1,582 @@
+//! Graph search: Dijkstra, A*, Weighted A*, and Anytime A* with AXAR
+//! supervision (§V-F), over instrumented per-state arrays.
+//!
+//! Searches run on a generic state space: the caller supplies a neighbor
+//! generator (which charges its own memory accesses, e.g. occupancy-grid
+//! loads) and a heuristic. Per-state bookkeeping (g-values, parents,
+//! closed set) lives in simulated buffers, so concurrent exploration of
+//! multiple paths produces the inter-path cache contention FCP targets
+//! (§VII).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tartan_npu::{AxarSupervisor, IterationVerdict};
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+const PC_G: u64 = 0x7_3000;
+const PC_PARENT: u64 = 0x7_3100;
+const PC_CLOSED: u64 = 0x7_3200;
+
+/// Result of one search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// State indices from start to goal.
+    pub path: Vec<usize>,
+    /// Exact accumulated edge cost of `path`.
+    pub cost: f64,
+    /// Number of expanded states.
+    pub expansions: u64,
+}
+
+/// Reusable search bookkeeping over a fixed-size state space.
+///
+/// Buffers are generation-stamped so repeated searches need no O(n) reset.
+#[derive(Debug)]
+pub struct GraphSearch {
+    g: Buffer<f32>,
+    g_stamp: Buffer<u32>,
+    parent: Buffer<i32>,
+    closed_stamp: Buffer<u32>,
+    generation: u32,
+}
+
+impl GraphSearch {
+    /// Allocates bookkeeping for `n_states` states.
+    pub fn new(machine: &mut Machine, n_states: usize) -> Self {
+        GraphSearch {
+            g: machine.buffer_from_vec(vec![0.0; n_states], MemPolicy::Normal),
+            g_stamp: machine.buffer_from_vec(vec![0; n_states], MemPolicy::Normal),
+            parent: machine.buffer_from_vec(vec![-1; n_states], MemPolicy::Normal),
+            closed_stamp: machine.buffer_from_vec(vec![0; n_states], MemPolicy::Normal),
+            generation: 0,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.g.is_empty()
+    }
+
+    fn g_of(&self, p: &mut Proc<'_>, s: usize) -> Option<f32> {
+        let stamp = self.g_stamp.get(p, PC_G, s);
+        if stamp == self.generation {
+            Some(self.g.get(p, PC_G, s))
+        } else {
+            None
+        }
+    }
+
+    fn set_g(&mut self, p: &mut Proc<'_>, s: usize, v: f32, parent: i32) {
+        let generation = self.generation;
+        self.g.set(p, PC_G, s, v);
+        self.g_stamp.set(p, PC_G, s, generation);
+        self.parent.set(p, PC_PARENT, s, parent);
+    }
+
+    /// Weighted A* from `start` to `goal` with inflation `eps ≥ 1`.
+    ///
+    /// `neighbors(p, state, out)` appends `(next_state, edge_cost)` pairs;
+    /// `heuristic(p, state)` estimates cost-to-goal. Both charge their own
+    /// simulated work. With `eps = 1` and an admissible heuristic the
+    /// result is optimal; `eps = 1` and a zero heuristic is Dijkstra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps < 1`, or if a state index is out of bounds, or an
+    /// edge cost or heuristic value is negative.
+    pub fn weighted_astar(
+        &mut self,
+        p: &mut Proc<'_>,
+        start: usize,
+        goal: usize,
+        eps: f32,
+        mut neighbors: impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>),
+        mut heuristic: impl FnMut(&mut Proc<'_>, usize) -> f32,
+    ) -> Option<SearchResult> {
+        assert!(eps >= 1.0, "inflation must be at least 1");
+        assert!(start < self.len() && goal < self.len(), "state out of range");
+        self.generation += 1;
+
+        // Open list keyed by f = g + eps·h; f32 bit-ordering works for
+        // non-negative keys.
+        let mut open: BinaryHeap<(Reverse<u32>, usize)> = BinaryHeap::new();
+        let mut scratch: Vec<(usize, f32)> = Vec::new();
+        self.set_g(p, start, 0.0, -1);
+        let h0 = heuristic(p, start);
+        assert!(h0 >= 0.0, "heuristic must be non-negative");
+        open.push((Reverse((eps * h0).to_bits()), start));
+        let mut expansions = 0u64;
+
+        while let Some((_, s)) = open.pop() {
+            p.instr(6); // heap pop + key handling
+            let closed = self.closed_stamp.get(p, PC_CLOSED, s);
+            if closed == self.generation {
+                continue; // stale heap entry
+            }
+            let generation = self.generation;
+            self.closed_stamp.set(p, PC_CLOSED, s, generation);
+            expansions += 1;
+            if s == goal {
+                return Some(self.reconstruct(p, start, goal, expansions));
+            }
+            let g_s = self.g_of(p, s).expect("expanded state has a g-value");
+            scratch.clear();
+            neighbors(p, s, &mut scratch);
+            for i in 0..scratch.len() {
+                let (n, c) = scratch[i];
+                assert!(c >= 0.0, "edge costs must be non-negative");
+                p.flop(2);
+                p.instr(2);
+                let tentative = g_s + c;
+                let better = match self.g_of(p, n) {
+                    Some(g_n) => tentative < g_n,
+                    None => true,
+                };
+                if better {
+                    self.set_g(p, n, tentative, s as i32);
+                    // Footnote 1: A* (ε = 1) permits re-expansions, so an
+                    // improved g reopens a closed state — required for
+                    // optimality under inconsistent-but-admissible
+                    // heuristics. Inflated searches (ε > 1) skip reopening,
+                    // as ARA*-style planners do: the ε-suboptimality bound
+                    // holds without it and re-expansion cascades under an
+                    // inflated heuristic can blow up exponentially.
+                    if eps <= 1.0 {
+                        let closed_n = self.closed_stamp.get(p, PC_CLOSED, n);
+                        if closed_n == self.generation {
+                            // Generation 0 is never current (the search
+                            // increments first), so 0 marks "open".
+                            self.closed_stamp.set(p, PC_CLOSED, n, 0);
+                        }
+                    }
+                    let h = heuristic(p, n);
+                    assert!(h >= 0.0, "heuristic must be non-negative");
+                    open.push((Reverse((tentative + eps * h).to_bits()), n));
+                    p.instr(6); // heap push
+                }
+            }
+        }
+        None
+    }
+
+    /// Dijkstra (uninformed) — `weighted_astar` with `h = 0`.
+    pub fn dijkstra(
+        &mut self,
+        p: &mut Proc<'_>,
+        start: usize,
+        goal: usize,
+        neighbors: impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>),
+    ) -> Option<SearchResult> {
+        self.weighted_astar(p, start, goal, 1.0, neighbors, |_, _| 0.0)
+    }
+
+    fn reconstruct(&self, p: &mut Proc<'_>, start: usize, goal: usize, expansions: u64) -> SearchResult {
+        let mut path = vec![goal];
+        let mut cur = goal;
+        while cur != start {
+            let prev = self.parent.get(p, PC_PARENT, cur);
+            assert!(prev >= 0, "broken parent chain");
+            cur = prev as usize;
+            path.push(cur);
+        }
+        path.reverse();
+        let cost = f64::from(self.g.peek(goal));
+        SearchResult {
+            path,
+            cost,
+            expansions,
+        }
+    }
+}
+
+/// Result of an Anytime A* run (§V-F).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeResult {
+    /// Exact path cost after each iteration (ε = 8, 7, …, 1), after any
+    /// CPU rollback.
+    pub costs: Vec<f64>,
+    /// The final (ε = 1) path.
+    pub path: Vec<usize>,
+    /// Iterations that the AXAR supervisor had to rerun on the CPU.
+    pub rollbacks: u64,
+    /// Total expansions across all iterations and reruns.
+    pub expansions: u64,
+}
+
+/// Anytime A*: ε from `eps0` down to 1 in unit steps, optionally
+/// offloading the heuristic to a fast (approximate) evaluator from the
+/// second iteration on, under AXAR supervision.
+///
+/// `h_exact` must be admissible; `h_fast` (e.g. the NPU model) may
+/// overestimate — the supervisor detects any resulting cost regression and
+/// reruns that iteration with `h_exact` (§V-F).
+#[allow(clippy::too_many_arguments)]
+pub fn anytime_astar(
+    p: &mut Proc<'_>,
+    search: &mut GraphSearch,
+    start: usize,
+    goal: usize,
+    eps0: u32,
+    mut neighbors: impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>),
+    mut h_exact: impl FnMut(&mut Proc<'_>, usize) -> f32,
+    mut h_fast: Option<&mut dyn FnMut(&mut Proc<'_>, usize) -> f32>,
+) -> Option<AnytimeResult> {
+    let mut supervisor = AxarSupervisor::new();
+    let mut costs = Vec::new();
+    let mut best: Option<SearchResult> = None;
+    let mut expansions = 0u64;
+    let mut rollbacks = 0u64;
+    for it in 0..eps0 {
+        let eps = (eps0 - it) as f32;
+        let first = it == 0;
+        let use_fast = !first && h_fast.is_some();
+        let result = if use_fast {
+            let hf = h_fast.as_mut().expect("checked");
+            search.weighted_astar(p, start, goal, eps, &mut neighbors, |p, s| hf(p, s))
+        } else {
+            search.weighted_astar(p, start, goal, eps, &mut neighbors, &mut h_exact)
+        }?;
+        expansions += result.expansions;
+        // Supervision: compare the iteration's *exact* cost to the best.
+        p.instr(4);
+        match supervisor.check(result.cost) {
+            IterationVerdict::Accept => {
+                best = Some(result);
+            }
+            IterationVerdict::Rollback => {
+                rollbacks += 1;
+                let rerun =
+                    search.weighted_astar(p, start, goal, eps, &mut neighbors, &mut h_exact)?;
+                expansions += rerun.expansions;
+                let best_cost = best.as_ref().map_or(f64::INFINITY, |b| b.cost);
+                if rerun.cost <= best_cost {
+                    supervisor.record_cpu_rerun(rerun.cost);
+                    best = Some(rerun);
+                } else {
+                    // Keep the previous path: ATA*'s guarantee is "best so
+                    // far", and an exact rerun at lower ε may tie but not
+                    // beat a lucky earlier path.
+                    supervisor.record_cpu_rerun(best_cost);
+                }
+            }
+        }
+        costs.push(best.as_ref().map_or(f64::INFINITY, |b| b.cost));
+    }
+    best.map(|b| AnytimeResult {
+        costs,
+        path: b.path,
+        rollbacks,
+        expansions,
+    })
+}
+
+/// 8-connected neighbor generator over a [`crate::grid::Grid2`], charging
+/// one occupancy load per candidate cell.
+pub fn grid2_neighbors<'g>(
+    grid: &'g crate::grid::Grid2,
+) -> impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>) + 'g {
+    let w = grid.width() as i64;
+    let h = grid.height() as i64;
+    move |p, s, out| {
+        let (x, y) = ((s as i64) % w, (s as i64) / w);
+        for (dx, dy, c) in [
+            (1i64, 0i64, 1.0f32),
+            (-1, 0, 1.0),
+            (0, 1, 1.0),
+            (0, -1, 1.0),
+            (1, 1, std::f32::consts::SQRT_2),
+            (1, -1, std::f32::consts::SQRT_2),
+            (-1, 1, std::f32::consts::SQRT_2),
+            (-1, -1, std::f32::consts::SQRT_2),
+        ] {
+            let (nx, ny) = (x + dx, y + dy);
+            if nx < 0 || ny < 0 || nx >= w || ny >= h {
+                continue;
+            }
+            let idx = (ny * w + nx) as usize;
+            let occ = grid.load(p, idx);
+            p.instr(3);
+            if occ <= crate::grid::OCCUPIED {
+                out.push((idx, c));
+            }
+        }
+    }
+}
+
+/// 6-connected neighbor generator over a [`crate::grid::Grid3`].
+pub fn grid3_neighbors<'g>(
+    grid: &'g crate::grid::Grid3,
+) -> impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>) + 'g {
+    let w = grid.width() as i64;
+    let h = grid.height() as i64;
+    let d = grid.depth() as i64;
+    move |p, s, out| {
+        let x = (s as i64) % w;
+        let y = ((s as i64) / w) % h;
+        let z = (s as i64) / (w * h);
+        for (dx, dy, dz) in [
+            (1i64, 0i64, 0i64),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ] {
+            let (nx, ny, nz) = (x + dx, y + dy, z + dz);
+            if nx < 0 || ny < 0 || nz < 0 || nx >= w || ny >= h || nz >= d {
+                continue;
+            }
+            let idx = ((nz * h + ny) * w + nx) as usize;
+            let occ = grid.load(p, idx);
+            p.instr(3);
+            if occ <= crate::grid::OCCUPIED {
+                out.push((idx, 1.0));
+            }
+        }
+    }
+}
+
+/// Octile-distance heuristic for 2-D grids (admissible for 8-connected
+/// moves with unit/√2 costs). Charges its small arithmetic cost.
+pub fn octile_heuristic(width: usize, goal: usize) -> impl FnMut(&mut Proc<'_>, usize) -> f32 {
+    let (gx, gy) = ((goal % width) as f32, (goal / width) as f32);
+    move |p, s| {
+        let (x, y) = ((s % width) as f32, (s / width) as f32);
+        p.flop(6);
+        let (dx, dy) = ((x - gx).abs(), (y - gy).abs());
+        dx.max(dy) + (std::f32::consts::SQRT_2 - 1.0) * dx.min(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2;
+    use tartan_sim::MachineConfig;
+
+    fn maze(m: &mut Machine) -> Grid2 {
+        Grid2::generate(m, 64, 64, 14, false, 17, MemPolicy::Normal)
+    }
+
+    fn free_cell(g: &Grid2, sx: i64, sy: i64) -> usize {
+        // Find a free cell near the request.
+        for r in 0..32i64 {
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if !g.occupied(sx + dx, sy + dy) {
+                        return g.idx(sx + dx, sy + dy);
+                    }
+                }
+            }
+        }
+        panic!("no free cell near ({sx},{sy})");
+    }
+
+    #[test]
+    fn astar_equals_dijkstra_with_admissible_heuristic() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = maze(&mut m);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = free_cell(&g, 5, 5);
+        let goal = free_cell(&g, 58, 58);
+        m.run(|p| {
+            let d = search
+                .dijkstra(p, start, goal, grid2_neighbors(&g))
+                .expect("reachable");
+            let a = search
+                .weighted_astar(
+                    p,
+                    start,
+                    goal,
+                    1.0,
+                    grid2_neighbors(&g),
+                    octile_heuristic(g.width(), goal),
+                )
+                .expect("reachable");
+            assert!((a.cost - d.cost).abs() < 1e-4, "A* {} vs Dijkstra {}", a.cost, d.cost);
+            assert!(a.expansions <= d.expansions, "informed search expands less");
+        });
+    }
+
+    #[test]
+    fn weighted_astar_bounded_suboptimality() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = maze(&mut m);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = free_cell(&g, 5, 5);
+        let goal = free_cell(&g, 58, 58);
+        m.run(|p| {
+            let opt = search
+                .dijkstra(p, start, goal, grid2_neighbors(&g))
+                .expect("reachable")
+                .cost;
+            for eps in [1.5f32, 2.0, 4.0, 8.0] {
+                let r = search
+                    .weighted_astar(
+                        p,
+                        start,
+                        goal,
+                        eps,
+                        grid2_neighbors(&g),
+                        octile_heuristic(g.width(), goal),
+                    )
+                    .expect("reachable");
+                assert!(
+                    r.cost <= f64::from(eps) * opt + 1e-3,
+                    "eps {eps}: {} vs bound {}",
+                    r.cost,
+                    f64::from(eps) * opt
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn higher_eps_expands_fewer_states() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = maze(&mut m);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = free_cell(&g, 5, 5);
+        let goal = free_cell(&g, 58, 58);
+        m.run(|p| {
+            let e1 = search
+                .weighted_astar(p, start, goal, 1.0, grid2_neighbors(&g), octile_heuristic(64, goal))
+                .expect("reachable")
+                .expansions;
+            let e8 = search
+                .weighted_astar(p, start, goal, 8.0, grid2_neighbors(&g), octile_heuristic(64, goal))
+                .expect("reachable")
+                .expansions;
+            assert!(e8 < e1, "eps=8 {e8} vs eps=1 {e1}");
+        });
+    }
+
+    #[test]
+    fn path_is_connected_and_starts_and_ends_right() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = maze(&mut m);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = free_cell(&g, 8, 50);
+        let goal = free_cell(&g, 50, 8);
+        m.run(|p| {
+            let r = search
+                .weighted_astar(p, start, goal, 2.0, grid2_neighbors(&g), octile_heuristic(64, goal))
+                .expect("reachable");
+            assert_eq!(*r.path.first().expect("non-empty"), start);
+            assert_eq!(*r.path.last().expect("non-empty"), goal);
+            for w in r.path.windows(2) {
+                let (a, b) = (w[0] as i64, w[1] as i64);
+                let (ax, ay) = (a % 64, a / 64);
+                let (bx, by) = (b % 64, b / 64);
+                assert!((ax - bx).abs() <= 1 && (ay - by).abs() <= 1);
+                assert!(!g.occupied(bx, by));
+            }
+        });
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut g = Grid2::generate(&mut m, 32, 32, 0, false, 3, MemPolicy::Normal);
+        // Wall off the right half completely.
+        for y in 0..32 {
+            g.poke(y * 32 + 16, 1.0);
+        }
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let r = m.run(|p| {
+            search.weighted_astar(
+                p,
+                g.idx(5, 5),
+                g.idx(25, 25),
+                1.0,
+                grid2_neighbors(&g),
+                octile_heuristic(32, g.idx(25, 25)),
+            )
+        });
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn anytime_costs_never_increase() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = maze(&mut m);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = free_cell(&g, 5, 5);
+        let goal = free_cell(&g, 58, 58);
+        m.run(|p| {
+            let r = anytime_astar(
+                p,
+                &mut search,
+                start,
+                goal,
+                8,
+                grid2_neighbors(&g),
+                octile_heuristic(64, goal),
+                None,
+            )
+            .expect("reachable");
+            for w in r.costs.windows(2) {
+                assert!(w[1] <= w[0] + 1e-6, "costs regressed: {:?}", r.costs);
+            }
+            assert_eq!(r.rollbacks, 0, "exact heuristic never rolls back");
+        });
+    }
+
+    #[test]
+    fn axar_overestimation_is_caught_and_corrected() {
+        // An empty arena: the optimum from (5,5) to (5,58) is the straight
+        // corridor. The "NPU" heuristic walls off the direct region with a
+        // huge overestimate, *provably* forcing every fast iteration onto a
+        // long detour (cells in the band are never expanded: their f-value
+        // exceeds any achievable goal f). The supervisor must fire.
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = Grid2::generate(&mut m, 64, 64, 0, false, 3, MemPolicy::Normal);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = g.idx(5, 5);
+        let goal = g.idx(5, 58);
+        m.run(|p| {
+            // Exact optimum for reference.
+            let opt = search
+                .dijkstra(p, start, goal, grid2_neighbors(&g))
+                .expect("reachable")
+                .cost;
+            let mut base_h = octile_heuristic(64, goal);
+            let mut fast = move |p: &mut Proc<'_>, s: usize| {
+                let (x, y) = (s % 64, s / 64);
+                let block = if x < 50 && (10..50).contains(&y) {
+                    2000.0
+                } else {
+                    0.0
+                };
+                base_h(p, s) + block
+            };
+            let r = anytime_astar(
+                p,
+                &mut search,
+                start,
+                goal,
+                8,
+                grid2_neighbors(&g),
+                octile_heuristic(64, goal),
+                Some(&mut fast),
+            )
+            .expect("reachable");
+            // AXAR's guarantee (§V-F): monotone non-regression, anchored by
+            // the exact CPU first iteration. The adversarial 5× heuristic
+            // must trip the supervisor at least once.
+            let final_cost = *r.costs.last().expect("non-empty");
+            assert!(r.rollbacks >= 1, "supervisor never fired on a 5× heuristic");
+            assert!(final_cost <= r.costs[0] + 1e-6);
+            assert!(final_cost >= opt - 1e-6, "cannot beat the optimum");
+            for w in r.costs.windows(2) {
+                assert!(w[1] <= w[0] + 1e-6, "monotonicity: {:?}", r.costs);
+            }
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the robotic kernels.
+
+use proptest::prelude::*;
+use tartan_kernels::grid::Grid2;
+use tartan_kernels::raycast::{cast, cast_untimed, RayCastConfig, VecMethod};
+use tartan_kernels::search::{grid2_neighbors, octile_heuristic, GraphSearch};
+use tartan_sim::{Machine, MachineConfig, MemPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All timed ray-cast variants agree with the untimed reference on
+    /// random maps, origins, and orientations.
+    #[test]
+    fn raycast_variants_agree(
+        seed in 0u64..500,
+        ox in 5.0f32..50.0,
+        oy in 5.0f32..50.0,
+        theta in 0.0f32..6.28,
+    ) {
+        let mut m = Machine::new(MachineConfig::tartan());
+        let g = Grid2::generate(&mut m, 64, 64, 10, false, seed, MemPolicy::Normal);
+        let cfg = RayCastConfig {
+            max_range: 40.0,
+            ..RayCastConfig::new(VecMethod::Scalar)
+        };
+        let reference = cast_untimed(&g, ox, oy, theta, &cfg);
+        m.run(|p| {
+            for method in [VecMethod::Scalar, VecMethod::Gather, VecMethod::Ovec, VecMethod::Racod] {
+                let c = RayCastConfig { method, ..cfg };
+                prop_assert_eq!(cast(p, &g, ox, oy, theta, &c), reference, "{:?}", method);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Ray distance never exceeds max_range and is positive.
+    #[test]
+    fn raycast_within_range(
+        seed in 0u64..200,
+        theta in 0.0f32..6.28,
+        range in 5.0f32..60.0,
+    ) {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = Grid2::generate(&mut m, 64, 64, 8, true, seed, MemPolicy::Normal);
+        let cfg = RayCastConfig { max_range: range, ..RayCastConfig::new(VecMethod::Scalar) };
+        let d = cast_untimed(&g, 32.0, 32.0, theta, &cfg);
+        prop_assert!(d > 0.0 && d <= range);
+    }
+
+    /// A* with the octile heuristic always matches Dijkstra's optimal cost,
+    /// on random maps and endpoints.
+    #[test]
+    fn astar_is_optimal(seed in 0u64..100, sx in 2i64..30, sy in 2i64..30) {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = Grid2::generate(&mut m, 32, 32, 6, false, seed, MemPolicy::Normal);
+        // Find free endpoints.
+        let free = |g: &Grid2, x: i64, y: i64| {
+            for r in 0..16 {
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        if !g.occupied(x + dx, y + dy) {
+                            return g.idx(x + dx, y + dy);
+                        }
+                    }
+                }
+            }
+            g.idx(x, y)
+        };
+        let start = free(&g, sx, sy);
+        let goal = free(&g, 31 - sx, 31 - sy);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        m.run(|p| {
+            let d = search.dijkstra(p, start, goal, grid2_neighbors(&g));
+            let a = search.weighted_astar(
+                p,
+                start,
+                goal,
+                1.0,
+                grid2_neighbors(&g),
+                octile_heuristic(32, goal),
+            );
+            match (d, a) {
+                (Some(d), Some(a)) => {
+                    prop_assert!((a.cost - d.cost).abs() < 1e-3, "A* {} vs Dijkstra {}", a.cost, d.cost);
+                    prop_assert!(a.expansions <= d.expansions + 5);
+                }
+                (None, None) => {}
+                (d, a) => prop_assert!(false, "reachability mismatch {:?} vs {:?}", d.is_some(), a.is_some()),
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Weighted A* respects its suboptimality bound for every ε.
+    #[test]
+    fn wastar_bound_holds(seed in 0u64..60, eps_i in 0usize..4) {
+        let eps = [1.0f32, 2.0, 4.0, 8.0][eps_i];
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = Grid2::generate(&mut m, 32, 32, 6, false, seed, MemPolicy::Normal);
+        let start = g.idx(2, 2);
+        let goal = g.idx(29, 29);
+        if g.occupied(2, 2) || g.occupied(29, 29) {
+            return Ok(());
+        }
+        let mut search = GraphSearch::new(&mut m, g.len());
+        m.run(|p| {
+            let opt = search.dijkstra(p, start, goal, grid2_neighbors(&g));
+            let w = search.weighted_astar(
+                p, start, goal, eps, grid2_neighbors(&g), octile_heuristic(32, goal),
+            );
+            if let (Some(opt), Some(w)) = (opt, w) {
+                prop_assert!(
+                    w.cost <= f64::from(eps) * opt.cost + 1e-3,
+                    "eps {}: {} vs bound {}",
+                    eps, w.cost, f64::from(eps) * opt.cost
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Search paths are always simple (no repeated states).
+    #[test]
+    fn paths_are_simple(seed in 0u64..60) {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = Grid2::generate(&mut m, 32, 32, 8, false, seed, MemPolicy::Normal);
+        let start = g.idx(3, 3);
+        let goal = g.idx(28, 28);
+        if g.occupied(3, 3) || g.occupied(28, 28) {
+            return Ok(());
+        }
+        let mut search = GraphSearch::new(&mut m, g.len());
+        m.run(|p| {
+            if let Some(r) = search.weighted_astar(
+                p, start, goal, 2.0, grid2_neighbors(&g), octile_heuristic(32, goal),
+            ) {
+                let mut seen = std::collections::HashSet::new();
+                for &s in &r.path {
+                    prop_assert!(seen.insert(s), "state {} repeated", s);
+                }
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,135 @@
+//! Loss functions, including the Tartan paper's asymmetric AXAR loss (§V-F).
+
+/// A training loss.
+///
+/// The paper uses MSE for HomeBot's transform predictor, BCE for PatrolBot's
+/// classifier, and the asymmetric loss below for FlyBot's AXAR heuristic,
+/// where *overestimation* of the A* heuristic would break admissibility and
+/// force a CPU rollback:
+///
+/// ```text
+/// L(y, ŷ) = α·(ŷ − y)²  if ŷ > y   (overestimation, penalized α× harder)
+///           (ŷ − y)²    otherwise
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Binary cross-entropy (expects outputs in `(0, 1)`).
+    Bce,
+    /// The AXAR asymmetric squared error with overestimation penalty `alpha`
+    /// (the paper uses `alpha = 8`).
+    Asymmetric {
+        /// Multiplier applied to the squared error when the prediction
+        /// overestimates the target.
+        alpha: f32,
+    },
+}
+
+impl Loss {
+    /// Loss value for one scalar prediction.
+    pub fn value(self, target: f32, pred: f32) -> f32 {
+        let d = pred - target;
+        match self {
+            Loss::Mse => d * d,
+            Loss::Bce => {
+                let p = pred.clamp(1e-6, 1.0 - 1e-6);
+                -(target * p.ln() + (1.0 - target) * (1.0 - p).ln())
+            }
+            Loss::Asymmetric { alpha } => {
+                if d > 0.0 {
+                    alpha * d * d
+                } else {
+                    d * d
+                }
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the prediction.
+    pub fn gradient(self, target: f32, pred: f32) -> f32 {
+        let d = pred - target;
+        match self {
+            Loss::Mse => 2.0 * d,
+            Loss::Bce => {
+                let p = pred.clamp(1e-6, 1.0 - 1e-6);
+                (p - target) / (p * (1.0 - p))
+            }
+            Loss::Asymmetric { alpha } => {
+                if d > 0.0 {
+                    2.0 * alpha * d
+                } else {
+                    2.0 * d
+                }
+            }
+        }
+    }
+
+    /// Mean loss over a batch of vector outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` and `preds` have different shapes or are empty.
+    pub fn mean(self, targets: &[Vec<f32>], preds: &[Vec<f32>]) -> f32 {
+        assert_eq!(targets.len(), preds.len(), "batch sizes must match");
+        assert!(!targets.is_empty(), "batch must be non-empty");
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (t, p) in targets.iter().zip(preds.iter()) {
+            assert_eq!(t.len(), p.len(), "output widths must match");
+            for (ti, pi) in t.iter().zip(p.iter()) {
+                total += self.value(*ti, *pi);
+                n += 1;
+            }
+        }
+        total / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let (t, p, h) = (1.5f32, 0.7f32, 1e-3f32);
+        let fd = (Loss::Mse.value(t, p + h) - Loss::Mse.value(t, p - h)) / (2.0 * h);
+        assert!((Loss::Mse.gradient(t, p) - fd).abs() < 1e-2);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let (t, p, h) = (1.0f32, 0.3f32, 1e-4f32);
+        let fd = (Loss::Bce.value(t, p + h) - Loss::Bce.value(t, p - h)) / (2.0 * h);
+        assert!((Loss::Bce.gradient(t, p) - fd).abs() < 1e-2);
+    }
+
+    #[test]
+    fn asymmetric_penalizes_overestimation() {
+        let loss = Loss::Asymmetric { alpha: 8.0 };
+        // Same |error|: overestimation costs 8× more.
+        assert!((loss.value(1.0, 1.5) / loss.value(1.0, 0.5) - 8.0).abs() < 1e-5);
+        assert!(loss.gradient(1.0, 1.5) > 0.0);
+        assert!(loss.gradient(1.0, 0.5) < 0.0);
+        assert_eq!(
+            loss.gradient(1.0, 1.5).abs() / loss.gradient(1.0, 0.5).abs(),
+            8.0
+        );
+    }
+
+    #[test]
+    fn asymmetric_with_alpha_one_is_mse() {
+        let a = Loss::Asymmetric { alpha: 1.0 };
+        for (t, p) in [(0.0, 1.0), (1.0, 0.0), (2.0, 2.0)] {
+            assert_eq!(a.value(t, p), Loss::Mse.value(t, p));
+            assert_eq!(a.gradient(t, p), Loss::Mse.gradient(t, p));
+        }
+    }
+
+    #[test]
+    fn mean_averages_over_batch_and_width() {
+        let targets = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let preds = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(Loss::Mse.mean(&targets, &preds), 1.0);
+    }
+}

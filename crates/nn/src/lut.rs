@@ -1,0 +1,123 @@
+//! The NPU's sigmoid lookup table (512 × 32-bit entries, §VIII-B).
+
+/// A quantized sigmoid, evaluated exactly as the NPU hardware would: the
+/// input range `[-range, range]` is divided into 512 bins whose centers hold
+/// precomputed sigmoid values; inputs outside the range saturate to 0 or 1.
+///
+/// # Examples
+///
+/// ```
+/// use tartan_nn::SigmoidLut;
+///
+/// let lut = SigmoidLut::new();
+/// assert!((lut.eval(0.0) - 0.5).abs() < 0.01);
+/// assert_eq!(lut.eval(100.0), 1.0);
+/// assert_eq!(lut.eval(-100.0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SigmoidLut {
+    entries: Vec<f32>,
+    range: f32,
+}
+
+/// Number of LUT entries (512 × 32 bits per PE, per the paper's area model).
+const LUT_ENTRIES: usize = 512;
+
+impl SigmoidLut {
+    /// Creates the standard 512-entry LUT covering `[-8, 8]`.
+    pub fn new() -> Self {
+        Self::with_range(8.0)
+    }
+
+    /// Creates a LUT covering `[-range, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive.
+    pub fn with_range(range: f32) -> Self {
+        assert!(range > 0.0, "range must be positive");
+        let mut entries = Vec::with_capacity(LUT_ENTRIES);
+        for i in 0..LUT_ENTRIES {
+            // Bin center in [-range, range].
+            let x = -range + (i as f32 + 0.5) * (2.0 * range / LUT_ENTRIES as f32);
+            entries.push(1.0 / (1.0 + (-x).exp()));
+        }
+        SigmoidLut { entries, range }
+    }
+
+    /// Evaluates the quantized sigmoid.
+    pub fn eval(&self, x: f32) -> f32 {
+        if x <= -self.range {
+            return 0.0;
+        }
+        if x >= self.range {
+            return 1.0;
+        }
+        let idx = ((x + self.range) / (2.0 * self.range) * LUT_ENTRIES as f32) as usize;
+        self.entries[idx.min(LUT_ENTRIES - 1)]
+    }
+
+    /// Storage footprint in bytes (512 entries × 4 bytes).
+    pub fn storage_bytes(&self) -> usize {
+        LUT_ENTRIES * 4
+    }
+
+    /// Worst-case quantization error against the exact sigmoid, sampled on a
+    /// fine grid (useful for fidelity assertions).
+    pub fn max_error(&self) -> f32 {
+        let mut worst = 0.0f32;
+        let steps = 10_000;
+        for i in 0..=steps {
+            let x = -self.range + 2.0 * self.range * i as f32 / steps as f32;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            worst = worst.max((self.eval(x) - exact).abs());
+        }
+        worst
+    }
+}
+
+impl Default for SigmoidLut {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_is_2kb() {
+        assert_eq!(SigmoidLut::new().storage_bytes(), 2048);
+    }
+
+    #[test]
+    fn quantization_error_is_small() {
+        // 512 bins over [-8, 8]: max sigmoid slope 0.25 → error < 0.25 * 16/512.
+        assert!(SigmoidLut::new().max_error() < 0.005);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let lut = SigmoidLut::new();
+        let mut prev = -1.0f32;
+        for i in -1000..=1000 {
+            let y = lut.eval(i as f32 * 0.01);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let lut = SigmoidLut::with_range(4.0);
+        assert_eq!(lut.eval(4.0), 1.0);
+        assert_eq!(lut.eval(-4.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_rejected() {
+        let _ = SigmoidLut::with_range(0.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Minibatch SGD training with the paper's regularization recipe:
+//! L2 weight decay (λ = 0.01) and gradient clipping (c = 2.5), §V-F.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Summary statistics returned by [`Trainer::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss after the final epoch.
+    pub final_loss: f32,
+    /// Number of epochs executed.
+    pub epochs: usize,
+    /// Fraction of training samples the final model *overestimates*
+    /// (prediction > target on output 0) — the quantity the AXAR loss
+    /// minimizes so that CPU rollbacks become rare (§V-F).
+    pub overestimation_rate: f32,
+}
+
+/// A minibatch SGD trainer with momentum, L2 regularization, and global
+/// gradient-norm clipping.
+///
+/// # Examples
+///
+/// ```
+/// use tartan_nn::{Mlp, Topology, Loss, Trainer};
+///
+/// let topo = Topology::new(&[2, 8, 1]);
+/// let mut mlp = Mlp::new(&topo, 0);
+/// let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+/// let ys = vec![vec![0.0], vec![1.0]];
+/// let report = Trainer::new(Loss::Mse).epochs(200).fit(&mut mlp, &xs, &ys);
+/// assert!(report.final_loss < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    loss: Loss,
+    learning_rate: f32,
+    momentum: f32,
+    l2: f32,
+    clip_norm: Option<f32>,
+    epochs: usize,
+    batch_size: usize,
+    seed: u64,
+}
+
+impl Trainer {
+    /// Creates a trainer with sensible defaults (lr 0.05, momentum 0.9,
+    /// no regularization, no clipping, 100 epochs, batch 16).
+    pub fn new(loss: Loss) -> Self {
+        Trainer {
+            loss,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            l2: 0.0,
+            clip_norm: None,
+            epochs: 100,
+            batch_size: 16,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Sets the learning rate.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn momentum(mut self, m: f32) -> Self {
+        self.momentum = m;
+        self
+    }
+
+    /// Sets the L2 regularization strength λ (the paper uses 0.01).
+    pub fn l2(mut self, lambda: f32) -> Self {
+        self.l2 = lambda;
+        self
+    }
+
+    /// Enables global gradient-norm clipping at `c` (the paper uses 2.5).
+    pub fn clip_norm(mut self, c: f32) -> Self {
+        self.clip_norm = Some(c);
+        self
+    }
+
+    /// Sets the number of epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the minibatch size.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Sets the shuffling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Trains `mlp` on `(inputs, targets)` pairs and reports final loss and
+    /// overestimation rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or input/target shapes do not match
+    /// the network topology.
+    pub fn fit(&self, mlp: &mut Mlp, inputs: &[Vec<f32>], targets: &[Vec<f32>]) -> TrainReport {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets must pair up");
+        assert!(!inputs.is_empty(), "dataset must be non-empty");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+
+        // Momentum buffers mirroring the layer parameter shapes.
+        let mut vel_w: Vec<Matrix> = mlp
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
+            .collect();
+        let mut vel_b: Vec<Vec<f32>> = mlp.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.batch_size) {
+                self.step(mlp, inputs, targets, chunk, &mut vel_w, &mut vel_b);
+            }
+        }
+
+        let preds: Vec<Vec<f32>> = inputs.iter().map(|x| mlp.forward(x)).collect();
+        let final_loss = self.loss.mean(targets, &preds);
+        let over = preds
+            .iter()
+            .zip(targets.iter())
+            .filter(|(p, t)| p[0] > t[0])
+            .count();
+        TrainReport {
+            final_loss,
+            epochs: self.epochs,
+            overestimation_rate: over as f32 / inputs.len() as f32,
+        }
+    }
+
+    /// One SGD step over the index batch `chunk`.
+    fn step(
+        &self,
+        mlp: &mut Mlp,
+        inputs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        chunk: &[usize],
+        vel_w: &mut [Matrix],
+        vel_b: &mut [Vec<f32>],
+    ) {
+        let n_layers = mlp.layers.len();
+        let mut grad_w: Vec<Matrix> = mlp
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
+            .collect();
+        let mut grad_b: Vec<Vec<f32>> =
+            mlp.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+
+        for &idx in chunk {
+            let trace = mlp.forward_trace(&inputs[idx]);
+            let output = &trace[n_layers];
+            // Delta at the output layer.
+            let mut delta: Vec<f32> = output
+                .iter()
+                .zip(targets[idx].iter())
+                .map(|(p, t)| self.loss.gradient(*t, *p))
+                .collect();
+            for (d, y) in delta.iter_mut().zip(output.iter()) {
+                *d *= mlp.layers[n_layers - 1]
+                    .activation
+                    .derivative_from_output(*y);
+            }
+            // Backpropagate.
+            for layer_idx in (0..n_layers).rev() {
+                let prev_act = &trace[layer_idx];
+                for (r, &d) in delta.iter().enumerate() {
+                    grad_b[layer_idx][r] += d;
+                    for (c, &a) in prev_act.iter().enumerate() {
+                        grad_w[layer_idx][(r, c)] += d * a;
+                    }
+                }
+                if layer_idx > 0 {
+                    let mut next_delta = mlp.layers[layer_idx].weights.mul_vec_transposed(&delta);
+                    for (d, y) in next_delta.iter_mut().zip(trace[layer_idx].iter()) {
+                        *d *= mlp.layers[layer_idx - 1]
+                            .activation
+                            .derivative_from_output(*y);
+                    }
+                    delta = next_delta;
+                }
+            }
+        }
+
+        let scale = 1.0 / chunk.len() as f32;
+        // L2 regularization on the weights (not biases), then clipping.
+        for (gw, layer) in grad_w.iter_mut().zip(mlp.layers.iter()) {
+            for (g, w) in gw
+                .as_mut_slice()
+                .iter_mut()
+                .zip(layer.weights.as_slice().iter())
+            {
+                *g = *g * scale + 2.0 * self.l2 * w;
+            }
+        }
+        for gb in grad_b.iter_mut() {
+            for g in gb.iter_mut() {
+                *g *= scale;
+            }
+        }
+        if let Some(c) = self.clip_norm {
+            let mut norm_sq = 0.0f32;
+            for gw in &grad_w {
+                norm_sq += gw.norm_sq();
+            }
+            for gb in &grad_b {
+                norm_sq += gb.iter().map(|g| g * g).sum::<f32>();
+            }
+            let norm = norm_sq.sqrt();
+            if norm > c {
+                let s = c / norm;
+                for gw in grad_w.iter_mut() {
+                    for g in gw.as_mut_slice() {
+                        *g *= s;
+                    }
+                }
+                for gb in grad_b.iter_mut() {
+                    for g in gb.iter_mut() {
+                        *g *= s;
+                    }
+                }
+            }
+        }
+
+        // Momentum update.
+        for layer_idx in 0..n_layers {
+            let layer = &mut mlp.layers[layer_idx];
+            for ((v, g), w) in vel_w[layer_idx]
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_w[layer_idx].as_slice().iter())
+                .zip(layer.weights.as_mut_slice().iter_mut())
+            {
+                *v = self.momentum * *v - self.learning_rate * g;
+                *w += *v;
+            }
+            for ((v, g), b) in vel_b[layer_idx]
+                .iter_mut()
+                .zip(grad_b[layer_idx].iter())
+                .zip(layer.biases.iter_mut())
+            {
+                *v = self.momentum * *v - self.learning_rate * g;
+                *b += *v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::{Activation, Topology};
+
+    /// Numerical gradient check: analytic backprop gradients must match
+    /// finite differences of the loss.
+    #[test]
+    fn backprop_matches_finite_differences() {
+        let topo = Topology::new(&[2, 3, 1]);
+        let mlp = Mlp::new(&topo, 11);
+        let x = vec![0.4f32, -0.7];
+        let t = vec![0.3f32];
+        let loss = Loss::Mse;
+
+        // Analytic gradient of one sample: reuse a single trainer step with
+        // lr so small that parameters barely move, then compare parameter
+        // deltas against finite-difference gradients.
+        let eval = |m: &Mlp| loss.value(t[0], m.forward(&x)[0]);
+        let base = eval(&mlp);
+        let h = 1e-3f32;
+
+        // Finite-difference gradient for the first weight of layer 0.
+        let mut plus = mlp.clone();
+        plus.layers[0].weights[(0, 0)] += h;
+        let fd = (eval(&plus) - base) / h;
+
+        // Analytic: run one plain-SGD step (no momentum/clip/L2) with lr=1,
+        // and read off the applied delta = -gradient.
+        let trainer = Trainer::new(loss)
+            .learning_rate(1.0)
+            .momentum(0.0)
+            .epochs(1)
+            .batch_size(1);
+        let mut trained = mlp.clone();
+        trainer.fit(&mut trained, &[x.clone()], &[t.clone()]);
+        let analytic = mlp.layers[0].weights[(0, 0)] - trained.layers[0].weights[(0, 0)];
+        assert!(
+            (analytic - fd).abs() < 5e-2 * (1.0 + fd.abs()),
+            "analytic {analytic} vs finite-difference {fd}"
+        );
+    }
+
+    #[test]
+    fn learns_xor_with_sigmoid_output() {
+        let topo = Topology::new(&[2, 8, 1]);
+        let mut mlp = Mlp::new(&topo, 5);
+        mlp.set_output_activation(Activation::Sigmoid);
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+        Trainer::new(Loss::Bce)
+            .learning_rate(0.5)
+            .epochs(2000)
+            .batch_size(4)
+            .fit(&mut mlp, &xs, &ys);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let p = mlp.forward(x)[0];
+            assert_eq!((p > 0.5) as i32 as f32, y[0], "xor({x:?}) predicted {p}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_loss_reduces_overestimation() {
+        // Regression task with noise: the AXAR loss should leave far fewer
+        // overestimated samples than plain MSE.
+        let topo = Topology::new(&[1, 8, 1]);
+        let xs: Vec<Vec<f32>> = (0..128).map(|i| vec![i as f32 / 128.0]).collect();
+        let ys: Vec<Vec<f32>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| vec![x[0] + 0.05 * ((i % 7) as f32 / 7.0 - 0.5)])
+            .collect();
+
+        let mut mse_mlp = Mlp::new(&topo, 2);
+        let mse_report = Trainer::new(Loss::Mse)
+            .epochs(300)
+            .fit(&mut mse_mlp, &xs, &ys);
+
+        let mut ax_mlp = Mlp::new(&topo, 2);
+        let ax_report = Trainer::new(Loss::Asymmetric { alpha: 8.0 })
+            .l2(0.01)
+            .clip_norm(2.5)
+            .epochs(300)
+            .fit(&mut ax_mlp, &xs, &ys);
+
+        assert!(
+            ax_report.overestimation_rate < mse_report.overestimation_rate,
+            "AXAR {} vs MSE {}",
+            ax_report.overestimation_rate,
+            mse_report.overestimation_rate
+        );
+    }
+
+    #[test]
+    fn clipping_keeps_training_stable_at_high_lr() {
+        let topo = Topology::new(&[1, 4, 1]);
+        let xs: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32]).collect();
+        let ys: Vec<Vec<f32>> = xs.iter().map(|x| vec![x[0] * 2.0]).collect();
+        let mut mlp = Mlp::new(&topo, 9);
+        let report = Trainer::new(Loss::Mse)
+            .learning_rate(0.5)
+            .clip_norm(2.5)
+            .epochs(50)
+            .fit(&mut mlp, &xs, &ys);
+        assert!(
+            report.final_loss.is_finite(),
+            "clipped training must not diverge to NaN/inf"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let topo = Topology::new(&[2, 4, 1]);
+        let xs = vec![vec![0.1, 0.9], vec![0.8, 0.2]];
+        let ys = vec![vec![1.0], vec![0.0]];
+        let run = || {
+            let mut mlp = Mlp::new(&topo, 1);
+            Trainer::new(Loss::Mse).epochs(20).fit(&mut mlp, &xs, &ys);
+            mlp.forward(&[0.5, 0.5])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset must be non-empty")]
+    fn empty_dataset_rejected() {
+        let topo = Topology::new(&[1, 1]);
+        let mut mlp = Mlp::new(&topo, 0);
+        let _ = Trainer::new(Loss::Mse).fit(&mut mlp, &[], &[]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use tartan_nn::{Loss, Mlp, Pca, SigmoidLut, Topology, Trainer};
+
+fn arb_point(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0f32..1.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The asymmetric loss is always at least the symmetric (MSE) loss and
+    /// exactly `alpha`× on overestimation.
+    #[test]
+    fn asymmetric_loss_dominates_mse(t in -10.0f32..10.0, p in -10.0f32..10.0, alpha in 1.0f32..16.0) {
+        let asym = Loss::Asymmetric { alpha };
+        let mse = Loss::Mse;
+        prop_assert!(asym.value(t, p) >= mse.value(t, p) - 1e-6);
+        if p > t {
+            prop_assert!((asym.value(t, p) - alpha * mse.value(t, p)).abs() < 1e-3);
+        } else {
+            prop_assert!((asym.value(t, p) - mse.value(t, p)).abs() < 1e-6);
+        }
+    }
+
+    /// Loss gradients point "uphill": a small step against the gradient
+    /// reduces the loss.
+    #[test]
+    fn gradient_descends(t in -5.0f32..5.0, p in -5.0f32..5.0, alpha in 1.0f32..9.0) {
+        for loss in [Loss::Mse, Loss::Asymmetric { alpha }] {
+            let g = loss.gradient(t, p);
+            if g.abs() > 1e-4 {
+                let stepped = p - 1e-3 * g.signum();
+                prop_assert!(
+                    loss.value(t, stepped) <= loss.value(t, p) + 1e-6,
+                    "{loss:?}: step from {p} did not descend"
+                );
+            }
+        }
+    }
+
+    /// MLP forward passes are deterministic and finite for bounded inputs.
+    #[test]
+    fn forward_is_finite_and_deterministic(
+        x in arb_point(5),
+        seed in 0u64..1000,
+    ) {
+        let mlp = Mlp::new(&Topology::new(&[5, 8, 3]), seed);
+        let a = mlp.forward(&x);
+        let b = mlp.forward(&x);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    /// The sigmoid LUT stays within [0, 1] and within quantization error of
+    /// the exact sigmoid.
+    #[test]
+    fn lut_matches_sigmoid(x in -20.0f32..20.0) {
+        let lut = SigmoidLut::new();
+        let y = lut.eval(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        let exact = 1.0 / (1.0 + (-x).exp());
+        prop_assert!((y - exact).abs() < 0.01, "{x}: {y} vs {exact}");
+    }
+
+    /// Training never panics and reduces loss on a learnable linear target.
+    #[test]
+    fn training_reduces_loss(seed in 0u64..50) {
+        let topo = Topology::new(&[2, 6, 1]);
+        let mut mlp = Mlp::new(&topo, seed);
+        let xs: Vec<Vec<f32>> = (0..32)
+            .map(|i| vec![(i % 8) as f32 / 8.0, (i / 8) as f32 / 4.0])
+            .collect();
+        let ys: Vec<Vec<f32>> = xs.iter().map(|x| vec![0.3 * x[0] - 0.2 * x[1]]).collect();
+        let before: f32 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, y)| Loss::Mse.value(y[0], mlp.forward(x)[0]))
+            .sum();
+        let report = Trainer::new(Loss::Mse).epochs(60).fit(&mut mlp, &xs, &ys);
+        prop_assert!(report.final_loss.is_finite());
+        prop_assert!(report.final_loss * 32.0 <= before + 1e-3);
+    }
+
+    /// PCA round-trips exactly-rank-k data (within float tolerance).
+    #[test]
+    fn pca_roundtrips_rank_k(a in -1.0f32..1.0, b in -1.0f32..1.0) {
+        // 2-dimensional latent embedded in 5 dims.
+        let basis = [[1.0f32, 0.0, 0.5, 0.0, 0.2], [0.0, 1.0, 0.0, 0.4, 0.1]];
+        let data: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let u = a * (i as f32 / 40.0 - 0.5);
+                let v = b * ((i * 7 % 40) as f32 / 40.0 - 0.5);
+                (0..5).map(|d| u * basis[0][d] + v * basis[1][d]).collect()
+            })
+            .collect();
+        let pca = Pca::fit(&data, 2);
+        for x in data.iter().take(5) {
+            let back = pca.inverse_transform(&pca.transform(x));
+            for (o, r) in x.iter().zip(back.iter()) {
+                prop_assert!((o - r).abs() < 0.05, "{o} vs {r}");
+            }
+        }
+    }
+
+    /// Topology string round-trip.
+    #[test]
+    fn topology_roundtrip(sizes in proptest::collection::vec(1usize..512, 2..5)) {
+        let t = Topology::new(&sizes);
+        let parsed: Topology = t.to_string().parse().expect("own Display parses");
+        prop_assert_eq!(parsed, t);
+    }
+}

@@ -1,0 +1,92 @@
+//! The exhaustive baseline search (RoWild's default, §VIII-C-1).
+
+use tartan_sim::Proc;
+
+use crate::point_set::PointSet;
+use crate::{dist_sq, NnsEngine};
+
+/// Brute-force NNS: scans every point with scalar loads and arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BruteForce;
+
+impl BruteForce {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        BruteForce
+    }
+}
+
+impl NnsEngine for BruteForce {
+    fn nearest(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32]) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for i in 0..set.len() {
+            let pt = set.load_point(p, i);
+            let d = dist_sq(pt, query);
+            // dim subs, dim muls, dim-1 adds, one compare + branch.
+            p.flop(3 * set.dim() as u64);
+            p.instr(2);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn within(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32], eps: f32, out: &mut Vec<usize>) {
+        let eps_sq = eps * eps;
+        for i in 0..set.len() {
+            let pt = set.load_point(p, i);
+            let d = dist_sq(pt, query);
+            p.flop(3 * set.dim() as u64);
+            p.instr(2);
+            if d <= eps_sq {
+                out.push(i);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Brute"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn finds_exact_nearest() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![1.0, 1.0]];
+        let set = PointSet::new(&mut m, &pts);
+        let hit = m.run(|p| BruteForce::new().nearest(p, &set, &[1.2, 0.9]));
+        assert_eq!(hit, Some(2));
+    }
+
+    #[test]
+    fn within_returns_all_in_radius() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = vec![vec![0.0], vec![0.5], vec![2.0], vec![0.9]];
+        let set = PointSet::new(&mut m, &pts);
+        let mut out = Vec::new();
+        m.run(|p| BruteForce::new().within(p, &set, &[0.0], 1.0, &mut out));
+        assert_eq!(out, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let cost = |n: usize| {
+            let mut m = Machine::new(MachineConfig::upgraded_baseline());
+            let pts: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32, 0.0, 0.0]).collect();
+            let set = PointSet::new(&mut m, &pts);
+            m.run(|p| {
+                BruteForce::new().nearest(p, &set, &[0.0; 3]);
+            });
+            m.wall_cycles()
+        };
+        let c1 = cost(1000);
+        let c4 = cost(4000);
+        assert!(c4 > 3 * c1 && c4 < 6 * c1, "c1={c1} c4={c4}");
+    }
+}

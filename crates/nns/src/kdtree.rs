@@ -1,0 +1,256 @@
+//! An OMPL-style k-d tree (§VI): exact, but traversal is a pointer chase
+//! whose cache misses are dependent and stall the core (§VIII-C-1).
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+use crate::point_set::PointSet;
+use crate::{dist_sq, NnsEngine};
+
+const PC_NODE_LOAD: u64 = 0x6_2000;
+
+/// One k-d tree node, stored in simulated memory.
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    split_dim: u32,
+    split_val: f32,
+    /// Index of the point stored at this node.
+    point: u32,
+    /// Child node indices; -1 = none.
+    left: i32,
+    right: i32,
+}
+
+/// A k-d tree over a [`PointSet`].
+///
+/// The tree is built untimed (setup); queries are fully instrumented. Node
+/// visits use *dependent* loads — the child index must arrive before the
+/// traversal can continue — reproducing the full-stall behavior the paper
+/// attributes to tree searches.
+#[derive(Debug)]
+pub struct KdTree {
+    nodes: Buffer<Node>,
+    root: i32,
+}
+
+impl KdTree {
+    /// Builds the tree over all points of `set`.
+    pub fn build(machine: &mut Machine, set: &PointSet) -> Self {
+        let mut indices: Vec<u32> = (0..set.len() as u32).collect();
+        let mut nodes: Vec<Node> = Vec::with_capacity(set.len());
+        let root = Self::build_rec(set, &mut indices[..], 0, &mut nodes);
+        KdTree {
+            nodes: machine.buffer_from_vec(nodes, MemPolicy::Normal),
+            root,
+        }
+    }
+
+    fn build_rec(set: &PointSet, idx: &mut [u32], depth: usize, nodes: &mut Vec<Node>) -> i32 {
+        if idx.is_empty() {
+            return -1;
+        }
+        let dim = depth % set.dim();
+        idx.sort_by(|&a, &b| {
+            set.point(a as usize)[dim]
+                .partial_cmp(&set.point(b as usize)[dim])
+                .expect("coordinates must not be NaN")
+        });
+        let mid = idx.len() / 2;
+        let point = idx[mid];
+        let split_val = set.point(point as usize)[dim];
+        let me = nodes.len() as i32;
+        nodes.push(Node {
+            split_dim: dim as u32,
+            split_val,
+            point,
+            left: -1,
+            right: -1,
+        });
+        let (lo, rest) = idx.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = Self::build_rec(set, lo, depth + 1, nodes);
+        let right = Self::build_rec(set, hi, depth + 1, nodes);
+        nodes.as_mut_slice()[me as usize].left = left;
+        nodes.as_mut_slice()[me as usize].right = right;
+        me
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn nearest_rec(
+        &self,
+        p: &mut Proc<'_>,
+        set: &PointSet,
+        query: &[f32],
+        node: i32,
+        best: &mut Option<(usize, f32)>,
+    ) {
+        if node < 0 {
+            return;
+        }
+        // The node must arrive before we know where to go: dependent load.
+        let n = self.nodes.get_dep(p, PC_NODE_LOAD, node as usize);
+        let pt = set.load_point(p, n.point as usize);
+        let d = dist_sq(pt, query);
+        p.flop(3 * set.dim() as u64);
+        p.instr(3); // compare, branch, child select
+        if best.map_or(true, |(_, bd)| d < bd) {
+            *best = Some((n.point as usize, d));
+        }
+        let diff = query[n.split_dim as usize] - n.split_val;
+        let (near, far) = if diff < 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        self.nearest_rec(p, set, query, near, best);
+        if let Some((_, bd)) = *best {
+            if diff * diff < bd {
+                self.nearest_rec(p, set, query, far, best);
+            }
+        }
+    }
+
+    fn within_rec(
+        &self,
+        p: &mut Proc<'_>,
+        set: &PointSet,
+        query: &[f32],
+        eps_sq: f32,
+        node: i32,
+        out: &mut Vec<usize>,
+    ) {
+        if node < 0 {
+            return;
+        }
+        let n = self.nodes.get_dep(p, PC_NODE_LOAD, node as usize);
+        let pt = set.load_point(p, n.point as usize);
+        let d = dist_sq(pt, query);
+        p.flop(3 * set.dim() as u64);
+        p.instr(3);
+        if d <= eps_sq {
+            out.push(n.point as usize);
+        }
+        let diff = query[n.split_dim as usize] - n.split_val;
+        if diff < 0.0 || diff * diff <= eps_sq {
+            self.within_rec(p, set, query, eps_sq, n.left, out);
+        }
+        if diff >= 0.0 || diff * diff <= eps_sq {
+            self.within_rec(p, set, query, eps_sq, n.right, out);
+        }
+    }
+}
+
+impl NnsEngine for KdTree {
+    fn nearest(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32]) -> Option<usize> {
+        let mut best = None;
+        self.nearest_rec(p, set, query, self.root, &mut best);
+        best.map(|(i, _)| i)
+    }
+
+    fn within(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32], eps: f32, out: &mut Vec<usize>) {
+        self.within_rec(p, set, query, eps * eps, self.root, out);
+        out.sort_unstable();
+    }
+
+    fn name(&self) -> &'static str {
+        "KdTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use tartan_sim::MachineConfig;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = random_points(500, 3, 1);
+        let set = PointSet::new(&mut m, &pts);
+        let tree = KdTree::build(&mut m, &set);
+        let brute = BruteForce::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        m.run(|p| {
+            for _ in 0..50 {
+                let q: Vec<f32> = (0..3).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+                let a = tree.nearest(p, &set, &q).expect("non-empty");
+                let b = brute.nearest(p, &set, &q).expect("non-empty");
+                // Equal index or equal distance (ties possible).
+                let da = crate::dist_sq(set.point(a), &q);
+                let db = crate::dist_sq(set.point(b), &q);
+                assert!((da - db).abs() < 1e-9, "{a} vs {b}: {da} vs {db}");
+            }
+        });
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = random_points(300, 2, 3);
+        let set = PointSet::new(&mut m, &pts);
+        let tree = KdTree::build(&mut m, &set);
+        let brute = BruteForce::new();
+        m.run(|p| {
+            for qi in 0..20 {
+                let q = vec![(qi as f32) / 20.0 - 0.5, 0.1];
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                tree.within(p, &set, &q, 0.3, &mut a);
+                brute.within(p, &set, &q, 0.3, &mut b);
+                assert_eq!(a, b, "query {qi}");
+            }
+        });
+    }
+
+    #[test]
+    fn tree_visits_fewer_points_than_brute() {
+        // The whole reason to build a tree: the query should be cheaper in
+        // instructions than exhaustive scan on a big set.
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = random_points(4000, 3, 5);
+        let set = PointSet::new(&mut m, &pts);
+        let tree = KdTree::build(&mut m, &set);
+        let before = m.stats().instructions;
+        m.run(|p| {
+            tree.nearest(p, &set, &[0.3, -0.2, 0.8]);
+        });
+        let tree_instr = m.stats().instructions - before;
+        let before = m.stats().instructions;
+        m.run(|p| {
+            BruteForce::new().nearest(p, &set, &[0.3, -0.2, 0.8]);
+        });
+        let brute_instr = m.stats().instructions - before;
+        assert!(
+            tree_instr * 5 < brute_instr,
+            "tree {tree_instr} vs brute {brute_instr}"
+        );
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let set = PointSet::new(&mut m, &[vec![1.0, 2.0]]);
+        let tree = KdTree::build(&mut m, &set);
+        assert_eq!(tree.len(), 1);
+        let hit = m.run(|p| tree.nearest(p, &set, &[0.0, 0.0]));
+        assert_eq!(hit, Some(0));
+    }
+}

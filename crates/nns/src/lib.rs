@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Instrumented nearest-neighbor-search engines for the Tartan simulator
+//! (§VI, Fig. 9).
+//!
+//! Four engines, matching the paper's comparison:
+//!
+//! * [`BruteForce`] — RoWild's baseline: scan every point,
+//! * [`KdTree`] — the OMPL-style tree; traversal is a chain of *dependent*
+//!   loads, which is why its cache misses stall the core (§VIII-C),
+//! * [`LshNns`] in FLANN mode — LSH with scalar projection and examination
+//!   (conditional branches defeat compiler vectorization),
+//! * [`LshNns`] in VLN mode — Tartan's aggressively vectorized LSH: the
+//!   projection dot-products and the candidate examination both run on the
+//!   vector unit (§VI-C). A software-only technique.
+//!
+//! All engines answer the same queries over a shared [`PointSet`] and are
+//! exercised through a [`Proc`], so their execution time and cache behavior
+//! come out of the simulator rather than hand-waved constants.
+//!
+//! # Examples
+//!
+//! ```
+//! use tartan_sim::{Machine, MachineConfig, MemPolicy};
+//! use tartan_nns::{PointSet, BruteForce, NnsEngine};
+//!
+//! let mut m = Machine::new(MachineConfig::upgraded_baseline());
+//! let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.1, 0.1]];
+//! let set = PointSet::new(&mut m, &pts);
+//! let brute = BruteForce::new();
+//! let hit = m.run(|p| brute.nearest(p, &set, &[0.05, 0.05]));
+//! assert_eq!(hit, Some(0));
+//! ```
+
+mod brute;
+mod dynamic;
+mod kdtree;
+mod lsh;
+mod point_set;
+
+pub use brute::BruteForce;
+pub use dynamic::{DynBrute, DynKdTree, DynLsh, DynNns, DynPointStore};
+pub use kdtree::KdTree;
+pub use lsh::{LshConfig, LshNns};
+pub use point_set::PointSet;
+
+use tartan_sim::Proc;
+
+/// A nearest-neighbor engine over a [`PointSet`].
+pub trait NnsEngine {
+    /// Returns the index of the (approximately) nearest point to `query`,
+    /// or `None` if the engine finds no candidate.
+    fn nearest(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32]) -> Option<usize>;
+
+    /// Appends the indices of all points within Euclidean distance `eps`
+    /// of `query` that the engine can find.
+    fn within(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32], eps: f32, out: &mut Vec<usize>);
+
+    /// Engine name for reports (`"Brute"`, `"KdTree"`, `"FLANN"`, `"VLN"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Squared Euclidean distance between two untimed slices.
+pub(crate) fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}

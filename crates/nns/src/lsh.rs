@@ -1,0 +1,427 @@
+//! LSH-based NNS via random projections (§VI-A/B), in two software
+//! flavours: FLANN-style scalar code and Tartan's vectorized VLN (§VI-C).
+//!
+//! The hash of a point `x` is the vector of `⌊x·r_k / w⌋` over `K` random
+//! Gaussian directions `r_k`; points are *physically reordered* so each
+//! bucket is one contiguous run (cache-friendly sequential scans, §VI-E).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+use crate::point_set::PointSet;
+use crate::{dist_sq, NnsEngine};
+
+const PC_PROJECTION: u64 = 0x6_3000;
+const PC_DIRECTORY: u64 = 0x6_3100;
+const PC_BUCKET_SCAN: u64 = 0x6_3200;
+const PC_BUCKET_IDS: u64 = 0x6_3300;
+
+/// Configuration of an LSH engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshConfig {
+    /// Number of random projections `K` (hash-key length).
+    pub projections: usize,
+    /// Bucket width `w` (§VI-A); larger buckets raise recall and cost.
+    pub w: f32,
+    /// Multi-probe extent: how many single-coordinate ±1 key perturbations
+    /// to also examine (0 = only the exact bucket).
+    pub probes: usize,
+    /// RNG seed for the projection directions.
+    pub seed: u64,
+    /// `true` → VLN (vectorized projection and examination);
+    /// `false` → FLANN-style scalar code.
+    pub vectorized: bool,
+}
+
+impl LshConfig {
+    /// A FLANN-like configuration.
+    pub fn flann(w: f32) -> Self {
+        LshConfig {
+            projections: 4,
+            w,
+            probes: 4,
+            seed: 0x15A,
+            vectorized: false,
+        }
+    }
+
+    /// Tartan's VLN configuration (same algorithmic parameters, vectorized
+    /// execution).
+    pub fn vln(w: f32) -> Self {
+        LshConfig {
+            vectorized: true,
+            ..Self::flann(w)
+        }
+    }
+}
+
+/// An LSH-based approximate NNS engine over a [`PointSet`].
+#[derive(Debug)]
+pub struct LshNns {
+    cfg: LshConfig,
+    dim: usize,
+    /// `K × dim` projection directions, row-major, in simulated memory.
+    proj: Buffer<f32>,
+    /// Points reordered into bucket-contiguous layout.
+    bucket_data: Buffer<f32>,
+    /// Original point index of each reordered slot.
+    bucket_ids: Buffer<u32>,
+    /// Packed `(start << 32) | len` per directory slot.
+    directory: Buffer<u64>,
+    /// Hash key → directory slot.
+    table: HashMap<Vec<i32>, u32>,
+}
+
+impl LshNns {
+    /// Builds the hash tables and bucket-contiguous storage (untimed setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero projections or a non-positive
+    /// bucket width.
+    pub fn build(machine: &mut Machine, set: &PointSet, cfg: LshConfig) -> Self {
+        assert!(cfg.projections > 0, "need at least one projection");
+        assert!(cfg.w > 0.0, "bucket width must be positive");
+        let dim = set.dim();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Gaussian directions via Box–Muller.
+        let mut proj_flat = Vec::with_capacity(cfg.projections * dim);
+        for _ in 0..cfg.projections * dim {
+            let u1: f32 = rng.random_range(1e-6f32..1.0);
+            let u2: f32 = rng.random_range(0.0f32..1.0);
+            proj_flat.push((-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos());
+        }
+
+        let key_of = |pt: &[f32]| -> Vec<i32> {
+            (0..cfg.projections)
+                .map(|k| {
+                    let dot: f32 = proj_flat[k * dim..(k + 1) * dim]
+                        .iter()
+                        .zip(pt.iter())
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    (dot / cfg.w).floor() as i32
+                })
+                .collect()
+        };
+
+        // Group points by key.
+        let mut groups: HashMap<Vec<i32>, Vec<u32>> = HashMap::new();
+        for i in 0..set.len() {
+            groups.entry(key_of(set.point(i))).or_default().push(i as u32);
+        }
+        // Deterministic directory order.
+        let mut keys: Vec<Vec<i32>> = groups.keys().cloned().collect();
+        keys.sort_unstable();
+
+        let mut bucket_flat = Vec::with_capacity(set.len() * dim);
+        let mut ids = Vec::with_capacity(set.len());
+        let mut directory = Vec::with_capacity(keys.len());
+        let mut table = HashMap::with_capacity(keys.len());
+        for (slot, key) in keys.into_iter().enumerate() {
+            let members = &groups[&key];
+            let start = ids.len() as u64;
+            for &i in members {
+                bucket_flat.extend_from_slice(set.point(i as usize));
+                ids.push(i);
+            }
+            directory.push((start << 32) | members.len() as u64);
+            table.insert(key, slot as u32);
+        }
+
+        LshNns {
+            cfg,
+            dim,
+            proj: machine.buffer_from_vec(proj_flat, MemPolicy::Normal),
+            bucket_data: machine.buffer_from_vec(bucket_flat, MemPolicy::Normal),
+            bucket_ids: machine.buffer_from_vec(ids, MemPolicy::Normal),
+            directory: machine.buffer_from_vec(directory, MemPolicy::Normal),
+            table,
+        }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &LshConfig {
+        &self.cfg
+    }
+
+    /// Number of distinct buckets.
+    pub fn buckets(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Computes the hash key of `query`, charging projection cost.
+    fn hash_query(&self, p: &mut Proc<'_>, query: &[f32]) -> Vec<i32> {
+        let mut key = Vec::with_capacity(self.cfg.projections);
+        for k in 0..self.cfg.projections {
+            let row = if self.cfg.vectorized {
+                // VLN: the dot product runs on the vector unit; one vload of
+                // the direction row, then fused multiply-adds.
+                let row = self.proj.vget(p, PC_PROJECTION, k * self.dim, self.dim);
+                p.vec_compute(2 * self.dim as u64);
+                p.instr(2); // horizontal reduce + floor/divide
+                row
+            } else {
+                // FLANN: scalar loop with per-element loads and branches.
+                for d in 0..self.dim {
+                    let _ = self.proj.get(p, PC_PROJECTION, k * self.dim + d);
+                }
+                p.flop(2 * self.dim as u64);
+                p.instr(self.dim as u64 + 2); // loop overhead + floor/divide
+                &self.proj.as_slice()[k * self.dim..(k + 1) * self.dim]
+            };
+            let dot: f32 = row.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
+            key.push((dot / self.cfg.w).floor() as i32);
+        }
+        key
+    }
+
+    /// Yields the directory slots to examine for a key (exact bucket plus
+    /// multi-probe perturbations).
+    fn probe_slots(&self, p: &mut Proc<'_>, key: &[i32]) -> Vec<u32> {
+        let mut slots = Vec::new();
+        let try_key = |p: &mut Proc<'_>, k: &[i32], slots: &mut Vec<u32>| {
+            // Hash-table probe: hashing arithmetic plus one dependent load
+            // into the directory.
+            p.instr(8);
+            if let Some(&slot) = self.table.get(k) {
+                let _ = self.directory.get_dep(p, PC_DIRECTORY, slot as usize);
+                if !slots.contains(&slot) {
+                    slots.push(slot);
+                }
+            }
+        };
+        try_key(p, key, &mut slots);
+        let mut probed = 0;
+        'outer: for k in 0..key.len() {
+            for delta in [-1i32, 1] {
+                if probed >= self.cfg.probes {
+                    break 'outer;
+                }
+                let mut kk = key.to_vec();
+                kk[k] += delta;
+                try_key(p, &kk, &mut slots);
+                probed += 1;
+            }
+        }
+        slots
+    }
+
+    fn slot_range(&self, slot: u32) -> (usize, usize) {
+        let packed = self.directory.as_slice()[slot as usize];
+        ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize)
+    }
+
+    /// Scans one bucket, invoking `visit(original_index, dist_sq)`.
+    fn scan_bucket(
+        &self,
+        p: &mut Proc<'_>,
+        slot: u32,
+        query: &[f32],
+        mut visit: impl FnMut(usize, f32),
+    ) {
+        let (start, len) = self.slot_range(slot);
+        if len == 0 {
+            return;
+        }
+        if self.cfg.vectorized {
+            // VLN: one contiguous vector load of the whole candidate run,
+            // vectorized subtract/multiply/accumulate, then a masked
+            // compare; IDs come in with a vector load as well.
+            let data = self
+                .bucket_data
+                .vget(p, PC_BUCKET_SCAN, start * self.dim, len * self.dim);
+            p.vec_compute(3 * (len * self.dim) as u64);
+            p.instr(len.div_ceil(p.lanes()) as u64 + 1);
+            let ids = self.bucket_ids.vget(p, PC_BUCKET_IDS, start, len);
+            for (j, &id) in ids.iter().enumerate() {
+                let d = dist_sq(&data[j * self.dim..(j + 1) * self.dim], query);
+                visit(id as usize, d);
+            }
+        } else {
+            // FLANN: scalar per-candidate loop with a conditional branch on
+            // every iteration (what defeats the auto-vectorizer, §VIII-C).
+            for j in 0..len {
+                for d in 0..self.dim {
+                    let _ = self
+                        .bucket_data
+                        .get(p, PC_BUCKET_SCAN, (start + j) * self.dim + d);
+                }
+                p.flop(3 * self.dim as u64);
+                p.instr(4);
+                let id = self.bucket_ids.get(p, PC_BUCKET_IDS, start + j);
+                let d = dist_sq(
+                    &self.bucket_data.as_slice()[(start + j) * self.dim..(start + j + 1) * self.dim],
+                    query,
+                );
+                visit(id as usize, d);
+            }
+        }
+    }
+}
+
+impl NnsEngine for LshNns {
+    fn nearest(&self, p: &mut Proc<'_>, set: &PointSet, query: &[f32]) -> Option<usize> {
+        let key = self.hash_query(p, query);
+        let slots = self.probe_slots(p, &key);
+        let mut best: Option<(usize, f32)> = None;
+        for slot in slots {
+            self.scan_bucket(p, slot, query, |id, d| {
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((id, d));
+                }
+            });
+        }
+        if best.is_none() {
+            // Rare fallback when every probed bucket is empty: exhaustive
+            // scan keeps the engine total (RRT needs *a* neighbor).
+            return crate::BruteForce::new().nearest(p, set, query);
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn within(&self, p: &mut Proc<'_>, _set: &PointSet, query: &[f32], eps: f32, out: &mut Vec<usize>) {
+        let key = self.hash_query(p, query);
+        let slots = self.probe_slots(p, &key);
+        let eps_sq = eps * eps;
+        for slot in slots {
+            self.scan_bucket(p, slot, query, |id, d| {
+                if d <= eps_sq {
+                    out.push(id);
+                }
+            });
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.vectorized {
+            "VLN"
+        } else {
+            "FLANN"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use tartan_sim::MachineConfig;
+
+    fn clustered_points(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..4).map(|_| rng.random_range(-4.0f32..4.0)).collect())
+            .collect();
+        (0..n)
+            .map(|i| {
+                let c = &centers[i % centers.len()];
+                c.iter().map(|x| x + rng.random_range(-0.3f32..0.3)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recall_against_brute_force_is_high() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = clustered_points(2000, 11);
+        let set = PointSet::new(&mut m, &pts);
+        let vln = LshNns::build(&mut m, &set, LshConfig::vln(1.5));
+        let brute = BruteForce::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut good = 0;
+        let trials = 60;
+        m.run(|p| {
+            for _ in 0..trials {
+                let idx = rng.random_range(0..pts.len());
+                let q: Vec<f32> = pts[idx].iter().map(|x| x + 0.05).collect();
+                let a = vln.nearest(p, &set, &q).expect("fallback guarantees Some");
+                let b = brute.nearest(p, &set, &q).expect("non-empty");
+                let da = dist_sq(set.point(a), &q).sqrt();
+                let db = dist_sq(set.point(b), &q).sqrt();
+                // §VIII-C: tuned for operation accuracy within 1% of brute
+                // force; allow a small absolute slack for ties.
+                if da <= db + 0.05 {
+                    good += 1;
+                }
+            }
+        });
+        assert!(
+            good as f64 / trials as f64 > 0.9,
+            "recall {good}/{trials} too low"
+        );
+    }
+
+    #[test]
+    fn vln_needs_fewer_instructions_than_flann() {
+        let pts = clustered_points(4000, 21);
+        let run = |vectorized: bool| {
+            let mut m = Machine::new(MachineConfig::upgraded_baseline());
+            let set = PointSet::new(&mut m, &pts);
+            let cfg = if vectorized {
+                LshConfig::vln(1.5)
+            } else {
+                LshConfig::flann(1.5)
+            };
+            let engine = LshNns::build(&mut m, &set, cfg);
+            m.run(|p| {
+                for i in 0..100 {
+                    let q: Vec<f32> = pts[i * 17 % pts.len()].clone();
+                    engine.nearest(p, &set, &q);
+                }
+            });
+            (m.wall_cycles(), m.stats().instructions)
+        };
+        let (vln_t, vln_i) = run(true);
+        let (flann_t, flann_i) = run(false);
+        assert!(vln_i * 2 < flann_i, "instructions {vln_i} vs {flann_i}");
+        assert!(vln_t < flann_t, "time {vln_t} vs {flann_t}");
+    }
+
+    #[test]
+    fn within_finds_radius_neighbors() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = vec![
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.1, 0.0, 0.0, 0.0],
+            vec![3.0, 3.0, 3.0, 3.0],
+        ];
+        let set = PointSet::new(&mut m, &pts);
+        let vln = LshNns::build(&mut m, &set, LshConfig::vln(1.0));
+        let mut out = Vec::new();
+        m.run(|p| vln.within(p, &set, &[0.0; 4], 0.5, &mut out));
+        assert!(out.contains(&0));
+        assert!(out.contains(&1));
+        assert!(!out.contains(&2));
+    }
+
+    #[test]
+    fn buckets_reflect_spatial_density() {
+        // Same-cluster points should predominantly share buckets: the
+        // collision probability of LSH rises as distance falls (§VI-A).
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = clustered_points(800, 31);
+        let set = PointSet::new(&mut m, &pts);
+        let engine = LshNns::build(&mut m, &set, LshConfig::vln(2.0));
+        assert!(engine.buckets() >= 2, "clusters should form multiple buckets");
+        assert!(
+            engine.buckets() < 700,
+            "near-duplicate points must collide ({} buckets)",
+            engine.buckets()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let set = PointSet::new(&mut m, &[vec![0.0]]);
+        let _ = LshNns::build(&mut m, &set, LshConfig::vln(0.0));
+    }
+}

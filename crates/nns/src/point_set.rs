@@ -1,0 +1,125 @@
+//! The shared, instrumented point store all NNS engines query.
+
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+
+/// Program counter assigned to point-data loads.
+pub(crate) const PC_POINT_LOAD: u64 = 0x6_1000;
+
+/// A set of `n` points of dimensionality `dim`, stored row-major in one
+/// simulated buffer.
+#[derive(Debug)]
+pub struct PointSet {
+    dim: usize,
+    data: Buffer<f32>,
+}
+
+impl PointSet {
+    /// Uploads `points` into simulated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or rows have inconsistent widths.
+    pub fn new(machine: &mut Machine, points: &[Vec<f32>]) -> Self {
+        assert!(!points.is_empty(), "point set must be non-empty");
+        let dim = points[0].len();
+        assert!(dim > 0, "points need at least one dimension");
+        assert!(
+            points.iter().all(|r| r.len() == dim),
+            "all points must share a dimensionality"
+        );
+        let mut flat = Vec::with_capacity(points.len() * dim);
+        for row in points {
+            flat.extend_from_slice(row);
+        }
+        PointSet {
+            dim,
+            data: machine.buffer_from_vec(flat, MemPolicy::Normal),
+        }
+    }
+
+    /// Dimensionality of each point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Untimed view of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn point(&self, i: usize) -> &[f32] {
+        &self.data.as_slice()[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Timed scalar read of point `i` (one load per coordinate, plus the
+    /// arithmetic the caller charges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn load_point(&self, p: &mut Proc<'_>, i: usize) -> &[f32] {
+        for d in 0..self.dim {
+            let _ = self.data.get(p, PC_POINT_LOAD, i * self.dim + d);
+        }
+        self.point(i)
+    }
+
+    /// Timed vector read of points `[start, start + n)` as one contiguous
+    /// range (VLN's bucket-scan access pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn vload_points(&self, p: &mut Proc<'_>, start: usize, n: usize) -> &[f32] {
+        self.data.vget(p, PC_POINT_LOAD, start * self.dim, n * self.dim)
+    }
+
+    /// Simulated base address of the underlying storage.
+    pub fn base_addr(&self) -> u64 {
+        self.data.base_addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn round_trips_points() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let set = PointSet::new(&mut m, &pts);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.dim(), 2);
+        assert_eq!(set.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn load_point_charges_time() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let set = PointSet::new(&mut m, &vec![vec![1.0; 6]; 10]);
+        m.run(|p| {
+            set.load_point(p, 3);
+        });
+        assert!(m.wall_cycles() > 0);
+        assert_eq!(m.stats().l1.accesses, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimensionality")]
+    fn ragged_points_rejected() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let _ = PointSet::new(&mut m, &[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

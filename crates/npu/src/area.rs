@@ -1,0 +1,129 @@
+//! The NPU storage/area model behind Tables III and IV.
+//!
+//! Per PE (§VIII-B): 2 KB weight storage, a 512 × 32-bit sigmoid LUT, and
+//! 64 B of input/output buffers. The interconnect adds a 1.25 KB bus
+//! scheduler, 1 KB of shared I/O buffers, and a 32 B configuration FIFO.
+//! Logic area comes from the 14 nm datapath numbers the paper cites
+//! ([78], [154]).
+
+/// Weight SRAM per PE in bytes.
+pub const PE_WEIGHT_BYTES: u64 = 2048;
+
+/// Sigmoid LUT per PE in bytes (512 × 32 bits).
+pub const PE_SIGMOID_LUT_BYTES: u64 = 2048;
+
+/// Input/output buffers per PE in bytes.
+pub const PE_IO_BUFFER_BYTES: u64 = 64;
+
+/// Interconnect bus-scheduler storage in bytes.
+const BUS_SCHEDULER_BYTES: u64 = 1280;
+
+/// Interconnect shared I/O buffer storage in bytes.
+const SHARED_IO_BYTES: u64 = 1024;
+
+/// Configuration FIFO in bytes.
+const CONFIG_FIFO_BYTES: u64 = 32;
+
+/// Area and SRAM model for one NPU instance.
+///
+/// # Examples
+///
+/// ```
+/// use tartan_npu::NpuAreaModel;
+///
+/// let m = NpuAreaModel::new(4);
+/// // Table III: a 4-PE NPU uses 18.8 KB of SRAM and ~1661 µm².
+/// assert!((m.sram_kilobytes() - 18.8).abs() < 0.5);
+/// assert!((m.area_um2() - 1661.0).abs() / 1661.0 < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpuAreaModel {
+    pes: u32,
+}
+
+impl NpuAreaModel {
+    /// Builds the model for an NPU with `pes` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is zero.
+    pub fn new(pes: u32) -> Self {
+        assert!(pes > 0, "NPU needs at least one PE");
+        NpuAreaModel { pes }
+    }
+
+    /// Number of PEs.
+    pub fn pes(&self) -> u32 {
+        self.pes
+    }
+
+    /// SRAM devoted to the PEs (weights + LUT + buffers).
+    pub fn pe_sram_bytes(&self) -> u64 {
+        u64::from(self.pes) * (PE_WEIGHT_BYTES + PE_SIGMOID_LUT_BYTES + PE_IO_BUFFER_BYTES)
+    }
+
+    /// SRAM devoted to the interconnect.
+    pub fn interconnect_sram_bytes(&self) -> u64 {
+        BUS_SCHEDULER_BYTES + SHARED_IO_BYTES + CONFIG_FIFO_BYTES
+    }
+
+    /// Total SRAM in bytes.
+    pub fn sram_bytes(&self) -> u64 {
+        self.pe_sram_bytes() + self.interconnect_sram_bytes()
+    }
+
+    /// Total SRAM in kilobytes (Table III column "Memory").
+    pub fn sram_kilobytes(&self) -> f64 {
+        self.sram_bytes() as f64 / 1024.0
+    }
+
+    /// Silicon area in µm², fit to the paper's Table III points
+    /// (2 PEs → 920, 4 → 1661, 8 → 3144): a fixed interconnect share plus
+    /// a per-PE share.
+    pub fn area_um2(&self) -> f64 {
+        const INTERCONNECT_UM2: f64 = 179.0;
+        const PER_PE_UM2: f64 = 370.5;
+        INTERCONNECT_UM2 + PER_PE_UM2 * f64::from(self.pes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_memory_column() {
+        // Table III: 2 → 10.5 KB, 4 → 18.8 KB, 8 → 35.3 KB.
+        assert!((NpuAreaModel::new(2).sram_kilobytes() - 10.5).abs() < 0.3);
+        assert!((NpuAreaModel::new(4).sram_kilobytes() - 18.8).abs() < 0.5);
+        assert!((NpuAreaModel::new(8).sram_kilobytes() - 35.3).abs() < 0.6);
+    }
+
+    #[test]
+    fn table3_area_column() {
+        for (pes, um2) in [(2u32, 920.0f64), (4, 1661.0), (8, 3144.0)] {
+            let m = NpuAreaModel::new(pes);
+            assert!(
+                (m.area_um2() - um2).abs() / um2 < 0.06,
+                "{} PEs: {} vs {}",
+                pes,
+                m.area_um2(),
+                um2
+            );
+        }
+    }
+
+    #[test]
+    fn pe_share_dominates_interconnect_at_4_pes() {
+        // §VIII-B: 16.5 KB for PEs vs 2.3 KB interconnect.
+        let m = NpuAreaModel::new(4);
+        assert!((m.pe_sram_bytes() as f64 / 1024.0 - 16.5).abs() < 0.3);
+        assert!((m.interconnect_sram_bytes() as f64 / 1024.0 - 2.3).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = NpuAreaModel::new(0);
+    }
+}

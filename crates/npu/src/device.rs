@@ -1,0 +1,203 @@
+//! The NPU device model: functional MLP inference with PE-array timing.
+
+use tartan_nn::{Mlp, SigmoidLut};
+use tartan_sim::{Accelerator, InvokeCost, NpuMode};
+
+/// An NPU loaded with one MLP.
+///
+/// Functionally the device evaluates the MLP through the hardware sigmoid
+/// LUT (integrated mode) or exactly (co-processor mode, which the paper
+/// models optimistically). Timing follows §VIII-B:
+///
+/// * integrated: `comm` cycles per transfer direction; each layer's MACs
+///   stream through the `pes` MAC units (one MAC per cycle per PE, plus the
+///   pipeline's MAC latency), activations come from the per-PE LUT;
+/// * co-processor: a fixed off-die communication cost and zero-cycle
+///   inference.
+#[derive(Debug, Clone)]
+pub struct NpuDevice {
+    mlp: Mlp,
+    lut: SigmoidLut,
+    mode: NpuMode,
+    mac_latency: u64,
+    comm_latency: u64,
+    coproc_comm_latency: u64,
+    invocations: u64,
+}
+
+impl NpuDevice {
+    /// Creates a device holding `mlp`.
+    ///
+    /// `mac_latency` is the MAC pipeline depth (§VIII-B: 8 cycles),
+    /// `comm_latency` the per-direction CPU↔NPU cost for the integrated
+    /// mode (4 cycles), and `coproc_comm_latency` the per-invocation cost
+    /// of the co-processor arrangement (104 cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`NpuMode::None`] or an integrated mode with
+    /// zero PEs.
+    pub fn new(
+        mlp: Mlp,
+        mode: NpuMode,
+        mac_latency: u64,
+        comm_latency: u64,
+        coproc_comm_latency: u64,
+    ) -> Self {
+        match mode {
+            NpuMode::None => panic!("cannot build an NPU device in mode None"),
+            NpuMode::Integrated { pes } => assert!(pes > 0, "NPU needs at least one PE"),
+            NpuMode::Coprocessor => {}
+        }
+        NpuDevice {
+            mlp,
+            lut: SigmoidLut::new(),
+            mode,
+            mac_latency,
+            comm_latency,
+            coproc_comm_latency,
+            invocations: 0,
+        }
+    }
+
+    /// The loaded network.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Attachment mode.
+    pub fn mode(&self) -> NpuMode {
+        self.mode
+    }
+
+    /// Number of invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Inference cycles for the integrated PE array.
+    fn integrated_compute_cycles(&self, pes: u32) -> u64 {
+        let pes = u64::from(pes);
+        let sizes = self.mlp.topology().sizes();
+        let mut cycles = 0;
+        for w in sizes.windows(2) {
+            let macs = (w[0] * w[1]) as u64;
+            let neurons = w[1] as u64;
+            // MACs stream through the PEs at one per cycle per PE, plus the
+            // MAC pipeline latency to drain; activations read the LUT.
+            cycles += macs.div_ceil(pes) + self.mac_latency + neurons.div_ceil(pes);
+        }
+        cycles
+    }
+}
+
+impl Accelerator for NpuDevice {
+    fn invoke(&mut self, inputs: &[f32], outputs: &mut Vec<f32>) -> InvokeCost {
+        self.invocations += 1;
+        match self.mode {
+            NpuMode::None => unreachable!("constructor rejects mode None"),
+            NpuMode::Integrated { pes } => {
+                let out = self.mlp.forward_with_lut(inputs, &self.lut);
+                outputs.extend_from_slice(&out);
+                InvokeCost {
+                    comm_cycles: 2 * self.comm_latency,
+                    compute_cycles: self.integrated_compute_cycles(pes),
+                }
+            }
+            NpuMode::Coprocessor => {
+                // Optimistic stand-alone NPU (§VIII-B): exact math and
+                // zero-cycle inference, but every off-die transaction pays
+                // the projected 104-cycle delay — kernel launch, result
+                // collection, and one burst per 8 words each way. Fine-
+                // grained AXAR/TRAP invocations with wide inputs (HomeBot's
+                // 192 floats) drown in this; batch-style native inference
+                // does not.
+                let out = self.mlp.forward(inputs);
+                let bursts = 2
+                    + (inputs.len() as u64).div_ceil(8)
+                    + (out.len() as u64).div_ceil(8);
+                outputs.extend_from_slice(&out);
+                InvokeCost {
+                    comm_cycles: bursts * self.coproc_comm_latency,
+                    compute_cycles: 0,
+                }
+            }
+        }
+    }
+
+    fn configure_cost(&self) -> u64 {
+        // Stream the weights into the PE buffers at 8 bytes per cycle.
+        (self.mlp.weight_bytes() as u64).div_ceil(8)
+    }
+
+    fn name(&self) -> &'static str {
+        "NPU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_nn::Topology;
+
+    fn mlp() -> Mlp {
+        Mlp::new(&Topology::new(&[6, 16, 16, 1]), 3)
+    }
+
+    #[test]
+    fn integrated_cost_scales_with_pes() {
+        let t = |pes| {
+            let mut d = NpuDevice::new(mlp(), NpuMode::Integrated { pes }, 8, 4, 104);
+            let mut out = Vec::new();
+            d.invoke(&[0.1; 6], &mut out).compute_cycles
+        };
+        let (c2, c4, c8) = (t(2), t(4), t(8));
+        assert!(c2 > c4 && c4 > c8, "{c2} > {c4} > {c8} expected");
+        // Not perfectly linear: MAC latency and LUT reads do not shrink.
+        assert!(c2 < 2 * c4 + 64);
+    }
+
+    #[test]
+    fn coprocessor_trades_compute_for_communication() {
+        let mut integ = NpuDevice::new(mlp(), NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+        let mut coproc = NpuDevice::new(mlp(), NpuMode::Coprocessor, 8, 4, 104);
+        let mut out = Vec::new();
+        let ci = integ.invoke(&[0.0; 6], &mut out);
+        out.clear();
+        let cc = coproc.invoke(&[0.0; 6], &mut out);
+        assert_eq!(ci.comm_cycles, 8);
+        // 2 control transactions + 1 input burst (6 floats) + 1 output
+        // burst, 104 cycles each.
+        assert_eq!(cc.comm_cycles, 416);
+        assert_eq!(cc.compute_cycles, 0);
+        assert!(ci.compute_cycles > 0);
+    }
+
+    #[test]
+    fn functional_output_matches_mlp_within_lut_error() {
+        let net = mlp();
+        let mut d = NpuDevice::new(net.clone(), NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+        let x = [0.3, -0.2, 0.9, 0.0, 0.5, -0.7];
+        let mut out = Vec::new();
+        d.invoke(&x, &mut out);
+        let exact = net.forward(&x);
+        assert!((out[0] - exact[0]).abs() < 0.05, "{} vs {}", out[0], exact[0]);
+        assert_eq!(d.invocations(), 1);
+    }
+
+    #[test]
+    fn configuration_cost_tracks_weight_bytes() {
+        let d = NpuDevice::new(mlp(), NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+        assert_eq!(
+            d.configure_cost(),
+            (d.mlp().weight_bytes() as u64).div_ceil(8)
+        );
+        assert_eq!(d.name(), "NPU");
+    }
+
+    #[test]
+    #[should_panic(expected = "mode None")]
+    fn mode_none_rejected() {
+        let _ = NpuDevice::new(mlp(), NpuMode::None, 8, 4, 104);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Tartan's Neural Processing Unit (§V) and the AXAR supervisor.
+//!
+//! The NPU is a spatial array of processing elements (PEs), each with a
+//! multiply-accumulate unit, a 512-entry sigmoid lookup table, and dedicated
+//! input/weight/output buffers (Fig. 3). It executes multilayer perceptrons
+//! that replace expensive robotic functions:
+//!
+//! * **AXAR** (*Approximate eXecution, Accurate Results*): heuristic-cost
+//!   calculation in Anytime-A*, supervised in software so the final path is
+//!   exact ([`AxarSupervisor`], §V-F),
+//! * **TRAP** (traditional approximation): HomeBot's transform prediction,
+//! * **native** neural inference: PatrolBot's classifier.
+//!
+//! Two attachment modes are modeled (§VIII-B): tightly *integrated* into the
+//! CPU pipeline (4-cycle communication) and a stand-alone *co-processor*
+//! (104-cycle communication, optimistically zero-cycle inference) in the
+//! style of Tesla's FSD.
+//!
+//! # Examples
+//!
+//! ```
+//! use tartan_npu::NpuDevice;
+//! use tartan_nn::{Mlp, Topology};
+//! use tartan_sim::{Accelerator, NpuMode};
+//!
+//! let topo = Topology::new(&[6, 16, 16, 1]);
+//! let mlp = Mlp::new(&topo, 7);
+//! let mut npu = NpuDevice::new(mlp, NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+//! let mut out = Vec::new();
+//! let cost = npu.invoke(&[0.0; 6], &mut out);
+//! assert_eq!(out.len(), 1);
+//! assert_eq!(cost.comm_cycles, 8); // 4 cycles each way
+//! ```
+
+mod area;
+mod axar;
+mod device;
+
+pub use area::{NpuAreaModel, PE_IO_BUFFER_BYTES, PE_SIGMOID_LUT_BYTES, PE_WEIGHT_BYTES};
+pub use axar::{AxarSupervisor, IterationVerdict};
+pub use device::NpuDevice;

@@ -1,0 +1,371 @@
+//! Tartan's Adaptive Next-Line (ANL) prefetcher (§VI-D).
+//!
+//! ANL keeps a small, fully-associative table of `PC+Region` entries. Each
+//! entry carries two saturating counters:
+//!
+//! * **CD** (*current degree*) — how many demand misses this `PC+Region`
+//!   pair has produced in the current region generation,
+//! * **LD** (*last degree*) — the degree learned in the previous generation,
+//!   consumed once to issue a burst of next-line prefetches.
+//!
+//! A region *generation* ends when any line of the region is evicted from
+//! the attached cache; at that point every entry tracking the region copies
+//! `CD → LD` and clears `CD`. Entry replacement evicts the entry with the
+//! lowest `max(CD, LD)`, preserving the dense regions responsible for most
+//! useful prefetches.
+
+use crate::{PrefetchContext, Prefetcher};
+
+/// Number of table entries, as specified in §VIII-C.
+pub const ANL_TABLE_ENTRIES: usize = 16;
+
+/// Default ANL region size in bytes (§VI-D picks 1 KB to minimize
+/// overprediction in medium-density environments).
+const DEFAULT_REGION_BYTES: u64 = 1024;
+
+/// Saturation limit for the 5-bit CD/LD counters (10 bits total per entry).
+const DEGREE_MAX: u8 = 31;
+
+/// Low-order PC bits kept in the tag (§VIII-C: 12 bits of PC).
+const PC_TAG_BITS: u32 = 12;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    pc_tag: u16,
+    region: u64,
+    current_degree: u8,
+    last_degree: u8,
+}
+
+/// The Adaptive Next-Line prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use tartan_prefetch::{Anl, Prefetcher, PrefetchContext};
+///
+/// let mut anl = Anl::new(64);
+/// let mut out = Vec::new();
+/// let pc = 0x400;
+/// // First generation: three misses in one region teach a degree of 3.
+/// for i in 0..3 {
+///     anl.on_access(PrefetchContext { pc, line_addr: i * 64, hit: false }, &mut out);
+/// }
+/// // Region termination: any line of the region is evicted.
+/// anl.on_eviction(0);
+/// // Next generation: the first miss replays the learned degree.
+/// out.clear();
+/// anl.on_access(PrefetchContext { pc, line_addr: 0, hit: false }, &mut out);
+/// assert_eq!(out, vec![64, 128, 192]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Anl {
+    table: [Entry; ANL_TABLE_ENTRIES],
+    line_size: u64,
+    region_bytes: u64,
+}
+
+impl Anl {
+    /// Creates an ANL prefetcher for a cache with the given line size in
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero or not a power of two.
+    pub fn new(line_size: u64) -> Self {
+        Self::with_region_bytes(line_size, DEFAULT_REGION_BYTES)
+    }
+
+    /// Creates an ANL prefetcher with an explicit region size — the §VI-D
+    /// ablation knob (larger regions raise reach but also overprediction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is not a power of two or the region is
+    /// smaller than a line.
+    pub fn with_region_bytes(line_size: u64, region_bytes: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a nonzero power of two"
+        );
+        assert!(
+            region_bytes.is_power_of_two() && region_bytes >= line_size,
+            "region must be a power of two of at least one line"
+        );
+        Anl {
+            table: [Entry::default(); ANL_TABLE_ENTRIES],
+            line_size,
+            region_bytes,
+        }
+    }
+
+    /// The configured region size in bytes.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+
+    fn region_of(&self, line_addr: u64) -> u64 {
+        line_addr / self.region_bytes
+    }
+
+    fn pc_tag(pc: u64) -> u16 {
+        (pc & ((1 << PC_TAG_BITS) - 1)) as u16
+    }
+
+    fn lookup(&mut self, pc_tag: u16, region: u64) -> Option<usize> {
+        self.table
+            .iter()
+            .position(|e| e.valid && e.pc_tag == pc_tag && e.region == region)
+    }
+
+    /// Index of the victim entry: an invalid entry if one exists, otherwise
+    /// the entry with the lowest `max(CD, LD)` (§VI-D replacement policy).
+    fn victim(&self) -> usize {
+        if let Some(idx) = self.table.iter().position(|e| !e.valid) {
+            return idx;
+        }
+        self.table
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.current_degree.max(e.last_degree))
+            .map(|(i, _)| i)
+            .expect("table is non-empty")
+    }
+}
+
+impl Prefetcher for Anl {
+    fn on_access(&mut self, ctx: PrefetchContext, out: &mut Vec<u64>) {
+        // ANL is trained on (and triggered by) cache misses only.
+        if ctx.hit {
+            return;
+        }
+        let region = self.region_of(ctx.line_addr);
+        let pc_tag = Self::pc_tag(ctx.pc);
+        match self.lookup(pc_tag, region) {
+            Some(idx) => {
+                let entry = &mut self.table[idx];
+                // (i) issue `LD` next-line prefetches, (ii) bump CD,
+                // (iii) consume (reset) LD.
+                for i in 1..=u64::from(entry.last_degree) {
+                    out.push(ctx.line_addr + i * self.line_size);
+                }
+                entry.current_degree = (entry.current_degree + 1).min(DEGREE_MAX);
+                entry.last_degree = 0;
+            }
+            None => {
+                let idx = self.victim();
+                self.table[idx] = Entry {
+                    valid: true,
+                    pc_tag,
+                    region,
+                    current_degree: 1,
+                    last_degree: 0,
+                };
+            }
+        }
+    }
+
+    fn on_eviction(&mut self, line_addr: u64) {
+        let region = self.region_of(line_addr);
+        for entry in self.table.iter_mut() {
+            // Edge-triggered termination: the first eviction of a generation
+            // commits CD → LD; the burst of follow-up evictions of the same
+            // region (CD already 0) must not clobber the learned degree.
+            if entry.valid && entry.region == region && entry.current_degree > 0 {
+                entry.last_degree = entry.current_degree;
+                entry.current_degree = 0;
+            }
+        }
+    }
+
+    fn metadata_bits(&self) -> u64 {
+        // §VIII-C: 16 entries × (12 PC bits + 38 region-address bits + 10
+        // degree bits) = 960 bits = 120 B.
+        (ANL_TABLE_ENTRIES as u64) * (u64::from(PC_TAG_BITS) + 38 + 10)
+    }
+
+    fn name(&self) -> &'static str {
+        "ANL"
+    }
+
+    fn reset(&mut self) {
+        self.table = [Entry::default(); ANL_TABLE_ENTRIES];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn miss(pc: u64, line_addr: u64) -> PrefetchContext {
+        PrefetchContext {
+            pc,
+            line_addr,
+            hit: false,
+        }
+    }
+
+    #[test]
+    fn fresh_entry_prefetches_nothing() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        anl.on_access(miss(7, 4096), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn learns_degree_across_generations() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            anl.on_access(miss(7, i * 64), &mut out);
+        }
+        assert!(out.is_empty(), "first generation must not prefetch");
+        anl.on_eviction(64); // terminate region 0
+        anl.on_access(miss(7, 0), &mut out);
+        assert_eq!(out, vec![64, 128, 192, 256, 320]);
+    }
+
+    #[test]
+    fn ld_is_consumed_once_per_generation() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        anl.on_access(miss(7, 0), &mut out);
+        anl.on_access(miss(7, 64), &mut out);
+        anl.on_eviction(0);
+        anl.on_access(miss(7, 0), &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        anl.on_access(miss(7, 128), &mut out);
+        assert!(out.is_empty(), "LD was reset after the replay burst");
+    }
+
+    #[test]
+    fn regions_are_separated() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        anl.on_access(miss(7, 0), &mut out);
+        anl.on_access(miss(7, 64), &mut out);
+        // Different 1KB region, same PC: independent entry.
+        anl.on_access(miss(7, 4096), &mut out);
+        anl.on_eviction(0);
+        // Region 4096/1024 = 4 was not terminated, its CD stays.
+        anl.on_access(miss(7, 4096 + 64), &mut out);
+        assert!(out.is_empty());
+        anl.on_eviction(4096);
+        anl.on_access(miss(7, 4096), &mut out);
+        assert_eq!(out, vec![4096 + 64, 4096 + 128]);
+    }
+
+    #[test]
+    fn pcs_are_separated() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        anl.on_access(miss(1, 0), &mut out);
+        anl.on_access(miss(1, 64), &mut out);
+        anl.on_access(miss(2, 128), &mut out);
+        anl.on_eviction(0);
+        anl.on_access(miss(2, 192), &mut out);
+        // PC 2 learned degree 1, PC 1 learned degree 2.
+        assert_eq!(out, vec![256]);
+        out.clear();
+        anl.on_access(miss(1, 0), &mut out);
+        assert_eq!(out, vec![64, 128]);
+    }
+
+    #[test]
+    fn hits_do_not_train() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        anl.on_access(
+            PrefetchContext {
+                pc: 7,
+                line_addr: 0,
+                hit: true,
+            },
+            &mut out,
+        );
+        anl.on_eviction(0);
+        anl.on_access(miss(7, 0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn victim_is_lowest_max_degree() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        // Fill all 16 entries with distinct regions; give region r a degree
+        // of r+1 misses.
+        for r in 0..16u64 {
+            for i in 0..=r {
+                anl.on_access(miss(100, r * 1024 + i * 64), &mut out);
+            }
+        }
+        // A 17th region must evict the entry for region 0 (lowest degree).
+        anl.on_access(miss(100, 16 * 1024), &mut out);
+        anl.on_eviction(0);
+        out.clear();
+        anl.on_access(miss(100, 0), &mut out);
+        // Region 0's entry was evicted, so this allocates fresh: no prefetch.
+        assert!(out.is_empty());
+        // Region 15 is still resident: terminate and replay its degree.
+        anl.on_eviction(15 * 1024);
+        out.clear();
+        anl.on_access(miss(100, 15 * 1024), &mut out);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn degree_saturates_at_counter_width() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        // 1KB region holds 16 lines of 64B; reuse misses on the same line
+        // to push CD beyond 31.
+        for _ in 0..100 {
+            anl.on_access(miss(7, 0), &mut out);
+            out.clear();
+        }
+        anl.on_eviction(0);
+        anl.on_access(miss(7, 0), &mut out);
+        assert_eq!(out.len(), 31, "degree must saturate at 5 bits");
+    }
+
+    #[test]
+    fn region_size_is_configurable() {
+        let mut anl = Anl::with_region_bytes(64, 4096);
+        assert_eq!(anl.region_bytes(), 4096);
+        let mut out = Vec::new();
+        // Lines 0 and 2048/64=32 share a 4KB region but not a 1KB one.
+        anl.on_access(miss(7, 0), &mut out);
+        anl.on_access(miss(7, 2048), &mut out);
+        anl.on_eviction(0);
+        anl.on_access(miss(7, 0), &mut out);
+        assert_eq!(out.len(), 2, "4KB region learned degree 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "region must be")]
+    fn region_smaller_than_line_rejected() {
+        let _ = Anl::with_region_bytes(64, 32);
+    }
+
+    #[test]
+    fn metadata_is_120_bytes() {
+        let anl = Anl::new(32);
+        assert_eq!(anl.metadata_bits(), 960);
+        assert_eq!(anl.metadata_bits() / 8, 120);
+    }
+
+    #[test]
+    fn reset_clears_learning() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        anl.on_access(miss(7, 0), &mut out);
+        anl.on_access(miss(7, 64), &mut out);
+        anl.on_eviction(0);
+        anl.reset();
+        anl.on_access(miss(7, 0), &mut out);
+        assert!(out.is_empty());
+    }
+}

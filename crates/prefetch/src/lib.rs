@@ -1,0 +1,130 @@
+#![warn(missing_docs)]
+
+//! Hardware data-prefetcher models for the Tartan robotic processor.
+//!
+//! This crate implements the three prefetchers evaluated in the Tartan paper
+//! (§VI-D, Fig. 10):
+//!
+//! * [`NextLine`] — a classic, non-adaptive next-line prefetcher,
+//! * [`Anl`] — Tartan's *Adaptive Next-Line* prefetcher, which learns a
+//!   per-`PC+Region` prefetch degree from the density of accesses observed in
+//!   each region generation,
+//! * [`Bingo`] — a footprint-based spatial prefetcher in the style of the
+//!   Bingo spatial data prefetcher, used as the high-area baseline.
+//!
+//! Prefetchers are driven by the cache they are attached to through the
+//! [`Prefetcher`] trait: the cache reports demand accesses (with their
+//! program counter and hit/miss outcome) and line evictions, and the
+//! prefetcher responds with a set of line addresses to prefetch.
+//!
+//! # Examples
+//!
+//! ```
+//! use tartan_prefetch::{Anl, Prefetcher, PrefetchContext};
+//!
+//! let mut anl = Anl::new(64);
+//! let mut out = Vec::new();
+//! // A demand miss at PC 0x400 to line address 0x1_0000.
+//! anl.on_access(PrefetchContext { pc: 0x400, line_addr: 0x1_0000, hit: false }, &mut out);
+//! // A fresh entry starts with last-degree 0, so nothing is prefetched yet.
+//! assert!(out.is_empty());
+//! ```
+
+mod anl;
+mod bingo;
+mod next_line;
+
+pub use anl::{Anl, ANL_TABLE_ENTRIES};
+pub use bingo::Bingo;
+pub use next_line::NextLine;
+
+/// A single demand access observed by a cache, handed to its prefetcher.
+///
+/// Addresses are *line* addresses (byte address with the intra-line offset
+/// bits cleared); `pc` identifies the load instruction that produced the
+/// access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefetchContext {
+    /// Program counter of the load instruction.
+    pub pc: u64,
+    /// Line-aligned byte address of the access.
+    pub line_addr: u64,
+    /// Whether the access hit in the cache the prefetcher is attached to.
+    pub hit: bool,
+}
+
+/// A hardware prefetcher attached to one cache level.
+///
+/// The owning cache calls [`on_access`](Prefetcher::on_access) for every
+/// demand access and [`on_eviction`](Prefetcher::on_eviction) whenever a line
+/// is evicted. Prefetch candidates are appended to the `out` vector as
+/// line-aligned addresses; the cache decides what to do with them (issue,
+/// drop on duplicate, etc.).
+pub trait Prefetcher {
+    /// Observe a demand access and append prefetch candidates to `out`.
+    fn on_access(&mut self, ctx: PrefetchContext, out: &mut Vec<u64>);
+
+    /// Observe the eviction of `line_addr` from the attached cache.
+    ///
+    /// ANL uses this as its *region termination* signal (§VI-D); Bingo uses
+    /// it to commit the footprint of a finished region generation.
+    fn on_eviction(&mut self, line_addr: u64) {
+        let _ = line_addr;
+    }
+
+    /// Modeled metadata storage in bits (for the paper's area comparison).
+    fn metadata_bits(&self) -> u64;
+
+    /// Short, human-readable prefetcher name (`"ANL"`, `"NL"`, `"Bingo"`).
+    fn name(&self) -> &'static str;
+
+    /// Reset all learned state, keeping the configuration.
+    fn reset(&mut self);
+}
+
+/// A no-op prefetcher, used for the `No`-prefetcher baseline of Fig. 10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoPrefetch;
+
+impl NoPrefetch {
+    /// Creates a new disabled prefetcher.
+    pub fn new() -> Self {
+        NoPrefetch
+    }
+}
+
+impl Prefetcher for NoPrefetch {
+    fn on_access(&mut self, _ctx: PrefetchContext, _out: &mut Vec<u64>) {}
+
+    fn metadata_bits(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "No"
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefetch_is_silent() {
+        let mut p = NoPrefetch::new();
+        let mut out = Vec::new();
+        p.on_access(
+            PrefetchContext {
+                pc: 1,
+                line_addr: 64,
+                hit: false,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.metadata_bits(), 0);
+        assert_eq!(p.name(), "No");
+    }
+}

@@ -1,0 +1,134 @@
+//! The classic next-line prefetcher used as the `NL` baseline of Fig. 10.
+
+use crate::{PrefetchContext, Prefetcher};
+
+/// A non-adaptive next-line prefetcher.
+///
+/// On every demand miss it prefetches the `degree` lines that follow the
+/// missed line. The paper's `NL` baseline uses degree 1 ("one prefetch per
+/// invoke"), which is why it fails to be timely on dense regions.
+///
+/// # Examples
+///
+/// ```
+/// use tartan_prefetch::{NextLine, Prefetcher, PrefetchContext};
+///
+/// let mut nl = NextLine::new(64);
+/// let mut out = Vec::new();
+/// nl.on_access(PrefetchContext { pc: 0, line_addr: 128, hit: false }, &mut out);
+/// assert_eq!(out, vec![192]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextLine {
+    line_size: u64,
+    degree: u64,
+}
+
+impl NextLine {
+    /// Creates a degree-1 next-line prefetcher for the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero or not a power of two.
+    pub fn new(line_size: u64) -> Self {
+        Self::with_degree(line_size, 1)
+    }
+
+    /// Creates a next-line prefetcher with an explicit static degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero or not a power of two, or if `degree`
+    /// is zero.
+    pub fn with_degree(line_size: u64, degree: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a nonzero power of two"
+        );
+        assert!(degree > 0, "degree must be positive");
+        NextLine { line_size, degree }
+    }
+
+    /// The static prefetch degree.
+    pub fn degree(&self) -> u64 {
+        self.degree
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn on_access(&mut self, ctx: PrefetchContext, out: &mut Vec<u64>) {
+        if ctx.hit {
+            return;
+        }
+        for i in 1..=self.degree {
+            out.push(ctx.line_addr + i * self.line_size);
+        }
+    }
+
+    fn metadata_bits(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "NL"
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_next_line_on_miss() {
+        let mut nl = NextLine::new(32);
+        let mut out = Vec::new();
+        nl.on_access(
+            PrefetchContext {
+                pc: 9,
+                line_addr: 96,
+                hit: false,
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![128]);
+    }
+
+    #[test]
+    fn silent_on_hit() {
+        let mut nl = NextLine::new(32);
+        let mut out = Vec::new();
+        nl.on_access(
+            PrefetchContext {
+                pc: 9,
+                line_addr: 96,
+                hit: true,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn higher_degree_prefetches_more() {
+        let mut nl = NextLine::with_degree(64, 4);
+        let mut out = Vec::new();
+        nl.on_access(
+            PrefetchContext {
+                pc: 9,
+                line_addr: 0,
+                hit: false,
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![64, 128, 192, 256]);
+        assert_eq!(nl.degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn zero_degree_rejected() {
+        let _ = NextLine::with_degree(64, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the prefetcher models.
+
+use proptest::prelude::*;
+use tartan_prefetch::{Anl, Bingo, NextLine, PrefetchContext, Prefetcher};
+
+fn arb_ctx(line_size: u64) -> impl Strategy<Value = PrefetchContext> {
+    (0u64..4096, 0u64..(1 << 20), any::<bool>()).prop_map(move |(pc, line, hit)| PrefetchContext {
+        pc,
+        line_addr: line * line_size,
+        hit,
+    })
+}
+
+proptest! {
+    /// Every prefetch candidate any prefetcher emits is line-aligned.
+    #[test]
+    fn prefetches_are_line_aligned(
+        accesses in proptest::collection::vec(arb_ctx(64), 1..200),
+        evict_every in 1usize..10,
+    ) {
+        let mut anl = Anl::new(64);
+        let mut nl = NextLine::new(64);
+        let mut bingo = Bingo::new(64);
+        let mut out = Vec::new();
+        for (i, ctx) in accesses.iter().enumerate() {
+            for p in [&mut anl as &mut dyn Prefetcher, &mut nl, &mut bingo] {
+                out.clear();
+                p.on_access(*ctx, &mut out);
+                for &addr in &out {
+                    prop_assert_eq!(addr % 64, 0);
+                }
+                if i % evict_every == 0 {
+                    p.on_eviction(ctx.line_addr);
+                }
+            }
+        }
+    }
+
+    /// ANL never prefetches more lines than its saturated degree limit per
+    /// invocation.
+    #[test]
+    fn anl_burst_is_bounded(
+        accesses in proptest::collection::vec(arb_ctx(32), 1..500),
+    ) {
+        let mut anl = Anl::new(32);
+        let mut out = Vec::new();
+        for (i, ctx) in accesses.iter().enumerate() {
+            out.clear();
+            anl.on_access(*ctx, &mut out);
+            prop_assert!(out.len() <= 31, "burst of {} at access {}", out.len(), i);
+            if i % 7 == 0 {
+                anl.on_eviction(ctx.line_addr);
+            }
+        }
+    }
+
+    /// ANL prefetch candidates always lie after the missed line (it is a
+    /// forward next-line scheme).
+    #[test]
+    fn anl_prefetches_forward(
+        accesses in proptest::collection::vec(arb_ctx(64), 1..300),
+    ) {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        for (i, ctx) in accesses.iter().enumerate() {
+            out.clear();
+            anl.on_access(*ctx, &mut out);
+            for &addr in &out {
+                prop_assert!(addr > ctx.line_addr);
+            }
+            if i % 3 == 0 {
+                anl.on_eviction(ctx.line_addr);
+            }
+        }
+    }
+
+    /// Bingo prefetch candidates stay within the 2 KB region of the trigger.
+    #[test]
+    fn bingo_stays_in_region(
+        accesses in proptest::collection::vec(arb_ctx(64), 1..300),
+    ) {
+        let mut bingo = Bingo::new(64);
+        let mut out = Vec::new();
+        for (i, ctx) in accesses.iter().enumerate() {
+            out.clear();
+            bingo.on_access(*ctx, &mut out);
+            for &addr in &out {
+                prop_assert_eq!(addr / 2048, ctx.line_addr / 2048);
+                prop_assert_ne!(addr, ctx.line_addr, "trigger line is not re-prefetched");
+            }
+            if i % 5 == 0 {
+                bingo.on_eviction(ctx.line_addr);
+            }
+        }
+    }
+
+    /// A deterministic replay: the same access/eviction sequence produces the
+    /// same prefetch stream.
+    #[test]
+    fn prefetchers_are_deterministic(
+        accesses in proptest::collection::vec(arb_ctx(64), 1..200),
+    ) {
+        let run = |p: &mut dyn Prefetcher| {
+            let mut all = Vec::new();
+            let mut out = Vec::new();
+            for (i, ctx) in accesses.iter().enumerate() {
+                out.clear();
+                p.on_access(*ctx, &mut out);
+                all.extend_from_slice(&out);
+                if i % 4 == 0 {
+                    p.on_eviction(ctx.line_addr);
+                }
+            }
+            all
+        };
+        let mut a1 = Anl::new(64);
+        let mut a2 = Anl::new(64);
+        prop_assert_eq!(run(&mut a1), run(&mut a2));
+        let mut b1 = Bingo::new(64);
+        let mut b2 = Bingo::new(64);
+        prop_assert_eq!(run(&mut b1), run(&mut b2));
+    }
+}

@@ -1,0 +1,216 @@
+//! DeliBot — a delivery quadruped (Spot-like): MCL localization with
+//! ray-casting (74% of baseline time, §III-B) and a greedy waypoint
+//! follower. Pipeline threads: 8 → 1 → 1 (Table I).
+
+use tartan_kernels::control::greedy_step;
+use tartan_kernels::grid::Grid2;
+use tartan_kernels::mcl::{Mcl, MclConfig, Pose};
+use tartan_kernels::raycast::RayCastConfig;
+use tartan_sim::{Machine, MemPolicy};
+
+use crate::{Robot, Scale, SoftwareConfig};
+
+/// The delivery robot.
+#[derive(Debug)]
+pub struct DeliBot {
+    grid: Grid2,
+    mcl: Mcl,
+    truth: Pose,
+    estimate: Pose,
+    waypoints: Vec<[f32; 2]>,
+    next_wp: usize,
+    ray_cfg: RayCastConfig,
+    rays: usize,
+    perception_threads: usize,
+}
+
+impl DeliBot {
+    /// Builds the robot: a dense-left indoor map and a particle filter.
+    pub fn new(machine: &mut Machine, software: SoftwareConfig, scale: Scale, seed: u64) -> Self {
+        let policy = if software.interpolate_raycast && machine.config().intel_lvs {
+            MemPolicy::IntelLvs
+        } else {
+            MemPolicy::Normal
+        };
+        let side = scale.delibot_grid;
+        let grid = Grid2::generate(machine, side, side, side / 8, true, seed, policy);
+        let ray_cfg = RayCastConfig {
+            method: software.vec_method,
+            step: 1.0,
+            max_range: side as f32 / 2.0,
+            interpolate: software.interpolate_raycast,
+            intel_accel: machine.config().intel_lvs,
+        };
+        let start = Self::free_pose(&grid, side as f32 * 0.2, side as f32 * 0.5);
+        let mcl = Mcl::new(
+            machine,
+            MclConfig {
+                particles: scale.particles,
+                rays: scale.rays,
+                sigma: 1.5,
+                ray: ray_cfg,
+                seed: seed ^ 0x11,
+            },
+            start,
+        );
+        let s = side as f32;
+        let waypoints = vec![
+            [s * 0.7, s * 0.5],
+            [s * 0.7, s * 0.75],
+            [s * 0.3, s * 0.75],
+            [s * 0.3, s * 0.3],
+        ];
+        DeliBot {
+            grid,
+            mcl,
+            truth: start,
+            estimate: start,
+            waypoints,
+            next_wp: 0,
+            ray_cfg,
+            rays: scale.rays,
+            perception_threads: 8,
+        }
+    }
+
+    fn free_pose(grid: &Grid2, x: f32, y: f32) -> Pose {
+        // Nudge to a free cell.
+        let mut best = (x, y);
+        'outer: for r in 0..grid.width() as i64 {
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let (cx, cy) = (x as i64 + dx, y as i64 + dy);
+                    if !grid.occupied(cx, cy) {
+                        best = (cx as f32 + 0.5, cy as f32 + 0.5);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        Pose {
+            x: best.0,
+            y: best.1,
+            theta: 0.0,
+        }
+    }
+
+    /// Current ground-truth pose (diagnostics).
+    pub fn truth(&self) -> Pose {
+        self.truth
+    }
+
+    /// Current estimated pose.
+    pub fn estimate(&self) -> Pose {
+        self.estimate
+    }
+}
+
+impl Robot for DeliBot {
+    fn name(&self) -> &'static str {
+        "DeliBot"
+    }
+
+    fn bottleneck_phases(&self) -> &'static [&'static str] {
+        &["raycast"]
+    }
+
+    fn step(&mut self, machine: &mut Machine) {
+        // Sensor hardware produces the scan from the true pose (untimed).
+        let scan = Mcl::sense(&self.grid, self.truth, self.rays, &self.ray_cfg);
+        // Motion command toward the current waypoint (ground truth moves).
+        let wp = self.waypoints[self.next_wp];
+        let (nx, ny) = {
+            let dx = wp[0] - self.truth.x;
+            let dy = wp[1] - self.truth.y;
+            let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+            let step = 1.0f32.min(d);
+            (self.truth.x + dx / d * step, self.truth.y + dy / d * step)
+        };
+        let motion = (nx - self.truth.x, ny - self.truth.y, 0.0);
+        self.truth.x = nx;
+        self.truth.y = ny;
+        if ((wp[0] - nx).powi(2) + (wp[1] - ny).powi(2)).sqrt() < 2.0 {
+            self.next_wp = (self.next_wp + 1) % self.waypoints.len();
+        }
+
+        // Perception: 8 threads split the particle set (motion + weighting).
+        let n = self.mcl.particles();
+        let threads = self.perception_threads;
+        let per = n.div_ceil(threads);
+        let mcl = &mut self.mcl;
+        let grid = &self.grid;
+        machine.parallel(threads, |tid, p| {
+            let lo = tid * per;
+            let hi = ((tid + 1) * per).min(n);
+            if lo < hi {
+                mcl.motion_update_range(p, motion, lo, hi);
+                mcl.weight_range(p, grid, &scan, lo, hi);
+            }
+        });
+
+        // Planning (1 thread): estimate + waypoint bookkeeping.
+        // Control (1 thread): greedy step on the estimate.
+        let estimate = machine.run(|p| {
+            let est = mcl.estimate_and_resample(p);
+            p.instr(20); // waypoint selection
+            let _cmd = greedy_step(p, (est.x, est.y), wp, 1.0);
+            est
+        });
+        self.estimate = estimate;
+    }
+
+    fn quality(&self) -> f64 {
+        // Localization error in cells.
+        f64::from(
+            ((self.estimate.x - self.truth.x).powi(2) + (self.estimate.y - self.truth.y).powi(2))
+                .sqrt(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn delibot_localizes_while_moving() {
+        let mut m = Machine::new(MachineConfig::tartan());
+        let sw = SoftwareConfig::optimized().effective(m.config());
+        let mut bot = DeliBot::new(&mut m, sw, Scale::small(), 7);
+        bot.run(&mut m, 5);
+        assert!(bot.quality() < 6.0, "pose error {}", bot.quality());
+        assert!(m.wall_cycles() > 0);
+    }
+
+    #[test]
+    fn raycast_dominates_on_legacy_software() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut bot = DeliBot::new(
+            &mut m,
+            SoftwareConfig::legacy(),
+            Scale::small(),
+            7,
+        );
+        bot.run(&mut m, 3);
+        let frac = m.stats().phase_fraction("raycast");
+        assert!(frac > 0.5, "raycast fraction {frac}");
+    }
+
+    #[test]
+    fn ovec_software_beats_legacy_on_tartan() {
+        let run = |sw: SoftwareConfig| {
+            let mut m = Machine::new(MachineConfig::tartan());
+            let sw = sw.effective(m.config());
+            let mut bot = DeliBot::new(&mut m, sw, Scale::small(), 7);
+            bot.run(&mut m, 3);
+            m.wall_cycles()
+        };
+        let legacy = run(SoftwareConfig::legacy());
+        let optimized = run(SoftwareConfig::optimized());
+        assert!(
+            optimized < legacy,
+            "optimized {optimized} vs legacy {legacy}"
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! HomeBot — a vacuum robot (Roomba i7+-like): point-based fusion for 3-D
+//! reconstruction whose transform (T) prediction takes 56% of baseline time
+//! (§III-B), plus a behavior tree for decisions. Pipeline threads:
+//! 8 → 1 → 1 (Table I). TRAP: the NPU's 192/32/32/6 MLP replaces the whole
+//! ICP loop (§VIII-B).
+
+use tartan_kernels::bt::{BehaviorTree, BtSpec, BtStatus};
+use tartan_kernels::icp::{
+    estimate_from_matches, match_range, npu_estimate, trap_inputs, Transform,
+};
+use tartan_nn::{Loss, Mlp, Topology, Trainer};
+use tartan_nns::{BruteForce, KdTree, LshConfig, LshNns, NnsEngine, PointSet};
+use tartan_npu::NpuDevice;
+use tartan_sim::{AccelId, Buffer, Machine, MemPolicy};
+
+use crate::{NeuralExec, NnsKind, Robot, Scale, SoftwareConfig};
+
+/// The vacuum robot.
+pub struct HomeBot {
+    software: SoftwareConfig,
+    depth_image: Buffer<f32>,
+    map_points: Vec<Vec<f32>>,
+    map_cap: usize,
+    source_points: usize,
+    tree: BehaviorTree,
+    accel: Option<AccelId>,
+    trap_mlp: Option<Mlp>,
+    seed: u64,
+    frame: u64,
+    rot_err_sum: f64,
+    trans_err_sum: f64,
+    frames_scored: u64,
+    battery: f32,
+}
+
+impl HomeBot {
+    /// Builds the robot and (for TRAP) trains the transform predictor.
+    pub fn new(machine: &mut Machine, software: SoftwareConfig, scale: Scale, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map_points: Vec<Vec<f32>> = (0..scale.map_points)
+            .map(|_| {
+                (0..3)
+                    .map(|_| rng.random_range(-2.0f32..2.0))
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+
+        // --- offline TRAP training: predict T from raw correspondences ---
+        let (accel, trap_mlp) = if software.neural != NeuralExec::None {
+            let topo = Topology::new(&[192, 32, 32, 6]); // Table II
+            let mut mlp = Mlp::new(&topo, seed ^ 0x99);
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let map_set = PointSet::new(machine, &map_points);
+            for i in 0..200u64 {
+                let truth = random_transform(seed * 31 + i);
+                let source = observed_source(&map_points, &truth, scale.source_points, seed + i);
+                xs.push(trap_inputs(&map_set, &source));
+                ys.push(vec![
+                    truth.rot[0] * 10.0,
+                    truth.rot[1] * 10.0,
+                    truth.rot[2] * 10.0,
+                    truth.trans[0],
+                    truth.trans[1],
+                    truth.trans[2],
+                ]);
+            }
+            Trainer::new(Loss::Mse)
+                .learning_rate(0.02)
+                .epochs(scale.train_epochs)
+                .fit(&mut mlp, &xs, &ys);
+            let accel = if software.neural == NeuralExec::Npu {
+                let cfg = machine.config();
+                let device = NpuDevice::new(
+                    mlp.clone(),
+                    cfg.npu,
+                    cfg.npu_mac_latency,
+                    cfg.npu_comm_latency,
+                    cfg.npu_coproc_comm_latency,
+                );
+                let id = machine.attach_accelerator(Box::new(device));
+                machine.run(|p| p.configure_accel(id));
+                Some(id)
+            } else {
+                None
+            };
+            (accel, Some(mlp))
+        } else {
+            (None, None)
+        };
+
+        let tree = BehaviorTree::build(
+            machine,
+            &BtSpec::Selector(vec![
+                BtSpec::Sequence(vec![BtSpec::Leaf(0), BtSpec::Leaf(1)]), // battery → dock
+                BtSpec::Sequence(vec![BtSpec::Leaf(2), BtSpec::Leaf(3)]), // dirt → clean
+                BtSpec::Leaf(4),                                         // explore
+            ]),
+        );
+
+        let depth_image =
+            machine.buffer_from_vec(vec![1.0f32; scale.depth_side * scale.depth_side], MemPolicy::Normal);
+        HomeBot {
+            software,
+            depth_image,
+            map_points,
+            map_cap: scale.map_points * 2,
+            source_points: scale.source_points,
+            tree,
+            accel,
+            trap_mlp,
+            seed,
+            frame: 0,
+            rot_err_sum: 0.0,
+            trans_err_sum: 0.0,
+            frames_scored: 0,
+            battery: 1.0,
+        }
+    }
+
+    /// Geometric-mean transform error so far (Table II's metric).
+    pub fn transform_error(&self) -> f64 {
+        if self.frames_scored == 0 {
+            return 0.0;
+        }
+        let r = self.rot_err_sum / self.frames_scored as f64;
+        let t = self.trans_err_sum / self.frames_scored as f64;
+        (r * t).sqrt()
+    }
+}
+
+fn random_transform(seed: u64) -> Transform {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Transform {
+        rot: [
+            rng.random_range(-0.04f32..0.04),
+            rng.random_range(-0.04f32..0.04),
+            rng.random_range(-0.04f32..0.04),
+        ],
+        trans: [
+            rng.random_range(-0.2f32..0.2),
+            rng.random_range(-0.2f32..0.2),
+            rng.random_range(-0.2f32..0.2),
+        ],
+    }
+}
+
+/// The depth camera's view: a subsample of the map observed under the
+/// inverse of the true motion, with sensor noise.
+fn observed_source(map: &[Vec<f32>], truth: &Transform, n: usize, seed: u64) -> Vec<[f32; 3]> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let inv = Transform {
+        rot: [-truth.rot[0], -truth.rot[1], -truth.rot[2]],
+        trans: [-truth.trans[0], -truth.trans[1], -truth.trans[2]],
+    };
+    (0..n)
+        .map(|_| {
+            let i = rng.random_range(0..map.len());
+            let m = [map[i][0], map[i][1], map[i][2]];
+            let mut s = inv.apply(&m);
+            for v in s.iter_mut() {
+                *v += rng.random_range(-0.005f32..0.005);
+            }
+            s
+        })
+        .collect()
+}
+
+impl Robot for HomeBot {
+    fn name(&self) -> &'static str {
+        "HomeBot"
+    }
+
+    fn bottleneck_phases(&self) -> &'static [&'static str] {
+        &["tprediction", "nns"]
+    }
+
+    fn step(&mut self, machine: &mut Machine) {
+        self.frame += 1;
+        // Depth-map preprocessing (bilateral filter + back-projection):
+        // the non-bottleneck share of point-based fusion, run on the
+        // 8-thread perception stage.
+        let depth = &self.depth_image;
+        let px = depth.len();
+        machine.parallel(8, |tid, p| {
+            let per = px.div_ceil(8);
+            let lo = tid * per;
+            let hi = ((tid + 1) * per).min(px);
+            for i in lo..hi {
+                let _ = depth.get(p, 0x8_1000, i);
+                p.flop(14); // filter taps + back-projection
+            }
+        });
+        let truth = random_transform(self.seed * 31 + 1000 + self.frame);
+        let source = observed_source(
+            &self.map_points,
+            &truth,
+            self.source_points,
+            self.seed + 1000 + self.frame,
+        );
+
+        // Upload the current global map and build the frame's NNS engine
+        // (untimed setup; queries are what §VIII-C measures).
+        let map_set = PointSet::new(machine, &self.map_points);
+        let engine: Box<dyn NnsEngine> = match self.software.nns {
+            NnsKind::Brute => Box::new(BruteForce::new()),
+            NnsKind::KdTree => Box::new(KdTree::build(machine, &map_set)),
+            NnsKind::Flann => Box::new(LshNns::build(machine, &map_set, LshConfig::flann(0.8))),
+            NnsKind::Vln => Box::new(LshNns::build(machine, &map_set, LshConfig::vln(0.8))),
+        };
+
+        let estimate = match self.software.neural {
+            NeuralExec::Npu => {
+                // TRAP: one NPU invocation replaces matching + solving.
+                let accel = self.accel.expect("NPU mode implies a device");
+                let inputs = trap_inputs(&map_set, &source);
+                machine.run(|p| {
+                    p.with_phase("tprediction", |p| {
+                        let mut t = npu_estimate(p, accel, &inputs);
+                        t.rot[0] /= 10.0;
+                        t.rot[1] /= 10.0;
+                        t.rot[2] /= 10.0;
+                        t
+                    })
+                })
+            }
+            NeuralExec::Software => {
+                let mlp = self.trap_mlp.as_ref().expect("trained at setup");
+                let inputs = trap_inputs(&map_set, &source);
+                machine.run(|p| {
+                    p.with_phase("tprediction", |p| {
+                        // Software neural execution: per-MAC loads+arith.
+                        let macs = mlp.topology().mac_count() as u64;
+                        p.flop(2 * macs);
+                        p.instr(2 * macs);
+                        let out = mlp.forward(&inputs);
+                        Transform {
+                            rot: [out[0] / 10.0, out[1] / 10.0, out[2] / 10.0],
+                            trans: [out[3], out[4], out[5]],
+                        }
+                    })
+                })
+            }
+            NeuralExec::None => {
+                // Perception: 8 threads match source slices; then one thread
+                // solves the normal equations (two ICP iterations).
+                let mut t = Transform::default();
+                for _iter in 0..2 {
+                    let per = source.len().div_ceil(8);
+                    let chunks = machine.parallel(8, |tid, p| {
+                        p.with_phase("tprediction", |p| {
+                            match_range(
+                                p,
+                                &map_set,
+                                engine.as_ref(),
+                                &source,
+                                &t,
+                                tid * per,
+                                (tid + 1) * per,
+                            )
+                        })
+                    });
+                    let matches: Vec<_> = chunks.into_iter().flatten().collect();
+                    let delta = machine.run(|p| {
+                        p.with_phase("tprediction", |p| {
+                            estimate_from_matches(p, &map_set, &matches)
+                        })
+                    });
+                    let Some(delta) = delta else { break };
+                    for a in 0..3 {
+                        t.rot[a] += delta.rot[a];
+                        t.trans[a] += delta.trans[a];
+                    }
+                }
+                t
+            }
+        };
+
+        // Score the estimate against ground truth (Table II metric).
+        self.rot_err_sum += f64::from(estimate.rot_error(&truth));
+        self.trans_err_sum += f64::from(estimate.trans_error(&truth));
+        self.frames_scored += 1;
+
+        // Fusion: merge the aligned source into the global map (bounded).
+        for s in source.iter().take(16) {
+            let aligned = estimate.apply(s);
+            if self.map_points.len() < self.map_cap {
+                self.map_points.push(aligned.to_vec());
+            }
+        }
+
+        // Decision stage: behavior-tree tick (1 thread).
+        self.battery = (self.battery - 0.01).max(0.0);
+        let battery = self.battery;
+        let tree = &self.tree;
+        machine.run(|p| {
+            tree.tick(p, &mut |pp, id| {
+                pp.flop(3);
+                match id {
+                    0 => {
+                        if battery < 0.2 {
+                            BtStatus::Success
+                        } else {
+                            BtStatus::Failure
+                        }
+                    }
+                    2 => BtStatus::Failure,
+                    _ => BtStatus::Success,
+                }
+            });
+        });
+    }
+
+    fn quality(&self) -> f64 {
+        self.transform_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn exact_icp_recovers_motion() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut bot = HomeBot::new(&mut m, SoftwareConfig::legacy(), Scale::small(), 9);
+        bot.run(&mut m, 3);
+        assert!(
+            bot.transform_error() < 0.05,
+            "transform error {}",
+            bot.transform_error()
+        );
+    }
+
+    #[test]
+    fn tprediction_dominates_baseline() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut bot = HomeBot::new(&mut m, SoftwareConfig::legacy(), Scale::small(), 9);
+        bot.run(&mut m, 3);
+        let stats = m.stats();
+        let frac = stats.phase_fraction("tprediction") + stats.phase_fraction("nns");
+        assert!(frac > 0.4, "T-prediction fraction {frac}"); // paper: 56%
+    }
+
+    #[test]
+    fn trap_is_faster_with_modest_error() {
+        let run = |sw: SoftwareConfig| {
+            let mut m = Machine::new(MachineConfig::tartan());
+            let sw = sw.effective(m.config());
+            let mut bot = HomeBot::new(&mut m, sw, Scale::small(), 9);
+            bot.run(&mut m, 4);
+            (m.wall_cycles(), bot.transform_error())
+        };
+        let (t_exact, err_exact) = run(SoftwareConfig::optimized());
+        let (t_trap, err_trap) = run(SoftwareConfig::approximable());
+        assert!(t_trap < t_exact, "TRAP {t_trap} vs exact {t_exact}");
+        // Table II: 6.8% error is acceptable; exact ICP is near-zero.
+        assert!(err_trap < 0.4, "TRAP error {err_trap}");
+        assert!(err_exact < err_trap, "exact {err_exact} vs TRAP {err_trap}");
+    }
+}

@@ -1,0 +1,362 @@
+#![warn(missing_docs)]
+
+//! The six end-to-end RoWild robots (Table I of the Tartan paper),
+//! re-implemented on the instrumented simulator with seeded synthetic
+//! environments.
+//!
+//! | Robot | Resembling | Major algorithms (bold = time-dominant) | Threads |
+//! |---|---|---|---|
+//! | [`DeliBot`]   | Spot          | **MCL**, Greedy                   | 8→1→1 |
+//! | [`PatrolBot`] | Pioneer 3-DX  | **MobileNet**, EKF, PP            | 1→1→1 ∥ 4 |
+//! | [`MoveBot`]   | LoCoBot       | RRT (**NNS**), CCCD, PID          | 1→8→1 |
+//! | [`HomeBot`]   | Roomba i7+    | **Point-based fusion**, BT        | 8→1→1 |
+//! | [`FlyBot`]    | Pelican       | LT, **WA\***, MPC                 | 1→4→4 |
+//! | [`CarriBot`]  | Boxbot        | POM, **A\*** (collision), DMP     | 1→4→1 |
+//!
+//! Every robot implements [`Robot`]: `step` executes one full
+//! perception→planning→control pipeline period with the stage thread
+//! counts above, charging all work to the simulator.
+
+mod carribot;
+mod delibot;
+mod flybot;
+mod homebot;
+mod movebot;
+mod patrolbot;
+
+pub use carribot::CarriBot;
+pub use delibot::DeliBot;
+pub use flybot::FlyBot;
+pub use homebot::HomeBot;
+pub use movebot::MoveBot;
+pub use patrolbot::PatrolBot;
+
+use tartan_kernels::raycast::VecMethod;
+use tartan_sim::{Machine, MachineConfig};
+
+/// Which NNS engine the software uses (§VIII-C, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NnsKind {
+    /// Exhaustive scan (RoWild's baseline).
+    Brute,
+    /// k-d tree (OMPL-style).
+    KdTree,
+    /// LSH without aggressive vectorization (FLANN-like).
+    Flann,
+    /// Tartan's vectorized LSH (VLN).
+    Vln,
+}
+
+/// How the software executes its neural models (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NeuralExec {
+    /// No neural substitution: the original exact function runs on the CPU.
+    #[default]
+    None,
+    /// Neural models run on the attached NPU (hardware acceleration).
+    Npu,
+    /// Neural models substituted but executed in software on the CPU
+    /// (Fig. 8's "S" bars).
+    Software,
+}
+
+/// Per-robot software configuration: which code paths the workload takes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftwareConfig {
+    /// Oriented-access fetch variant (ray-casting, pose collision).
+    pub vec_method: VecMethod,
+    /// NNS engine.
+    pub nns: NnsKind,
+    /// Neural execution mode (AXAR for FlyBot, TRAP for HomeBot, native
+    /// offload for PatrolBot).
+    pub neural: NeuralExec,
+    /// Whether ray-casting refines samples with bilinear interpolation
+    /// (Fig. 7's high-accuracy mode).
+    pub interpolate_raycast: bool,
+}
+
+impl SoftwareConfig {
+    /// Legacy software: scalar loops, brute-force NNS, exact functions.
+    pub fn legacy() -> Self {
+        SoftwareConfig {
+            vec_method: VecMethod::Scalar,
+            nns: NnsKind::Brute,
+            neural: NeuralExec::None,
+            interpolate_raycast: false,
+        }
+    }
+
+    /// Software optimized for Tartan, approximation disallowed: OVEC +
+    /// VLN, exact functions (the paper's 1.61× configuration).
+    pub fn optimized() -> Self {
+        SoftwareConfig {
+            vec_method: VecMethod::Ovec,
+            nns: NnsKind::Vln,
+            neural: NeuralExec::None,
+            interpolate_raycast: false,
+        }
+    }
+
+    /// Fully optimized, approximable software (the paper's 2.11×
+    /// configuration): OVEC + VLN + NPU offloading.
+    pub fn approximable() -> Self {
+        SoftwareConfig {
+            neural: NeuralExec::Npu,
+            ..Self::optimized()
+        }
+    }
+
+    /// Downgrades requests the hardware cannot honor (OVEC instructions on
+    /// a machine without the extension fall back to scalar code; NPU
+    /// execution falls back to software neural models).
+    pub fn effective(mut self, hw: &MachineConfig) -> Self {
+        if self.vec_method == VecMethod::Ovec && !hw.ovec {
+            self.vec_method = VecMethod::Scalar;
+        }
+        if self.neural == NeuralExec::Npu && hw.npu == tartan_sim::NpuMode::None {
+            self.neural = NeuralExec::Software;
+        }
+        self
+    }
+}
+
+/// Workload sizing: `small` keeps unit tests fast; `paper` is used by the
+/// figure/table harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// 2-D occupancy grid side.
+    pub grid2: usize,
+    /// 3-D grid dimensions.
+    pub grid3: (usize, usize, usize),
+    /// MCL particles.
+    pub particles: usize,
+    /// Rays per scan.
+    pub rays: usize,
+    /// RRT node budget.
+    pub rrt_nodes: usize,
+    /// Map cloud size (HomeBot).
+    pub map_points: usize,
+    /// Source points per frame (HomeBot).
+    pub source_points: usize,
+    /// Synthetic image side (PatrolBot).
+    pub image_side: usize,
+    /// PCA components (PatrolBot; the paper uses 50).
+    pub pca_k: usize,
+    /// PatrolBot MLP hidden sizes.
+    pub patrol_hidden: (usize, usize),
+    /// Training epochs for setup-time model fitting.
+    pub train_epochs: usize,
+    /// FlyBot heuristic integration samples.
+    pub heuristic_samples: usize,
+    /// CarriBot heading discretization.
+    pub theta_bins: usize,
+    /// HomeBot depth-image side (per-frame preprocessing work).
+    pub depth_side: usize,
+    /// PatrolBot CNN input side (selects the cost-model preset).
+    pub cnn_input: usize,
+    /// DeliBot's map side (larger than `grid2` so the MCL ray fan exceeds
+    /// the private L2 and exercises the prefetchers).
+    pub delibot_grid: usize,
+}
+
+impl Scale {
+    /// Small scale for unit/integration tests.
+    pub fn small() -> Self {
+        Scale {
+            grid2: 64,
+            grid3: (24, 24, 10),
+            particles: 24,
+            rays: 8,
+            rrt_nodes: 1500,
+            map_points: 600,
+            source_points: 48,
+            image_side: 8,
+            pca_k: 12,
+            patrol_hidden: (256, 128),
+            train_epochs: 40,
+            heuristic_samples: 8,
+            theta_bins: 8,
+            depth_side: 96,
+            cnn_input: 32,
+            delibot_grid: 64,
+        }
+    }
+
+    /// The scale used by the paper-figure harnesses (Table II topologies).
+    pub fn paper() -> Self {
+        Scale {
+            grid2: 256,
+            grid3: (32, 32, 14),
+            particles: 64,
+            rays: 16,
+            rrt_nodes: 5000,
+            map_points: 1200,
+            source_points: 96,
+            image_side: 8,
+            pca_k: 50,
+            patrol_hidden: (1024, 512),
+            train_epochs: 30,
+            heuristic_samples: 16,
+            theta_bins: 8,
+            depth_side: 320,
+            cnn_input: 64,
+            delibot_grid: 448,
+        }
+    }
+}
+
+/// A complete end-to-end robot.
+pub trait Robot {
+    /// Robot name as the paper spells it.
+    fn name(&self) -> &'static str;
+
+    /// Phase labels that constitute the paper's "bottleneck operation" for
+    /// this robot (Fig. 1).
+    fn bottleneck_phases(&self) -> &'static [&'static str];
+
+    /// Executes one perception→planning→control pipeline period.
+    fn step(&mut self, machine: &mut Machine);
+
+    /// A robot-specific output-quality metric (lower is better): MCL pose
+    /// error, path cost ratio, classification error, transform error, …
+    /// Used to check that approximation keeps results acceptable
+    /// (Table II).
+    fn quality(&self) -> f64;
+
+    /// Runs `steps` pipeline periods.
+    fn run(&mut self, machine: &mut Machine, steps: usize) {
+        for _ in 0..steps {
+            self.step(machine);
+        }
+    }
+}
+
+/// Robot identifiers, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RobotKind {
+    /// Delivery quadruped (Spot).
+    DeliBot,
+    /// Patrol wheeled robot (Pioneer 3-DX).
+    PatrolBot,
+    /// Manipulator arm (LoCoBot).
+    MoveBot,
+    /// Vacuum robot (Roomba i7+).
+    HomeBot,
+    /// Aerial drone (Pelican).
+    FlyBot,
+    /// Factory transporter (Boxbot).
+    CarriBot,
+}
+
+impl RobotKind {
+    /// All six robots, in the paper's order.
+    pub fn all() -> [RobotKind; 6] {
+        [
+            RobotKind::DeliBot,
+            RobotKind::PatrolBot,
+            RobotKind::MoveBot,
+            RobotKind::HomeBot,
+            RobotKind::FlyBot,
+            RobotKind::CarriBot,
+        ]
+    }
+
+    /// The robot's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RobotKind::DeliBot => "DeliBot",
+            RobotKind::PatrolBot => "PatrolBot",
+            RobotKind::MoveBot => "MoveBot",
+            RobotKind::HomeBot => "HomeBot",
+            RobotKind::FlyBot => "FlyBot",
+            RobotKind::CarriBot => "CarriBot",
+        }
+    }
+
+    /// The real robot it resembles (Table I).
+    pub fn resembling(self) -> &'static str {
+        match self {
+            RobotKind::DeliBot => "Spot",
+            RobotKind::PatrolBot => "Pioneer 3-DX",
+            RobotKind::MoveBot => "LoCoBot",
+            RobotKind::HomeBot => "Roomba i7+",
+            RobotKind::FlyBot => "Pelican",
+            RobotKind::CarriBot => "Boxbot",
+        }
+    }
+
+    /// Major algorithms (Table I; the first is time-dominant).
+    pub fn algorithms(self) -> &'static str {
+        match self {
+            RobotKind::DeliBot => "MCL, Greedy",
+            RobotKind::PatrolBot => "MobileNet, EKF, PP",
+            RobotKind::MoveBot => "RRT, CCCD, PID",
+            RobotKind::HomeBot => "Point-Based Fusion, BT",
+            RobotKind::FlyBot => "LT, WA*, MPC",
+            RobotKind::CarriBot => "POM, A*, DMP",
+        }
+    }
+
+    /// Pipeline thread counts (Table I).
+    pub fn pipeline_threads(self) -> &'static str {
+        match self {
+            RobotKind::DeliBot => "8 -> 1 -> 1",
+            RobotKind::PatrolBot => "1 -> 1 -> 1 || 4",
+            RobotKind::MoveBot => "1 -> 8 -> 1",
+            RobotKind::HomeBot => "8 -> 1 -> 1",
+            RobotKind::FlyBot => "1 -> 4 -> 4",
+            RobotKind::CarriBot => "1 -> 4 -> 1",
+        }
+    }
+
+    /// Builds the robot on a machine.
+    pub fn build(
+        self,
+        machine: &mut Machine,
+        software: SoftwareConfig,
+        scale: Scale,
+        seed: u64,
+    ) -> Box<dyn Robot> {
+        let software = software.effective(machine.config());
+        match self {
+            RobotKind::DeliBot => Box::new(DeliBot::new(machine, software, scale, seed)),
+            RobotKind::PatrolBot => Box::new(PatrolBot::new(machine, software, scale, seed)),
+            RobotKind::MoveBot => Box::new(MoveBot::new(machine, software, scale, seed)),
+            RobotKind::HomeBot => Box::new(HomeBot::new(machine, software, scale, seed)),
+            RobotKind::FlyBot => Box::new(FlyBot::new(machine, software, scale, seed)),
+            RobotKind::CarriBot => Box::new(CarriBot::new(machine, software, scale, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_downgrades_ovec_without_hardware() {
+        let hw = MachineConfig::upgraded_baseline();
+        let sw = SoftwareConfig::optimized().effective(&hw);
+        assert_eq!(sw.vec_method, VecMethod::Scalar);
+        let hw = MachineConfig::tartan();
+        let sw = SoftwareConfig::optimized().effective(&hw);
+        assert_eq!(sw.vec_method, VecMethod::Ovec);
+    }
+
+    #[test]
+    fn effective_falls_back_to_software_neural() {
+        let hw = MachineConfig::upgraded_baseline();
+        let sw = SoftwareConfig::approximable().effective(&hw);
+        assert_eq!(sw.neural, NeuralExec::Software);
+    }
+
+    #[test]
+    fn table1_catalog_is_complete() {
+        for kind in RobotKind::all() {
+            assert!(!kind.name().is_empty());
+            assert!(!kind.resembling().is_empty());
+            assert!(kind.algorithms().contains(','));
+            assert!(kind.pipeline_threads().contains("->"));
+        }
+    }
+}

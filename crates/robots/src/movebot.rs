@@ -1,0 +1,242 @@
+//! MoveBot — a manipulator arm (LoCoBot-like): RRT planning whose NNS is
+//! the bottleneck once CCCD is parallelized over 8 threads (§III-B), plus
+//! PID joint control. Pipeline threads: 1 → 8 → 1 (Table I).
+
+use std::cell::Cell;
+
+use tartan_kernels::collision::{Cuboid, ObstacleSet};
+use tartan_kernels::control::Pid;
+use tartan_kernels::rrt::{Rrt, RrtConfig};
+use tartan_nns::{DynBrute, DynKdTree, DynLsh, DynNns, LshConfig};
+use tartan_sim::Machine;
+
+use crate::{NnsKind, Robot, Scale, SoftwareConfig};
+
+/// The manipulator robot.
+pub struct MoveBot {
+    software: SoftwareConfig,
+    obstacles: ObstacleSet,
+    obstacle_spheres: Vec<([f32; 3], f32)>,
+    rrt_nodes: usize,
+    seed: u64,
+    step_count: u64,
+    pids: Vec<Pid>,
+    planned: u64,
+    solved: u64,
+    last_path_len: usize,
+    cccd_threads: usize,
+}
+
+impl MoveBot {
+    /// Builds the robot: a cluttered 3-DoF workspace.
+    pub fn new(machine: &mut Machine, software: SoftwareConfig, scale: Scale, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Obstacles: cuboids in the unit workspace (kept away from the
+        // start/goal corners so problems stay solvable).
+        let mut cubes = Vec::new();
+        let mut spheres = Vec::new();
+        for _ in 0..96 {
+            let c: Vec<f32> = (0..3).map(|_| rng.random_range(0.25f32..0.75)).collect();
+            let r = rng.random_range(0.02f32..0.06);
+            cubes.push(Cuboid::new(
+                [c[0] - r, c[1] - r, c[2] - r],
+                [c[0] + r, c[1] + r, c[2] + r],
+            ));
+            spheres.push(([c[0], c[1], c[2]], r * 1.2));
+        }
+        let obstacles = ObstacleSet::new(machine, &cubes);
+        MoveBot {
+            software,
+            obstacles,
+            obstacle_spheres: spheres,
+            rrt_nodes: scale.rrt_nodes,
+            seed,
+            step_count: 0,
+            pids: (0..3).map(|_| Pid::new(0.9, 0.02, 0.1)).collect(),
+            planned: 0,
+            solved: 0,
+            last_path_len: 0,
+            cccd_threads: 8,
+        }
+    }
+
+    /// Fraction of planning queries solved.
+    pub fn success_rate(&self) -> f64 {
+        if self.planned == 0 {
+            1.0
+        } else {
+            self.solved as f64 / self.planned as f64
+        }
+    }
+
+    fn make_engine(&self, machine: &mut Machine) -> Box<dyn DynNns> {
+        match self.software.nns {
+            NnsKind::Brute => Box::new(DynBrute::new()),
+            NnsKind::KdTree => Box::new(DynKdTree::new(machine, self.rrt_nodes + 8)),
+            NnsKind::Flann => Box::new(DynLsh::new(
+                machine,
+                3,
+                self.rrt_nodes + 8,
+                LshConfig::flann(0.5),
+            )),
+            NnsKind::Vln => Box::new(DynLsh::new(
+                machine,
+                3,
+                self.rrt_nodes + 8,
+                LshConfig::vln(0.5),
+            )),
+        }
+    }
+
+    /// Untimed functional collision verdict for an arm configuration.
+    fn config_collides(&self, cfg: &[f32]) -> bool {
+        self.obstacle_spheres.iter().any(|(c, r)| {
+            let d: f32 = cfg.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            d.sqrt() < *r
+        })
+    }
+}
+
+impl Robot for MoveBot {
+    fn name(&self) -> &'static str {
+        "MoveBot"
+    }
+
+    fn bottleneck_phases(&self) -> &'static [&'static str] {
+        &["nns"]
+    }
+
+    fn step(&mut self, machine: &mut Machine) {
+        self.step_count += 1;
+        // Perception (1 thread): sense/update the obstacle bounds.
+        let obstacles = &self.obstacles;
+        machine.run(|p| {
+            let n = obstacles.len();
+            let link = Cuboid::new([0.0; 3], [0.02; 3]);
+            obstacles.cccd(p, &link, 0, n, true);
+        });
+
+        // Planning (8 threads): RRT on thread 0; CCCD fans out so each
+        // thread scans 1/8 of the obstacles per collision query (§III-B).
+        let mut engine = self.make_engine(machine);
+        let mut rrt = Rrt::new(
+            machine,
+            &[0.0; 3],
+            &[1.0; 3],
+            RrtConfig {
+                max_nodes: self.rrt_nodes,
+                step: 0.06,
+                goal_bias: 0.1,
+                goal_tolerance: 0.08,
+                seed: self.seed ^ self.step_count,
+            },
+        );
+        let start = [0.1f32, 0.1, 0.1];
+        let goal = [0.9f32, 0.85, 0.9];
+        let checks = Cell::new(0u64);
+        let n_obs = self.obstacles.len();
+        let slice = n_obs / self.cccd_threads;
+        let threads = self.cccd_threads;
+        let this = &*self;
+        let mut found = false;
+        let mut path_len = 0usize;
+        machine.parallel(threads, |tid, p| {
+            if tid == 0 {
+                let result = rrt.plan(p, &start, &goal, engine.as_mut(), |pp, probe| {
+                    checks.set(checks.get() + 1);
+                    // Timed: this thread's obstacle slice; the functional
+                    // verdict covers the full set.
+                    let link = Cuboid::new(
+                        [probe[0] - 0.02, probe[1] - 0.02, probe[2] - 0.02],
+                        [probe[0] + 0.02, probe[1] + 0.02, probe[2] + 0.02],
+                    );
+                    this.obstacles.cccd(pp, &link, 0, slice, true);
+                    this.config_collides(probe)
+                });
+                if let Some(path) = result {
+                    found = true;
+                    path_len = path.len();
+                }
+            } else {
+                // Worker threads replay their slice of every CCCD query.
+                let n = checks.get();
+                let link = Cuboid::new([0.0; 3], [0.04; 3]);
+                p.with_phase("collision", |p| {
+                    for _ in 0..n {
+                        this.obstacles.cccd(p, &link, tid * slice, (tid + 1) * slice, true);
+                    }
+                });
+            }
+        });
+        self.planned += 1;
+        if found {
+            self.solved += 1;
+            self.last_path_len = path_len;
+        }
+
+        // Control (1 thread): PID tracking of the first path segment.
+        let pids = &mut self.pids;
+        machine.run(|p| {
+            for pid in pids.iter_mut() {
+                for _ in 0..10 {
+                    let _ = pid.step(p, 0.05, 0.02);
+                }
+            }
+        });
+    }
+
+    fn quality(&self) -> f64 {
+        1.0 - self.success_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn movebot_plans_successfully() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut bot = MoveBot::new(&mut m, SoftwareConfig::legacy(), Scale::small(), 5);
+        bot.run(&mut m, 2);
+        assert!(bot.success_rate() > 0.0, "no plans solved");
+    }
+
+    #[test]
+    fn nns_is_the_parallelized_bottleneck() {
+        // §III-B: with CCCD parallelized, NNS consumes ~45% of time.
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let mut bot = MoveBot::new(&mut m, SoftwareConfig::legacy(), Scale::small(), 5);
+        bot.run(&mut m, 2);
+        let stats = m.stats();
+        let nns = stats.phase_fraction("nns");
+        assert!(nns > 0.25, "nns fraction {nns}");
+    }
+
+    #[test]
+    fn vln_software_cuts_nns_time() {
+        // At the small test scale the trees are short, so compare the NNS
+        // phase itself (the robot-scale end-to-end win is exercised by the
+        // Fig. 9 harness at paper scale).
+        let run = |nns: NnsKind| {
+            let mut m = Machine::new(MachineConfig::upgraded_baseline());
+            let sw = SoftwareConfig {
+                nns,
+                ..SoftwareConfig::legacy()
+            };
+            let mut bot = MoveBot::new(&mut m, sw, Scale::small(), 5);
+            bot.run(&mut m, 2);
+            (m.stats().phase_cycles("nns"), bot.success_rate())
+        };
+        let (brute_nns, brute_ok) = run(NnsKind::Brute);
+        let (vln_nns, vln_ok) = run(NnsKind::Vln);
+        assert!(
+            vln_nns < brute_nns,
+            "VLN nns {vln_nns} vs brute nns {brute_nns}"
+        );
+        assert!(vln_ok > 0.0 && brute_ok > 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! The accelerator attachment point: Tartan's NPU (implemented in
+//! `tartan-npu`) plugs into the [`crate::Machine`] through this trait.
+
+/// Cycle cost of one accelerator invocation, split the way Fig. 8 reports
+/// it: CPU↔accelerator communication vs. accelerator compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvokeCost {
+    /// Cycles the CPU spends communicating with the device (send inputs,
+    /// collect outputs).
+    pub comm_cycles: u64,
+    /// Cycles the device spends computing (the CPU waits; fine-grained AXAR
+    /// invocations are synchronous).
+    pub compute_cycles: u64,
+}
+
+impl InvokeCost {
+    /// Total cycles charged to the invoking core.
+    pub fn total(&self) -> u64 {
+        self.comm_cycles + self.compute_cycles
+    }
+}
+
+/// A device tightly coupled to the pipeline (or attached as a co-processor).
+///
+/// Implementations perform the *functional* computation on `inputs`,
+/// append results to `outputs`, and return the modeled timing.
+pub trait Accelerator {
+    /// Runs one invocation.
+    fn invoke(&mut self, inputs: &[f32], outputs: &mut Vec<f32>) -> InvokeCost;
+
+    /// One-time configuration cost in cycles (e.g., streaming MLP weights
+    /// into the PE buffers).
+    fn configure_cost(&self) -> u64 {
+        0
+    }
+
+    /// Device name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Identifier of an attached accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccelId(pub(crate) usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_cost_totals() {
+        let c = InvokeCost {
+            comm_cycles: 8,
+            compute_cycles: 100,
+        };
+        assert_eq!(c.total(), 108);
+    }
+}

@@ -1,0 +1,536 @@
+//! A set-associative cache with true-LRU replacement, prefetched-line
+//! tracking (including *timeliness*), and Tartan's FCP indexing and recency
+//! manipulation (§VII).
+
+use crate::config::FcpConfig;
+use crate::stats::CacheStats;
+
+/// Outcome of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present (including in-flight prefetches).
+    pub hit: bool,
+    /// Whether this was the first demand touch of a *timely* prefetched
+    /// line (a fully covered miss).
+    pub covered_by_prefetch: bool,
+    /// If the access caught an in-flight prefetch that had not yet arrived,
+    /// the remaining cycles until the data is ready (a *late* prefetch:
+    /// §VIII-C-2's "untimeliness"; counted as a miss for coverage).
+    pub late_by: Option<u64>,
+    /// Line evicted to make room, if the access missed and displaced a
+    /// valid victim.
+    pub evicted: Option<EvictedLine>,
+}
+
+/// A line displaced from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line number (byte address / line size) of the victim.
+    pub line_number: u64,
+    /// Whether the victim was dirty (requires a writeback).
+    pub dirty: bool,
+}
+
+/// Outcome of a prefetch insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// The line was already resident; nothing happened.
+    AlreadyPresent,
+    /// The line was inserted; `evicted` reports any displaced victim.
+    Inserted {
+        /// Displaced victim, if any.
+        evicted: Option<EvictedLine>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    line_number: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    /// Cycle (thread-local time domain) at which a prefetched line's data
+    /// arrives.
+    ready: u64,
+    /// LRU age: 0 = most recently used; larger = closer to eviction.
+    age: u32,
+}
+
+/// One set-associative cache level.
+///
+/// The cache stores no data — only tags and replacement metadata — because
+/// the simulator is execution-driven: functional values live in the
+/// workload's own memory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: u32,
+    latency: u64,
+    line_bytes: u64,
+    fcp: Option<FcpConfig>,
+    lines: Vec<Line>,
+    /// Public running statistics for this level.
+    pub stats: CacheStats,
+}
+
+/// Age values saturate here so FCP's `x²` manipulation cannot overflow.
+const AGE_MAX: u32 = 1 << 15;
+
+impl Cache {
+    /// Creates a cache level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two, if the geometry is degenerate,
+    /// or if an FCP configuration is inconsistent with the line size
+    /// (`region < 2^l` lines).
+    pub fn new(
+        size_bytes: u64,
+        ways: u32,
+        latency: u64,
+        line_bytes: u64,
+        fcp: Option<FcpConfig>,
+    ) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(ways >= 1, "cache needs at least one way");
+        let sets = size_bytes / (line_bytes * u64::from(ways));
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        if let Some(fcp) = fcp {
+            let lines_per_region = fcp.region_bytes / line_bytes;
+            assert!(
+                lines_per_region.is_power_of_two() && lines_per_region >= (1 << fcp.xor_bits),
+                "FCP region must hold at least 2^l lines"
+            );
+        }
+        Cache {
+            sets,
+            ways,
+            latency,
+            line_bytes,
+            fcp,
+            lines: vec![Line::default(); (sets as usize) * (ways as usize)],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access latency of this level in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Computes the set index for a line number.
+    ///
+    /// Without FCP this is the conventional low-order-bits index. With FCP
+    /// (§VII-B) the index is *region-based*: the region number provides the
+    /// index, with the high-order `l` bits of the intra-region offset XORed
+    /// into its low-order `l` bits. Lines of one region therefore spread
+    /// over exactly `2^l` sets — enough sets to exploit spatial locality,
+    /// few enough that a runaway region cannot monopolize the cache. The
+    /// low-order offset bits are excluded from the XOR so that next-line
+    /// prefetch bursts land set-local rather than hashing across the whole
+    /// cache.
+    pub fn index_of(&self, line_number: u64) -> u64 {
+        match self.fcp {
+            None => line_number & (self.sets - 1),
+            Some(fcp) => {
+                let lines_per_region = fcp.region_bytes / self.line_bytes;
+                let offset_bits = lines_per_region.trailing_zeros();
+                let offset = line_number & (lines_per_region - 1);
+                let region = line_number >> offset_bits;
+                let offset_high = offset >> (offset_bits - fcp.xor_bits);
+                (region ^ offset_high) & (self.sets - 1)
+            }
+        }
+    }
+
+    fn set_slice(&mut self, index: u64) -> &mut [Line] {
+        let start = (index as usize) * (self.ways as usize);
+        &mut self.lines[start..start + self.ways as usize]
+    }
+
+    /// True-LRU touch: the accessed way becomes age 0, ways that were
+    /// younger than it age by one.
+    fn touch(set: &mut [Line], way: usize) {
+        let old_age = set[way].age;
+        for (w, line) in set.iter_mut().enumerate() {
+            if w != way && line.valid && line.age < old_age {
+                line.age = (line.age + 1).min(AGE_MAX);
+            }
+        }
+        set[way].age = 0;
+    }
+
+    fn find(set: &[Line], line_number: u64) -> Option<usize> {
+        set.iter()
+            .position(|l| l.valid && l.line_number == line_number)
+    }
+
+    fn victim(set: &[Line]) -> usize {
+        if let Some(w) = set.iter().position(|l| !l.valid) {
+            return w;
+        }
+        set.iter()
+            .enumerate()
+            .max_by_key(|(w, l)| (l.age, usize::MAX - w))
+            .map(|(w, _)| w)
+            .expect("set is non-empty")
+    }
+
+    /// Applies FCP's recency manipulation `m(x)` to resident lines that
+    /// share the filled line's region (§VII-B, steps 3–5 of Fig. 5).
+    fn manipulate_region(&mut self, index: u64, filled_line: u64) {
+        let Some(fcp) = self.fcp else { return };
+        let lines_per_region = fcp.region_bytes / self.line_bytes;
+        let region = filled_line / lines_per_region;
+        let m = fcp.manipulation;
+        for line in self.set_slice(index) {
+            if line.valid
+                && line.line_number != filled_line
+                && line.line_number / lines_per_region == region
+            {
+                line.age = m.apply(line.age).min(AGE_MAX);
+            }
+        }
+    }
+
+    /// Performs a demand access (load or store) on a line at thread-local
+    /// time `now`.
+    pub fn access(&mut self, line_number: u64, is_write: bool, now: u64) -> AccessOutcome {
+        self.stats.accesses += 1;
+        let index = self.index_of(line_number);
+        let set = self.set_slice(index);
+        if let Some(way) = Self::find(set, line_number) {
+            let was_prefetched = set[way].prefetched;
+            let ready = set[way].ready;
+            set[way].prefetched = false;
+            if is_write {
+                set[way].dirty = true;
+            }
+            Self::touch(set, way);
+            if was_prefetched {
+                self.stats.prefetches_useful += 1;
+                if ready <= now {
+                    // Timely prefetch: the miss is fully covered.
+                    self.stats.prefetch_covered += 1;
+                    return AccessOutcome {
+                        hit: true,
+                        covered_by_prefetch: true,
+                        late_by: None,
+                        evicted: None,
+                    };
+                }
+                // Late prefetch: the line is in flight; the access waits for
+                // the remainder and counts as a miss for coverage.
+                self.stats.misses += 1;
+                self.stats.prefetches_late += 1;
+                return AccessOutcome {
+                    hit: true,
+                    covered_by_prefetch: false,
+                    late_by: Some(ready - now),
+                    evicted: None,
+                };
+            }
+            self.stats.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                covered_by_prefetch: false,
+                late_by: None,
+                evicted: None,
+            };
+        }
+        // Miss: fill.
+        self.stats.misses += 1;
+        let evicted = self.fill(index, line_number, is_write, false, 0);
+        AccessOutcome {
+            hit: false,
+            covered_by_prefetch: false,
+            late_by: None,
+            evicted,
+        }
+    }
+
+    /// Inserts a prefetched line whose data arrives at `ready`.
+    pub fn insert_prefetch(&mut self, line_number: u64, ready: u64) -> PrefetchOutcome {
+        let index = self.index_of(line_number);
+        let set = self.set_slice(index);
+        if Self::find(set, line_number).is_some() {
+            return PrefetchOutcome::AlreadyPresent;
+        }
+        self.stats.prefetches_issued += 1;
+        let evicted = self.fill(index, line_number, false, true, ready);
+        PrefetchOutcome::Inserted { evicted }
+    }
+
+    fn fill(
+        &mut self,
+        index: u64,
+        line_number: u64,
+        dirty: bool,
+        prefetched: bool,
+        ready: u64,
+    ) -> Option<EvictedLine> {
+        let set = self.set_slice(index);
+        let way = Self::victim(set);
+        let evicted = if set[way].valid {
+            Some(EvictedLine {
+                line_number: set[way].line_number,
+                dirty: set[way].dirty,
+            })
+        } else {
+            None
+        };
+        set[way] = Line {
+            line_number,
+            valid: true,
+            dirty,
+            prefetched,
+            ready,
+            // Start "infinitely old" so the touch below ages every other
+            // resident line by one, as a true LRU stack would.
+            age: AGE_MAX,
+        };
+        Self::touch(set, way);
+        if let Some(ev) = evicted {
+            self.stats.evictions += 1;
+            if ev.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.manipulate_region(index, line_number);
+        evicted
+    }
+
+    /// Whether a line is currently resident (no state change).
+    pub fn contains(&self, line_number: u64) -> bool {
+        let index = self.index_of(line_number);
+        let start = (index as usize) * (self.ways as usize);
+        self.lines[start..start + self.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.line_number == line_number)
+    }
+
+    /// Number of currently valid lines (for invariants/testing).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Invalidates everything, keeping statistics.
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FcpManipulation;
+
+    fn small_cache() -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(512, 2, 4, 64, None)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small_cache();
+        let first = c.access(10, false, 0);
+        assert!(!first.hit);
+        let second = c.access(10, false, 10);
+        assert!(second.hit);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (index = line & 3).
+        c.access(0, false, 0);
+        c.access(4, false, 0);
+        c.access(0, false, 0); // 0 is now MRU, 4 is LRU
+        let out = c.access(8, false, 0);
+        assert_eq!(
+            out.evicted,
+            Some(EvictedLine {
+                line_number: 4,
+                dirty: false
+            })
+        );
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.access(0, true, 0);
+        c.access(4, false, 0);
+        let out = c.access(8, false, 0);
+        assert_eq!(
+            out.evicted,
+            Some(EvictedLine {
+                line_number: 0,
+                dirty: true
+            })
+        );
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn timely_prefetch_covers_demand() {
+        let mut c = small_cache();
+        assert!(matches!(
+            c.insert_prefetch(12, 50),
+            PrefetchOutcome::Inserted { .. }
+        ));
+        assert!(matches!(
+            c.insert_prefetch(12, 50),
+            PrefetchOutcome::AlreadyPresent
+        ));
+        let out = c.access(12, false, 100);
+        assert!(out.hit && out.covered_by_prefetch && out.late_by.is_none());
+        // Second touch is a plain hit.
+        let out2 = c.access(12, false, 101);
+        assert!(out2.hit && !out2.covered_by_prefetch);
+        assert_eq!(c.stats.prefetch_covered, 1);
+        assert_eq!(c.stats.prefetches_useful, 1);
+        assert_eq!(c.stats.prefetches_issued, 1);
+    }
+
+    #[test]
+    fn late_prefetch_counts_as_miss_and_waits() {
+        let mut c = small_cache();
+        c.insert_prefetch(12, 500);
+        let out = c.access(12, false, 100);
+        assert!(out.hit && !out.covered_by_prefetch);
+        assert_eq!(out.late_by, Some(400));
+        assert_eq!(c.stats.prefetches_late, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.prefetch_covered, 0);
+        // The line has arrived by the next touch: plain hit.
+        let out2 = c.access(12, false, 600);
+        assert!(out2.hit && out2.late_by.is_none());
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = small_cache();
+        for line in 0..100 {
+            c.access(line, line % 3 == 0, line);
+        }
+        assert!(c.valid_lines() <= 8);
+    }
+
+    fn fcp_cache(l: u32, m: FcpManipulation) -> Cache {
+        // 16 sets × 4 ways × 64 B = 4 KB; regions of 512 B = 8 lines.
+        Cache::new(
+            4096,
+            4,
+            4,
+            64,
+            Some(FcpConfig {
+                region_bytes: 512,
+                xor_bits: l,
+                manipulation: m,
+            }),
+        )
+    }
+
+    #[test]
+    fn fcp_spreads_region_over_2_to_l_sets() {
+        for l in [1u32, 2, 3] {
+            let c = fcp_cache(l, FcpManipulation::Square);
+            // All 8 lines of region 5.
+            let mut sets: Vec<u64> = (0..8).map(|o| c.index_of(5 * 8 + o)).collect();
+            sets.sort_unstable();
+            sets.dedup();
+            assert_eq!(sets.len(), 1 << l, "l = {l}");
+        }
+    }
+
+    #[test]
+    fn fcp_indexing_separates_regions() {
+        let c = fcp_cache(2, FcpManipulation::Square);
+        // Offset-0 lines of 16 consecutive regions hit 16 distinct sets.
+        let mut sets: Vec<u64> = (0..16).map(|r| c.index_of(r * 8)).collect();
+        sets.sort_unstable();
+        sets.dedup();
+        assert_eq!(sets.len(), 16);
+    }
+
+    #[test]
+    fn fcp_manipulation_ages_region_mates() {
+        // With m(x) = x², filling lines from one region repeatedly ages
+        // the region's other lines, so a *different* region's line survives
+        // contention that plain LRU would lose.
+        let mut c = fcp_cache(1, FcpManipulation::Square);
+        // Region A = region 0 (lines 0..8); region B = region 16 (lines 128..136).
+        let a0 = 0u64;
+        let b0 = 128u64;
+        assert_eq!(c.index_of(a0), c.index_of(b0));
+        c.access(b0, false, 0); // B resident
+        // Stream region-A lines mapping to the same set (offset_high = 0).
+        c.access(0, false, 1);
+        c.access(1, false, 2);
+        c.access(2, false, 3);
+        c.access(3, false, 4);
+        assert!(c.contains(b0), "FCP must protect the other region's line");
+    }
+
+    #[test]
+    fn plain_lru_would_evict_other_region() {
+        // Control for the test above: without FCP, streaming one region
+        // through a set evicts the bystander.
+        let mut c = Cache::new(4096 / 16, 4, 4, 64, None); // 1 set × 4 ways
+        c.access(100, false, 0);
+        c.access(0, false, 1);
+        c.access(1, false, 2);
+        c.access(2, false, 3);
+        c.access(3, false, 4);
+        assert!(!c.contains(100));
+    }
+
+    #[test]
+    fn flush_clears_contents_but_not_stats() {
+        let mut c = small_cache();
+        c.access(3, false, 0);
+        c.flush();
+        assert!(!c.contains(3));
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FCP region must hold")]
+    fn fcp_region_smaller_than_xor_span_rejected() {
+        let _ = Cache::new(
+            4096,
+            4,
+            4,
+            64,
+            Some(FcpConfig {
+                region_bytes: 128, // 2 lines, but l = 2 needs ≥ 4
+                xor_bits: 2,
+                manipulation: FcpManipulation::Square,
+            }),
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Machine configuration: the baseline processor of §III-A and every knob
+//! Tartan adds to it.
+
+/// Vector ISA generation, which fixes the number of 32-bit lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorIsa {
+    /// 256-bit AVX2 (8 × f32 lanes) — the legacy baseline.
+    Avx2,
+    /// 512-bit AVX-512 (16 × f32 lanes) — the upgraded baseline (§III-A).
+    Avx512,
+}
+
+impl VectorIsa {
+    /// Number of 32-bit lanes per vector register.
+    pub fn lanes(self) -> usize {
+        match self {
+            VectorIsa::Avx2 => 8,
+            VectorIsa::Avx512 => 16,
+        }
+    }
+}
+
+/// Which hardware prefetcher is attached to the private L2 (§VI-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    #[default]
+    None,
+    /// Classic next-line.
+    NextLine,
+    /// Tartan's Adaptive Next-Line.
+    Anl,
+    /// Bingo-like spatial prefetcher.
+    Bingo,
+}
+
+/// The recency-manipulation function `m(x)` applied by FCP (§VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FcpManipulation {
+    /// `m(x) = x + 1`.
+    Increment,
+    /// `m(x) = 2x`.
+    Double,
+    /// `m(x) = x²` — the paper's choice (implemented as an 8-entry LUT).
+    Square,
+}
+
+impl FcpManipulation {
+    /// Applies the manipulation to a recency value (saturating).
+    pub fn apply(self, x: u32) -> u32 {
+        match self {
+            FcpManipulation::Increment => x.saturating_add(1),
+            FcpManipulation::Double => x.saturating_mul(2),
+            FcpManipulation::Square => x.saturating_mul(x),
+        }
+    }
+}
+
+/// Fuzzy intra-application Cache Partitioning configuration (§VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FcpConfig {
+    /// Region size in bytes (the paper sweeps 512 B and 1 KB, picking 1 KB).
+    pub region_bytes: u64,
+    /// Number of region/offset bits XORed into the index (2 or 3).
+    pub xor_bits: u32,
+    /// The recency manipulation function.
+    pub manipulation: FcpManipulation,
+}
+
+impl FcpConfig {
+    /// The configuration the paper selects: 1 KB regions, `l = 2`, `m(x) = x²`.
+    pub fn paper_default() -> Self {
+        FcpConfig {
+            region_bytes: 1024,
+            xor_bits: 2,
+            manipulation: FcpManipulation::Square,
+        }
+    }
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Access latency in core clock cycles.
+    pub latency: u64,
+}
+
+/// NPU attachment mode (§VIII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NpuMode {
+    /// No NPU present.
+    #[default]
+    None,
+    /// Integrated into the CPU pipeline, with the given number of PEs.
+    /// CPU↔NPU communication costs 4 cycles per transfer direction.
+    Integrated {
+        /// Number of processing elements (2, 4, or 8 evaluated).
+        pes: u32,
+    },
+    /// Stand-alone co-processor (FSD-style): 104-cycle communication,
+    /// optimistically zero-cycle inference.
+    Coprocessor,
+}
+
+/// Full machine configuration.
+///
+/// The default is the paper's baseline host, an Intel Core i7-10610U-like
+/// part: 4 OoO cores; 32 KB L1-D (4 cy), 256 KB L2 (14 cy), 8 MB shared L3
+/// (45 cy); two DDR4-2666 channels at 45.8 GB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores (each with private L1/L2).
+    pub cores: usize,
+    /// Cache line size in bytes (64 B baseline, 32 B upgraded §III-A).
+    pub line_bytes: u64,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2 cache.
+    pub l2: CacheConfig,
+    /// Shared L3 cache.
+    pub l3: CacheConfig,
+    /// DRAM access latency in cycles (beyond L3).
+    pub dram_latency: u64,
+    /// DRAM bandwidth in bytes per core cycle (both channels combined).
+    pub dram_bytes_per_cycle: u64,
+    /// Superscalar issue width (instructions per cycle when not stalled).
+    pub issue_width: u64,
+    /// Memory-level-parallelism factor: independent misses overlap by this
+    /// factor in the OoO window.
+    pub mlp: u64,
+    /// Number of L1 ports (parallel lane-address issue limit for OVEC and
+    /// gather).
+    pub l1_ports: u64,
+    /// Vector ISA generation.
+    pub vector_isa: VectorIsa,
+    /// Whether the OVEC oriented-vector-load extension is present (§IV).
+    pub ovec: bool,
+    /// OVEC's in-hardware address-generation latency in cycles (§VIII-A: 5).
+    pub ovec_addr_gen_latency: u64,
+    /// L2 prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// ANL region size in bytes (§VI-D default: 1 KB).
+    pub anl_region_bytes: u64,
+    /// FCP on the private L2, if enabled.
+    pub fcp: Option<FcpConfig>,
+    /// NPU attachment.
+    pub npu: NpuMode,
+    /// NPU MAC latency in cycles (§VIII-B: 8).
+    pub npu_mac_latency: u64,
+    /// CPU↔NPU communication latency in cycles for the integrated mode.
+    pub npu_comm_latency: u64,
+    /// CPU↔NPU communication latency for the co-processor mode (§VIII-B: 104).
+    pub npu_coproc_comm_latency: u64,
+    /// Whether write-through producer/consumer regions are honored (§III-A).
+    pub write_through_regions: bool,
+    /// Intel ray-casting accelerator model: zero-cycle trilinear
+    /// interpolation plus unlimited local voxel storage (Fig. 7).
+    pub intel_lvs: bool,
+}
+
+impl MachineConfig {
+    /// The legacy baseline: AVX2, 64 B lines, no Tartan features.
+    pub fn legacy_baseline() -> Self {
+        MachineConfig {
+            cores: 4,
+            line_bytes: 64,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                latency: 14,
+            },
+            l3: CacheConfig {
+                size_bytes: 8 * 1024 * 1024,
+                ways: 16,
+                latency: 45,
+            },
+            dram_latency: 200,
+            dram_bytes_per_cycle: 16,
+            issue_width: 4,
+            mlp: 4,
+            l1_ports: 2,
+            vector_isa: VectorIsa::Avx2,
+            ovec: false,
+            ovec_addr_gen_latency: 5,
+            prefetcher: PrefetcherKind::None,
+            anl_region_bytes: 1024,
+            fcp: None,
+            npu: NpuMode::None,
+            npu_mac_latency: 8,
+            npu_comm_latency: 4,
+            npu_coproc_comm_latency: 104,
+            write_through_regions: false,
+            intel_lvs: false,
+        }
+    }
+
+    /// The upgraded baseline of §III-A: AVX-512, 32 B cachelines, and
+    /// write-through producer/consumer regions.
+    pub fn upgraded_baseline() -> Self {
+        MachineConfig {
+            line_bytes: 32,
+            vector_isa: VectorIsa::Avx512,
+            write_through_regions: true,
+            ..Self::legacy_baseline()
+        }
+    }
+
+    /// Full Tartan: the upgraded baseline plus OVEC, a 4-PE integrated NPU,
+    /// the ANL prefetcher, and FCP with the paper's parameters.
+    pub fn tartan() -> Self {
+        MachineConfig {
+            ovec: true,
+            prefetcher: PrefetcherKind::Anl,
+            fcp: Some(FcpConfig::paper_default()),
+            npu: NpuMode::Integrated { pes: 4 },
+            ..Self::upgraded_baseline()
+        }
+    }
+
+    /// Number of sets in a cache level given this line size.
+    pub fn sets(&self, level: CacheConfig) -> u64 {
+        level.size_bytes / (self.line_bytes * u64::from(level.ways))
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::upgraded_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_host() {
+        let c = MachineConfig::legacy_baseline();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l3.size_bytes, 8 * 1024 * 1024);
+        assert_eq!((c.l1.latency, c.l2.latency, c.l3.latency), (4, 14, 45));
+    }
+
+    #[test]
+    fn upgraded_baseline_shrinks_lines_and_widens_vectors() {
+        let c = MachineConfig::upgraded_baseline();
+        assert_eq!(c.line_bytes, 32);
+        assert_eq!(c.vector_isa.lanes(), 16);
+        assert!(c.write_through_regions);
+        assert!(!c.ovec);
+    }
+
+    #[test]
+    fn tartan_enables_all_features() {
+        let c = MachineConfig::tartan();
+        assert!(c.ovec);
+        assert_eq!(c.prefetcher, PrefetcherKind::Anl);
+        assert_eq!(c.fcp, Some(FcpConfig::paper_default()));
+        assert_eq!(c.npu, NpuMode::Integrated { pes: 4 });
+    }
+
+    #[test]
+    fn set_counts_scale_with_line_size() {
+        let legacy = MachineConfig::legacy_baseline();
+        let upgraded = MachineConfig::upgraded_baseline();
+        assert_eq!(legacy.sets(legacy.l2), 512);
+        assert_eq!(upgraded.sets(upgraded.l2), 1024);
+    }
+
+    #[test]
+    fn manipulation_functions_match_paper() {
+        assert_eq!(FcpManipulation::Increment.apply(3), 4);
+        assert_eq!(FcpManipulation::Double.apply(3), 6);
+        assert_eq!(FcpManipulation::Square.apply(3), 9);
+    }
+}

@@ -1,0 +1,553 @@
+//! The simulated machine and the per-thread execution handle [`Proc`].
+//!
+//! The simulator is *execution-driven*: workloads are ordinary Rust code
+//! whose data accesses flow through [`Proc`] (usually via
+//! [`Buffer`](crate::Buffer)), driving the cache hierarchy and accumulating
+//! a cycle/instruction timing model.
+//!
+//! # Timing model
+//!
+//! * Instructions retire at `issue_width` per cycle when not stalled.
+//! * Independent loads overlap in the out-of-order window: only
+//!   `(latency − L1)/mlp` cycles stall the core. L1 hits are fully hidden.
+//! * Dependent loads (pointer chases, loop-carried addresses) stall for
+//!   their full latency — this is what makes k-d-tree traversal expensive
+//!   (§VIII-C) and scalar ray-casting slow (§IV).
+//! * Vector loads/gathers/OVEC loads issue their lane addresses limited by
+//!   the number of L1 ports and complete at the slowest lane.
+
+use std::collections::BTreeMap;
+
+use crate::accel::{AccelId, Accelerator, InvokeCost};
+use crate::config::MachineConfig;
+use crate::memory::{AccessKind, MemPolicy, MemorySystem};
+use crate::stats::{MachineStats, PhaseStats};
+use crate::vector::oriented_lane_indices;
+
+/// Phase name used for cycles not attributed to any named phase.
+pub const PHASE_OTHER: &str = "other";
+
+/// Phase name that accumulates CPU↔accelerator communication time (Fig. 8).
+pub const PHASE_COMM: &str = "communication";
+
+/// The simulated machine: cores, memory system, attached accelerators, and
+/// an address-space allocator.
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    accels: Vec<Box<dyn Accelerator + Send>>,
+    pub(crate) next_addr: u64,
+    wall_cycles: u64,
+    instructions: u64,
+    phases: BTreeMap<&'static str, PhaseStats>,
+}
+
+impl Machine {
+    /// Creates a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mem = MemorySystem::new(&cfg);
+        Machine {
+            cfg,
+            mem,
+            accels: Vec::new(),
+            next_addr: 0x1_0000,
+            wall_cycles: 0,
+            instructions: 0,
+            phases: BTreeMap::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Attaches an accelerator (e.g., the Tartan NPU) and returns its id.
+    pub fn attach_accelerator(&mut self, accel: Box<dyn Accelerator + Send>) -> AccelId {
+        self.accels.push(accel);
+        AccelId(self.accels.len() - 1)
+    }
+
+    /// Runs a single-threaded section on core 0, advancing wall time by the
+    /// cycles it consumes.
+    pub fn run<R>(&mut self, f: impl FnOnce(&mut Proc) -> R) -> R {
+        let mut proc = Proc::new(self, 0);
+        let r = f(&mut proc);
+        let cycles = proc.finish();
+        self.wall_cycles += cycles;
+        r
+    }
+
+    /// Runs a parallel stage of `threads` threads (Table I pipeline stages).
+    ///
+    /// Threads execute functionally in sequence but each on its own timing
+    /// context; threads are assigned round-robin to the machine's cores and
+    /// the stage advances wall time by the most loaded core's total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn parallel<R>(&mut self, threads: usize, mut f: impl FnMut(usize, &mut Proc) -> R) -> Vec<R> {
+        assert!(threads > 0, "a stage needs at least one thread");
+        let cores = self.cfg.cores;
+        let mut core_load = vec![0u64; cores];
+        let mut results = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let core = tid % cores;
+            let mut proc = Proc::new(self, core);
+            let r = f(tid, &mut proc);
+            let cycles = proc.finish();
+            core_load[core] += cycles;
+            results.push(r);
+        }
+        self.wall_cycles += core_load.iter().copied().max().unwrap_or(0);
+        results
+    }
+
+    /// Total wall-clock cycles so far.
+    pub fn wall_cycles(&self) -> u64 {
+        self.wall_cycles
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            l1: self.mem.l1_stats(),
+            l2: self.mem.l2_stats(),
+            l3: self.mem.l3_stats(),
+            dram_bytes: self.mem.dram_bytes,
+            l3_traffic_bytes: self.mem.l3_traffic_bytes,
+            instructions: self.instructions,
+            wall_cycles: self.wall_cycles,
+            phases: self.phases.clone(),
+        }
+    }
+
+    /// Direct access to the memory system (diagnostics/tests).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    fn charge_phase(&mut self, phase: &'static str, cycles: u64, instructions: u64) {
+        let entry = self.phases.entry(phase).or_default();
+        entry.cycles += cycles;
+        entry.instructions += instructions;
+        self.instructions += instructions;
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("wall_cycles", &self.wall_cycles)
+            .field("instructions", &self.instructions)
+            .field("accelerators", &self.accels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A thread's execution handle: charges instructions, memory accesses,
+/// vector operations, and accelerator invocations against one core.
+#[derive(Debug)]
+pub struct Proc<'m> {
+    machine: &'m mut Machine,
+    core: usize,
+    cycles: u64,
+    instr_carry: u64,
+    phase: &'static str,
+}
+
+impl<'m> Proc<'m> {
+    fn new(machine: &'m mut Machine, core: usize) -> Self {
+        Proc {
+            machine,
+            core,
+            cycles: 0,
+            instr_carry: 0,
+            phase: PHASE_OTHER,
+        }
+    }
+
+    fn finish(mut self) -> u64 {
+        self.fold_issue();
+        self.cycles
+    }
+
+    /// The core this thread runs on.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.machine.cfg
+    }
+
+    /// Vector lanes (f32) of the configured vector ISA.
+    pub fn lanes(&self) -> usize {
+        self.machine.cfg.vector_isa.lanes()
+    }
+
+    /// Cycles elapsed on this thread so far.
+    pub fn elapsed(&self) -> u64 {
+        self.cycles + self.instr_carry / self.machine.cfg.issue_width
+    }
+
+    /// Currently active phase label.
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+
+    /// Switches the active phase, returning the previous one.
+    pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
+        self.fold_issue();
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Runs `f` with the given phase label active.
+    pub fn with_phase<R>(&mut self, phase: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.set_phase(phase);
+        let r = f(self);
+        self.set_phase(prev);
+        r
+    }
+
+    /// Converts accumulated instructions into issue cycles.
+    fn fold_issue(&mut self) {
+        let width = self.machine.cfg.issue_width;
+        let cycles = self.instr_carry / width;
+        if cycles > 0 {
+            self.instr_carry %= width;
+            self.cycles += cycles;
+            self.machine.charge_phase(self.phase, cycles, 0);
+        }
+    }
+
+    /// Charges `n` dynamic instructions (ALU/FP/branch/address arithmetic).
+    pub fn instr(&mut self, n: u64) {
+        self.instr_carry += n;
+        self.machine.charge_phase(self.phase, 0, n);
+        if self.instr_carry >= self.machine.cfg.issue_width {
+            self.fold_issue();
+        }
+    }
+
+    /// Charges `n` floating-point operations (alias of [`Proc::instr`]).
+    pub fn flop(&mut self, n: u64) {
+        self.instr(n);
+    }
+
+    /// Charges raw stall cycles.
+    pub fn stall(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.machine.charge_phase(self.phase, cycles, 0);
+    }
+
+    fn stall_to(&mut self, phase: &'static str, cycles: u64) {
+        self.cycles += cycles;
+        self.machine.charge_phase(phase, cycles, 0);
+    }
+
+    /// Converts a raw memory latency into the core-visible stall, modeling
+    /// out-of-order overlap for independent accesses.
+    fn overlap(&self, raw: u64, dependent: bool) -> u64 {
+        let l1 = self.machine.mem.l1_latency();
+        if dependent {
+            raw
+        } else if raw <= l1 {
+            0
+        } else {
+            (raw - l1).div_ceil(self.machine.cfg.mlp)
+        }
+    }
+
+    /// An independent (OoO-overlappable) load.
+    pub fn read(&mut self, pc: u64, addr: u64, bytes: u64, policy: MemPolicy) {
+        self.instr(1);
+        let raw = self
+            .machine
+            .mem
+            .access(self.core, pc, addr, bytes, AccessKind::Read, policy, self.cycles);
+        let stall = self.overlap(raw, false);
+        self.stall(stall);
+    }
+
+    /// A dependent load: the next instruction needs its value (pointer
+    /// chase / loop-carried address). Stalls for the full latency.
+    pub fn read_dep(&mut self, pc: u64, addr: u64, bytes: u64, policy: MemPolicy) {
+        self.instr(1);
+        let raw = self
+            .machine
+            .mem
+            .access(self.core, pc, addr, bytes, AccessKind::Read, policy, self.cycles);
+        self.stall(raw);
+    }
+
+    /// A store (buffered; stalls only on deep misses, amortized).
+    pub fn write(&mut self, pc: u64, addr: u64, bytes: u64, policy: MemPolicy) {
+        self.instr(1);
+        let raw = self
+            .machine
+            .mem
+            .access(self.core, pc, addr, bytes, AccessKind::Write, policy, self.cycles);
+        let stall = self.overlap(raw, false);
+        self.stall(stall);
+    }
+
+    /// A contiguous vector load of `bytes` starting at `addr`: one vector
+    /// instruction per register width, lanes overlap like independent loads.
+    pub fn vload(&mut self, pc: u64, addr: u64, bytes: u64, policy: MemPolicy) {
+        let reg_bytes = (self.lanes() * 4) as u64;
+        self.instr(bytes.div_ceil(reg_bytes));
+        let line = self.machine.mem.line_bytes();
+        let first = addr / line;
+        let last = (addr + bytes - 1) / line;
+        let mut worst = 0;
+        for l in first..=last {
+            let raw =
+                self.machine
+                    .mem
+                    .access(self.core, pc, l * line, 1, AccessKind::Read, policy, self.cycles);
+            worst = worst.max(raw);
+        }
+        let serial = (last - first).div_ceil(self.machine.cfg.l1_ports);
+        let stall = self.overlap(worst, false) + serial;
+        self.stall(stall);
+    }
+
+    /// A hardware gather (`VGATHERDPS`-style): one vector instruction whose
+    /// lane addresses were computed in *software* (the caller must charge
+    /// those index-arithmetic instructions itself, as the paper's Gather
+    /// baseline does, §VIII-A). Like any load instruction it overlaps in
+    /// the OoO window; the L1 ports bound lane issue throughput.
+    pub fn vgather(&mut self, pc: u64, addrs: &[u64], elem_bytes: u64, policy: MemPolicy) {
+        self.instr(1);
+        let worst = self.lane_fetch(pc, addrs, elem_bytes, policy);
+        let serial = (addrs.len() as u64).div_ceil(self.machine.cfg.l1_ports.max(1));
+        let stall = self.overlap(worst, false) + serial;
+        self.stall(stall);
+    }
+
+    /// An OVEC oriented vector load (§IV): in-hardware parallel address
+    /// generation (5 cycles, pipelined into the load path) followed by
+    /// lane fetches. Returns the lane element indices so the caller can
+    /// read its functional data.
+    ///
+    /// `base` is the byte address of element 0, `origin`/`orient` are in
+    /// (possibly fractional) element units; lane indices clamp to
+    /// `[0, max_elems)` — the grid's edge, which the walk treats as
+    /// occupied anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was configured without OVEC support, or if
+    /// `max_elems` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn oriented_load(
+        &mut self,
+        pc: u64,
+        base: u64,
+        origin: f64,
+        orient: f64,
+        lanes: usize,
+        elem_bytes: u64,
+        max_elems: u64,
+        policy: MemPolicy,
+    ) -> Vec<i64> {
+        assert!(
+            self.machine.cfg.ovec,
+            "O_MOVE executed on a machine without OVEC support"
+        );
+        assert!(max_elems > 0, "oriented load needs a nonempty buffer");
+        let indices: Vec<i64> = oriented_lane_indices(origin, orient, lanes)
+            .into_iter()
+            .map(|i| i.clamp(0, max_elems as i64 - 1))
+            .collect();
+        self.instr(1);
+        let addrs: Vec<u64> = indices
+            .iter()
+            .map(|&i| base + i as u64 * elem_bytes)
+            .collect();
+        let worst = self.lane_fetch(pc, &addrs, elem_bytes, policy);
+        let serial = (lanes as u64).div_ceil(self.machine.cfg.l1_ports.max(1));
+        // The address generator adds its latency in front of the load's;
+        // the whole O_MOVE overlaps in the OoO window like other loads.
+        let stall = self
+            .overlap(self.machine.cfg.ovec_addr_gen_latency + worst, false)
+            + serial;
+        self.stall(stall);
+        indices
+    }
+
+    /// Issues a set of lane addresses, returning the slowest lane's raw
+    /// latency. Consecutive lanes falling in one line cost a single probe.
+    fn lane_fetch(&mut self, pc: u64, addrs: &[u64], elem_bytes: u64, policy: MemPolicy) -> u64 {
+        let mut worst = 0;
+        let line = self.machine.mem.line_bytes();
+        let mut last_line = u64::MAX;
+        for &a in addrs {
+            let l = a / line;
+            if l != last_line {
+                let raw = self
+                    .machine
+                    .mem
+                    .access(self.core, pc, a, elem_bytes, AccessKind::Read, policy, self.cycles);
+                worst = worst.max(raw);
+                last_line = l;
+            }
+        }
+        worst
+    }
+
+    /// Charges `lane_ops` element-wise vector ALU operations.
+    pub fn vec_compute(&mut self, lane_ops: u64) {
+        let lanes = self.lanes() as u64;
+        self.instr(lane_ops.div_ceil(lanes));
+    }
+
+    /// Invokes an attached accelerator. Communication cycles are attributed
+    /// to the [`PHASE_COMM`] phase, compute cycles to the current phase
+    /// (matching Fig. 8's breakdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not identify an attached accelerator.
+    pub fn invoke_accel(&mut self, id: AccelId, inputs: &[f32], outputs: &mut Vec<f32>) -> InvokeCost {
+        self.instr(4); // send/launch/poll/collect on the CPU side
+        let cost = self.machine.accels[id.0].invoke(inputs, outputs);
+        self.stall_to(PHASE_COMM, cost.comm_cycles);
+        self.stall(cost.compute_cycles);
+        cost
+    }
+
+    /// Charges an accelerator's one-time configuration cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not identify an attached accelerator.
+    pub fn configure_accel(&mut self, id: AccelId) {
+        let cost = self.machine.accels[id.0].configure_cost();
+        self.stall_to(PHASE_COMM, cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn instructions_issue_at_width() {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        m.run(|p| p.instr(400));
+        assert_eq!(m.wall_cycles(), 100);
+        assert_eq!(m.stats().instructions, 400);
+    }
+
+    #[test]
+    fn dependent_loads_stall_fully() {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        let (dep, indep) = m.run(|p| {
+            p.read_dep(1, 0, 4, MemPolicy::Normal);
+            let dep = p.elapsed();
+            p.read(1, 1 << 20, 4, MemPolicy::Normal);
+            (dep, p.elapsed() - dep)
+        });
+        assert!(dep > 250, "cold dependent miss stalls fully: {dep}");
+        assert!(
+            indep < dep / 2,
+            "independent miss overlaps: {indep} vs {dep}"
+        );
+    }
+
+    #[test]
+    fn parallel_wall_time_is_max_core_load() {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        // 4 cores, 4 threads with unequal work: wall = slowest thread.
+        m.parallel(4, |tid, p| p.instr(400 * (tid as u64 + 1)));
+        assert_eq!(m.wall_cycles(), 400);
+    }
+
+    #[test]
+    fn oversubscribed_threads_serialize_on_cores() {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        // 8 equal threads on 4 cores: 2 per core.
+        m.parallel(8, |_tid, p| p.instr(400));
+        assert_eq!(m.wall_cycles(), 200);
+    }
+
+    #[test]
+    fn phases_attribute_cycles() {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        m.run(|p| {
+            p.with_phase("raycast", |p| p.instr(400));
+            p.instr(40);
+        });
+        let stats = m.stats();
+        assert_eq!(stats.phase_cycles("raycast"), 100);
+        assert_eq!(stats.phases.get("raycast").map(|s| s.instructions), Some(400));
+        assert_eq!(stats.phase_cycles(PHASE_OTHER), 10);
+    }
+
+    #[test]
+    fn ovec_requires_configuration() {
+        let mut m = Machine::new(MachineConfig::tartan());
+        let idx = m.run(|p| p.oriented_load(1, 0x1_0000, 2.5, 1.5, 4, 4, 1 << 20, MemPolicy::Normal));
+        assert_eq!(idx, vec![2, 4, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without OVEC")]
+    fn ovec_panics_on_baseline() {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        m.run(|p| {
+            let _ = p.oriented_load(1, 0, 0.0, 1.0, 4, 4, 1 << 20, MemPolicy::Normal);
+        });
+    }
+
+    #[test]
+    fn ovec_costs_less_than_scalar_dependent_walk() {
+        // The core claim of §IV: an oriented pattern fetched by O_MOVE beats
+        // the same cells fetched by a scalar dependent loop.
+        let cells = 160usize;
+        let stride = 3.2f64; // fractional, non-contiguous
+
+        let mut scalar_m = Machine::new(MachineConfig::upgraded_baseline());
+        scalar_m.run(|p| {
+            for i in 0..cells {
+                let idx = (i as f64 * stride).floor() as u64;
+                p.instr(6); // address arithmetic + compare + branch
+                p.read_dep(1, 0x1_0000 + idx * 4, 4, MemPolicy::Normal);
+            }
+        });
+
+        let mut ovec_m = Machine::new(MachineConfig::tartan());
+        ovec_m.run(|p| {
+            let lanes = p.lanes();
+            let mut i = 0usize;
+            while i < cells {
+                let n = lanes.min(cells - i);
+                let _ = p.oriented_load(1, 0x1_0000, i as f64 * stride, stride, n, 4, 1 << 20, MemPolicy::Normal);
+                p.vec_compute(n as u64); // the occupancy compare
+                p.instr(2);
+                i += n;
+            }
+        });
+
+        let s = scalar_m.wall_cycles();
+        let o = ovec_m.wall_cycles();
+        assert!(o * 2 < s, "OVEC {o} should be well under half of scalar {s}");
+        let si = scalar_m.stats().instructions;
+        let oi = ovec_m.stats().instructions;
+        assert!(
+            oi * 2 < si,
+            "OVEC must also shrink dynamic instructions: {oi} vs {si}"
+        );
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        let m = Machine::new(MachineConfig::legacy_baseline());
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulation statistics: per-cache-level counters, prefetch
+//! coverage/accuracy, traffic, and per-phase execution breakdowns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores).
+    pub accesses: u64,
+    /// Demand hits, excluding first-touch hits on prefetched lines.
+    pub hits: u64,
+    /// Demand misses (lines fetched from below on demand).
+    pub misses: u64,
+    /// Demand accesses that hit a line brought in by the prefetcher and not
+    /// yet touched — i.e., misses *covered* by prefetching.
+    pub prefetch_covered: u64,
+    /// Prefetch requests issued into this level.
+    pub prefetches_issued: u64,
+    /// Prefetched lines later touched by a demand access.
+    pub prefetches_useful: u64,
+    /// Prefetched lines whose demand access arrived before the data did
+    /// (late prefetches — §VIII-C-2's "untimeliness"; counted as misses).
+    pub prefetches_late: u64,
+    /// Lines evicted from this level.
+    pub evictions: u64,
+    /// Dirty lines written back to the level below.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio (misses / accesses), 0 if no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Prefetch coverage: fraction of would-be misses eliminated by
+    /// prefetching (§VIII-C-2).
+    pub fn coverage(&self) -> f64 {
+        let would_be_misses = self.misses + self.prefetch_covered;
+        if would_be_misses == 0 {
+            0.0
+        } else {
+            self.prefetch_covered as f64 / would_be_misses as f64
+        }
+    }
+
+    /// Prefetch accuracy: fraction of issued prefetches that were used.
+    pub fn accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetches_useful as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Total demand misses including those covered by prefetches — the
+    /// "misses without a prefetcher" proxy used for normalization.
+    pub fn demand_misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Cycle/instruction totals attributed to one named execution phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Cycles attributed to the phase.
+    pub cycles: u64,
+    /// Dynamic instructions attributed to the phase.
+    pub instructions: u64,
+}
+
+/// Machine-wide statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Per-core L1 stats, merged.
+    pub l1: CacheStats,
+    /// Per-core L2 stats, merged.
+    pub l2: CacheStats,
+    /// Shared L3 stats.
+    pub l3: CacheStats,
+    /// Bytes moved between memory and L3 (DRAM traffic; the UDM metric of
+    /// §III-A is this figure).
+    pub dram_bytes: u64,
+    /// Bytes moved between L3 and the L2s (fills + writebacks + write-through
+    /// stores).
+    pub l3_traffic_bytes: u64,
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Total wall cycles (sequential sections + max-of-threads parallel
+    /// stages).
+    pub wall_cycles: u64,
+    /// Per-phase breakdown.
+    pub phases: BTreeMap<&'static str, PhaseStats>,
+}
+
+impl MachineStats {
+    /// Cycles attributed to one phase (0 if the phase never ran).
+    pub fn phase_cycles(&self, name: &str) -> u64 {
+        self.phases.get(name).map_or(0, |p| p.cycles)
+    }
+
+    /// Fraction of attributed cycles spent in phase `name`.
+    ///
+    /// The denominator is the sum over all phases (thread cycles), not wall
+    /// time, so that breakdown fractions of parallel stages add up to 1.
+    pub fn phase_fraction(&self, name: &str) -> f64 {
+        let total: u64 = self.phases.values().map(|p| p.cycles).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_cycles(name) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "wall cycles:   {}", self.wall_cycles)?;
+        writeln!(f, "instructions:  {}", self.instructions)?;
+        writeln!(
+            f,
+            "L1:  {} acc, {:.2}% miss",
+            self.l1.accesses,
+            100.0 * self.l1.miss_ratio()
+        )?;
+        writeln!(
+            f,
+            "L2:  {} acc, {:.2}% miss, cov {:.0}%, acc {:.0}%",
+            self.l2.accesses,
+            100.0 * self.l2.miss_ratio(),
+            100.0 * self.l2.coverage(),
+            100.0 * self.l2.accuracy()
+        )?;
+        writeln!(
+            f,
+            "L3:  {} acc, {:.2}% miss",
+            self.l3.accesses,
+            100.0 * self.l3.miss_ratio()
+        )?;
+        writeln!(f, "DRAM bytes: {}", self.dram_bytes)?;
+        writeln!(f, "L3 traffic bytes: {}", self.l3_traffic_bytes)?;
+        for (name, p) in &self.phases {
+            writeln!(f, "  phase {:<16} {:>12} cy {:>12} instr", name, p.cycles, p.instructions)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_and_accuracy() {
+        let s = CacheStats {
+            accesses: 100,
+            hits: 60,
+            misses: 20,
+            prefetch_covered: 20,
+            prefetches_issued: 40,
+            prefetches_useful: 30,
+            ..CacheStats::default()
+        };
+        assert!((s.coverage() - 0.5).abs() < 1e-12);
+        assert!((s.accuracy() - 0.75).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn phase_fraction() {
+        let mut stats = MachineStats {
+            wall_cycles: 100,
+            ..MachineStats::default()
+        };
+        stats.phases.insert(
+            "raycast",
+            PhaseStats {
+                cycles: 74,
+                instructions: 10,
+            },
+        );
+        stats.phases.insert(
+            "other",
+            PhaseStats {
+                cycles: 26,
+                instructions: 5,
+            },
+        );
+        assert!((stats.phase_fraction("raycast") - 0.74).abs() < 1e-12);
+        assert_eq!(stats.phase_fraction("absent"), 0.0);
+        assert!(!format!("{stats}").is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! OVEC's in-hardware oriented address generator (§IV-C, Fig. 2.c).
+//!
+//! Given an origin element index and a (possibly fractional) per-lane
+//! stride, the generator produces one integral element index per lane:
+//! `idx_i = ⌊org + i · orient⌋`. In hardware this is one constant-input
+//! multiply and one add per lane, all lanes in parallel, at a 5-cycle
+//! latency (§VIII-A); here it is a pure function the timing model charges
+//! separately.
+
+/// Generates the lane element indices of one oriented vector load.
+///
+/// `origin` is the (fractional) element index of lane 0 and `orient` the
+/// flattened per-step displacement in elements (e.g. `dy · N + dx` on an
+/// `N × N` occupancy grid).
+///
+/// # Examples
+///
+/// ```
+/// use tartan_sim::oriented_lane_indices;
+///
+/// // A ray stepping 1.5 elements per lane from element 10.2.
+/// let lanes = oriented_lane_indices(10.2, 1.5, 4);
+/// assert_eq!(lanes, vec![10, 11, 13, 14]);
+/// ```
+pub fn oriented_lane_indices(origin: f64, orient: f64, lanes: usize) -> Vec<i64> {
+    (0..lanes)
+        .map(|i| (origin + i as f64 * orient).floor() as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_stride_is_arithmetic() {
+        assert_eq!(oriented_lane_indices(5.0, 3.0, 4), vec![5, 8, 11, 14]);
+    }
+
+    #[test]
+    fn fractional_parts_are_truncated() {
+        // §IV: "the fractional parts of the resulting addresses are omitted".
+        assert_eq!(oriented_lane_indices(4.6, 0.9, 3), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn negative_orientation_walks_backwards() {
+        assert_eq!(oriented_lane_indices(10.0, -2.5, 3), vec![10, 7, 5]);
+    }
+
+    #[test]
+    fn paper_flattening_example() {
+        // §IV: in a 16×16 grid, (4.6, 8.5) flattens to 4.6·16 + 8.5 = 82.1
+        // and maps to env[82].
+        let flattened = 4.6 * 16.0 + 8.5;
+        assert_eq!(oriented_lane_indices(flattened, 0.0, 1), vec![82]);
+    }
+
+    #[test]
+    fn zero_lanes_is_empty() {
+        assert!(oriented_lane_indices(0.0, 1.0, 0).is_empty());
+    }
+}

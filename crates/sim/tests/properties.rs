@@ -1,0 +1,164 @@
+//! Property-based tests for the simulator's core invariants.
+
+use proptest::prelude::*;
+use tartan_sim::{
+    Cache, FcpConfig, FcpManipulation, Machine, MachineConfig, MemPolicy, PrefetcherKind,
+};
+
+fn arb_fcp() -> impl Strategy<Value = FcpConfig> {
+    (
+        prop_oneof![Just(512u64), Just(1024u64)],
+        2u32..=3,
+        prop_oneof![
+            Just(FcpManipulation::Increment),
+            Just(FcpManipulation::Double),
+            Just(FcpManipulation::Square)
+        ],
+    )
+        .prop_map(|(region_bytes, xor_bits, manipulation)| FcpConfig {
+            region_bytes,
+            xor_bits,
+            manipulation,
+        })
+}
+
+proptest! {
+    // The machine-level properties below simulate full cache hierarchies;
+    // a modest case count keeps the suite fast while still exploring the
+    // parameter space.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A cache never holds more lines than its capacity, with or without
+    /// FCP, under arbitrary access streams.
+    #[test]
+    fn cache_capacity_invariant(
+        lines in proptest::collection::vec((0u64..4096, any::<bool>()), 1..500),
+        fcp in proptest::option::of(arb_fcp()),
+    ) {
+        let mut c = Cache::new(16 * 1024, 8, 14, 64, fcp);
+        let capacity = 16 * 1024 / 64;
+        for (i, &(line, w)) in lines.iter().enumerate() {
+            c.access(line, w, i as u64 * 10);
+            prop_assert!(c.valid_lines() <= capacity);
+        }
+    }
+
+    /// Every access after a fill hits until the line is evicted: the cache
+    /// is coherent with its own `contains`.
+    #[test]
+    fn access_after_contains_hits(
+        lines in proptest::collection::vec(0u64..512, 1..300),
+    ) {
+        let mut c = Cache::new(4096, 4, 4, 64, None);
+        for (i, &line) in lines.iter().enumerate() {
+            let resident = c.contains(line);
+            let out = c.access(line, false, i as u64);
+            prop_assert_eq!(out.hit, resident, "line {} at step {}", line, i);
+        }
+    }
+
+    /// FCP indexing always maps a line to a stable set (deterministic) and
+    /// lines of one region to at most 2^l distinct sets.
+    #[test]
+    fn fcp_region_spread_bounded(
+        fcp in arb_fcp(),
+        region in 0u64..100_000,
+    ) {
+        let c = Cache::new(256 * 1024, 8, 14, 64, Some(fcp));
+        let lines_per_region = fcp.region_bytes / 64;
+        let mut sets: Vec<u64> = (0..lines_per_region)
+            .map(|o| c.index_of(region * lines_per_region + o))
+            .collect();
+        sets.sort_unstable();
+        sets.dedup();
+        prop_assert!(sets.len() as u64 <= 1 << fcp.xor_bits);
+        // Deterministic:
+        for o in 0..lines_per_region {
+            let l = region * lines_per_region + o;
+            prop_assert_eq!(c.index_of(l), c.index_of(l));
+        }
+    }
+
+    /// Wall time and instruction counts are deterministic for a fixed
+    /// access pattern, regardless of prefetcher choice, and monotone in the
+    /// amount of work.
+    #[test]
+    fn machine_time_is_deterministic_and_monotone(
+        n in 1usize..200,
+        kind in prop_oneof![
+            Just(PrefetcherKind::None),
+            Just(PrefetcherKind::NextLine),
+            Just(PrefetcherKind::Anl),
+            Just(PrefetcherKind::Bingo)
+        ],
+    ) {
+        let run = |count: usize| {
+            let mut cfg = MachineConfig::upgraded_baseline();
+            cfg.prefetcher = kind;
+            let mut m = Machine::new(cfg);
+            let buf = m.buffer_from_vec(vec![1.0f32; 4096], MemPolicy::Normal);
+            m.run(|p| {
+                let mut acc = 0.0;
+                for i in 0..count {
+                    acc += buf.get(p, 0x10, (i * 7) % 4096);
+                    p.flop(2);
+                }
+                acc
+            });
+            (m.wall_cycles(), m.stats().instructions)
+        };
+        let a = run(n);
+        let b = run(n);
+        prop_assert_eq!(a, b, "same work must cost the same");
+        let bigger = run(n + 50);
+        prop_assert!(bigger.0 >= a.0);
+        prop_assert!(bigger.1 > a.1);
+    }
+
+    /// Buffer element addresses never overlap across allocations.
+    #[test]
+    fn buffers_are_disjoint(sizes in proptest::collection::vec(1usize..1000, 1..20)) {
+        let mut m = Machine::new(MachineConfig::legacy_baseline());
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &s in &sizes {
+            let b = m.buffer_from_vec(vec![0u32; s], MemPolicy::Normal);
+            let start = b.base_addr();
+            let end = b.addr_of(s - 1) + b.elem_bytes();
+            for &(os, oe) in &ranges {
+                prop_assert!(end <= os || start >= oe, "overlap");
+            }
+            ranges.push((start, end));
+        }
+    }
+
+    /// Prefetching never makes execution slower in wall cycles than not
+    /// prefetching *for a purely sequential scan* (timeliness may limit the
+    /// gain, but late prefetches still shorten the wait).
+    #[test]
+    fn sequential_scan_never_hurt_by_prefetch(passes in 1usize..4) {
+        let time = |kind: PrefetcherKind| {
+            let mut cfg = MachineConfig::upgraded_baseline();
+            cfg.prefetcher = kind;
+            let mut m = Machine::new(cfg);
+            let buf = m.buffer_from_vec(vec![0.0f32; 64 * 1024], MemPolicy::Normal);
+            m.run(|p| {
+                for _ in 0..passes {
+                    for i in 0..buf.len() {
+                        let _ = buf.get(p, 0x20, i);
+                        p.flop(1);
+                    }
+                }
+            });
+            m.wall_cycles()
+        };
+        let none = time(PrefetcherKind::None);
+        for kind in [PrefetcherKind::NextLine, PrefetcherKind::Anl, PrefetcherKind::Bingo] {
+            let t = time(kind);
+            prop_assert!(
+                t <= none + none / 50,
+                "{:?} took {} vs {} without prefetching",
+                kind, t, none
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! DeliBot under the microscope: oriented vectorization of ray-casting
+//! (§IV) across the paper's four fetch methods.
+//!
+//! ```sh
+//! cargo run --release --example delivery_robot
+//! ```
+
+use tartan::kernels::raycast::VecMethod;
+use tartan::robots::{DeliBot, Robot, Scale, SoftwareConfig};
+use tartan::sim::{Machine, MachineConfig};
+
+fn main() {
+    println!("DeliBot: Monte-Carlo localization, 3 sensor/motion cycles\n");
+    println!(
+        "{:<22} {:>12} {:>14} {:>10} {:>10}",
+        "Fetch method", "Cycles", "Instructions", "Raycast%", "PoseErr"
+    );
+    let mut baseline = None;
+    for (label, method) in [
+        ("Scalar (baseline)", VecMethod::Scalar),
+        ("VGATHERDPS", VecMethod::Gather),
+        ("O_MOVE (OVEC)", VecMethod::Ovec),
+        ("RACOD-like ASIC", VecMethod::Racod),
+    ] {
+        let mut machine = Machine::new(MachineConfig::tartan());
+        let sw = SoftwareConfig {
+            vec_method: method,
+            ..SoftwareConfig::legacy()
+        };
+        let mut bot = DeliBot::new(&mut machine, sw, Scale::small(), 7);
+        bot.run(&mut machine, 3);
+        let stats = machine.stats();
+        println!(
+            "{label:<22} {:>12} {:>14} {:>9.1}% {:>10.2}",
+            stats.wall_cycles,
+            stats.instructions,
+            100.0 * stats.phase_fraction("raycast"),
+            bot.quality()
+        );
+        if baseline.is_none() {
+            baseline = Some(stats.wall_cycles as f64);
+        } else {
+            let b = baseline.expect("set above");
+            println!("{:<22} {:>11.2}x", "  -> speedup", b / stats.wall_cycles as f64);
+        }
+    }
+    println!(
+        "\nOVEC moves the ⌊org + i·orient⌋ address generation into hardware:\n\
+         one O_MOVE replaces a 16-iteration scalar walk (Fig. 2), which is\n\
+         why its instruction count collapses while Gather's grows."
+    );
+}

@@ -1,0 +1,253 @@
+//! Regenerates every table and figure of the paper's evaluation (§VIII).
+//!
+//! ```sh
+//! cargo run --release --example paper_figures            # everything
+//! cargo run --release --example paper_figures fig12      # one result
+//! cargo run --release --example paper_figures quick      # test scale
+//! ```
+//!
+//! Results print as text tables and are also written as CSV files under
+//! `results/`.
+
+use std::fs;
+use std::io::Write as _;
+
+use tartan::core::{experiments, overhead, ExperimentParams};
+
+fn write_csv(name: &str, header: &str, lines: &[String]) {
+    let _ = fs::create_dir_all("results");
+    let path = format!("results/{name}.csv");
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = writeln!(f, "{header}");
+        for l in lines {
+            let _ = writeln!(f, "{l}");
+        }
+        println!("  -> {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let params = if quick {
+        ExperimentParams::quick()
+    } else {
+        ExperimentParams::paper()
+    };
+    const KNOWN: [&str; 14] = [
+        "table1", "fig1", "fig6", "fig7", "table2", "fig8", "table3", "fig9", "fig10", "fig11",
+        "fig12", "upgrades", "ablations", "table4",
+    ];
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "quick" && *a != "all" && !KNOWN.contains(&a.as_str()))
+    {
+        eprintln!("unknown result name {unknown:?}; known: {}", KNOWN.join(", "));
+        std::process::exit(2);
+    }
+    let want = |name: &str| {
+        args.is_empty()
+            || args.iter().all(|a| a == "quick")
+            || args.iter().any(|a| a == name || a == "all")
+    };
+
+    if want("table1") {
+        println!("{}", experiments::format_table1());
+    }
+    if want("fig1") {
+        let rows = experiments::fig1_breakdown(&params);
+        println!("{}", experiments::format_fig1(&rows));
+        write_csv(
+            "fig1_breakdown",
+            "robot,config,bottleneck_fraction,normalized_time",
+            &rows
+                .iter()
+                .map(|r| format!("{},{},{:.4},{:.4}", r.robot, r.config, r.bottleneck_fraction, r.normalized_time))
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig6") {
+        let rows = experiments::fig6_ovec(&params);
+        println!("{}", experiments::format_fig6(&rows));
+        write_csv(
+            "fig6_ovec",
+            "robot,method,normalized_time,normalized_instructions",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.4},{:.4}",
+                        r.robot, r.method, r.normalized_time, r.normalized_instructions
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig7") {
+        let rows = experiments::fig7_interpolation(&params);
+        println!("{}", experiments::format_fig7(&rows));
+        write_csv(
+            "fig7_interpolation",
+            "config,normalized_raycast_time",
+            &rows
+                .iter()
+                .map(|r| format!("{},{:.4}", r.config, r.normalized_raycast_time))
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("table2") {
+        let rows = experiments::table2_networks(&params);
+        println!("{}", experiments::format_table2(&rows));
+        write_csv(
+            "table2_networks",
+            "type,robot,function,topology,error_percent",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{:.3}",
+                        r.kind, r.robot, r.function, r.topology, r.error_percent
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig8") {
+        let rows = experiments::fig8_npu(&params);
+        println!("{}", experiments::format_fig8(&rows));
+        write_csv(
+            "fig8_npu",
+            "robot,config,normalized_time,normalized_instructions,target_fraction,comm_fraction",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.4},{:.4},{:.4},{:.4}",
+                        r.robot,
+                        r.config,
+                        r.normalized_time,
+                        r.normalized_instructions,
+                        r.target_fraction,
+                        r.comm_fraction
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("table3") {
+        let rows = experiments::table3_npu_pes(&params);
+        println!("{}", experiments::format_table3(&rows));
+        write_csv(
+            "table3_npu",
+            "pes,memory_kb,gmean_speedup,area_um2",
+            &rows
+                .iter()
+                .map(|r| format!("{},{:.1},{:.3},{:.0}", r.pes, r.memory_kb, r.gmean_speedup, r.area_um2))
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig9") {
+        let rows = experiments::fig9_nns(&params);
+        println!("{}", experiments::format_fig9(&rows));
+        write_csv(
+            "fig9_nns",
+            "robot,config,normalized_time,normalized_l2_misses",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.4},{:.4}",
+                        r.robot, r.config, r.normalized_time, r.normalized_l2_misses
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig10") {
+        let rows = experiments::fig10_prefetch(&params);
+        println!("{}", experiments::format_fig10(&rows));
+        write_csv(
+            "fig10_prefetch",
+            "robot,prefetcher,normalized_time,coverage,accuracy",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.4},{:.4},{:.4}",
+                        r.robot, r.prefetcher, r.normalized_time, r.coverage, r.accuracy
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig11") {
+        let rows = experiments::fig11_fcp(&params);
+        println!("{}", experiments::format_fig11(&rows));
+        write_csv(
+            "fig11_fcp",
+            "robot,config,normalized_time,normalized_l2_misses",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.4},{:.4}",
+                        r.robot, r.config, r.normalized_time, r.normalized_l2_misses
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("fig12") {
+        let rows = experiments::fig12_end_to_end(&params);
+        println!("{}", experiments::format_fig12(&rows));
+        write_csv(
+            "fig12_endtoend",
+            "robot,software,speedup",
+            &rows
+                .iter()
+                .map(|r| format!("{},{},{:.4}", r.robot, r.software, r.speedup))
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("upgrades") {
+        let rows = experiments::baseline_upgrades(&params);
+        println!("{}", experiments::format_upgrades(&rows));
+        write_csv(
+            "baseline_upgrades",
+            "robot,udm_reduction,l3_traffic_reduction,speedup",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{:.4},{:.4},{:.4}",
+                        r.robot, r.udm_reduction, r.l3_traffic_reduction, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("ablations") {
+        let rows = experiments::ablations(&params);
+        println!("{}", experiments::format_ablations(&rows));
+        write_csv(
+            "ablations",
+            "config,normalized_time,accuracy",
+            &rows
+                .iter()
+                .map(|r| format!("{},{:.4},{:.4}", r.config, r.normalized_time, r.accuracy))
+                .collect::<Vec<_>>(),
+        );
+    }
+    if want("table4") {
+        let rows = overhead::table4(4, 4);
+        println!("{}", overhead::format_table4(&rows));
+        write_csv(
+            "table4_overhead",
+            "component,memory_bytes,area_um2",
+            &rows
+                .iter()
+                .map(|r| format!("{},{},{:.1}", r.component, r.memory_bytes, r.area_um2))
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a Tartan machine, run one robot on it, and read the
+//! simulator's report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tartan::core::{run_robot, ExperimentParams, MachineConfig, RobotKind, SoftwareConfig};
+
+fn main() {
+    let params = ExperimentParams::quick();
+
+    // The paper's upgraded baseline processor running legacy software...
+    let baseline = run_robot(
+        RobotKind::DeliBot,
+        MachineConfig::upgraded_baseline(),
+        SoftwareConfig::legacy(),
+        &params,
+    );
+    // ...versus the full Tartan processor running Tartan-optimized software.
+    let tartan = run_robot(
+        RobotKind::DeliBot,
+        MachineConfig::tartan(),
+        SoftwareConfig::approximable(),
+        &params,
+    );
+
+    println!("DeliBot on the upgraded baseline:");
+    println!(
+        "  {} wall cycles, {} instructions, ray-casting = {:.0}% of time",
+        baseline.wall_cycles,
+        baseline.instructions,
+        100.0 * baseline.bottleneck_fraction()
+    );
+    println!("DeliBot on Tartan (OVEC + ANL + FCP + NPU):");
+    println!(
+        "  {} wall cycles, {} instructions, ray-casting = {:.0}% of time",
+        tartan.wall_cycles,
+        tartan.instructions,
+        100.0 * tartan.bottleneck_fraction()
+    );
+    println!(
+        "Speedup: {:.2}x  (pose error: {:.2} -> {:.2} cells)",
+        baseline.wall_cycles as f64 / tartan.wall_cycles as f64,
+        baseline.quality,
+        tartan.quality
+    );
+    println!("\nCache behavior on Tartan:\n{}", tartan.stats);
+}

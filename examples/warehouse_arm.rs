@@ -1,0 +1,52 @@
+//! A warehouse manipulator (MoveBot): RRT motion planning with the four
+//! nearest-neighbor-search engines of §VI / Fig. 9.
+//!
+//! ```sh
+//! cargo run --release --example warehouse_arm
+//! ```
+
+use tartan::robots::{MoveBot, NnsKind, Robot, Scale, SoftwareConfig};
+use tartan::sim::{Machine, MachineConfig, PrefetcherKind};
+
+fn main() {
+    println!("MoveBot: RRT arm planning, 2 planning problems per engine\n");
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>9}",
+        "NNS engine", "Cycles", "NNS%", "L2 miss", "Success"
+    );
+    for (label, nns, anl) in [
+        ("Brute force", NnsKind::Brute, false),
+        ("Brute force +ANL", NnsKind::Brute, true),
+        ("k-d tree", NnsKind::KdTree, false),
+        ("FLANN (LSH)", NnsKind::Flann, false),
+        ("VLN (LSH+SIMD)", NnsKind::Vln, false),
+        ("VLN +ANL", NnsKind::Vln, true),
+    ] {
+        let mut hw = MachineConfig::upgraded_baseline();
+        hw.prefetcher = if anl {
+            PrefetcherKind::Anl
+        } else {
+            PrefetcherKind::None
+        };
+        let mut machine = Machine::new(hw);
+        let sw = SoftwareConfig {
+            nns,
+            ..SoftwareConfig::legacy()
+        };
+        let mut bot = MoveBot::new(&mut machine, sw, Scale::small(), 5);
+        bot.run(&mut machine, 2);
+        let stats = machine.stats();
+        println!(
+            "{label:<18} {:>12} {:>9.1}% {:>10} {:>8.0}%",
+            stats.wall_cycles,
+            100.0 * stats.phase_fraction("nns"),
+            stats.l2.misses,
+            100.0 * bot.success_rate()
+        );
+    }
+    println!(
+        "\nVLN vectorizes both the LSH projections and the bucket scans, and\n\
+         its contiguous buckets are exactly the sequential pattern ANL's\n\
+         density-adaptive prefetching was built for (§VI)."
+    );
+}

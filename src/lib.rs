@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # Tartan — a CPU microarchitecture for robotics
+//!
+//! A full-system Rust reproduction of *"Tartan: Microarchitecting a Robotic
+//! Processor"* (Bakhshalipour & Gibbons, ISCA 2024): an execution-driven
+//! timing simulator for the baseline and Tartan processors, the six RoWild
+//! robots, and harnesses regenerating every figure and table of the paper's
+//! evaluation.
+//!
+//! This crate re-exports the workspace members:
+//!
+//! * [`sim`] — machine/cache/DRAM timing model, OVEC, FCP, write-through
+//!   regions ([`tartan_sim`]),
+//! * [`prefetch`] — ANL, next-line, and Bingo prefetchers,
+//! * [`nn`] — from-scratch MLP training (AXAR loss) and PCA,
+//! * [`npu`] — the NPU device model and the AXAR supervisor,
+//! * [`nns`] — brute-force / k-d tree / LSH / VLN nearest-neighbor search,
+//! * [`kernels`] — ray-casting, collision detection, graph search, RRT,
+//!   MCL, EKF, ICP, controllers, behavior trees,
+//! * [`robots`] — DeliBot, PatrolBot, MoveBot, HomeBot, FlyBot, CarriBot,
+//! * [`core`] — the configuration matrix and per-figure experiment drivers.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tartan::core::{experiments, ExperimentParams};
+//!
+//! let rows = experiments::fig12_end_to_end(&ExperimentParams::quick());
+//! println!("{}", experiments::format_fig12(&rows));
+//! ```
+
+pub use tartan_core as core;
+pub use tartan_kernels as kernels;
+pub use tartan_nn as nn;
+pub use tartan_nns as nns;
+pub use tartan_npu as npu;
+pub use tartan_prefetch as prefetch;
+pub use tartan_robots as robots;
+pub use tartan_sim as sim;

@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: every paper claim's *shape* must hold on
+//! full end-to-end robot runs at test scale.
+
+use tartan::core::{experiments, ExperimentParams};
+
+fn params() -> ExperimentParams {
+    ExperimentParams::quick()
+}
+
+#[test]
+fn fig12_tartan_beats_baseline_on_every_robot() {
+    let rows = experiments::fig12_end_to_end(&params());
+    // 6 robots × 3 tiers + 3 gmeans.
+    assert_eq!(rows.len(), 21);
+    for r in &rows {
+        assert!(
+            r.speedup > 0.95,
+            "{} {} regressed: {:.2}x",
+            r.robot,
+            r.software,
+            r.speedup
+        );
+    }
+    let gmean = |tier: &str| {
+        rows.iter()
+            .find(|r| r.robot == "GMean" && r.software == tier)
+            .expect("gmean present")
+            .speedup
+    };
+    let (legacy, optimized, approx) = (gmean("legacy"), gmean("optimized"), gmean("approximable"));
+    // The paper's ordering: legacy < optimized < approximable.
+    assert!(legacy >= 1.0, "legacy software still gains: {legacy:.2}");
+    assert!(optimized > legacy, "optimized {optimized:.2} vs legacy {legacy:.2}");
+    assert!(approx > optimized, "approx {approx:.2} vs optimized {optimized:.2}");
+    // Rough bands (paper: 1.2 / 1.61 / 2.11).
+    assert!((1.0..2.0).contains(&legacy), "legacy {legacy:.2}");
+    assert!((1.2..3.0).contains(&optimized), "optimized {optimized:.2}");
+    assert!((1.5..4.5).contains(&approx), "approx {approx:.2}");
+}
+
+#[test]
+fn fig1_bottlenecks_dominate_baselines_and_shrink_on_tartan() {
+    let rows = experiments::fig1_breakdown(&params());
+    assert_eq!(rows.len(), 12);
+    for pair in rows.chunks(2) {
+        let (b, t) = (&pair[0], &pair[1]);
+        assert_eq!(b.robot, t.robot);
+        assert!(
+            b.bottleneck_fraction > 0.35,
+            "{}: baseline bottleneck share {:.2}",
+            b.robot,
+            b.bottleneck_fraction
+        );
+        assert!(
+            t.normalized_time < 1.05,
+            "{}: Tartan must not slow the robot ({:.2})",
+            t.robot,
+            t.normalized_time
+        );
+    }
+    // The paper's headline bottleneck shares (74%, 93%, 81%) for the three
+    // most skewed robots.
+    let share = |robot: &str| {
+        rows.iter()
+            .find(|r| r.robot == robot && r.config == "B")
+            .expect("present")
+            .bottleneck_fraction
+    };
+    assert!(share("DeliBot") > 0.6, "DeliBot {:.2}", share("DeliBot"));
+    assert!(share("PatrolBot") > 0.8, "PatrolBot {:.2}", share("PatrolBot"));
+    assert!(share("CarriBot") > 0.55, "CarriBot {:.2}", share("CarriBot"));
+}
+
+#[test]
+fn fig10_anl_close_to_bingo_at_a_fraction_of_the_area() {
+    let rows = experiments::fig10_prefetch(&params());
+    let g = |pf: &str| {
+        rows.iter()
+            .find(|r| r.robot == "GMean" && r.prefetcher == pf)
+            .expect("gmean present")
+            .normalized_time
+    };
+    let (no, anl, nl, bingo) = (g("No"), g("ANL"), g("NL"), g("Bi"));
+    assert!((no - 1.0).abs() < 1e-9);
+    // At test scale the working sets largely fit in the private caches, so
+    // prefetch gains are small; the invariants are that no prefetcher hurts
+    // and that somebody covers misses.
+    assert!(anl <= 1.01, "ANL must not slow the gmean: {anl:.3}");
+    assert!(nl <= 1.02, "NL gmean {nl:.3}");
+    assert!(bingo <= 1.02, "Bingo gmean {bingo:.3}");
+    // Coverage/accuracy claims need paper-scale working sets (the quick
+    // scale fits in the private caches); the sim-level unit tests and the
+    // paper-scale harness exercise them.
+}
+
+#[test]
+fn fig8_integrated_npu_beats_coprocessor_for_fine_grained_approx() {
+    let rows = experiments::fig8_npu(&params());
+    let g = |robot: &str, cfg: &str| {
+        rows.iter()
+            .find(|r| r.robot == robot && r.config == cfg)
+            .expect("present")
+            .normalized_time
+    };
+    for robot in ["PatrolBot", "HomeBot", "FlyBot"] {
+        assert!(
+            g(robot, "H") < g(robot, "B"),
+            "{robot}: integrated NPU must win"
+        );
+        assert!(
+            g(robot, "S") > g(robot, "H"),
+            "{robot}: software neural must lose to the NPU"
+        );
+    }
+    // Fine-grained AXAR/TRAP invocations suffer on a co-processor (§VIII-B);
+    // native, batch-style inference tolerates it.
+    assert!(
+        g("FlyBot", "C") > g("FlyBot", "H"),
+        "FlyBot: co-processor communication must hurt"
+    );
+    assert!(
+        g("HomeBot", "C") > g("HomeBot", "H") * 0.99,
+        "HomeBot: co-processor must not beat integration"
+    );
+}
+
+#[test]
+fn table3_more_pes_help_with_diminishing_returns() {
+    let rows = experiments::table3_npu_pes(&params());
+    assert_eq!(rows.len(), 3);
+    assert!(rows[0].gmean_speedup > 1.0, "2 PEs: {:.2}", rows[0].gmean_speedup);
+    assert!(rows[1].gmean_speedup >= rows[0].gmean_speedup);
+    assert!(rows[2].gmean_speedup >= rows[1].gmean_speedup);
+    // Memory matches Table III.
+    assert!((rows[0].memory_kb - 10.5).abs() < 0.5);
+    assert!((rows[1].memory_kb - 18.8).abs() < 0.5);
+    assert!((rows[2].memory_kb - 35.3).abs() < 0.7);
+}
+
+#[test]
+fn upgrades_reduce_udm_and_traffic() {
+    let rows = experiments::baseline_upgrades(&params());
+    // Dense scans (HomeBot's brute NNS) use whole lines either way, so the
+    // UDM win concentrates in the scattered-access robots; check the mean.
+    let mean_udm: f64 =
+        rows.iter().map(|r| r.udm_reduction).sum::<f64>() / rows.len() as f64;
+    assert!(
+        mean_udm > 1.1,
+        "32B lines must cut DRAM traffic on average ({mean_udm:.2})"
+    );
+    for r in &rows {
+        assert!(
+            r.udm_reduction > 0.95,
+            "{}: 32B lines must never inflate DRAM traffic ({:.2})",
+            r.robot,
+            r.udm_reduction
+        );
+        // Without a DRAM bandwidth-contention model, halving the line size
+        // costs extra miss events on dense streams (HomeBot) instead of
+        // reclaiming wasted bandwidth; allow a modest per-robot dip but
+        // require rough parity on average (§III-A reports a *slight* gain).
+        assert!(
+            r.speedup > 0.8,
+            "{}: the upgraded baseline must not tank performance ({:.2})",
+            r.robot,
+            r.speedup
+        );
+    }
+    // The paper reports a *slight* gain; our latency-only DRAM model cannot
+    // credit smaller lines for reclaimed bandwidth, so near-parity is the
+    // reproducible expectation (documented in EXPERIMENTS.md).
+    let mean_speedup: f64 = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    assert!(mean_speedup > 0.85, "mean upgrade speedup {mean_speedup:.2}");
+}
+
+#[test]
+fn table4_overhead_is_negligible() {
+    let rows = tartan::core::overhead::table4(4, 4);
+    let frac = tartan::core::overhead::total_overhead_fraction(&rows);
+    assert!(frac < 1e-4, "overhead fraction {frac}");
+    let text = tartan::core::overhead::format_table4(&rows);
+    assert!(text.contains("NPU"));
+}

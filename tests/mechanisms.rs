@@ -1,0 +1,156 @@
+//! Cross-crate integration tests for the individual Tartan mechanisms
+//! (Figs. 6, 7, 9, 11 and Table II shapes) at test scale.
+
+use tartan::core::{experiments, ExperimentParams};
+
+fn params() -> ExperimentParams {
+    ExperimentParams::quick()
+}
+
+#[test]
+fn fig6_ovec_wins_gather_flat_racod_best() {
+    let rows = experiments::fig6_ovec(&params());
+    let g = |robot: &str, m: &str| {
+        rows.iter()
+            .find(|r| r.robot == robot && r.method == m)
+            .expect("present")
+            .clone()
+    };
+    for robot in ["DeliBot", "CarriBot"] {
+        let (b, o, ga, ra) = (g(robot, "B"), g(robot, "O"), g(robot, "G"), g(robot, "R"));
+        assert!(o.normalized_time < 0.9 * b.normalized_time, "{robot}: OVEC wins");
+        // Gather's software index computation wipes out most of its gains
+        // (§VIII-A: "negligible average speedup"). At this test scale the
+        // short rays leave Gather some benefit; the paper-scale harness
+        // lands at 0.80–0.96 (results/fig6_ovec.csv). The robust invariants
+        // are that OVEC clearly beats Gather and Gather inflates the
+        // instruction stream.
+        assert!(
+            ga.normalized_time > 0.6,
+            "{robot}: gather {:.3} should gain little",
+            ga.normalized_time
+        );
+        assert!(
+            o.normalized_time < ga.normalized_time,
+            "{robot}: OVEC must beat Gather"
+        );
+        assert!(
+            ga.normalized_instructions > 1.0,
+            "{robot}: gather must increase dynamic instructions"
+        );
+        // OVEC moves address generation to hardware: ≥1.3× fewer instr.
+        assert!(
+            o.normalized_instructions < 0.77,
+            "{robot}: OVEC instr ratio {:.3}",
+            o.normalized_instructions
+        );
+        // The RACOD-like ASIC always beats the scalar baseline, and OVEC
+        // captures at least the paper's 82–89% of its benefit. (In this
+        // model OVEC can exceed RACOD outright: the projected ASIC scans
+        // serially at two cells per cycle while O_MOVE retires 16-lane
+        // blocks through the OoO core — see EXPERIMENTS.md, Fig. 6.)
+        assert!(
+            ra.normalized_time < b.normalized_time,
+            "{robot}: RACOD must beat the baseline"
+        );
+        let ovec_gain = 1.0 - o.normalized_time;
+        let racod_gain = 1.0 - ra.normalized_time;
+        assert!(
+            ovec_gain > 0.6 * racod_gain,
+            "{robot}: OVEC gain {ovec_gain:.3} vs RACOD {racod_gain:.3}"
+        );
+    }
+}
+
+#[test]
+fn fig7_interpolation_and_the_intel_accelerator_are_orthogonal() {
+    let rows = experiments::fig7_interpolation(&params());
+    let g = |cfg: &str| {
+        rows.iter()
+            .find(|r| r.config == cfg)
+            .expect("present")
+            .normalized_raycast_time
+    };
+    let (b, o, i, oi) = (g("B"), g("O"), g("I"), g("O+I"));
+    assert!((b - 1.0).abs() < 1e-9);
+    assert!(o < b, "OVEC still helps with interpolation: {o:.3}");
+    assert!(i < b, "Intel's accelerator helps: {i:.3}");
+    // Orthogonality (Fig. 7): the combination beats either alone.
+    assert!(oi < o && oi < i, "O+I {oi:.3} vs O {o:.3} / I {i:.3}");
+}
+
+#[test]
+fn fig9_vln_beats_flann_beats_kdtree_and_anl_helps() {
+    let rows = experiments::fig9_nns(&params());
+    let g = |robot: &str, cfg: &str| {
+        rows.iter()
+            .find(|r| r.robot == robot && r.config == cfg)
+            .expect("present")
+            .clone()
+    };
+    for robot in ["MoveBot", "HomeBot"] {
+        let b = g(robot, "B");
+        let v = g(robot, "V");
+        let f = g(robot, "F");
+        assert!((b.normalized_time - 1.0).abs() < 1e-9);
+        assert!(
+            v.normalized_time < b.normalized_time,
+            "{robot}: VLN beats brute"
+        );
+        assert!(
+            v.normalized_time < f.normalized_time,
+            "{robot}: VLN {:.3} beats FLANN {:.3} (vectorization)",
+            v.normalized_time,
+            f.normalized_time
+        );
+        // ANL never hurts the brute-force scan.
+        let bp = g(robot, "B+");
+        assert!(
+            bp.normalized_time <= b.normalized_time * 1.02,
+            "{robot}: B+ {:.3}",
+            bp.normalized_time
+        );
+    }
+}
+
+#[test]
+fn fig11_x_squared_is_competitive_and_paper_config_never_hurts_much() {
+    let rows = experiments::fig11_fcp(&params());
+    // The paper's pick: 1KB regions, l = 2, m(x) = x².
+    for robot in ["DeliBot", "MoveBot", "CarriBot"] {
+        let pick = rows
+            .iter()
+            .find(|r| r.robot == robot && r.config == "1KB-2b x^2")
+            .expect("present");
+        assert!(
+            pick.normalized_time < 1.06,
+            "{robot}: paper FCP config must not slow the robot materially ({:.3})",
+            pick.normalized_time
+        );
+    }
+    // Somewhere in the sweep, FCP actually helps someone.
+    assert!(
+        rows.iter().any(|r| r.normalized_time < 0.995),
+        "FCP never helped anyone in the sweep"
+    );
+}
+
+#[test]
+fn table2_quality_losses_are_acceptable() {
+    let rows = experiments::table2_networks(&params());
+    assert_eq!(rows.len(), 3);
+    let g = |robot: &str| {
+        rows.iter()
+            .find(|r| r.robot == robot)
+            .expect("present")
+            .error_percent
+    };
+    // Paper: 0% (AXAR), 6.8% (TRAP), 1.3% (native). Bands at test scale:
+    assert!(g("FlyBot") < 5.0, "AXAR error {:.2}%", g("FlyBot"));
+    assert!(g("HomeBot") < 40.0, "TRAP error {:.2}%", g("HomeBot"));
+    assert!(g("PatrolBot") < 25.0, "native error {:.2}%", g("PatrolBot"));
+    let text = experiments::format_table2(&rows);
+    assert!(text.contains("6/16/16/1"));
+    assert!(text.contains("192/32/32/6"));
+    assert!(text.contains("50/1024/512/1"));
+}
