@@ -22,7 +22,8 @@ fn bench(c: &mut Criterion) {
             ("C_coprocessor", NpuMode::Coprocessor),
         ] {
             let mlp = Mlp::new(&topo, 7);
-            let mut device = NpuDevice::new(mlp, mode, 8, 4, 104);
+            let mut device = NpuDevice::new(mlp, mode, 8, 4, 104)
+                .expect("both benchmark modes are valid NPU configurations");
             let mut out = Vec::new();
             let cost = device.invoke(&inputs, &mut out);
             println!(

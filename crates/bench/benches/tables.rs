@@ -32,7 +32,8 @@ fn bench(c: &mut Criterion) {
     for pes in [2u32, 4, 8] {
         let model = NpuAreaModel::new(pes);
         let mlp = Mlp::new(&Topology::new(&[50, 1024, 512, 1]), 3);
-        let mut device = NpuDevice::new(mlp, NpuMode::Integrated { pes }, 8, 4, 104);
+        let mut device = NpuDevice::new(mlp, NpuMode::Integrated { pes }, 8, 4, 104)
+            .expect("integrated mode is a valid NPU configuration");
         let inputs = vec![0.1f32; 50];
         let mut out = Vec::new();
         let cost = device.invoke(&inputs, &mut out);

@@ -501,7 +501,7 @@ pub fn fig9_nns(params: &ExperimentParams) -> Vec<Fig9Row> {
     // The NNS study stresses the memory system with a larger cloud than
     // the end-to-end runs (the paper tunes each study's inputs, §VIII-C).
     let mut params = *params;
-    params.scale.map_points = params.scale.map_points * 4;
+    params.scale.map_points *= 4;
     let params = &params;
     let mut rows = Vec::new();
     for kind in [RobotKind::MoveBot, RobotKind::HomeBot] {

@@ -2,7 +2,7 @@
 //! snapshots everything the figures need.
 
 use tartan_robots::{RobotKind, Scale, SoftwareConfig};
-use tartan_sim::{Machine, MachineConfig, MachineStats};
+use tartan_sim::{FaultStats, Machine, MachineConfig, MachineStats};
 
 /// Sizing knobs shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +50,8 @@ pub struct RunOutcome {
     pub comm_cycles: u64,
     /// Full statistics snapshot.
     pub stats: MachineStats,
+    /// Fault-injection counters for the run (zero without a fault plan).
+    pub faults: FaultStats,
     /// Robot-specific quality metric (lower is better).
     pub quality: f64,
 }
@@ -89,10 +91,13 @@ pub fn run_robot(
     let mut stats = machine.stats();
     // Subtract setup-time contributions (e.g., streaming NPU weights at
     // configuration) so every reported quantity covers the same window.
+    // Saturating: a phase snapshot can only shrink if an accelerator was
+    // re-registered mid-run, but a stats-accounting hiccup must yield a
+    // zero delta, not a wrapped u64 that dwarfs every figure.
     for (name, phase) in stats.phases.iter_mut() {
         if let Some(before) = start_stats.phases.get(name) {
-            phase.cycles -= before.cycles;
-            phase.instructions -= before.instructions;
+            phase.cycles = phase.cycles.saturating_sub(before.cycles);
+            phase.instructions = phase.instructions.saturating_sub(before.instructions);
         }
     }
     let bottleneck_cycles = robot
@@ -102,10 +107,11 @@ pub fn run_robot(
         .sum();
     RunOutcome {
         robot: robot.name(),
-        wall_cycles: stats.wall_cycles - start_wall,
-        instructions: stats.instructions - start_stats.instructions,
+        wall_cycles: stats.wall_cycles.saturating_sub(start_wall),
+        instructions: stats.instructions.saturating_sub(start_stats.instructions),
         bottleneck_cycles,
         comm_cycles: stats.phase_cycles(tartan_sim::PHASE_COMM),
+        faults: stats.faults,
         stats,
         quality: robot.quality(),
     }

@@ -104,6 +104,7 @@ impl ObstacleSet {
 /// pattern as ray-casting, so all [`VecMethod`]s apply.
 ///
 /// Returns `true` when the pose collides.
+#[allow(clippy::too_many_arguments)]
 pub fn pose_collides(
     p: &mut Proc<'_>,
     grid: &Grid2,

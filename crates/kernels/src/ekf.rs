@@ -145,8 +145,8 @@ impl Ekf {
                 k[r][c] = (0..2).map(|j| pht[r][j] * sinv[j][c]).sum::<f32>();
             }
         }
-        for r in 0..3 {
-            self.state[r] += k[r][0] * innov[0] + k[r][1] * innov[1];
+        for (st, kr) in self.state.iter_mut().zip(k.iter()) {
+            *st += kr[0] * innov[0] + kr[1] * innov[1];
         }
         self.state[2] = normalize_angle(self.state[2]);
         // P = (I - K H) P.

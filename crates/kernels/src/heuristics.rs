@@ -3,6 +3,7 @@
 //! latter two integrated along the line of flight — plus its NPU-offloaded
 //! AXAR replacement.
 
+use tartan_npu::SupervisedNpu;
 use tartan_sim::{AccelId, Buffer, Machine, MemPolicy, Proc};
 
 use crate::grid::Grid3;
@@ -197,6 +198,25 @@ impl FlyHeuristic {
         let inputs = self.npu_inputs_for(&s);
         let mut out = Vec::with_capacity(1);
         p.invoke_accel(accel, &inputs, &mut out);
+        let (dist, climb) = self.cheap_parts(&s);
+        self.compose(dist, climb, out[0] * scale)
+    }
+
+    /// [`eval_npu`](Self::eval_npu) through a [`SupervisedNpu`]: identical
+    /// math, but injected accelerator faults are detected and repaired
+    /// before the prediction reaches the search, so a fault campaign
+    /// cannot perturb the heuristic stream (only its timing).
+    pub fn eval_supervised(
+        &self,
+        p: &mut Proc<'_>,
+        npu: &mut SupervisedNpu,
+        state: usize,
+        scale: f32,
+    ) -> f32 {
+        let s = self.coords(state);
+        p.flop(14); // the cheap parts stay on the CPU
+        let inputs = self.npu_inputs_for(&s);
+        let out = npu.invoke(p, &inputs);
         let (dist, climb) = self.cheap_parts(&s);
         self.compose(dist, climb, out[0] * scale)
     }

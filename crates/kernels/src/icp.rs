@@ -4,6 +4,7 @@
 //! neural replacement evaluated in §VIII-B.
 
 use tartan_nns::{NnsEngine, PointSet};
+use tartan_npu::SupervisedNpu;
 use tartan_sim::{AccelId, Machine, Proc};
 
 /// A rigid 3-D transform: small-angle rotation `(rx, ry, rz)` plus
@@ -152,21 +153,21 @@ pub fn icp_estimate(
 /// Gaussian elimination with partial pivoting for the 6×6 normal equations.
 fn solve6(mut a: [[f64; 6]; 6], mut b: [f64; 6]) -> Option<[f64; 6]> {
     for col in 0..6 {
-        let pivot = (col..6).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("finite")
-        })?;
-        if a[pivot][col].abs() < 1e-12 {
+        // total_cmp keeps the pivot search NaN-safe: a corrupted (NaN)
+        // accumulation sorts below every finite magnitude instead of
+        // panicking, and the singularity check below rejects the system.
+        let pivot = (col..6).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        let magnitude = a[pivot][col].abs();
+        if magnitude.is_nan() || magnitude < 1e-12 {
             return None;
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
         for row in col + 1..6 {
             let f = a[row][col] / a[col][col];
-            for k in col..6 {
-                a[row][k] -= f * a[col][k];
+            let (head, tail) = a.split_at_mut(row);
+            for (t, &pv) in tail[0].iter_mut().zip(head[col].iter()).skip(col) {
+                *t -= f * pv;
             }
             b[row] -= f * b[col];
         }
@@ -205,6 +206,58 @@ pub fn npu_estimate(p: &mut Proc<'_>, accel: AccelId, inputs: &[f32]) -> Transfo
     Transform {
         rot: [out[0], out[1], out[2]],
         trans: [out[3], out[4], out[5]],
+    }
+}
+
+/// [`npu_estimate`] through a [`SupervisedNpu`]: the prediction that comes
+/// back is guaranteed fault-free (detected faults are retried or re-run on
+/// the CPU), so TRAP under a fault campaign returns exactly what a healthy
+/// device would.
+pub fn supervised_estimate(
+    p: &mut Proc<'_>,
+    npu: &mut SupervisedNpu,
+    inputs: &[f32],
+) -> Transform {
+    let out = npu.invoke(p, inputs);
+    Transform {
+        rot: [out[0], out[1], out[2]],
+        trans: [out[3], out[4], out[5]],
+    }
+}
+
+/// Mean squared point-to-nearest-map distance of `t` over a strided sample
+/// of `samples` source points — the cheap plausibility residual HomeBot's
+/// ICP supervisor checks (a handful of NNS queries instead of a full ICP
+/// iteration). Returns `f32::INFINITY` for an empty cloud so a supervisor
+/// treats it as a rollback.
+pub fn residual_sample(
+    p: &mut Proc<'_>,
+    map: &PointSet,
+    nns: &dyn NnsEngine,
+    source: &[[f32; 3]],
+    t: &Transform,
+    samples: usize,
+) -> f32 {
+    if source.is_empty() || samples == 0 {
+        return f32::INFINITY;
+    }
+    let stride = (source.len() / samples).max(1);
+    let mut acc = 0.0f32;
+    let mut n = 0u32;
+    for s in source.iter().step_by(stride).take(samples) {
+        let moved = t.apply(s);
+        let q: Vec<f32> = moved.to_vec();
+        if let Some(j) = p.with_phase("nns", |p| nns.nearest(p, map, &q)) {
+            let m = map.point(j);
+            p.flop(9);
+            acc += (0..3).map(|k| (moved[k] - m[k]) * (moved[k] - m[k])).sum::<f32>();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f32::INFINITY
+    } else {
+        acc / n as f32
     }
 }
 
@@ -300,6 +353,52 @@ mod tests {
     fn solve6_rejects_singular() {
         let a = [[0.0f64; 6]; 6];
         assert!(solve6(a, [1.0; 6]).is_none());
+    }
+
+    #[test]
+    fn solve6_rejects_nan_without_panicking() {
+        let mut a = [[0.0f64; 6]; 6];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = f64::NAN;
+        }
+        assert!(solve6(a, [1.0; 6]).is_none());
+        // A single poisoned column must not panic the pivot search either.
+        let mut b = [[0.0f64; 6]; 6];
+        for (i, row) in b.iter_mut().enumerate() {
+            row[i] = 2.0;
+        }
+        b[3][0] = f64::NAN;
+        let _ = solve6(b, [1.0; 6]); // no panic is the assertion
+    }
+
+    #[test]
+    fn residual_sample_separates_good_from_bad_transforms() {
+        let truth = Transform {
+            rot: [0.01, -0.02, 0.03],
+            trans: [0.2, -0.1, 0.1],
+        };
+        let (map_pts, source) = synthetic_frame(200, truth, 9);
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let map = upload_map(&mut m, &map_pts);
+        let (good, bad) = m.run(|p| {
+            let nns = BruteForce::new();
+            let good = residual_sample(p, &map, &nns, &source, &truth, 16);
+            let off = Transform {
+                rot: [0.3, 0.3, 0.3],
+                trans: [2.0, 2.0, 2.0],
+            };
+            let bad = residual_sample(p, &map, &nns, &source, &off, 16);
+            (good, bad)
+        });
+        // Small-angle rotations do not invert exactly ((I+R)(I−R) = I − R²),
+        // so "zero" residual is ~|rot|² in f32.
+        assert!(good < 1e-3, "true transform leaves ~zero residual: {good}");
+        assert!(bad > 0.1, "gross transform has a large residual: {bad}");
+        // Empty cloud → infinite residual (always rolls back).
+        let empty = m.run(|p| {
+            residual_sample(p, &map, &BruteForce::new(), &[], &truth, 16)
+        });
+        assert!(empty.is_infinite());
     }
 
     #[test]

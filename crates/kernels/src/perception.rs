@@ -4,6 +4,7 @@
 //! (FlyBot).
 
 use tartan_nn::{Mlp, Pca};
+use tartan_npu::SupervisedNpu;
 use tartan_sim::{AccelId, Buffer, Machine, MemPolicy, Proc};
 
 use crate::grid::Grid2;
@@ -180,6 +181,19 @@ impl MlpClassifier {
         p.invoke_accel(accel, projected, &mut out);
         out
     }
+
+    /// [`infer_npu`](Self::infer_npu) through a [`SupervisedNpu`]: the
+    /// score is guaranteed fault-free (detected faults are retried or the
+    /// inference re-runs on the CPU), so the classification a fault
+    /// campaign produces matches the healthy device bit for bit.
+    pub fn infer_supervised(
+        &self,
+        p: &mut Proc<'_>,
+        npu: &mut SupervisedNpu,
+        projected: &[f32],
+    ) -> Vec<f32> {
+        npu.invoke(p, projected)
+    }
 }
 
 /// Generates a seeded synthetic "image" (feature map) whose label is a
@@ -189,7 +203,7 @@ pub fn synthetic_image(machine: &mut Machine, seed: u64, side: usize) -> (Buffer
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
-    let suspicious = seed % 2 == 0;
+    let suspicious = seed.is_multiple_of(2);
     let n = side * side * 3;
     let data: Vec<f32> = (0..n)
         .map(|i| {

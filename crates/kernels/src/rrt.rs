@@ -267,9 +267,9 @@ mod tests {
             &hi,
             RrtConfig {
                 step: 0.05,
-                goal_tolerance: 0.06,
+                goal_tolerance: 0.04,
                 max_nodes: 9000,
-                goal_bias: 0.05,
+                goal_bias: 0.03,
                 ..RrtConfig::default()
             },
         );

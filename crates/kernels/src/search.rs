@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use tartan_npu::{AxarSupervisor, IterationVerdict};
-use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+use tartan_sim::{Buffer, Machine, MemPolicy, Proc, TartanError};
 
 const PC_G: u64 = 0x7_3000;
 const PC_PARENT: u64 = 0x7_3100;
@@ -89,8 +89,35 @@ impl GraphSearch {
     /// # Panics
     ///
     /// Panics if `eps < 1`, or if a state index is out of bounds, or an
-    /// edge cost or heuristic value is negative.
+    /// edge cost or heuristic value is negative or non-finite. Use
+    /// [`try_weighted_astar`](Self::try_weighted_astar) to get these as
+    /// errors instead.
     pub fn weighted_astar(
+        &mut self,
+        p: &mut Proc<'_>,
+        start: usize,
+        goal: usize,
+        eps: f32,
+        neighbors: impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>),
+        heuristic: impl FnMut(&mut Proc<'_>, usize) -> f32,
+    ) -> Option<SearchResult> {
+        match self.try_weighted_astar(p, start, goal, eps, neighbors, heuristic) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`weighted_astar`](Self::weighted_astar) with contract violations
+    /// reported as errors instead of panics. `Ok(None)` still means "goal
+    /// unreachable".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TartanError::Search`] when `eps < 1`, a state index is out
+    /// of range, or a neighbor generator / heuristic produces a negative or
+    /// non-finite value (e.g. consuming an unsupervised, fault-corrupted
+    /// accelerator result).
+    pub fn try_weighted_astar(
         &mut self,
         p: &mut Proc<'_>,
         start: usize,
@@ -98,9 +125,18 @@ impl GraphSearch {
         eps: f32,
         mut neighbors: impl FnMut(&mut Proc<'_>, usize, &mut Vec<(usize, f32)>),
         mut heuristic: impl FnMut(&mut Proc<'_>, usize) -> f32,
-    ) -> Option<SearchResult> {
-        assert!(eps >= 1.0, "inflation must be at least 1");
-        assert!(start < self.len() && goal < self.len(), "state out of range");
+    ) -> Result<Option<SearchResult>, TartanError> {
+        if eps.is_nan() || eps < 1.0 {
+            return Err(TartanError::Search(format!(
+                "inflation must be at least 1 (got {eps})"
+            )));
+        }
+        if start >= self.len() || goal >= self.len() {
+            return Err(TartanError::Search(format!(
+                "state out of range (start {start}, goal {goal}, {} states)",
+                self.len()
+            )));
+        }
         self.generation += 1;
 
         // Open list keyed by f = g + eps·h; f32 bit-ordering works for
@@ -109,7 +145,11 @@ impl GraphSearch {
         let mut scratch: Vec<(usize, f32)> = Vec::new();
         self.set_g(p, start, 0.0, -1);
         let h0 = heuristic(p, start);
-        assert!(h0 >= 0.0, "heuristic must be non-negative");
+        if !h0.is_finite() || h0 < 0.0 {
+            return Err(TartanError::Search(format!(
+                "heuristic must be non-negative and finite (got {h0})"
+            )));
+        }
         open.push((Reverse((eps * h0).to_bits()), start));
         let mut expansions = 0u64;
 
@@ -123,14 +163,25 @@ impl GraphSearch {
             self.closed_stamp.set(p, PC_CLOSED, s, generation);
             expansions += 1;
             if s == goal {
-                return Some(self.reconstruct(p, start, goal, expansions));
+                return Ok(Some(self.reconstruct(p, start, goal, expansions)?));
             }
-            let g_s = self.g_of(p, s).expect("expanded state has a g-value");
+            let g_s = self.g_of(p, s).ok_or_else(|| {
+                TartanError::Search(format!("expanded state {s} lost its g-value"))
+            })?;
             scratch.clear();
             neighbors(p, s, &mut scratch);
-            for i in 0..scratch.len() {
-                let (n, c) = scratch[i];
-                assert!(c >= 0.0, "edge costs must be non-negative");
+            for &(n, c) in scratch.iter() {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(TartanError::Search(format!(
+                        "edge costs must be non-negative and finite (got {c})"
+                    )));
+                }
+                if n >= self.len() {
+                    return Err(TartanError::Search(format!(
+                        "neighbor {n} out of range ({} states)",
+                        self.len()
+                    )));
+                }
                 p.flop(2);
                 p.instr(2);
                 let tentative = g_s + c;
@@ -156,13 +207,17 @@ impl GraphSearch {
                         }
                     }
                     let h = heuristic(p, n);
-                    assert!(h >= 0.0, "heuristic must be non-negative");
+                    if !h.is_finite() || h < 0.0 {
+                        return Err(TartanError::Search(format!(
+                            "heuristic must be non-negative and finite (got {h})"
+                        )));
+                    }
                     open.push((Reverse((tentative + eps * h).to_bits()), n));
                     p.instr(6); // heap push
                 }
             }
         }
-        None
+        Ok(None)
     }
 
     /// Dijkstra (uninformed) — `weighted_astar` with `h = 0`.
@@ -176,22 +231,32 @@ impl GraphSearch {
         self.weighted_astar(p, start, goal, 1.0, neighbors, |_, _| 0.0)
     }
 
-    fn reconstruct(&self, p: &mut Proc<'_>, start: usize, goal: usize, expansions: u64) -> SearchResult {
+    fn reconstruct(
+        &self,
+        p: &mut Proc<'_>,
+        start: usize,
+        goal: usize,
+        expansions: u64,
+    ) -> Result<SearchResult, TartanError> {
         let mut path = vec![goal];
         let mut cur = goal;
         while cur != start {
             let prev = self.parent.get(p, PC_PARENT, cur);
-            assert!(prev >= 0, "broken parent chain");
+            if prev < 0 || path.len() > self.len() {
+                return Err(TartanError::Search(format!(
+                    "broken parent chain at state {cur}"
+                )));
+            }
             cur = prev as usize;
             path.push(cur);
         }
         path.reverse();
         let cost = f64::from(self.g.peek(goal));
-        SearchResult {
+        Ok(SearchResult {
             path,
             cost,
             expansions,
-        }
+        })
     }
 }
 
@@ -214,9 +279,12 @@ pub struct AnytimeResult {
 /// second iteration on, under AXAR supervision.
 ///
 /// `h_exact` must be admissible; `h_fast` (e.g. the NPU model) may
-/// overestimate — the supervisor detects any resulting cost regression and
+/// overestimate or even return garbage (negative, NaN, ∞ — a corrupted
+/// accelerator result is sanitized to an admissible 0 before it reaches
+/// the search) — the supervisor detects any resulting cost regression and
 /// reruns that iteration with `h_exact` (§V-F).
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::type_complexity)]
 pub fn anytime_astar(
     p: &mut Proc<'_>,
     search: &mut GraphSearch,
@@ -235,12 +303,13 @@ pub fn anytime_astar(
     for it in 0..eps0 {
         let eps = (eps0 - it) as f32;
         let first = it == 0;
-        let use_fast = !first && h_fast.is_some();
-        let result = if use_fast {
-            let hf = h_fast.as_mut().expect("checked");
-            search.weighted_astar(p, start, goal, eps, &mut neighbors, |p, s| hf(p, s))
-        } else {
-            search.weighted_astar(p, start, goal, eps, &mut neighbors, &mut h_exact)
+        let result = match (first, h_fast.as_mut()) {
+            (false, Some(hf)) => search.weighted_astar(p, start, goal, eps, &mut neighbors, |p, s| {
+                // NaN.max(0.0) is 0.0, so one clamp covers both corruptions.
+                let h = hf(p, s).max(0.0);
+                if h.is_finite() { h } else { 0.0 }
+            }),
+            _ => search.weighted_astar(p, start, goal, eps, &mut neighbors, &mut h_exact),
         }?;
         expansions += result.expansions;
         // Supervision: compare the iteration's *exact* cost to the best.
@@ -256,13 +325,13 @@ pub fn anytime_astar(
                 expansions += rerun.expansions;
                 let best_cost = best.as_ref().map_or(f64::INFINITY, |b| b.cost);
                 if rerun.cost <= best_cost {
-                    supervisor.record_cpu_rerun(rerun.cost);
+                    supervisor.record_cpu_rerun(rerun.cost).ok()?;
                     best = Some(rerun);
                 } else {
                     // Keep the previous path: ATA*'s guarantee is "best so
                     // far", and an exact rerun at lower ε may tie but not
                     // beat a lucky earlier path.
-                    supervisor.record_cpu_rerun(best_cost);
+                    supervisor.record_cpu_rerun(best_cost).ok()?;
                 }
             }
         }
@@ -525,6 +594,95 @@ mod tests {
                 assert!(w[1] <= w[0] + 1e-6, "costs regressed: {:?}", r.costs);
             }
             assert_eq!(r.rollbacks, 0, "exact heuristic never rolls back");
+        });
+    }
+
+    #[test]
+    fn try_weighted_astar_reports_contract_violations() {
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = Grid2::generate(&mut m, 16, 16, 0, false, 3, MemPolicy::Normal);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        m.run(|p| {
+            let bad_eps = search.try_weighted_astar(p, 0, 10, 0.5, grid2_neighbors(&g), |_, _| 0.0);
+            assert!(matches!(bad_eps, Err(TartanError::Search(_))), "{bad_eps:?}");
+
+            let oob =
+                search.try_weighted_astar(p, 0, 100_000, 1.0, grid2_neighbors(&g), |_, _| 0.0);
+            assert!(matches!(oob, Err(TartanError::Search(_))), "{oob:?}");
+
+            let nan_h =
+                search.try_weighted_astar(p, 0, 10, 1.0, grid2_neighbors(&g), |_, _| f32::NAN);
+            assert!(matches!(nan_h, Err(TartanError::Search(_))), "{nan_h:?}");
+
+            let neg_edge = search.try_weighted_astar(
+                p,
+                0,
+                10,
+                1.0,
+                |_, s, out| out.push((s + 1, -1.0)),
+                |_, _| 0.0,
+            );
+            assert!(matches!(neg_edge, Err(TartanError::Search(_))), "{neg_edge:?}");
+
+            // And a well-formed query still succeeds through the same path.
+            let ok = search
+                .try_weighted_astar(
+                    p,
+                    g.idx(2, 2),
+                    g.idx(12, 12),
+                    1.0,
+                    grid2_neighbors(&g),
+                    octile_heuristic(16, g.idx(12, 12)),
+                )
+                .unwrap();
+            assert!(ok.is_some());
+        });
+    }
+
+    #[test]
+    fn corrupted_fast_heuristic_is_sanitized_and_supervised() {
+        // A fault-corrupted NPU heuristic returning NaN/−∞/negatives must
+        // neither crash the search nor degrade the final (ε = 1) cost.
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let g = maze(&mut m);
+        let mut search = GraphSearch::new(&mut m, g.len());
+        let start = free_cell(&g, 5, 5);
+        let goal = free_cell(&g, 58, 58);
+        m.run(|p| {
+            let exact = anytime_astar(
+                p,
+                &mut search,
+                start,
+                goal,
+                8,
+                grid2_neighbors(&g),
+                octile_heuristic(64, goal),
+                None,
+            )
+            .expect("reachable");
+            let mut garbage = |_: &mut Proc<'_>, s: usize| match s % 4 {
+                0 => f32::NAN,
+                1 => f32::NEG_INFINITY,
+                2 => -5.0,
+                _ => f32::INFINITY,
+            };
+            let r = anytime_astar(
+                p,
+                &mut search,
+                start,
+                goal,
+                8,
+                grid2_neighbors(&g),
+                octile_heuristic(64, goal),
+                Some(&mut garbage),
+            )
+            .expect("reachable despite garbage heuristic");
+            let exact_final = exact.costs.last().unwrap();
+            let r_final = r.costs.last().unwrap();
+            assert!(
+                (r_final - exact_final).abs() < 1e-9,
+                "supervised garbage run {r_final} must match exact {exact_final}"
+            );
         });
     }
 

@@ -16,7 +16,7 @@ proptest! {
         seed in 0u64..500,
         ox in 5.0f32..50.0,
         oy in 5.0f32..50.0,
-        theta in 0.0f32..6.28,
+        theta in 0.0f32..std::f32::consts::TAU,
     ) {
         let mut m = Machine::new(MachineConfig::tartan());
         let g = Grid2::generate(&mut m, 64, 64, 10, false, seed, MemPolicy::Normal);
@@ -38,7 +38,7 @@ proptest! {
     #[test]
     fn raycast_within_range(
         seed in 0u64..200,
-        theta in 0.0f32..6.28,
+        theta in 0.0f32..std::f32::consts::TAU,
         range in 5.0f32..60.0,
     ) {
         let mut m = Machine::new(MachineConfig::upgraded_baseline());

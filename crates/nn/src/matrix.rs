@@ -86,13 +86,13 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols, "vector length must match columns");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -105,9 +105,8 @@ impl Matrix {
     pub fn mul_vec_transposed(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.rows, "vector length must match rows");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &s) in v.iter().enumerate() {
             let row = self.row(r);
-            let s = v[r];
             for (o, a) in out.iter_mut().zip(row.iter()) {
                 *o += s * a;
             }

@@ -302,7 +302,7 @@ mod tests {
             .epochs(1)
             .batch_size(1);
         let mut trained = mlp.clone();
-        trainer.fit(&mut trained, &[x.clone()], &[t.clone()]);
+        trainer.fit(&mut trained, std::slice::from_ref(&x), std::slice::from_ref(&t));
         let analytic = mlp.layers[0].weights[(0, 0)] - trained.layers[0].weights[(0, 0)];
         assert!(
             (analytic - fd).abs() < 5e-2 * (1.0 + fd.abs()),

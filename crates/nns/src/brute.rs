@@ -25,7 +25,7 @@ impl NnsEngine for BruteForce {
             // dim subs, dim muls, dim-1 adds, one compare + branch.
             p.flop(3 * set.dim() as u64);
             p.instr(2);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }

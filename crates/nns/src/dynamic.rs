@@ -140,7 +140,7 @@ impl DynNns for DynBrute {
             let d = dist_sq(pt, query);
             p.flop(3 * store.dim() as u64);
             p.instr(2);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
@@ -194,7 +194,7 @@ impl DynKdTree {
         let d = dist_sq(pt, query);
         p.flop(3 * store.dim() as u64);
         p.instr(3);
-        if best.map_or(true, |(_, bd)| d < bd) {
+        if best.is_none_or(|(_, bd)| d < bd) {
             *best = Some((n.point as usize, d));
         }
         let dim = depth % store.dim();
@@ -343,7 +343,7 @@ impl DynNns for DynLsh {
         let need_new_chunk = match self.buckets.get(&key) {
             Some(chunks) => chunks
                 .last()
-                .map_or(true, |&(_, used)| used as usize >= CHUNK_POINTS),
+                .is_none_or(|&(_, used)| used as usize >= CHUNK_POINTS),
             None => true,
         };
         if need_new_chunk {
@@ -394,7 +394,7 @@ impl DynNns for DynLsh {
                     let ids = self.chunk_ids.vget(p, PC_CHUNK, start, used);
                     for (j, &id) in ids.iter().enumerate() {
                         let d = dist_sq(&data[j * self.dim..(j + 1) * self.dim], query);
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             *best = Some((id as usize, d));
                         }
                     }
@@ -411,7 +411,7 @@ impl DynNns for DynLsh {
                                 [(start + j) * self.dim..(start + j + 1) * self.dim],
                             query,
                         );
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             *best = Some((id as usize, d));
                         }
                     }

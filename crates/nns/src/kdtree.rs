@@ -101,7 +101,7 @@ impl KdTree {
         let d = dist_sq(pt, query);
         p.flop(3 * set.dim() as u64);
         p.instr(3); // compare, branch, child select
-        if best.map_or(true, |(_, bd)| d < bd) {
+        if best.is_none_or(|(_, bd)| d < bd) {
             *best = Some((n.point as usize, d));
         }
         let diff = query[n.split_dim as usize] - n.split_val;

@@ -61,6 +61,6 @@ pub trait NnsEngine {
 }
 
 /// Squared Euclidean distance between two untimed slices.
-pub(crate) fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }

@@ -271,7 +271,7 @@ impl NnsEngine for LshNns {
         let mut best: Option<(usize, f32)> = None;
         for slot in slots {
             self.scan_bucket(p, slot, query, |id, d| {
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((id, d));
                 }
             });

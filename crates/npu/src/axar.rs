@@ -7,6 +7,10 @@
 //! each iteration: an increase means the NPU overestimated somewhere, and
 //! the iteration must be rerun on the CPU with the exact heuristic.
 
+use tartan_sim::TartanError;
+
+use crate::supervision::Supervisor;
+
 /// Verdict for one completed ATA* iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IterationVerdict {
@@ -29,7 +33,7 @@ pub enum IterationVerdict {
 /// assert_eq!(sup.check(90.0), IterationVerdict::Accept);  // improved
 /// assert_eq!(sup.check(95.0), IterationVerdict::Rollback); // regressed!
 /// // After the CPU rerun produces a valid cost, record it:
-/// sup.record_cpu_rerun(88.0);
+/// sup.record_cpu_rerun(88.0).unwrap();
 /// assert_eq!(sup.rollbacks(), 1);
 /// assert_eq!(sup.best_cost(), Some(88.0));
 /// ```
@@ -50,38 +54,51 @@ impl AxarSupervisor {
     /// Checks the exact cost of the path an iteration produced.
     ///
     /// Returns [`IterationVerdict::Rollback`] when the cost exceeds the best
-    /// cost seen so far (NPU overestimation); the caller must rerun the
-    /// iteration on the CPU and then call
-    /// [`record_cpu_rerun`](Self::record_cpu_rerun).
+    /// cost seen so far (NPU overestimation) or is not finite (a corrupted
+    /// invocation produced NaN/∞ — never stored, so the supervisor cannot be
+    /// poisoned); the caller must rerun the iteration on the CPU and then
+    /// call [`record_cpu_rerun`](Self::record_cpu_rerun).
     pub fn check(&mut self, exact_cost: f64) -> IterationVerdict {
         self.iterations += 1;
-        match self.best_cost {
-            Some(best) if exact_cost > best => {
-                self.rollbacks += 1;
-                IterationVerdict::Rollback
-            }
-            _ => {
-                self.best_cost = Some(exact_cost);
-                IterationVerdict::Accept
-            }
+        let acceptable =
+            exact_cost.is_finite() && self.best_cost.is_none_or(|best| exact_cost <= best);
+        if acceptable {
+            self.best_cost = Some(exact_cost);
+            IterationVerdict::Accept
+        } else {
+            self.rollbacks += 1;
+            IterationVerdict::Rollback
         }
     }
 
     /// Records the cost produced by a CPU rerun after a rollback.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the CPU rerun *still* regressed — the exact heuristic is
-    /// admissible, so this would indicate a bug in the caller's algorithm.
-    pub fn record_cpu_rerun(&mut self, exact_cost: f64) {
-        if let Some(best) = self.best_cost {
-            assert!(
-                exact_cost <= best + 1e-9,
+    /// Returns [`TartanError::Supervision`] if the CPU rerun *still*
+    /// regressed or produced a non-finite cost — the exact heuristic is
+    /// admissible, so this indicates a bug in the caller's algorithm, not
+    /// an injected fault. Debug builds also assert, so the bug is loud in
+    /// tests while release runs degrade gracefully.
+    pub fn record_cpu_rerun(&mut self, exact_cost: f64) -> Result<(), TartanError> {
+        let regressed = !exact_cost.is_finite()
+            || self
+                .best_cost
+                .is_some_and(|best| exact_cost > best + 1e-9);
+        if regressed {
+            let best = self.best_cost.unwrap_or(f64::INFINITY);
+            debug_assert!(
+                false,
                 "CPU rerun with an admissible heuristic must not regress \
                  ({exact_cost} > {best})"
             );
+            return Err(TartanError::Supervision(format!(
+                "CPU rerun with an admissible heuristic must not regress \
+                 ({exact_cost} > {best})"
+            )));
         }
         self.best_cost = Some(exact_cost);
+        Ok(())
     }
 
     /// Best (most recent valid) path cost.
@@ -109,6 +126,28 @@ impl AxarSupervisor {
     }
 }
 
+impl Supervisor for AxarSupervisor {
+    fn name(&self) -> &'static str {
+        "ata*-cost-monotonicity"
+    }
+
+    fn check(&mut self, metric: f64) -> IterationVerdict {
+        AxarSupervisor::check(self, metric)
+    }
+
+    fn record_recovery(&mut self, metric: f64) -> Result<(), TartanError> {
+        self.record_cpu_rerun(metric)
+    }
+
+    fn checks(&self) -> u64 {
+        self.iterations
+    }
+
+    fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,7 +171,7 @@ mod tests {
         assert_eq!(sup.rollback_rate(), 0.5);
         // Best cost is unchanged until the rerun reports.
         assert_eq!(sup.best_cost(), Some(50.0));
-        sup.record_cpu_rerun(48.0);
+        sup.record_cpu_rerun(48.0).unwrap();
         assert_eq!(sup.best_cost(), Some(48.0));
     }
 
@@ -149,7 +188,8 @@ mod tests {
         let mut sup = AxarSupervisor::new();
         sup.check(50.0);
         sup.check(60.0);
-        sup.record_cpu_rerun(61.0);
+        // Debug builds assert; release builds would get Err instead.
+        let _ = sup.record_cpu_rerun(61.0);
     }
 
     #[test]
@@ -157,5 +197,35 @@ mod tests {
         let sup = AxarSupervisor::new();
         assert_eq!(sup.rollback_rate(), 0.0);
         assert_eq!(sup.best_cost(), None);
+    }
+
+    #[test]
+    fn non_finite_costs_roll_back_without_poisoning() {
+        let mut sup = AxarSupervisor::new();
+        // Even as the first observation, NaN/∞ must not become best_cost.
+        assert_eq!(sup.check(f64::NAN), IterationVerdict::Rollback);
+        assert_eq!(sup.best_cost(), None);
+        sup.record_cpu_rerun(50.0).unwrap();
+        assert_eq!(sup.check(f64::NAN), IterationVerdict::Rollback);
+        assert_eq!(sup.check(f64::INFINITY), IterationVerdict::Rollback);
+        assert_eq!(sup.check(f64::NEG_INFINITY), IterationVerdict::Rollback);
+        assert_eq!(sup.best_cost(), Some(50.0));
+        // The supervisor still judges ordinary costs correctly afterwards.
+        assert_eq!(sup.check(49.0), IterationVerdict::Accept);
+        assert_eq!(sup.rollbacks(), 4);
+    }
+
+    #[test]
+    fn supervisor_trait_delegates_to_inherent_methods() {
+        let mut sup = AxarSupervisor::new();
+        let s: &mut dyn Supervisor = &mut sup;
+        assert_eq!(s.name(), "ata*-cost-monotonicity");
+        assert_eq!(s.check(10.0), IterationVerdict::Accept);
+        assert_eq!(s.check(12.0), IterationVerdict::Rollback);
+        s.record_recovery(9.0).unwrap();
+        assert_eq!(s.checks(), 2);
+        assert_eq!(s.rollbacks(), 1);
+        assert!((s.rollback_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(sup.best_cost(), Some(9.0));
     }
 }

@@ -1,7 +1,7 @@
 //! The NPU device model: functional MLP inference with PE-array timing.
 
 use tartan_nn::{Mlp, SigmoidLut};
-use tartan_sim::{Accelerator, InvokeCost, NpuMode};
+use tartan_sim::{Accelerator, InvokeCost, NpuMode, TartanError};
 
 /// An NPU loaded with one MLP.
 ///
@@ -33,23 +33,31 @@ impl NpuDevice {
     /// mode (4 cycles), and `coproc_comm_latency` the per-invocation cost
     /// of the co-processor arrangement (104 cycles).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `mode` is [`NpuMode::None`] or an integrated mode with
-    /// zero PEs.
+    /// Returns [`TartanError::InvalidConfig`] if `mode` is
+    /// [`NpuMode::None`] or an integrated mode with zero PEs.
     pub fn new(
         mlp: Mlp,
         mode: NpuMode,
         mac_latency: u64,
         comm_latency: u64,
         coproc_comm_latency: u64,
-    ) -> Self {
+    ) -> Result<Self, TartanError> {
         match mode {
-            NpuMode::None => panic!("cannot build an NPU device in mode None"),
-            NpuMode::Integrated { pes } => assert!(pes > 0, "NPU needs at least one PE"),
-            NpuMode::Coprocessor => {}
+            NpuMode::None => {
+                return Err(TartanError::InvalidConfig(
+                    "cannot build an NPU device in mode None".into(),
+                ))
+            }
+            NpuMode::Integrated { pes: 0 } => {
+                return Err(TartanError::InvalidConfig(
+                    "NPU needs at least one PE".into(),
+                ))
+            }
+            NpuMode::Integrated { .. } | NpuMode::Coprocessor => {}
         }
-        NpuDevice {
+        Ok(NpuDevice {
             mlp,
             lut: SigmoidLut::new(),
             mode,
@@ -57,7 +65,7 @@ impl NpuDevice {
             comm_latency,
             coproc_comm_latency,
             invocations: 0,
-        }
+        })
     }
 
     /// The loaded network.
@@ -147,7 +155,7 @@ mod tests {
     #[test]
     fn integrated_cost_scales_with_pes() {
         let t = |pes| {
-            let mut d = NpuDevice::new(mlp(), NpuMode::Integrated { pes }, 8, 4, 104);
+            let mut d = NpuDevice::new(mlp(), NpuMode::Integrated { pes }, 8, 4, 104).unwrap();
             let mut out = Vec::new();
             d.invoke(&[0.1; 6], &mut out).compute_cycles
         };
@@ -159,8 +167,8 @@ mod tests {
 
     #[test]
     fn coprocessor_trades_compute_for_communication() {
-        let mut integ = NpuDevice::new(mlp(), NpuMode::Integrated { pes: 4 }, 8, 4, 104);
-        let mut coproc = NpuDevice::new(mlp(), NpuMode::Coprocessor, 8, 4, 104);
+        let mut integ = NpuDevice::new(mlp(), NpuMode::Integrated { pes: 4 }, 8, 4, 104).unwrap();
+        let mut coproc = NpuDevice::new(mlp(), NpuMode::Coprocessor, 8, 4, 104).unwrap();
         let mut out = Vec::new();
         let ci = integ.invoke(&[0.0; 6], &mut out);
         out.clear();
@@ -176,7 +184,7 @@ mod tests {
     #[test]
     fn functional_output_matches_mlp_within_lut_error() {
         let net = mlp();
-        let mut d = NpuDevice::new(net.clone(), NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+        let mut d = NpuDevice::new(net.clone(), NpuMode::Integrated { pes: 4 }, 8, 4, 104).unwrap();
         let x = [0.3, -0.2, 0.9, 0.0, 0.5, -0.7];
         let mut out = Vec::new();
         d.invoke(&x, &mut out);
@@ -187,7 +195,7 @@ mod tests {
 
     #[test]
     fn configuration_cost_tracks_weight_bytes() {
-        let d = NpuDevice::new(mlp(), NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+        let d = NpuDevice::new(mlp(), NpuMode::Integrated { pes: 4 }, 8, 4, 104).unwrap();
         assert_eq!(
             d.configure_cost(),
             (d.mlp().weight_bytes() as u64).div_ceil(8)
@@ -196,8 +204,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mode None")]
-    fn mode_none_rejected() {
-        let _ = NpuDevice::new(mlp(), NpuMode::None, 8, 4, 104);
+    fn invalid_modes_rejected() {
+        assert!(matches!(
+            NpuDevice::new(mlp(), NpuMode::None, 8, 4, 104),
+            Err(TartanError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            NpuDevice::new(mlp(), NpuMode::Integrated { pes: 0 }, 8, 4, 104),
+            Err(TartanError::InvalidConfig(_))
+        ));
     }
 }

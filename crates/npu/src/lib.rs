@@ -27,7 +27,7 @@
 //!
 //! let topo = Topology::new(&[6, 16, 16, 1]);
 //! let mlp = Mlp::new(&topo, 7);
-//! let mut npu = NpuDevice::new(mlp, NpuMode::Integrated { pes: 4 }, 8, 4, 104);
+//! let mut npu = NpuDevice::new(mlp, NpuMode::Integrated { pes: 4 }, 8, 4, 104).unwrap();
 //! let mut out = Vec::new();
 //! let cost = npu.invoke(&[0.0; 6], &mut out);
 //! assert_eq!(out.len(), 1);
@@ -37,7 +37,11 @@
 mod area;
 mod axar;
 mod device;
+mod supervision;
 
 pub use area::{NpuAreaModel, PE_IO_BUFFER_BYTES, PE_SIGMOID_LUT_BYTES, PE_WEIGHT_BYTES};
 pub use axar::{AxarSupervisor, IterationVerdict};
 pub use device::NpuDevice;
+pub use supervision::{
+    IcpSupervisor, NnsSupervisor, NpuHealth, RetryPolicy, SupervisedNpu, Supervisor,
+};

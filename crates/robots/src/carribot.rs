@@ -184,10 +184,13 @@ impl Robot for CarriBot {
                 .map(|r| (r.cost, r.path))
         });
         self.plans += 1;
+        // total_cmp: a station returning a NaN cost (it should not, but a
+        // corrupted run must not panic the dispatcher) sorts last instead
+        // of poisoning the comparison.
         let best = results
             .into_iter()
             .flatten()
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+            .min_by(|a, b| a.0.total_cmp(&b.0));
         if let Some((_, path)) = best {
             self.solved += 1;
             if let Some(&next) = path.get(2.min(path.len() - 1)) {

@@ -10,8 +10,8 @@ use tartan_kernels::heuristics::{FlyHeuristic, WindField};
 use tartan_kernels::perception::LtFilter;
 use tartan_kernels::search::{anytime_astar, grid3_neighbors, GraphSearch};
 use tartan_nn::{Loss, Mlp, Topology, Trainer};
-use tartan_npu::NpuDevice;
-use tartan_sim::{AccelId, Machine};
+use tartan_npu::SupervisedNpu;
+use tartan_sim::Machine;
 
 use crate::{NeuralExec, Robot, Scale, SoftwareConfig};
 
@@ -26,7 +26,7 @@ pub struct FlyBot {
     goals: Vec<usize>,
     goal_idx: usize,
     position: usize,
-    accel: Option<AccelId>,
+    npu: Option<SupervisedNpu>,
     axar_mlp: Option<Mlp>,
     heuristic_samples: usize,
     npu_scale: f32,
@@ -58,7 +58,7 @@ impl FlyBot {
         // --- offline AXAR training: states *and* goals are sampled so the
         // model generalizes across FlyBot's whole circuit (§V-F trains on a
         // map region distinct from the operational area) ---
-        let (accel, axar_mlp, npu_scale) = if software.neural != NeuralExec::None {
+        let (npu, axar_mlp, npu_scale) = if software.neural != NeuralExec::None {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
             let mut max_h = 1.0f32;
@@ -100,22 +100,15 @@ impl FlyBot {
                 .clip_norm(2.5)
                 .epochs(scale.train_epochs * 4)
                 .fit(&mut mlp, &xs, &ys);
-            let accel = if software.neural == NeuralExec::Npu {
-                let cfg = machine.config();
-                let device = NpuDevice::new(
-                    mlp.clone(),
-                    cfg.npu,
-                    cfg.npu_mac_latency,
-                    cfg.npu_comm_latency,
-                    cfg.npu_coproc_comm_latency,
-                );
-                let id = machine.attach_accelerator(Box::new(device));
-                machine.run(|p| p.configure_accel(id));
-                (Some(id), Some(mlp), max_h)
+            if software.neural == NeuralExec::Npu {
+                // Supervised attachment: detection + retry + CPU-exact
+                // fallback make the heuristic stream fault-free.
+                let npu = SupervisedNpu::attach(machine, mlp.clone())
+                    .expect("NPU mode implies an NPU configuration");
+                (Some(npu), Some(mlp), max_h)
             } else {
                 (None, Some(mlp), max_h)
-            };
-            accel
+            }
         } else {
             (None, None, 1.0)
         };
@@ -130,7 +123,7 @@ impl FlyBot {
             goals,
             goal_idx: 0,
             position,
-            accel,
+            npu,
             axar_mlp,
             heuristic_samples: scale.heuristic_samples,
             npu_scale,
@@ -202,7 +195,7 @@ impl Robot for FlyBot {
         let grid = &self.grid;
         let search = &mut self.search;
         let start = self.position;
-        let accel = self.accel;
+        let npu = self.npu.as_mut();
         let npu_scale = self.npu_scale;
         let neural = self.software.neural;
         let mlp = self.axar_mlp.as_ref();
@@ -223,10 +216,10 @@ impl Robot for FlyBot {
                     None,
                 ),
                 NeuralExec::Npu => {
-                    let id = accel.expect("NPU mode implies a device");
+                    let npu = npu.expect("NPU mode implies a device");
                     let heur = &heur;
                     let mut fast = move |p: &mut tartan_sim::Proc<'_>, s: usize| {
-                        p.with_phase("heuristic", |p| heur.eval_npu(p, id, s, npu_scale))
+                        p.with_phase("heuristic", |p| heur.eval_supervised(p, npu, s, npu_scale))
                     };
                     anytime_astar(
                         p,

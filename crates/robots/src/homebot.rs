@@ -6,12 +6,13 @@
 
 use tartan_kernels::bt::{BehaviorTree, BtSpec, BtStatus};
 use tartan_kernels::icp::{
-    estimate_from_matches, match_range, npu_estimate, trap_inputs, Transform,
+    estimate_from_matches, icp_estimate, match_range, residual_sample, supervised_estimate,
+    trap_inputs, Transform,
 };
 use tartan_nn::{Loss, Mlp, Topology, Trainer};
 use tartan_nns::{BruteForce, KdTree, LshConfig, LshNns, NnsEngine, PointSet};
-use tartan_npu::NpuDevice;
-use tartan_sim::{AccelId, Buffer, Machine, MemPolicy};
+use tartan_npu::{IcpSupervisor, IterationVerdict, SupervisedNpu, Supervisor};
+use tartan_sim::{Buffer, Machine, MemPolicy};
 
 use crate::{NeuralExec, NnsKind, Robot, Scale, SoftwareConfig};
 
@@ -23,7 +24,8 @@ pub struct HomeBot {
     map_cap: usize,
     source_points: usize,
     tree: BehaviorTree,
-    accel: Option<AccelId>,
+    npu: Option<SupervisedNpu>,
+    icp_sup: IcpSupervisor,
     trap_mlp: Option<Mlp>,
     seed: u64,
     frame: u64,
@@ -48,7 +50,7 @@ impl HomeBot {
             .collect();
 
         // --- offline TRAP training: predict T from raw correspondences ---
-        let (accel, trap_mlp) = if software.neural != NeuralExec::None {
+        let (npu, trap_mlp) = if software.neural != NeuralExec::None {
             let topo = Topology::new(&[192, 32, 32, 6]); // Table II
             let mut mlp = Mlp::new(&topo, seed ^ 0x99);
             let mut xs = Vec::new();
@@ -71,22 +73,17 @@ impl HomeBot {
                 .learning_rate(0.02)
                 .epochs(scale.train_epochs)
                 .fit(&mut mlp, &xs, &ys);
-            let accel = if software.neural == NeuralExec::Npu {
-                let cfg = machine.config();
-                let device = NpuDevice::new(
-                    mlp.clone(),
-                    cfg.npu,
-                    cfg.npu_mac_latency,
-                    cfg.npu_comm_latency,
-                    cfg.npu_coproc_comm_latency,
-                );
-                let id = machine.attach_accelerator(Box::new(device));
-                machine.run(|p| p.configure_accel(id));
-                Some(id)
+            let npu = if software.neural == NeuralExec::Npu {
+                // Supervised attachment: faulted predictions are retried or
+                // re-run on the CPU before they reach the fusion pipeline.
+                Some(
+                    SupervisedNpu::attach(machine, mlp.clone())
+                        .expect("NPU mode implies an NPU configuration"),
+                )
             } else {
                 None
             };
-            (accel, Some(mlp))
+            (npu, Some(mlp))
         } else {
             (None, None)
         };
@@ -109,7 +106,15 @@ impl HomeBot {
             map_cap: scale.map_points * 2,
             source_points: scale.source_points,
             tree,
-            accel,
+            npu,
+            // Trained TRAP leaves a modest alignment residual (sensor
+            // noise plus its ~7% transform error, well under 0.5
+            // mean-squared distance); a grossly wrong prediction — NaN or
+            // a transform far outside the motion envelope — leaves a much
+            // larger one and rolls back to exact CPU ICP. Device-fault
+            // exactness is already guaranteed upstream by SupervisedNpu;
+            // this guards TRAP's *algorithmic* plausibility.
+            icp_sup: IcpSupervisor::new(0.5),
             trap_mlp,
             seed,
             frame: 0,
@@ -128,6 +133,11 @@ impl HomeBot {
         let r = self.rot_err_sum / self.frames_scored as f64;
         let t = self.trans_err_sum / self.frames_scored as f64;
         (r * t).sqrt()
+    }
+
+    /// The TRAP residual supervisor (check/rollback statistics).
+    pub fn icp_supervisor(&self) -> &IcpSupervisor {
+        &self.icp_sup
     }
 }
 
@@ -217,21 +227,39 @@ impl Robot for HomeBot {
 
         let estimate = match self.software.neural {
             NeuralExec::Npu => {
-                // TRAP: one NPU invocation replaces matching + solving.
-                let accel = self.accel.expect("NPU mode implies a device");
+                // TRAP: one NPU invocation replaces matching + solving. The
+                // supervisor samples the alignment residual of the predicted
+                // transform (a handful of NNS queries, §V-F style) and rolls
+                // back to exact CPU ICP when the prediction is implausible.
+                let npu = self.npu.as_mut().expect("NPU mode implies a device");
+                let sup = &mut self.icp_sup;
                 let inputs = trap_inputs(&map_set, &source);
                 machine.run(|p| {
                     p.with_phase("tprediction", |p| {
-                        let mut t = npu_estimate(p, accel, &inputs);
+                        let mut t = supervised_estimate(p, npu, &inputs);
                         t.rot[0] /= 10.0;
                         t.rot[1] /= 10.0;
                         t.rot[2] /= 10.0;
-                        t
+                        let residual =
+                            residual_sample(p, &map_set, engine.as_ref(), &source, &t, 16);
+                        match sup.check(f64::from(residual)) {
+                            IterationVerdict::Accept => t,
+                            IterationVerdict::Rollback => {
+                                let exact =
+                                    icp_estimate(p, &map_set, engine.as_ref(), &source, 2);
+                                let r = residual_sample(
+                                    p, &map_set, engine.as_ref(), &source, &exact, 16,
+                                );
+                                let _ = sup.record_recovery(f64::from(r));
+                                exact
+                            }
+                        }
                     })
                 })
             }
             NeuralExec::Software => {
                 let mlp = self.trap_mlp.as_ref().expect("trained at setup");
+                let sup = &mut self.icp_sup;
                 let inputs = trap_inputs(&map_set, &source);
                 machine.run(|p| {
                     p.with_phase("tprediction", |p| {
@@ -240,9 +268,27 @@ impl Robot for HomeBot {
                         p.flop(2 * macs);
                         p.instr(2 * macs);
                         let out = mlp.forward(&inputs);
-                        Transform {
+                        let t = Transform {
                             rot: [out[0] / 10.0, out[1] / 10.0, out[2] / 10.0],
                             trans: [out[3], out[4], out[5]],
+                        };
+                        // TRAP's plausibility check is algorithm-level: the
+                        // prediction needs supervising no matter where the
+                        // MLP executes, so the software path pays the same
+                        // residual sampling as the NPU path.
+                        let residual =
+                            residual_sample(p, &map_set, engine.as_ref(), &source, &t, 16);
+                        match sup.check(f64::from(residual)) {
+                            IterationVerdict::Accept => t,
+                            IterationVerdict::Rollback => {
+                                let exact =
+                                    icp_estimate(p, &map_set, engine.as_ref(), &source, 2);
+                                let r = residual_sample(
+                                    p, &map_set, engine.as_ref(), &source, &exact, 16,
+                                );
+                                let _ = sup.record_recovery(f64::from(r));
+                                exact
+                            }
                         }
                     })
                 })

@@ -2,15 +2,96 @@
 //! the bottleneck once CCCD is parallelized over 8 threads (§III-B), plus
 //! PID joint control. Pipeline threads: 1 → 8 → 1 (Table I).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use tartan_kernels::collision::{Cuboid, ObstacleSet};
 use tartan_kernels::control::Pid;
 use tartan_kernels::rrt::{Rrt, RrtConfig};
-use tartan_nns::{DynBrute, DynKdTree, DynLsh, DynNns, LshConfig};
-use tartan_sim::Machine;
+use tartan_nns::{dist_sq, DynBrute, DynKdTree, DynLsh, DynNns, DynPointStore, LshConfig};
+use tartan_npu::{IterationVerdict, NnsSupervisor, Supervisor};
+use tartan_sim::{Machine, Proc};
 
 use crate::{NnsKind, Robot, Scale, SoftwareConfig};
+
+/// A [`DynNns`] adapter implementing the candidate-set verification
+/// supervisor ([`NnsSupervisor`]): every candidate an approximate engine
+/// returns is compared against a cheap exactly-scanned witness subset of
+/// the store. A witness closer than the candidate proves the candidate set
+/// missed a nearer point, and the query rolls back to an exact scan — so
+/// an approximate (or fault-perturbed) engine can cost cycles but cannot
+/// silently degrade neighbor quality below the witness bound.
+struct VerifiedNns {
+    inner: Box<dyn DynNns>,
+    /// Verification off = transparent pass-through (exact engines verify
+    /// themselves; wrapping them would only add witness loads).
+    verify: bool,
+    sup: RefCell<NnsSupervisor>,
+}
+
+impl VerifiedNns {
+    const WITNESSES: usize = 8;
+
+    fn new(inner: Box<dyn DynNns>, verify: bool) -> Self {
+        VerifiedNns {
+            inner,
+            verify,
+            // Witness distances are computed with the same dist_sq the
+            // candidate uses, so a valid candidate's margin is exactly ≤ 0.
+            sup: RefCell::new(NnsSupervisor::new(1e-6)),
+        }
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        let s = self.sup.borrow();
+        (s.checks(), s.rollbacks())
+    }
+
+    /// Best distance over an exactly-scanned strided witness subset.
+    fn witness_best(p: &mut Proc<'_>, store: &DynPointStore, query: &[f32]) -> f32 {
+        let stride = (store.len() / Self::WITNESSES).max(1);
+        let mut best = f32::INFINITY;
+        for i in (0..store.len()).step_by(stride).take(Self::WITNESSES) {
+            let pt = store.load_point(p, i);
+            let d = dist_sq(pt, query);
+            p.flop(3 * store.dim() as u64);
+            p.instr(2);
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+}
+
+impl DynNns for VerifiedNns {
+    fn insert(&mut self, p: &mut Proc<'_>, store: &DynPointStore, idx: usize) {
+        self.inner.insert(p, store, idx);
+    }
+
+    fn nearest(&self, p: &mut Proc<'_>, store: &DynPointStore, query: &[f32]) -> Option<usize> {
+        let candidate = self.inner.nearest(p, store, query)?;
+        if !self.verify {
+            return Some(candidate);
+        }
+        let cand_d = dist_sq(store.load_point(p, candidate), query);
+        let margin = f64::from(cand_d - Self::witness_best(p, store, query));
+        // Bind the verdict first: a match scrutinee's borrow_mut guard
+        // would live across the rollback arm's second borrow.
+        let verdict = self.sup.borrow_mut().check(margin);
+        match verdict {
+            IterationVerdict::Accept => Some(candidate),
+            IterationVerdict::Rollback => {
+                let exact = DynBrute::new().nearest(p, store, query);
+                let _ = self.sup.borrow_mut().record_recovery(0.0);
+                exact
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Verified"
+    }
+}
 
 /// The manipulator robot.
 pub struct MoveBot {
@@ -25,6 +106,8 @@ pub struct MoveBot {
     solved: u64,
     last_path_len: usize,
     cccd_threads: usize,
+    nns_checks: u64,
+    nns_rollbacks: u64,
 }
 
 impl MoveBot {
@@ -59,7 +142,15 @@ impl MoveBot {
             solved: 0,
             last_path_len: 0,
             cccd_threads: 8,
+            nns_checks: 0,
+            nns_rollbacks: 0,
         }
+    }
+
+    /// Candidate-set verification counters: `(checks, rollbacks)` over all
+    /// NNS queries issued by approximate engines so far.
+    pub fn nns_verification(&self) -> (u64, u64) {
+        (self.nns_checks, self.nns_rollbacks)
     }
 
     /// Fraction of planning queries solved.
@@ -120,7 +211,10 @@ impl Robot for MoveBot {
 
         // Planning (8 threads): RRT on thread 0; CCCD fans out so each
         // thread scans 1/8 of the obstacles per collision query (§III-B).
-        let mut engine = self.make_engine(machine);
+        // Approximate engines run under candidate-set verification; exact
+        // ones pass through untouched.
+        let verify = matches!(self.software.nns, NnsKind::Flann | NnsKind::Vln);
+        let mut engine = VerifiedNns::new(self.make_engine(machine), verify);
         let mut rrt = Rrt::new(
             machine,
             &[0.0; 3],
@@ -144,7 +238,7 @@ impl Robot for MoveBot {
         let mut path_len = 0usize;
         machine.parallel(threads, |tid, p| {
             if tid == 0 {
-                let result = rrt.plan(p, &start, &goal, engine.as_mut(), |pp, probe| {
+                let result = rrt.plan(p, &start, &goal, &mut engine, |pp, probe| {
                     checks.set(checks.get() + 1);
                     // Timed: this thread's obstacle slice; the functional
                     // verdict covers the full set.
@@ -170,6 +264,9 @@ impl Robot for MoveBot {
                 });
             }
         });
+        let (checks, rollbacks) = engine.counters();
+        self.nns_checks += checks;
+        self.nns_rollbacks += rollbacks;
         self.planned += 1;
         if found {
             self.solved += 1;

@@ -7,8 +7,8 @@ use tartan_kernels::control::{pure_pursuit, WaypointPath};
 use tartan_kernels::ekf::{Ekf, LandmarkMap};
 use tartan_kernels::perception::{synthetic_image, CnnModel, MlpClassifier};
 use tartan_nn::{Activation, Loss, Mlp, Pca, Topology, Trainer};
-use tartan_npu::NpuDevice;
-use tartan_sim::{AccelId, Machine};
+use tartan_npu::SupervisedNpu;
+use tartan_sim::Machine;
 
 use crate::{NeuralExec, Robot, Scale, SoftwareConfig};
 
@@ -17,7 +17,7 @@ pub struct PatrolBot {
     software: SoftwareConfig,
     cnn: CnnModel,
     classifier: MlpClassifier,
-    accel: Option<AccelId>,
+    npu: Option<SupervisedNpu>,
     ekf: Ekf,
     landmarks: LandmarkMap,
     path: WaypointPath,
@@ -53,18 +53,13 @@ impl PatrolBot {
             .epochs(scale.train_epochs)
             .fit(&mut mlp, &projected, &labels);
 
-        let accel = if software.neural == NeuralExec::Npu {
-            let cfg = machine.config();
-            let device = NpuDevice::new(
-                mlp.clone(),
-                cfg.npu,
-                cfg.npu_mac_latency,
-                cfg.npu_comm_latency,
-                cfg.npu_coproc_comm_latency,
-            );
-            let id = machine.attach_accelerator(Box::new(device));
-            machine.run(|p| p.configure_accel(id));
-            Some(id)
+        let npu = if software.neural == NeuralExec::Npu {
+            // Supervised attachment: faulted inferences are retried or
+            // re-run on the CPU, so the detector's scores are fault-free.
+            Some(
+                SupervisedNpu::attach(machine, mlp.clone())
+                    .expect("NPU mode implies an NPU configuration"),
+            )
         } else {
             None
         };
@@ -83,7 +78,7 @@ impl PatrolBot {
             software,
             cnn,
             classifier,
-            accel,
+            npu,
             ekf: Ekf::new([25.0, 15.0, 1.6]),
             landmarks,
             path,
@@ -126,7 +121,7 @@ impl Robot for PatrolBot {
         self.truth[1] += v * dt * self.truth[2].sin();
 
         let software = self.software;
-        let accel = self.accel;
+        let npu = &mut self.npu;
         let cnn = &self.cnn;
         let classifier = &self.classifier;
         let ekf = &mut self.ekf;
@@ -156,8 +151,9 @@ impl Robot for PatrolBot {
                     NeuralExec::Npu => {
                         if tid == 1 {
                             let z = classifier.project(p, image.as_slice());
-                            let id = accel.expect("NPU mode implies an attached device");
-                            classifier.infer_npu(p, id, &z)[0]
+                            let npu =
+                                npu.as_mut().expect("NPU mode implies an attached device");
+                            classifier.infer_supervised(p, npu, &z)[0]
                         } else {
                             0.0
                         }

@@ -1,6 +1,8 @@
 //! Machine configuration: the baseline processor of §III-A and every knob
 //! Tartan adds to it.
 
+use crate::fault::FaultPlan;
+
 /// Vector ISA generation, which fixes the number of 32-bit lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VectorIsa {
@@ -160,6 +162,9 @@ pub struct MachineConfig {
     /// Intel ray-casting accelerator model: zero-cycle trilinear
     /// interpolation plus unlimited local voxel storage (Fig. 7).
     pub intel_lvs: bool,
+    /// Deterministic fault-injection schedule, if any. `None` and a
+    /// quiet plan (all rates zero) are guaranteed to behave identically.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -200,6 +205,7 @@ impl MachineConfig {
             npu_coproc_comm_latency: 104,
             write_through_regions: false,
             intel_lvs: false,
+            fault_plan: None,
         }
     }
 

@@ -1,0 +1,55 @@
+//! The workspace-wide recoverable error type.
+//!
+//! Library paths that a caller can sensibly recover from return
+//! `Result<_, TartanError>` instead of panicking; panics remain only for
+//! bugs (violated internal invariants).
+
+use crate::accel::AccelId;
+
+/// A recoverable failure in the simulator or a layer built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TartanError {
+    /// An accelerator invocation failed outright (injected hard fault).
+    /// The outputs of the invocation must be discarded.
+    AccelInvocationFailed {
+        /// The accelerator that failed.
+        accel: AccelId,
+    },
+    /// A component was constructed with an unusable configuration.
+    InvalidConfig(String),
+    /// A supervisor invariant did not hold (e.g., a CPU re-run regressed
+    /// the best-known cost, which supervision promises cannot happen).
+    Supervision(String),
+    /// A search could not run on the given inputs.
+    Search(String),
+}
+
+impl std::fmt::Display for TartanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TartanError::AccelInvocationFailed { accel } => {
+                write!(f, "accelerator invocation failed on {accel:?}")
+            }
+            TartanError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TartanError::Supervision(msg) => write!(f, "supervision violation: {msg}"),
+            TartanError::Search(msg) => write!(f, "search failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TartanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TartanError::InvalidConfig("zero PEs".into());
+        assert!(e.to_string().contains("zero PEs"));
+        let e = TartanError::Supervision("regressed".into());
+        assert!(e.to_string().contains("regressed"));
+        let e = TartanError::Search("empty graph".into());
+        assert!(e.to_string().contains("empty graph"));
+    }
+}

@@ -43,6 +43,8 @@ mod accel;
 mod alloc;
 mod cache;
 mod config;
+mod error;
+mod fault;
 mod machine;
 mod memory;
 mod stats;
@@ -54,6 +56,8 @@ pub use cache::{AccessOutcome, Cache, EvictedLine, PrefetchOutcome};
 pub use config::{
     CacheConfig, FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind, VectorIsa,
 };
+pub use error::TartanError;
+pub use fault::{FaultPlan, FaultStats};
 pub use machine::{Machine, Proc, PHASE_COMM, PHASE_OTHER};
 pub use memory::{AccessKind, MemPolicy, MemorySystem};
 pub use stats::{CacheStats, MachineStats, PhaseStats};

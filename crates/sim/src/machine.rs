@@ -20,6 +20,8 @@ use std::collections::BTreeMap;
 
 use crate::accel::{AccelId, Accelerator, InvokeCost};
 use crate::config::MachineConfig;
+use crate::error::TartanError;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::memory::{AccessKind, MemPolicy, MemorySystem};
 use crate::stats::{MachineStats, PhaseStats};
 use crate::vector::oriented_lane_indices;
@@ -40,12 +42,15 @@ pub struct Machine {
     wall_cycles: u64,
     instructions: u64,
     phases: BTreeMap<&'static str, PhaseStats>,
+    fault_state: Option<FaultState>,
+    faults: FaultStats,
 }
 
 impl Machine {
     /// Creates a machine from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
         let mem = MemorySystem::new(&cfg);
+        let fault_state = cfg.fault_plan.map(FaultState::new);
         Machine {
             cfg,
             mem,
@@ -54,7 +59,22 @@ impl Machine {
             wall_cycles: 0,
             instructions: 0,
             phases: BTreeMap::new(),
+            fault_state,
+            faults: FaultStats::default(),
         }
+    }
+
+    /// Installs (or clears) a fault-injection plan, resetting its RNG
+    /// stream. Counters are kept: a plan swap mid-run continues the same
+    /// campaign totals.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.cfg.fault_plan = plan;
+        self.fault_state = plan.map(FaultState::new);
+    }
+
+    /// Cumulative fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
     }
 
     /// The machine configuration.
@@ -120,6 +140,7 @@ impl Machine {
             instructions: self.instructions,
             wall_cycles: self.wall_cycles,
             phases: self.phases.clone(),
+            faults: self.faults,
         }
     }
 
@@ -261,6 +282,19 @@ impl<'m> Proc<'m> {
         }
     }
 
+    /// Draws a memory latency spike from the fault plan (0 when no plan or
+    /// no spike), counting any spike as one injected fault.
+    fn fault_spike(&mut self) -> u64 {
+        let spike = match self.machine.fault_state.as_mut() {
+            Some(fs) => fs.mem_spike(),
+            None => return 0,
+        };
+        if spike > 0 {
+            self.machine.faults.injected += 1;
+        }
+        spike
+    }
+
     /// An independent (OoO-overlappable) load.
     pub fn read(&mut self, pc: u64, addr: u64, bytes: u64, policy: MemPolicy) {
         self.instr(1);
@@ -268,6 +302,7 @@ impl<'m> Proc<'m> {
             .machine
             .mem
             .access(self.core, pc, addr, bytes, AccessKind::Read, policy, self.cycles);
+        let raw = raw + self.fault_spike();
         let stall = self.overlap(raw, false);
         self.stall(stall);
     }
@@ -280,6 +315,7 @@ impl<'m> Proc<'m> {
             .machine
             .mem
             .access(self.core, pc, addr, bytes, AccessKind::Read, policy, self.cycles);
+        let raw = raw + self.fault_spike();
         self.stall(raw);
     }
 
@@ -290,6 +326,7 @@ impl<'m> Proc<'m> {
             .machine
             .mem
             .access(self.core, pc, addr, bytes, AccessKind::Write, policy, self.cycles);
+        let raw = raw + self.fault_spike();
         let stall = self.overlap(raw, false);
         self.stall(stall);
     }
@@ -409,15 +446,92 @@ impl<'m> Proc<'m> {
     /// to the [`PHASE_COMM`] phase, compute cycles to the current phase
     /// (matching Fig. 8's breakdown).
     ///
+    /// Under a fault plan, injected faults silently corrupt (or, on a hard
+    /// failure, zero) the outputs — this models an *unsupervised* consumer.
+    /// Supervised paths should use [`Proc::try_invoke_accel`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `id` does not identify an attached accelerator.
     pub fn invoke_accel(&mut self, id: AccelId, inputs: &[f32], outputs: &mut Vec<f32>) -> InvokeCost {
+        let (cost, fault) = self.invoke_accel_inner(id, inputs, outputs);
+        if fault.is_err() {
+            // The caller has no way to notice: the run consumes a
+            // known-bad (zeroed) result.
+            self.machine.faults.unrecovered += 1;
+        }
+        cost
+    }
+
+    /// Invokes an attached accelerator, reporting injected hard failures
+    /// to the caller instead of silently zeroing the outputs. Timing is
+    /// charged either way (the failed round-trip still took its cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TartanError::AccelInvocationFailed`] when the fault plan
+    /// fails this invocation; `outputs` must then be discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not identify an attached accelerator.
+    pub fn try_invoke_accel(
+        &mut self,
+        id: AccelId,
+        inputs: &[f32],
+        outputs: &mut Vec<f32>,
+    ) -> Result<InvokeCost, TartanError> {
+        let (cost, fault) = self.invoke_accel_inner(id, inputs, outputs);
+        fault.map(|()| cost)
+    }
+
+    fn invoke_accel_inner(
+        &mut self,
+        id: AccelId,
+        inputs: &[f32],
+        outputs: &mut Vec<f32>,
+    ) -> (InvokeCost, Result<(), TartanError>) {
         self.instr(4); // send/launch/poll/collect on the CPU side
         let cost = self.machine.accels[id.0].invoke(inputs, outputs);
         self.stall_to(PHASE_COMM, cost.comm_cycles);
         self.stall(cost.compute_cycles);
-        cost
+        let (injected, failed) = match self.machine.fault_state.as_mut() {
+            Some(fs) => fs.accel_faults(outputs),
+            None => (0, false),
+        };
+        self.machine.faults.injected += injected;
+        if failed {
+            // Keep the output shape (callers may index it) but no data
+            // survives a failed invocation.
+            for o in outputs.iter_mut() {
+                *o = 0.0;
+            }
+            (cost, Err(TartanError::AccelInvocationFailed { accel: id }))
+        } else {
+            (cost, Ok(()))
+        }
+    }
+
+    /// Total faults the machine's plan has injected so far. Supervised
+    /// wrappers snapshot this around an invocation to attribute faults —
+    /// the software model of a hardware-level ECC/parity detector.
+    pub fn faults_injected(&self) -> u64 {
+        self.machine.faults.injected
+    }
+
+    /// Records `n` faults noticed by a supervisor.
+    pub fn note_faults_detected(&mut self, n: u64) {
+        self.machine.faults.detected += n;
+    }
+
+    /// Records `n` detected faults whose effects were fully repaired.
+    pub fn note_faults_recovered(&mut self, n: u64) {
+        self.machine.faults.recovered += n;
+    }
+
+    /// Records `n` faults known to have corrupted a consumed result.
+    pub fn note_faults_unrecovered(&mut self, n: u64) {
+        self.machine.faults.unrecovered += n;
     }
 
     /// Charges an accelerator's one-time configuration cost.

@@ -127,6 +127,7 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range or `bytes` is zero.
+    #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
         core: usize,
@@ -217,8 +218,8 @@ impl MemorySystem {
 
             // Issue prefetch candidates into the L2; their data arrives
             // after the fill path they take (L3 or DRAM).
-            for i in 0..candidates.len() {
-                self.issue_prefetch(core, candidates[i], now);
+            for &candidate in &candidates {
+                self.issue_prefetch(core, candidate, now);
             }
             self.candidate_buf = candidates;
         }

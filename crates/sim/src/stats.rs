@@ -4,6 +4,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::fault::FaultStats;
+
 /// Counters for one cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -76,7 +78,11 @@ pub struct PhaseStats {
 }
 
 /// Machine-wide statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so whole-run snapshots can be compared directly —
+/// the fault-campaign suite asserts that a zero-rate fault plan produces
+/// stats bit-identical to no plan at all.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
     /// Per-core L1 stats, merged.
     pub l1: CacheStats,
@@ -97,6 +103,8 @@ pub struct MachineStats {
     pub wall_cycles: u64,
     /// Per-phase breakdown.
     pub phases: BTreeMap<&'static str, PhaseStats>,
+    /// Fault-injection counters (all zero when no faults were injected).
+    pub faults: FaultStats,
 }
 
 impl MachineStats {
@@ -147,6 +155,16 @@ impl fmt::Display for MachineStats {
         writeln!(f, "L3 traffic bytes: {}", self.l3_traffic_bytes)?;
         for (name, p) in &self.phases {
             writeln!(f, "  phase {:<16} {:>12} cy {:>12} instr", name, p.cycles, p.instructions)?;
+        }
+        if self.faults != FaultStats::default() {
+            writeln!(
+                f,
+                "faults: {} injected, {} detected, {} recovered, {} unrecovered",
+                self.faults.injected,
+                self.faults.detected,
+                self.faults.recovered,
+                self.faults.unrecovered
+            )?;
         }
         Ok(())
     }

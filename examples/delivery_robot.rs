@@ -37,11 +37,11 @@ fn main() {
             100.0 * stats.phase_fraction("raycast"),
             bot.quality()
         );
-        if baseline.is_none() {
-            baseline = Some(stats.wall_cycles as f64);
-        } else {
-            let b = baseline.expect("set above");
-            println!("{:<22} {:>11.2}x", "  -> speedup", b / stats.wall_cycles as f64);
+        match baseline {
+            None => baseline = Some(stats.wall_cycles as f64),
+            Some(b) => {
+                println!("{:<22} {:>11.2}x", "  -> speedup", b / stats.wall_cycles as f64);
+            }
         }
     }
     println!(

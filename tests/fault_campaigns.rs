@@ -1,0 +1,159 @@
+//! Fault-injection campaigns: under supervised execution a fault plan may
+//! cost cycles (retries, backoff, CPU fallbacks) but must never change any
+//! functional result. Each campaign escalates injection rates against a
+//! robot and compares quality bit-for-bit against the fault-free run.
+
+use proptest::prelude::*;
+use tartan::core::{run_robot, ExperimentParams, RobotKind, RunOutcome, SoftwareConfig};
+use tartan::nn::{Mlp, Topology};
+use tartan::npu::SupervisedNpu;
+use tartan::sim::{FaultPlan, Machine, MachineConfig};
+
+fn outcome(kind: RobotKind, plan: Option<FaultPlan>) -> RunOutcome {
+    let mut hw = MachineConfig::tartan();
+    hw.fault_plan = plan;
+    let sw = SoftwareConfig::approximable().effective(&hw);
+    run_robot(kind, hw, sw, &ExperimentParams::quick())
+}
+
+/// The NPU-carrying robots — the ones accelerator faults can reach.
+const NPU_ROBOTS: [RobotKind; 3] = [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot];
+
+#[test]
+fn zero_rate_plans_are_bit_identical_to_no_plan() {
+    for kind in NPU_ROBOTS {
+        let clean = outcome(kind, None);
+        let quiet = outcome(kind, Some(FaultPlan::quiet(0xDEAD)));
+        assert_eq!(
+            clean.stats, quiet.stats,
+            "{:?}: an all-zero-rate plan must be a perfect no-op",
+            kind
+        );
+        assert_eq!(clean.wall_cycles, quiet.wall_cycles, "{kind:?}");
+        assert_eq!(
+            clean.quality.to_bits(),
+            quiet.quality.to_bits(),
+            "{kind:?}: quality must match bit for bit"
+        );
+        assert_eq!(quiet.faults, Default::default(), "{kind:?}");
+    }
+}
+
+#[test]
+fn escalating_accel_campaigns_never_change_quality() {
+    for kind in NPU_ROBOTS {
+        let reference = outcome(kind, None);
+        let mut total_injected = 0u64;
+        for (severity, seed) in [(0.1, 11u64), (0.5, 12), (0.9, 13)] {
+            let plan = FaultPlan::quiet(seed)
+                .with_accel_errors(severity, 0.5)
+                .with_accel_bitflips(severity * 0.5)
+                .with_accel_failures(severity * 0.25);
+            let faulted = outcome(kind, Some(plan));
+            assert!(
+                (faulted.quality - reference.quality).abs() < 1e-9,
+                "{:?} at severity {}: quality {} vs fault-free {}",
+                kind,
+                severity,
+                faulted.quality,
+                reference.quality
+            );
+            let f = faulted.faults;
+            total_injected += f.injected;
+            assert!(f.injected >= f.detected, "{kind:?}: {f:?}");
+            assert!(f.detected >= f.recovered, "{kind:?}: {f:?}");
+            assert_eq!(f.detected, f.recovered, "{kind:?}: supervision repairs all: {f:?}");
+            assert_eq!(f.unrecovered, 0, "{kind:?}: {f:?}");
+        }
+        // Rates are per-invocation, so a low-severity run on a robot that
+        // invokes the NPU only a handful of times at quick scale may draw
+        // zero faults; across the whole escalation the campaign must bite.
+        assert!(total_injected > 0, "{kind:?}: campaign never injected");
+    }
+}
+
+#[test]
+fn memory_spike_campaigns_slow_but_never_corrupt() {
+    // Memory latency spikes are timing-only: injected, undetectable by
+    // output supervision, and functionally harmless on every robot.
+    for kind in [RobotKind::CarriBot, RobotKind::MoveBot] {
+        let reference = outcome(kind, None);
+        let plan = FaultPlan::quiet(17).with_mem_spikes(0.02, 40);
+        let spiked = outcome(kind, Some(plan));
+        assert_eq!(
+            spiked.quality.to_bits(),
+            reference.quality.to_bits(),
+            "{kind:?}: latency spikes must not change any functional result"
+        );
+        let f = spiked.faults;
+        assert!(f.injected > 0, "{kind:?}: {f:?}");
+        assert_eq!(f.detected, 0, "{kind:?}: spikes are undetectable: {f:?}");
+        assert_eq!(f.unrecovered, 0, "{kind:?}: {f:?}");
+        assert!(
+            spiked.wall_cycles > reference.wall_cycles,
+            "{:?}: spikes must cost time ({} vs {})",
+            kind,
+            spiked.wall_cycles,
+            reference.wall_cycles
+        );
+    }
+}
+
+#[test]
+fn combined_campaign_on_flybot_keeps_the_final_path_exact() {
+    // The harshest single campaign: accelerator errors + bitflips +
+    // failures + memory spikes at once, against the robot whose NPU output
+    // feeds a search heuristic (the AXAR case the paper's §V-F is about).
+    let reference = outcome(RobotKind::FlyBot, None);
+    let plan = FaultPlan::quiet(23)
+        .with_accel_errors(0.6, 1.0)
+        .with_accel_bitflips(0.3)
+        .with_accel_failures(0.2)
+        .with_mem_spikes(0.005, 25);
+    let faulted = outcome(RobotKind::FlyBot, Some(plan));
+    assert!(
+        (faulted.quality - reference.quality).abs() < 1e-9,
+        "final path cost must survive the combined campaign: {} vs {}",
+        faulted.quality,
+        reference.quality
+    );
+    let f = faulted.faults;
+    assert!(f.injected >= f.detected && f.detected == f.recovered && f.unrecovered == 0,
+        "{f:?}");
+}
+
+fn supervised_outputs(plan: Option<FaultPlan>, inputs: &[f32]) -> Vec<Vec<f32>> {
+    let mut cfg = MachineConfig::tartan();
+    cfg.fault_plan = plan;
+    let mut m = Machine::new(cfg);
+    let mlp = Mlp::new(&Topology::new(&[6, 16, 16, 1]), 5);
+    let mut npu = SupervisedNpu::attach(&mut m, mlp).expect("tartan config has an NPU");
+    (0..40)
+        .map(|_| m.run(|p| npu.invoke(p, inputs)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For *any* fault plan, a supervised invocation stream returns exactly
+    /// the fault-free outputs — the exact-recovery guarantee at the unit
+    /// level, over the whole plan parameter space.
+    #[test]
+    fn any_fault_plan_yields_fault_free_outputs(
+        seed in 0u64..1_000_000,
+        err_rate in 0.0f64..1.0,
+        err_mag in 0.0f64..1.0,
+        flip_rate in 0.0f64..1.0,
+        fail_rate in 0.0f64..1.0,
+    ) {
+        let inputs = [0.3f32, -0.2, 0.9, 0.0, 0.5, -0.7];
+        let reference = supervised_outputs(None, &inputs);
+        let plan = FaultPlan::quiet(seed)
+            .with_accel_errors(err_rate, err_mag)
+            .with_accel_bitflips(flip_rate)
+            .with_accel_failures(fail_rate);
+        let faulted = supervised_outputs(Some(plan), &inputs);
+        prop_assert_eq!(reference, faulted);
+    }
+}
