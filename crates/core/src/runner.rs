@@ -2,7 +2,11 @@
 //! snapshots everything the figures need.
 
 use tartan_robots::{RobotKind, Scale, SoftwareConfig};
-use tartan_sim::{FaultStats, Machine, MachineConfig, MachineStats};
+use tartan_sim::telemetry::{
+    CacheCounters, FaultCounters, PhaseEntry, Report, ReportBuilder, RobotRunStats, ScopeCounters,
+    SupervisionCounters,
+};
+use tartan_sim::{CacheStats, FaultStats, Machine, MachineConfig, MachineStats};
 
 /// Sizing knobs shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +58,12 @@ pub struct RunOutcome {
     pub faults: FaultStats,
     /// Robot-specific quality metric (lower is better).
     pub quality: f64,
+    /// Hierarchical phase report (robot → iteration → kernel scopes) with
+    /// per-scope latency percentiles and L2 cache attribution.
+    pub report: Report,
+    /// Supervision counters, for robots that ran a supervised NPU or a
+    /// verified approximate engine.
+    pub supervision: Option<SupervisionCounters>,
 }
 
 impl RunOutcome {
@@ -71,6 +81,76 @@ impl RunOutcome {
             self.bottleneck_cycles as f64 / total as f64
         }
     }
+
+    /// Converts the outcome into one versioned `stats.json` run record
+    /// (`config` labels the hardware/software combination, e.g.
+    /// `"tartan"`).
+    pub fn to_run_stats(&self, config: &str) -> RobotRunStats {
+        RobotRunStats {
+            robot: self.robot.to_string(),
+            config: config.to_string(),
+            wall_cycles: self.wall_cycles,
+            instructions: self.instructions,
+            quality: self.quality,
+            l1: cache_counters(&self.stats.l1),
+            l2: cache_counters(&self.stats.l2),
+            l3: cache_counters(&self.stats.l3),
+            dram_bytes: self.stats.dram_bytes,
+            l3_traffic_bytes: self.stats.l3_traffic_bytes,
+            npu_invocations: self.stats.npu_invocations,
+            supervision: self.supervision,
+            faults: FaultCounters {
+                injected: self.faults.injected,
+                detected: self.faults.detected,
+                recovered: self.faults.recovered,
+                unrecovered: self.faults.unrecovered,
+            },
+            phases: self
+                .stats
+                .phases
+                .iter()
+                .map(|(name, p)| PhaseEntry {
+                    name: (*name).to_string(),
+                    cycles: p.cycles,
+                    instructions: p.instructions,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Mirrors one cache level's counters into the export schema.
+fn cache_counters(s: &CacheStats) -> CacheCounters {
+    CacheCounters {
+        accesses: s.accesses,
+        hits: s.hits,
+        misses: s.misses,
+        prefetch_covered: s.prefetch_covered,
+        prefetches_issued: s.prefetches_issued,
+        prefetches_useful: s.prefetches_useful,
+        prefetches_late: s.prefetches_late,
+        evictions: s.evictions,
+        writebacks: s.writebacks,
+    }
+}
+
+/// L2-level counter delta between two stats snapshots — the attribution a
+/// closing scope carries (`CacheStats::misses` already includes late
+/// prefetches, matching [`ScopeCounters::misses`]).
+fn scope_delta(before: &MachineStats, after: &MachineStats) -> ScopeCounters {
+    ScopeCounters {
+        accesses: after.l2.accesses.saturating_sub(before.l2.accesses),
+        misses: after.l2.misses.saturating_sub(before.l2.misses),
+        prefetches_issued: after
+            .l2
+            .prefetches_issued
+            .saturating_sub(before.l2.prefetches_issued),
+        prefetches_useful: after
+            .l2
+            .prefetches_useful
+            .saturating_sub(before.l2.prefetches_useful),
+        instructions: after.instructions.saturating_sub(before.instructions),
+    }
 }
 
 /// Runs one robot on one configuration and snapshots the outcome.
@@ -87,8 +167,38 @@ pub fn run_robot(
     // wall clock contribution by measuring a delta.
     let start_wall = machine.wall_cycles();
     let start_stats = machine.stats();
-    robot.run(&mut machine, params.steps);
+    // Phase scopes: one root per run, one "iteration" child per pipeline
+    // period, one leaf per kernel phase that advanced during the period.
+    // Same-named siblings merge, so the iteration node's histogram is the
+    // per-period latency distribution (p50/p95/p99).
+    let mut builder = ReportBuilder::new();
+    builder.begin(robot.name(), start_wall);
+    let mut prev = start_stats.clone();
+    for _ in 0..params.steps {
+        builder.begin("iteration", machine.wall_cycles());
+        robot.step(&mut machine);
+        let now = machine.stats();
+        for (name, phase) in now.phases.iter() {
+            let before = prev.phases.get(name).copied().unwrap_or_default();
+            let cycles = phase.cycles.saturating_sub(before.cycles);
+            let instructions = phase.instructions.saturating_sub(before.instructions);
+            if cycles > 0 || instructions > 0 {
+                builder.leaf(
+                    name,
+                    cycles,
+                    ScopeCounters {
+                        instructions,
+                        ..ScopeCounters::default()
+                    },
+                );
+            }
+        }
+        builder.end(machine.wall_cycles(), scope_delta(&prev, &now));
+        prev = now;
+    }
     let mut stats = machine.stats();
+    builder.end(machine.wall_cycles(), scope_delta(&start_stats, &stats));
+    let report = builder.build();
     // Subtract setup-time contributions (e.g., streaming NPU weights at
     // configuration) so every reported quantity covers the same window.
     // Saturating: a phase snapshot can only shrink if an accelerator was
@@ -114,6 +224,8 @@ pub fn run_robot(
         faults: stats.faults,
         stats,
         quality: robot.quality(),
+        report,
+        supervision: robot.supervision(),
     }
 }
 
@@ -148,6 +260,30 @@ mod tests {
         assert!(out.wall_cycles > 0);
         assert!(out.instructions > 0);
         assert!(out.bottleneck_fraction() > 0.0 && out.bottleneck_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn report_scopes_cover_the_run() {
+        let params = ExperimentParams::quick();
+        let out = run_robot(
+            RobotKind::DeliBot,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+            &params,
+        );
+        let root = out.report.root("DeliBot").expect("root scope");
+        let iter = root.child("iteration").expect("iteration scope");
+        assert_eq!(iter.instances, params.steps as u64);
+        assert!(iter.cycles <= root.cycles);
+        assert!(!iter.children.is_empty(), "kernel leaf scopes expected");
+        assert!(iter.counters.accesses > 0);
+        // The outcome round-trips through the versioned stats.json schema.
+        let json = tartan_sim::telemetry::StatsExport {
+            generator: "runner_test".into(),
+            runs: vec![out.to_run_stats("legacy")],
+        }
+        .to_json();
+        tartan_sim::telemetry::validate_stats_json(&json).unwrap();
     }
 
     #[test]

@@ -141,6 +141,10 @@ impl Accelerator for NpuDevice {
     fn name(&self) -> &'static str {
         "NPU"
     }
+
+    fn invocations(&self) -> u64 {
+        self.invocations
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,8 @@
 //! fault-free run — the property `tests/fault_campaigns.rs` asserts.
 
 use tartan_nn::{Mlp, SigmoidLut};
-use tartan_sim::{AccelId, Machine, NpuMode, Proc, TartanError};
+use tartan_sim::telemetry::SupervisionCounters;
+use tartan_sim::{AccelId, Event, Interest, Machine, NpuMode, Proc, TartanError};
 
 use crate::axar::IterationVerdict;
 use crate::device::NpuDevice;
@@ -347,6 +348,16 @@ impl SupervisedNpu {
         self.health.is_demoted()
     }
 
+    /// Snapshot of the supervision counters in the telemetry schema's
+    /// mirror type (for `stats.json` export).
+    pub fn counters(&self) -> SupervisionCounters {
+        SupervisionCounters {
+            invocations: self.invocations,
+            rollbacks: self.recoveries,
+            cpu_fallbacks: self.cpu_fallbacks,
+        }
+    }
+
     /// Invokes the NPU under supervision, returning the exact (fault-free)
     /// result vector. Never fails: injected faults cost cycles, not
     /// correctness.
@@ -374,6 +385,12 @@ impl SupervisedNpu {
                     // fault-free result on a later attempt.
                     p.note_faults_recovered(detected);
                     self.recoveries += 1;
+                    if p.wants_telemetry(Interest::NPU) {
+                        p.emit_telemetry(&Event::NpuRollback {
+                            cycle: p.telemetry_cycle(),
+                            cpu_fallback: false,
+                        });
+                    }
                 }
                 self.health.note_clean();
                 return outputs;
@@ -393,6 +410,12 @@ impl SupervisedNpu {
         }
         self.recoveries += 1;
         self.cpu_fallbacks += 1;
+        if p.wants_telemetry(Interest::NPU) {
+            p.emit_telemetry(&Event::NpuRollback {
+                cycle: p.telemetry_cycle(),
+                cpu_fallback: true,
+            });
+        }
         self.cpu_exact(p, inputs)
     }
 

@@ -29,6 +29,20 @@ const DEGREE_MAX: u8 = 31;
 /// Low-order PC bits kept in the tag (§VIII-C: 12 bits of PC).
 const PC_TAG_BITS: u32 = 12;
 
+/// Observability counters for the ANL table (telemetry, not timing: the
+/// simulator never reads these on the timed path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnlStats {
+    /// Replay bursts issued (one per LD consumption with LD > 0).
+    pub bursts: u64,
+    /// Prefetch addresses produced across all bursts.
+    pub lines_prefetched: u64,
+    /// Region generations terminated by an eviction (CD → LD commits).
+    pub generations: u64,
+    /// Entries evicted by the `max(CD, LD)` replacement policy.
+    pub entry_evictions: u64,
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
     valid: bool,
@@ -64,6 +78,7 @@ pub struct Anl {
     table: [Entry; ANL_TABLE_ENTRIES],
     line_size: u64,
     region_bytes: u64,
+    stats: AnlStats,
 }
 
 impl Anl {
@@ -97,12 +112,19 @@ impl Anl {
             table: [Entry::default(); ANL_TABLE_ENTRIES],
             line_size,
             region_bytes,
+            stats: AnlStats::default(),
         }
     }
 
     /// The configured region size in bytes.
     pub fn region_bytes(&self) -> u64 {
         self.region_bytes
+    }
+
+    /// Observability counters accumulated since construction (or the last
+    /// [`Prefetcher::reset`]).
+    pub fn stats(&self) -> AnlStats {
+        self.stats
     }
 
     fn region_of(&self, line_addr: u64) -> u64 {
@@ -150,11 +172,18 @@ impl Prefetcher for Anl {
                 for i in 1..=u64::from(entry.last_degree) {
                     out.push(ctx.line_addr + i * self.line_size);
                 }
+                if entry.last_degree > 0 {
+                    self.stats.bursts += 1;
+                    self.stats.lines_prefetched += u64::from(entry.last_degree);
+                }
                 entry.current_degree = (entry.current_degree + 1).min(DEGREE_MAX);
                 entry.last_degree = 0;
             }
             None => {
                 let idx = self.victim();
+                if self.table[idx].valid {
+                    self.stats.entry_evictions += 1;
+                }
                 self.table[idx] = Entry {
                     valid: true,
                     pc_tag,
@@ -175,6 +204,7 @@ impl Prefetcher for Anl {
             if entry.valid && entry.region == region && entry.current_degree > 0 {
                 entry.last_degree = entry.current_degree;
                 entry.current_degree = 0;
+                self.stats.generations += 1;
             }
         }
     }
@@ -191,6 +221,7 @@ impl Prefetcher for Anl {
 
     fn reset(&mut self) {
         self.table = [Entry::default(); ANL_TABLE_ENTRIES];
+        self.stats = AnlStats::default();
     }
 }
 
@@ -355,6 +386,30 @@ mod tests {
         let anl = Anl::new(32);
         assert_eq!(anl.metadata_bits(), 960);
         assert_eq!(anl.metadata_bits() / 8, 120);
+    }
+
+    #[test]
+    fn stats_count_bursts_generations_and_evictions() {
+        let mut anl = Anl::new(64);
+        let mut out = Vec::new();
+        for i in 0..3u64 {
+            anl.on_access(miss(7, i * 64), &mut out);
+        }
+        assert_eq!(anl.stats(), AnlStats::default(), "training alone counts nothing");
+        anl.on_eviction(0);
+        anl.on_access(miss(7, 0), &mut out);
+        let s = anl.stats();
+        assert_eq!(s.generations, 1);
+        assert_eq!(s.bursts, 1);
+        assert_eq!(s.lines_prefetched, 3);
+        assert_eq!(s.entry_evictions, 0);
+        // 16 fresh regions on a 16-entry table force one entry eviction.
+        for r in 1..=16u64 {
+            anl.on_access(miss(900, r * 1024), &mut out);
+        }
+        assert_eq!(anl.stats().entry_evictions, 1);
+        anl.reset();
+        assert_eq!(anl.stats(), AnlStats::default());
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod anl;
 mod bingo;
 mod next_line;
 
-pub use anl::{Anl, ANL_TABLE_ENTRIES};
+pub use anl::{Anl, AnlStats, ANL_TABLE_ENTRIES};
 pub use bingo::Bingo;
 pub use next_line::NextLine;
 

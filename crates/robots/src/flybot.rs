@@ -11,6 +11,7 @@ use tartan_kernels::perception::LtFilter;
 use tartan_kernels::search::{anytime_astar, grid3_neighbors, GraphSearch};
 use tartan_nn::{Loss, Mlp, Topology, Trainer};
 use tartan_npu::SupervisedNpu;
+use tartan_sim::telemetry::SupervisionCounters;
 use tartan_sim::Machine;
 
 use crate::{NeuralExec, Robot, Scale, SoftwareConfig};
@@ -277,6 +278,10 @@ impl Robot for FlyBot {
 
     fn quality(&self) -> f64 {
         self.mean_final_cost()
+    }
+
+    fn supervision(&self) -> Option<SupervisionCounters> {
+        self.npu.as_ref().map(|npu| npu.counters())
     }
 }
 

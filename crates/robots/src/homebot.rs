@@ -12,7 +12,8 @@ use tartan_kernels::icp::{
 use tartan_nn::{Loss, Mlp, Topology, Trainer};
 use tartan_nns::{BruteForce, KdTree, LshConfig, LshNns, NnsEngine, PointSet};
 use tartan_npu::{IcpSupervisor, IterationVerdict, SupervisedNpu, Supervisor};
-use tartan_sim::{Buffer, Machine, MemPolicy};
+use tartan_sim::telemetry::SupervisionCounters;
+use tartan_sim::{Buffer, Event, Interest, Machine, MemPolicy, Proc};
 
 use crate::{NeuralExec, NnsKind, Robot, Scale, SoftwareConfig};
 
@@ -141,6 +142,17 @@ impl HomeBot {
     }
 }
 
+/// Stamps the TRAP supervisor's accept/rollback decision into the
+/// telemetry stream (a no-op unless an NPU-interested sink is attached).
+fn emit_verdict(p: &mut Proc<'_>, verdict: IterationVerdict) {
+    if p.wants_telemetry(Interest::NPU) {
+        p.emit_telemetry(&Event::NpuVerdict {
+            cycle: p.telemetry_cycle(),
+            accepted: matches!(verdict, IterationVerdict::Accept),
+        });
+    }
+}
+
 fn random_transform(seed: u64) -> Transform {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
@@ -242,7 +254,9 @@ impl Robot for HomeBot {
                         t.rot[2] /= 10.0;
                         let residual =
                             residual_sample(p, &map_set, engine.as_ref(), &source, &t, 16);
-                        match sup.check(f64::from(residual)) {
+                        let verdict = sup.check(f64::from(residual));
+                        emit_verdict(p, verdict);
+                        match verdict {
                             IterationVerdict::Accept => t,
                             IterationVerdict::Rollback => {
                                 let exact =
@@ -278,7 +292,9 @@ impl Robot for HomeBot {
                         // residual sampling as the NPU path.
                         let residual =
                             residual_sample(p, &map_set, engine.as_ref(), &source, &t, 16);
-                        match sup.check(f64::from(residual)) {
+                        let verdict = sup.check(f64::from(residual));
+                        emit_verdict(p, verdict);
+                        match verdict {
                             IterationVerdict::Accept => t,
                             IterationVerdict::Rollback => {
                                 let exact =
@@ -365,6 +381,10 @@ impl Robot for HomeBot {
 
     fn quality(&self) -> f64 {
         self.transform_error()
+    }
+
+    fn supervision(&self) -> Option<SupervisionCounters> {
+        self.npu.as_ref().map(|npu| npu.counters())
     }
 }
 

@@ -32,6 +32,7 @@ pub use movebot::MoveBot;
 pub use patrolbot::PatrolBot;
 
 use tartan_kernels::raycast::VecMethod;
+use tartan_sim::telemetry::SupervisionCounters;
 use tartan_sim::{Machine, MachineConfig};
 
 /// Which NNS engine the software uses (§VIII-C, Fig. 9).
@@ -228,6 +229,13 @@ pub trait Robot {
         for _ in 0..steps {
             self.step(machine);
         }
+    }
+
+    /// Supervision counters accumulated so far, for robots that run a
+    /// supervised NPU or a verified approximate engine; `None` for robots
+    /// whose pipeline has nothing to supervise.
+    fn supervision(&self) -> Option<SupervisionCounters> {
+        None
     }
 }
 

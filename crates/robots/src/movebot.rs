@@ -9,7 +9,8 @@ use tartan_kernels::control::Pid;
 use tartan_kernels::rrt::{Rrt, RrtConfig};
 use tartan_nns::{dist_sq, DynBrute, DynKdTree, DynLsh, DynNns, DynPointStore, LshConfig};
 use tartan_npu::{IterationVerdict, NnsSupervisor, Supervisor};
-use tartan_sim::{Machine, Proc};
+use tartan_sim::telemetry::SupervisionCounters;
+use tartan_sim::{Event, Interest, Machine, Proc};
 
 use crate::{NnsKind, Robot, Scale, SoftwareConfig};
 
@@ -78,6 +79,12 @@ impl DynNns for VerifiedNns {
         // Bind the verdict first: a match scrutinee's borrow_mut guard
         // would live across the rollback arm's second borrow.
         let verdict = self.sup.borrow_mut().check(margin);
+        if p.wants_telemetry(Interest::NPU) {
+            p.emit_telemetry(&Event::NpuVerdict {
+                cycle: p.telemetry_cycle(),
+                accepted: matches!(verdict, IterationVerdict::Accept),
+            });
+        }
         match verdict {
             IterationVerdict::Accept => Some(candidate),
             IterationVerdict::Rollback => {
@@ -286,6 +293,16 @@ impl Robot for MoveBot {
 
     fn quality(&self) -> f64 {
         1.0 - self.success_rate()
+    }
+
+    fn supervision(&self) -> Option<SupervisionCounters> {
+        // Candidate-set verification: every check is one supervised query;
+        // every rollback re-runs the query exactly on the CPU.
+        (self.nns_checks > 0).then_some(SupervisionCounters {
+            invocations: self.nns_checks,
+            rollbacks: self.nns_rollbacks,
+            cpu_fallbacks: self.nns_rollbacks,
+        })
     }
 }
 

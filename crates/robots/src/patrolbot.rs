@@ -8,6 +8,7 @@ use tartan_kernels::ekf::{Ekf, LandmarkMap};
 use tartan_kernels::perception::{synthetic_image, CnnModel, MlpClassifier};
 use tartan_nn::{Activation, Loss, Mlp, Pca, Topology, Trainer};
 use tartan_npu::SupervisedNpu;
+use tartan_sim::telemetry::SupervisionCounters;
 use tartan_sim::Machine;
 
 use crate::{NeuralExec, Robot, Scale, SoftwareConfig};
@@ -189,6 +190,10 @@ impl Robot for PatrolBot {
 
     fn quality(&self) -> f64 {
         1.0 - self.accuracy() // classification error (Table II: 1.3%)
+    }
+
+    fn supervision(&self) -> Option<SupervisionCounters> {
+        self.npu.as_ref().map(|npu| npu.counters())
     }
 }
 

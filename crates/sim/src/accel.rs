@@ -36,6 +36,11 @@ pub trait Accelerator {
 
     /// Device name for reports.
     fn name(&self) -> &'static str;
+
+    /// Invocations served so far (for [`crate::MachineStats`] reporting).
+    fn invocations(&self) -> u64 {
+        0
+    }
 }
 
 /// Identifier of an attached accelerator.

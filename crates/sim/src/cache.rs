@@ -29,6 +29,10 @@ pub struct EvictedLine {
     pub line_number: u64,
     /// Whether the victim was dirty (requires a writeback).
     pub dirty: bool,
+    /// Whether the victim was a prefetched line never touched by a demand
+    /// access — prefetch pollution (the waste FCP and ANL's accuracy are
+    /// meant to contain).
+    pub prefetched: bool,
 }
 
 /// Outcome of a prefetch insertion.
@@ -291,6 +295,7 @@ impl Cache {
             Some(EvictedLine {
                 line_number: set[way].line_number,
                 dirty: set[way].dirty,
+                prefetched: set[way].prefetched,
             })
         } else {
             None
@@ -371,7 +376,8 @@ mod tests {
             out.evicted,
             Some(EvictedLine {
                 line_number: 4,
-                dirty: false
+                dirty: false,
+                prefetched: false
             })
         );
         assert!(c.contains(0));
@@ -389,7 +395,8 @@ mod tests {
             out.evicted,
             Some(EvictedLine {
                 line_number: 0,
-                dirty: true
+                dirty: true,
+                prefetched: false
             })
         );
         assert_eq!(c.stats.writebacks, 1);
@@ -429,6 +436,26 @@ mod tests {
         // The line has arrived by the next touch: plain hit.
         let out2 = c.access(12, false, 600);
         assert!(out2.hit && out2.late_by.is_none());
+    }
+
+    #[test]
+    fn unused_prefetched_victim_is_flagged() {
+        let mut c = small_cache();
+        // Prefetch into set 0, never touch it, then stream demand lines
+        // through the same set until it is displaced.
+        c.insert_prefetch(0, 10);
+        c.access(4, false, 0);
+        let out = c.access(8, false, 0);
+        let ev = out.evicted.expect("set is full, something must go");
+        assert!(ev.prefetched, "untouched prefetched victim must be flagged");
+        // A demanded prefetched line loses the flag before eviction.
+        let mut c2 = small_cache();
+        c2.insert_prefetch(0, 10);
+        c2.access(0, false, 20); // demand touch clears `prefetched`
+        c2.access(4, false, 21);
+        c2.access(8, false, 22);
+        let ev2 = c2.access(12, false, 23).evicted.expect("victim");
+        assert!(!ev2.prefetched);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct FaultStats {
     pub unrecovered: u64,
 }
 
+impl FaultStats {
+    /// Injected faults no supervisor noticed (timing-only spikes, or
+    /// perturbations below the detector's threshold):
+    /// `injected − detected`.
+    pub fn undetected(&self) -> u64 {
+        self.injected.saturating_sub(self.detected)
+    }
+}
+
 /// A deterministic fault-injection schedule.
 ///
 /// Rates are per-event probabilities in `[0, 1]`: accelerator rates apply

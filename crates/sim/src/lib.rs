@@ -62,3 +62,8 @@ pub use machine::{Machine, Proc, PHASE_COMM, PHASE_OTHER};
 pub use memory::{AccessKind, MemPolicy, MemorySystem};
 pub use stats::{CacheStats, MachineStats, PhaseStats};
 pub use vector::oriented_lane_indices;
+
+// Telemetry surface, re-exported so workloads can attach sinks without a
+// separate dependency on `tartan-telemetry`.
+pub use tartan_telemetry as telemetry;
+pub use tartan_telemetry::{Event, Interest, SharedSink, Sink};

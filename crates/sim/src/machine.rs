@@ -18,6 +18,8 @@
 
 use std::collections::BTreeMap;
 
+use tartan_telemetry::{Event, FaultSite, Interest, SharedSink};
+
 use crate::accel::{AccelId, Accelerator, InvokeCost};
 use crate::config::MachineConfig;
 use crate::error::TartanError;
@@ -77,6 +79,23 @@ impl Machine {
         self.faults
     }
 
+    /// Attaches a telemetry sink; cycle-stamped events flow to it from the
+    /// memory hierarchy, the accelerator path, the fault injector, and
+    /// phase switches. The sink's [`Interest`] mask is cached here — a sink
+    /// interested only in faults pays nothing for the cache firehose, and
+    /// with no sink attached every instrumentation site is one bit test.
+    ///
+    /// Telemetry never alters timing: cycle and instruction counts are
+    /// bit-identical with and without a sink attached.
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        self.mem.set_telemetry(Some(sink));
+    }
+
+    /// Detaches any telemetry sink.
+    pub fn clear_telemetry(&mut self) {
+        self.mem.set_telemetry(None);
+    }
+
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
@@ -91,6 +110,7 @@ impl Machine {
     /// Runs a single-threaded section on core 0, advancing wall time by the
     /// cycles it consumes.
     pub fn run<R>(&mut self, f: impl FnOnce(&mut Proc) -> R) -> R {
+        self.mem.time_base = self.wall_cycles;
         let mut proc = Proc::new(self, 0);
         let r = f(&mut proc);
         let cycles = proc.finish();
@@ -114,6 +134,8 @@ impl Machine {
         let mut results = Vec::with_capacity(threads);
         for tid in 0..threads {
             let core = tid % cores;
+            // All threads of a stage stamp events from the stage's start.
+            self.mem.time_base = self.wall_cycles;
             let mut proc = Proc::new(self, core);
             let r = f(tid, &mut proc);
             let cycles = proc.finish();
@@ -139,6 +161,7 @@ impl Machine {
             l3_traffic_bytes: self.mem.l3_traffic_bytes,
             instructions: self.instructions,
             wall_cycles: self.wall_cycles,
+            npu_invocations: self.accels.iter().map(|a| a.invocations()).sum(),
             phases: self.phases.clone(),
             faults: self.faults,
         }
@@ -220,9 +243,42 @@ impl<'m> Proc<'m> {
     }
 
     /// Switches the active phase, returning the previous one.
+    ///
+    /// Emits kernel-level `PhaseEnd`/`PhaseBegin` events for named phases
+    /// (the catch-all [`PHASE_OTHER`] is not traced — it would bracket all
+    /// the glue between kernels with noise scopes).
     pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
         self.fold_issue();
-        std::mem::replace(&mut self.phase, phase)
+        let prev = std::mem::replace(&mut self.phase, phase);
+        if prev != phase && self.wants_telemetry(Interest::PHASE) {
+            let cycle = self.telemetry_cycle();
+            if prev != PHASE_OTHER {
+                self.emit_telemetry(&Event::PhaseEnd { cycle, name: prev });
+            }
+            if phase != PHASE_OTHER {
+                self.emit_telemetry(&Event::PhaseBegin { cycle, name: phase });
+            }
+        }
+        prev
+    }
+
+    /// Global cycle stamp for telemetry events: the machine wall clock at
+    /// the start of this execution section plus this thread's local time.
+    /// Deterministic for a fixed seed and workload.
+    pub fn telemetry_cycle(&self) -> u64 {
+        self.machine.mem.time_base + self.cycles
+    }
+
+    /// Whether the attached telemetry sink (if any) wants `i`-category
+    /// events. Check this before constructing an event.
+    pub fn wants_telemetry(&self, i: Interest) -> bool {
+        self.machine.mem.wants(i)
+    }
+
+    /// Delivers one event to the attached telemetry sink. Higher layers
+    /// (e.g. NPU supervision) use this to emit their own events.
+    pub fn emit_telemetry(&mut self, event: &Event) {
+        self.machine.mem.emit(event);
     }
 
     /// Runs `f` with the given phase label active.
@@ -291,6 +347,13 @@ impl<'m> Proc<'m> {
         };
         if spike > 0 {
             self.machine.faults.injected += 1;
+            if self.wants_telemetry(Interest::FAULT) {
+                self.emit_telemetry(&Event::FaultInjected {
+                    cycle: self.telemetry_cycle(),
+                    site: FaultSite::Memory,
+                    count: 1,
+                });
+            }
         }
         spike
     }
@@ -401,6 +464,13 @@ impl<'m> Proc<'m> {
             .map(|i| i.clamp(0, max_elems as i64 - 1))
             .collect();
         self.instr(1);
+        if self.wants_telemetry(Interest::OVEC) {
+            self.emit_telemetry(&Event::OvecAddrGen {
+                cycle: self.telemetry_cycle(),
+                lanes: lanes as u32,
+                base,
+            });
+        }
         let addrs: Vec<u64> = indices
             .iter()
             .map(|&i| base + i as u64 * elem_bytes)
@@ -459,6 +529,12 @@ impl<'m> Proc<'m> {
             // The caller has no way to notice: the run consumes a
             // known-bad (zeroed) result.
             self.machine.faults.unrecovered += 1;
+            if self.wants_telemetry(Interest::FAULT) {
+                self.emit_telemetry(&Event::FaultUnrecovered {
+                    cycle: self.telemetry_cycle(),
+                    count: 1,
+                });
+            }
         }
         cost
     }
@@ -492,14 +568,31 @@ impl<'m> Proc<'m> {
         outputs: &mut Vec<f32>,
     ) -> (InvokeCost, Result<(), TartanError>) {
         self.instr(4); // send/launch/poll/collect on the CPU side
+        let issue_cycle = self.telemetry_cycle();
         let cost = self.machine.accels[id.0].invoke(inputs, outputs);
         self.stall_to(PHASE_COMM, cost.comm_cycles);
         self.stall(cost.compute_cycles);
+        if self.wants_telemetry(Interest::NPU) {
+            self.emit_telemetry(&Event::NpuInvoke {
+                cycle: issue_cycle,
+                inputs: inputs.len() as u32,
+                outputs: outputs.len() as u32,
+                comm_cycles: cost.comm_cycles,
+                compute_cycles: cost.compute_cycles,
+            });
+        }
         let (injected, failed) = match self.machine.fault_state.as_mut() {
             Some(fs) => fs.accel_faults(outputs),
             None => (0, false),
         };
         self.machine.faults.injected += injected;
+        if injected > 0 && self.wants_telemetry(Interest::FAULT) {
+            self.emit_telemetry(&Event::FaultInjected {
+                cycle: self.telemetry_cycle(),
+                site: FaultSite::Accel,
+                count: injected,
+            });
+        }
         if failed {
             // Keep the output shape (callers may index it) but no data
             // survives a failed invocation.
@@ -522,16 +615,34 @@ impl<'m> Proc<'m> {
     /// Records `n` faults noticed by a supervisor.
     pub fn note_faults_detected(&mut self, n: u64) {
         self.machine.faults.detected += n;
+        if n > 0 && self.wants_telemetry(Interest::FAULT) {
+            self.emit_telemetry(&Event::FaultDetected {
+                cycle: self.telemetry_cycle(),
+                count: n,
+            });
+        }
     }
 
     /// Records `n` detected faults whose effects were fully repaired.
     pub fn note_faults_recovered(&mut self, n: u64) {
         self.machine.faults.recovered += n;
+        if n > 0 && self.wants_telemetry(Interest::FAULT) {
+            self.emit_telemetry(&Event::FaultRecovered {
+                cycle: self.telemetry_cycle(),
+                count: n,
+            });
+        }
     }
 
     /// Records `n` faults known to have corrupted a consumed result.
     pub fn note_faults_unrecovered(&mut self, n: u64) {
         self.machine.faults.unrecovered += n;
+        if n > 0 && self.wants_telemetry(Interest::FAULT) {
+            self.emit_telemetry(&Event::FaultUnrecovered {
+                cycle: self.telemetry_cycle(),
+                count: n,
+            });
+        }
     }
 
     /// Charges an accelerator's one-time configuration cost.

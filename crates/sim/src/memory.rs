@@ -6,8 +6,9 @@ use std::collections::HashSet;
 use std::fmt;
 
 use tartan_prefetch::{Anl, Bingo, NextLine, NoPrefetch, PrefetchContext, Prefetcher};
+use tartan_telemetry::{CacheOutcome, Event, Interest, Level, SharedSink};
 
-use crate::cache::{Cache, PrefetchOutcome};
+use crate::cache::{Cache, EvictedLine, PrefetchOutcome};
 use crate::config::{MachineConfig, PrefetcherKind};
 use crate::stats::CacheStats;
 
@@ -54,6 +55,14 @@ pub struct MemorySystem {
     /// Bytes transferred between L3 and the private caches.
     pub l3_traffic_bytes: u64,
     candidate_buf: Vec<u64>,
+    sink: Option<SharedSink>,
+    /// Cached interest mask of the attached sink; [`Interest::none`] when
+    /// no sink is attached, so every instrumentation site reduces to one
+    /// bit test.
+    interest: Interest,
+    /// Machine wall cycles at the start of the executing section; added to
+    /// thread-local `now` to produce global event stamps.
+    pub(crate) time_base: u64,
 }
 
 impl MemorySystem {
@@ -107,7 +116,41 @@ impl MemorySystem {
             dram_bytes: 0,
             l3_traffic_bytes: 0,
             candidate_buf: Vec::new(),
+            sink: None,
+            interest: Interest::none(),
+            time_base: 0,
         }
+    }
+
+    /// Attaches (or detaches) a telemetry sink, caching its interest mask.
+    pub(crate) fn set_telemetry(&mut self, sink: Option<SharedSink>) {
+        self.interest = sink
+            .as_ref()
+            .map_or(Interest::none(), |s| s.lock().expect("telemetry sink poisoned").interest());
+        self.sink = sink;
+    }
+
+    /// Whether the attached sink wants `i`-category events.
+    pub(crate) fn wants(&self, i: Interest) -> bool {
+        self.interest.contains(i)
+    }
+
+    /// Delivers one event to the attached sink. Call sites guard with
+    /// [`MemorySystem::wants`] so masked categories never construct events.
+    pub(crate) fn emit(&self, event: &Event) {
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("telemetry sink poisoned").record(event);
+        }
+    }
+
+    fn emit_eviction(&self, cycle: u64, level: Level, ev: &EvictedLine) {
+        self.emit(&Event::CacheEviction {
+            cycle,
+            level,
+            line_addr: ev.line_number * self.line_bytes,
+            dirty: ev.dirty,
+            prefetched_unused: ev.prefetched,
+        });
     }
 
     /// Cache line size in bytes.
@@ -175,9 +218,48 @@ impl MemorySystem {
 
         let mut latency = self.l1[core].latency();
         let l1_out = self.l1[core].access(line, mark_dirty, now);
+        if self.wants(Interest::CACHE) {
+            let cycle = self.time_base + now;
+            self.emit(&Event::CacheAccess {
+                cycle,
+                level: Level::L1,
+                line_addr: line * self.line_bytes,
+                write: is_write,
+                outcome: if l1_out.hit {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                },
+            });
+            if let Some(ev) = &l1_out.evicted {
+                self.emit_eviction(cycle, Level::L1, ev);
+            }
+        }
         if !l1_out.hit {
             latency += self.l2[core].latency();
             let l2_out = self.l2[core].access(line, mark_dirty, now);
+            if self.wants(Interest::CACHE) {
+                let cycle = self.time_base + now;
+                let outcome = if l2_out.covered_by_prefetch {
+                    CacheOutcome::Covered
+                } else if l2_out.late_by.is_some() {
+                    CacheOutcome::Late
+                } else if l2_out.hit {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                };
+                self.emit(&Event::CacheAccess {
+                    cycle,
+                    level: Level::L2,
+                    line_addr: line * self.line_bytes,
+                    write: is_write,
+                    outcome,
+                });
+                if let Some(ev) = &l2_out.evicted {
+                    self.emit_eviction(cycle, Level::L2, ev);
+                }
+            }
             // Train the L2 prefetcher; covered (and late) prefetch hits
             // count as misses for training so ANL keeps relearning the true
             // region density.
@@ -196,6 +278,23 @@ impl MemorySystem {
             } else if !l2_out.hit {
                 latency += self.l3.latency();
                 let l3_out = self.l3.access(line, false, now);
+                if self.wants(Interest::CACHE) {
+                    let cycle = self.time_base + now;
+                    self.emit(&Event::CacheAccess {
+                        cycle,
+                        level: Level::L3,
+                        line_addr: line * self.line_bytes,
+                        write: false,
+                        outcome: if l3_out.hit {
+                            CacheOutcome::Hit
+                        } else {
+                            CacheOutcome::Miss
+                        },
+                    });
+                    if let Some(ev) = &l3_out.evicted {
+                        self.emit_eviction(cycle, Level::L3, ev);
+                    }
+                }
                 self.l3_traffic_bytes += self.line_bytes;
                 if !l3_out.hit {
                     latency += self.dram_latency + self.line_bytes / self.dram_bytes_per_cycle;
@@ -245,6 +344,23 @@ impl MemorySystem {
         }
         // Probe the L3 first to learn the fill latency.
         let l3_out = self.l3.access(line, false, now);
+        if self.wants(Interest::CACHE) {
+            let cycle = self.time_base + now;
+            self.emit(&Event::CacheAccess {
+                cycle,
+                level: Level::L3,
+                line_addr,
+                write: false,
+                outcome: if l3_out.hit {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                },
+            });
+            if let Some(ev) = &l3_out.evicted {
+                self.emit_eviction(cycle, Level::L3, ev);
+            }
+        }
         self.l3_traffic_bytes += self.line_bytes;
         let mut fill_latency = self.l3.latency() + self.l2[core].latency();
         if !l3_out.hit {
@@ -254,10 +370,20 @@ impl MemorySystem {
         match self.l2[core].insert_prefetch(line, now + fill_latency) {
             PrefetchOutcome::AlreadyPresent => {}
             PrefetchOutcome::Inserted { evicted } => {
+                if self.wants(Interest::PREFETCH) {
+                    self.emit(&Event::PrefetchIssue {
+                        cycle: self.time_base + now,
+                        level: Level::L2,
+                        line_addr,
+                    });
+                }
                 if let Some(ev) = evicted {
                     self.prefetchers[core].on_eviction(ev.line_number * self.line_bytes);
                     if ev.dirty {
                         self.l3_traffic_bytes += self.line_bytes;
+                    }
+                    if self.wants(Interest::CACHE) {
+                        self.emit_eviction(self.time_base + now, Level::L2, &ev);
                     }
                 }
             }

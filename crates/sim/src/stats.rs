@@ -101,6 +101,8 @@ pub struct MachineStats {
     /// Total wall cycles (sequential sections + max-of-threads parallel
     /// stages).
     pub wall_cycles: u64,
+    /// Accelerator invocations served across all attached devices.
+    pub npu_invocations: u64,
     /// Per-phase breakdown.
     pub phases: BTreeMap<&'static str, PhaseStats>,
     /// Fault-injection counters (all zero when no faults were injected).
@@ -153,6 +155,9 @@ impl fmt::Display for MachineStats {
         )?;
         writeln!(f, "DRAM bytes: {}", self.dram_bytes)?;
         writeln!(f, "L3 traffic bytes: {}", self.l3_traffic_bytes)?;
+        if self.npu_invocations > 0 {
+            writeln!(f, "NPU invocations: {}", self.npu_invocations)?;
+        }
         for (name, p) in &self.phases {
             writeln!(f, "  phase {:<16} {:>12} cy {:>12} instr", name, p.cycles, p.instructions)?;
         }

@@ -1,0 +1,249 @@
+//! A small, deterministic histogram for per-phase metrics.
+//!
+//! Exact samples are kept up to a cap; past it, the histogram degrades to
+//! log2 buckets so memory stays bounded on million-iteration runs while
+//! percentiles stay within a factor-of-two of exact. All arithmetic is
+//! integer or order-only, so aggregates are bit-reproducible.
+
+/// Number of exact samples retained before degrading to buckets.
+pub const SAMPLE_CAP: usize = 8192;
+
+const BUCKETS: usize = 65; // log2(u64::MAX) + 1 for zero
+
+/// A bounded-memory histogram of `u64` samples (e.g. per-iteration cycle
+/// latencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of a bucket (the representative value reported once the
+/// histogram has degraded to buckets).
+fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            samples: Vec::new(),
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(v);
+        }
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// Exact samples are concatenated up to [`SAMPLE_CAP`]; excess detail
+    /// survives only in the buckets.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        let room = SAMPLE_CAP.saturating_sub(self.samples.len());
+        self.samples
+            .extend_from_slice(&other.samples[..other.samples.len().min(room)]);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Integer mean (floor), or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in 0..=100), or 0 if empty.
+    ///
+    /// Exact while the sample cap holds (the common tier-1 case); once the
+    /// histogram has spilled, the answer comes from the log2 buckets and is
+    /// accurate to the containing power of two.
+    pub fn percentile(&self, q: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank: the k-th smallest with k = ceil(q/100 * n), min 1.
+        let rank = ((q as u128 * self.count as u128).div_ceil(100)).max(1);
+        if self.samples.len() as u64 == self.count {
+            let mut sorted = self.samples.clone();
+            sorted.sort_unstable();
+            return sorted[(rank - 1) as usize];
+        }
+        let mut seen: u128 = 0;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += *n as u128;
+            if seen >= rank {
+                return bucket_floor(b).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentiles_small() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 50);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 95);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.percentile(100), 100);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn degrades_to_buckets_past_cap() {
+        let mut h = Histogram::new();
+        let n = (SAMPLE_CAP * 2) as u64;
+        for v in 0..n {
+            h.record(v);
+        }
+        assert_eq!(h.count(), n);
+        // Bucketed percentile: within a factor of two below the exact value
+        // (and clamped to observed min/max).
+        let exact = n / 2;
+        let got = h.p50();
+        assert!(got <= exact, "p50 {got} must not exceed exact {exact}");
+        assert!(got >= exact / 2, "p50 {got} too far below exact {exact}");
+        assert_eq!(h.max(), n - 1);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.p50(), 50);
+    }
+
+    #[test]
+    fn deterministic_across_identical_streams() {
+        let build = || {
+            let mut h = Histogram::new();
+            for i in 0..10_000u64 {
+                h.record(i.wrapping_mul(2654435761) % 4096);
+            }
+            h
+        };
+        assert_eq!(build(), build());
+    }
+}

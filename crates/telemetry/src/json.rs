@@ -1,0 +1,229 @@
+//! A minimal JSON writer and validator.
+//!
+//! The workspace is offline (no serde); exports hand-roll their JSON
+//! through these helpers, and tests/CI use [`validate_json`] to prove the
+//! output parses. The writer is deterministic: identical inputs produce
+//! byte-identical output.
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn push_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values (which JSON cannot
+/// represent) are written as `null`.
+pub fn push_f64(buf: &mut String, v: f64) {
+    use std::fmt::Write;
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Validates that `s` is one well-formed JSON value (with optional
+/// surrounding whitespace). Returns the byte offset and message on error.
+///
+/// This is a syntax check only — small, strict on structure, permissive on
+/// number grammar — used by tests and the CI schema guard, not a general
+/// parser: it builds no value tree.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, pos)),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+        digits += 1;
+        *pos += 1;
+    }
+    if digits == 0 {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    Ok(())
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2; // skip the escaped byte (surrogate pairs parse as 2 escapes)
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_validation() {
+        let mut s = String::new();
+        push_str(&mut s, "a \"quoted\"\nline\twith \\ control \u{1}");
+        validate_json(&s).unwrap();
+        assert!(s.starts_with('"') && s.ends_with('"'));
+        assert!(s.contains("\\u0001"));
+    }
+
+    #[test]
+    fn numbers_and_nonfinite() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn validator_accepts_wellformed() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            r#"{"a":[1,2,{"b":"c"}],"d":null,"e":true}"#,
+            "  { \"x\" : [ 1 , 2 ] }  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"1}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "{} trailing",
+            "{'single':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Cycle-stamped structured telemetry for the Tartan simulator.
+//!
+//! The paper evaluates Tartan inside ZSim, whose value lies in detailed
+//! per-structure statistics. This crate is the equivalent substrate for
+//! our execution-driven model:
+//!
+//! * **Events** ([`Event`], [`Interest`]) — a cycle-stamped taxonomy
+//!   covering cache hits/misses/evictions per level, prefetch issues,
+//!   OVEC address generation, NPU invoke/verdict/rollback, and fault
+//!   inject/detect/recover. Zero overhead when disabled: the machine
+//!   caches the attached sink's [`Interest`] mask and never constructs
+//!   events for masked categories; with no sink attached the cost is one
+//!   `Option` check per site.
+//! * **Sinks** ([`Sink`], [`CountingSink`], [`RingBufferSink`],
+//!   [`JsonLinesSink`], [`TeeSink`]) — pluggable destinations shared as
+//!   [`SharedSink`] handles via [`shared`].
+//! * **Reports** ([`Report`], [`ReportBuilder`], [`Histogram`]) —
+//!   hierarchical phase scopes (robot → iteration → kernel) with
+//!   per-phase p50/p95/p99 latency, miss-rate, and prefetch-accuracy.
+//! * **Exports** ([`chrome_trace_json`], [`StatsExport`]) — a
+//!   Perfetto-loadable Chrome trace and the versioned `stats.json`
+//!   schema ([`STATS_SCHEMA_VERSION`]) consumed by the bench harness
+//!   and CI.
+//!
+//! The crate is deliberately dependency-free so every other workspace
+//! crate — including `tartan-sim` at the bottom of the stack — can link
+//! it. Everything it produces is byte-deterministic for a fixed seed.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod hist;
+mod json;
+mod report;
+mod sink;
+mod stats;
+
+pub use chrome::chrome_trace_json;
+pub use event::{CacheOutcome, Event, FaultSite, Interest, Level};
+pub use hist::{Histogram, SAMPLE_CAP};
+pub use json::{push_f64, push_str, validate_json};
+pub use report::{PhaseNode, Report, ReportBuilder, ScopeCounters};
+pub use sink::{
+    shared, CountingSink, FaultCounts, JsonLinesSink, LevelCounts, RingBufferSink, SharedSink,
+    Sink, TeeSink,
+};
+pub use stats::{
+    validate_stats_json, CacheCounters, FaultCounters, PhaseEntry, RobotRunStats, StatsExport,
+    SupervisionCounters, STATS_SCHEMA_VERSION,
+};

@@ -1,0 +1,371 @@
+//! The versioned `stats.json` export schema.
+//!
+//! This is the machine-readable contract between the simulator, the bench
+//! harness (`results/BENCH_tier1.json`), and CI. The structs here mirror
+//! the simulator's counters *by value* — telemetry sits below `tartan-sim`
+//! in the dependency graph, so it cannot name those types; the sim/core
+//! layers convert into these mirrors.
+//!
+//! Versioning policy (enforced by CI against `SCHEMA.md`):
+//! * Adding a field or a new optional section → bump
+//!   [`STATS_SCHEMA_VERSION`], append a `SCHEMA.md` entry.
+//! * Removing or renaming a field → same, and call it out as breaking.
+//! * Consumers must ignore unknown fields.
+
+use crate::json::{push_f64, push_str};
+
+/// Version of the `stats.json` schema emitted by [`StatsExport::to_json`].
+///
+/// CI fails if this changes without a matching entry in `SCHEMA.md`.
+pub const STATS_SCHEMA_VERSION: u32 = 1;
+
+/// Mirror of one cache level's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Misses covered by a timely prefetch.
+    pub prefetch_covered: u64,
+    /// Prefetches issued into this level.
+    pub prefetches_issued: u64,
+    /// Prefetched lines later demanded.
+    pub prefetches_useful: u64,
+    /// Prefetches that arrived late.
+    pub prefetches_late: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Dirty writebacks.
+    pub writebacks: u64,
+}
+
+impl CacheCounters {
+    /// Demand miss ratio, 0 when idle.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            buf,
+            "{{\"accesses\":{},\"hits\":{},\"misses\":{},\"miss_ratio\":",
+            self.accesses, self.hits, self.misses
+        );
+        push_f64(buf, self.miss_ratio());
+        let _ = write!(
+            buf,
+            ",\"prefetch_covered\":{},\"prefetches_issued\":{},\"prefetches_useful\":{},\"prefetches_late\":{},\"evictions\":{},\"writebacks\":{}}}",
+            self.prefetch_covered,
+            self.prefetches_issued,
+            self.prefetches_useful,
+            self.prefetches_late,
+            self.evictions,
+            self.writebacks
+        );
+    }
+}
+
+/// Mirror of the fault-injection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults injected by the plan.
+    pub injected: u64,
+    /// Faults caught by a supervisor.
+    pub detected: u64,
+    /// Detected faults fully repaired.
+    pub recovered: u64,
+    /// Faults that corrupted a consumed result.
+    pub unrecovered: u64,
+}
+
+impl FaultCounters {
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            buf,
+            "{{\"injected\":{},\"detected\":{},\"recovered\":{},\"unrecovered\":{}}}",
+            self.injected, self.detected, self.recovered, self.unrecovered
+        );
+    }
+}
+
+/// NPU supervision counters, for robots that run a supervised NPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionCounters {
+    /// Accelerator invocations issued.
+    pub invocations: u64,
+    /// Iterations rolled back by the supervisor.
+    pub rollbacks: u64,
+    /// Rollbacks that re-ran the function on the CPU.
+    pub cpu_fallbacks: u64,
+}
+
+impl SupervisionCounters {
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            buf,
+            "{{\"invocations\":{},\"rollbacks\":{},\"cpu_fallbacks\":{}}}",
+            self.invocations, self.rollbacks, self.cpu_fallbacks
+        );
+    }
+}
+
+/// One named phase's cycle/instruction attribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseEntry {
+    /// Phase label.
+    pub name: String,
+    /// Cycles attributed.
+    pub cycles: u64,
+    /// Instructions attributed.
+    pub instructions: u64,
+}
+
+/// Everything `stats.json` records about one robot run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RobotRunStats {
+    /// Robot name (e.g. `"flybot"`).
+    pub robot: String,
+    /// Software configuration label (e.g. `"tartan"`, `"legacy"`).
+    pub config: String,
+    /// Wall cycles for the run.
+    pub wall_cycles: u64,
+    /// Dynamic instructions.
+    pub instructions: u64,
+    /// Output quality in [0, 1].
+    pub quality: f64,
+    /// L1 counters (per-core, merged).
+    pub l1: CacheCounters,
+    /// L2 counters (per-core, merged).
+    pub l2: CacheCounters,
+    /// Shared L3 counters.
+    pub l3: CacheCounters,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// L3↔L2 traffic in bytes.
+    pub l3_traffic_bytes: u64,
+    /// NPU invocations observed by the machine (0 for CPU-only robots).
+    pub npu_invocations: u64,
+    /// Supervision counters, when the robot runs a supervised NPU.
+    pub supervision: Option<SupervisionCounters>,
+    /// Fault counters (all zero without a fault plan).
+    pub faults: FaultCounters,
+    /// Per-phase breakdown, sorted by name.
+    pub phases: Vec<PhaseEntry>,
+}
+
+impl RobotRunStats {
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        buf.push_str("{\"robot\":");
+        push_str(buf, &self.robot);
+        buf.push_str(",\"config\":");
+        push_str(buf, &self.config);
+        let _ = write!(
+            buf,
+            ",\"wall_cycles\":{},\"instructions\":{},\"quality\":",
+            self.wall_cycles, self.instructions
+        );
+        push_f64(buf, self.quality);
+        buf.push_str(",\"l1\":");
+        self.l1.write_json(buf);
+        buf.push_str(",\"l2\":");
+        self.l2.write_json(buf);
+        buf.push_str(",\"l3\":");
+        self.l3.write_json(buf);
+        let _ = write!(
+            buf,
+            ",\"dram_bytes\":{},\"l3_traffic_bytes\":{},\"npu_invocations\":{}",
+            self.dram_bytes, self.l3_traffic_bytes, self.npu_invocations
+        );
+        buf.push_str(",\"supervision\":");
+        match &self.supervision {
+            Some(s) => s.write_json(buf),
+            None => buf.push_str("null"),
+        }
+        buf.push_str(",\"faults\":");
+        self.faults.write_json(buf);
+        buf.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str("{\"name\":");
+            push_str(buf, &p.name);
+            let _ = write!(buf, ",\"cycles\":{},\"instructions\":{}}}", p.cycles, p.instructions);
+        }
+        buf.push_str("]}");
+    }
+}
+
+/// The top-level `stats.json` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsExport {
+    /// Tool that produced the document (e.g. `"bench_tier1"`).
+    pub generator: String,
+    /// One entry per robot run.
+    pub runs: Vec<RobotRunStats>,
+}
+
+impl StatsExport {
+    /// Serializes the document. The schema version is stamped
+    /// automatically; the output is byte-deterministic.
+    pub fn to_json(&self) -> String {
+        let mut buf = String::new();
+        use std::fmt::Write;
+        let _ = write!(buf, "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"generator\":");
+        push_str(&mut buf, &self.generator);
+        buf.push_str(",\"runs\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            r.write_json(&mut buf);
+        }
+        buf.push_str("]}\n");
+        buf
+    }
+}
+
+/// Structurally validates a `stats.json` document: well-formed JSON, the
+/// current [`STATS_SCHEMA_VERSION`], and the required top-level and
+/// per-run keys. Used by tests and the CI schema guard.
+pub fn validate_stats_json(s: &str) -> Result<(), String> {
+    crate::json::validate_json(s)?;
+    let expect = format!("\"schema_version\":{STATS_SCHEMA_VERSION}");
+    if !s.contains(&expect) {
+        return Err(format!("missing or mismatched {expect}"));
+    }
+    for key in ["\"generator\":", "\"runs\":"] {
+        if !s.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    // Per-run keys are only required if any run is present.
+    if s.contains("\"robot\":") {
+        for key in [
+            "\"wall_cycles\":",
+            "\"instructions\":",
+            "\"quality\":",
+            "\"l1\":",
+            "\"l2\":",
+            "\"l3\":",
+            "\"faults\":",
+            "\"phases\":",
+        ] {
+            if !s.contains(key) {
+                return Err(format!("missing per-run key {key}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_export() -> StatsExport {
+        StatsExport {
+            generator: "unit_test".into(),
+            runs: vec![RobotRunStats {
+                robot: "flybot".into(),
+                config: "tartan".into(),
+                wall_cycles: 123_456,
+                instructions: 98_765,
+                quality: 0.997,
+                l1: CacheCounters {
+                    accesses: 1000,
+                    hits: 900,
+                    misses: 100,
+                    ..CacheCounters::default()
+                },
+                l2: CacheCounters {
+                    accesses: 100,
+                    hits: 40,
+                    misses: 30,
+                    prefetch_covered: 30,
+                    prefetches_issued: 50,
+                    prefetches_useful: 35,
+                    prefetches_late: 5,
+                    evictions: 10,
+                    writebacks: 4,
+                },
+                l3: CacheCounters::default(),
+                dram_bytes: 64_000,
+                l3_traffic_bytes: 128_000,
+                npu_invocations: 12,
+                supervision: Some(SupervisionCounters {
+                    invocations: 12,
+                    rollbacks: 2,
+                    cpu_fallbacks: 1,
+                }),
+                faults: FaultCounters {
+                    injected: 3,
+                    detected: 3,
+                    recovered: 2,
+                    unrecovered: 0,
+                },
+                phases: vec![
+                    PhaseEntry {
+                        name: "heuristic".into(),
+                        cycles: 80_000,
+                        instructions: 60_000,
+                    },
+                    PhaseEntry {
+                        name: "communication".into(),
+                        cycles: 20_000,
+                        instructions: 1_000,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn export_round_trips_validation() {
+        let json = sample_export().to_json();
+        validate_stats_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"robot\":\"flybot\""));
+        assert!(json.contains("\"supervision\":{\"invocations\":12"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn null_supervision_serializes() {
+        let mut e = sample_export();
+        e.runs[0].supervision = None;
+        let json = e.to_json();
+        validate_stats_json(&json).unwrap();
+        assert!(json.contains("\"supervision\":null"));
+    }
+
+    #[test]
+    fn validator_rejects_wrong_version() {
+        let json = sample_export()
+            .to_json()
+            .replace("\"schema_version\":1", "\"schema_version\":9999");
+        assert!(validate_stats_json(&json).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_missing_run_keys() {
+        let json = sample_export().to_json().replace("\"quality\":", "\"q\":");
+        assert!(validate_stats_json(&json).is_err());
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(sample_export().to_json(), sample_export().to_json());
+    }
+}

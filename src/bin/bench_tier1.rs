@@ -1,0 +1,46 @@
+//! Tier-1 bench harness: runs all six robots on the baseline and Tartan
+//! configurations at test scale and writes `results/BENCH_tier1.json` in
+//! the versioned `stats.json` schema (see `SCHEMA.md`).
+//!
+//! CI runs this on every push and uploads the export as a workflow
+//! artifact, so per-robot cycle counts, miss rates, and NPU statistics are
+//! comparable across commits without rerunning anything.
+
+use std::fs;
+
+use tartan::core::{run_robot, ExperimentParams, MachineConfig, RobotKind, SoftwareConfig};
+use tartan::sim::telemetry::{validate_stats_json, StatsExport};
+
+fn main() {
+    let params = ExperimentParams::quick();
+    let mut export = StatsExport {
+        generator: "bench_tier1".into(),
+        runs: Vec::new(),
+    };
+    for kind in RobotKind::all() {
+        for (config, hw, sw) in [
+            (
+                "baseline",
+                MachineConfig::upgraded_baseline(),
+                SoftwareConfig::legacy(),
+            ),
+            ("tartan", MachineConfig::tartan(), SoftwareConfig::approximable()),
+        ] {
+            let out = run_robot(kind, hw, sw, &params);
+            println!(
+                "{:<10} {:<9} {:>12} cycles  L2 miss {:>5.1}%  NPU {:>4}",
+                out.robot,
+                config,
+                out.wall_cycles,
+                100.0 * out.stats.l2.miss_ratio(),
+                out.stats.npu_invocations,
+            );
+            export.runs.push(out.to_run_stats(config));
+        }
+    }
+    let json = export.to_json();
+    validate_stats_json(&json).expect("bench export must conform to the stats.json schema");
+    fs::create_dir_all("results").expect("create results/");
+    fs::write("results/BENCH_tier1.json", &json).expect("write results/BENCH_tier1.json");
+    println!("wrote results/BENCH_tier1.json ({} runs)", export.runs.len());
+}

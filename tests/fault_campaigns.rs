@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use tartan::core::{run_robot, ExperimentParams, RobotKind, RunOutcome, SoftwareConfig};
 use tartan::nn::{Mlp, Topology};
 use tartan::npu::SupervisedNpu;
+use tartan::sim::telemetry::{shared, CountingSink};
 use tartan::sim::{FaultPlan, Machine, MachineConfig};
 
 fn outcome(kind: RobotKind, plan: Option<FaultPlan>) -> RunOutcome {
@@ -120,6 +121,51 @@ fn combined_campaign_on_flybot_keeps_the_final_path_exact() {
     let f = faulted.faults;
     assert!(f.injected >= f.detected && f.detected == f.recovered && f.unrecovered == 0,
         "{f:?}");
+}
+
+#[test]
+fn telemetry_fault_events_reconcile_with_machine_stats() {
+    // A combined accelerator + memory campaign, observed through a counting
+    // sink: the event stream's fault sums must agree exactly with the
+    // machine's fault counters, and the counters must conserve.
+    let mut cfg = MachineConfig::tartan();
+    cfg.fault_plan = Some(
+        FaultPlan::quiet(31)
+            .with_accel_errors(0.5, 0.5)
+            .with_accel_bitflips(0.25)
+            .with_accel_failures(0.1)
+            .with_mem_spikes(0.01, 30),
+    );
+    let mut m = Machine::new(cfg);
+    let (counts, sink) = shared(CountingSink::new());
+    m.set_telemetry(sink);
+    let mlp = Mlp::new(&Topology::new(&[6, 16, 16, 1]), 5);
+    let mut npu = SupervisedNpu::attach(&mut m, mlp).expect("tartan config has an NPU");
+    let inputs = [0.3f32, -0.2, 0.9, 0.0, 0.5, -0.7];
+    for _ in 0..60 {
+        let _ = m.run(|p| npu.invoke(p, &inputs));
+    }
+    let stats = m.stats();
+    let f = stats.faults;
+    assert!(f.injected > 0, "campaign must inject: {f:?}");
+
+    let c = counts.lock().unwrap();
+    let ev = *c.faults();
+    assert_eq!(ev.injected, f.injected, "event sum vs stats: injected");
+    assert_eq!(ev.detected, f.detected, "event sum vs stats: detected");
+    assert_eq!(ev.recovered, f.recovered, "event sum vs stats: recovered");
+    assert_eq!(
+        ev.unrecovered, f.unrecovered,
+        "event sum vs stats: unrecovered"
+    );
+    // Conservation: every injected fault is either detected or undetected
+    // (memory latency spikes are the undetectable kind), and recovery never
+    // exceeds detection.
+    assert_eq!(f.injected, f.detected + f.undetected(), "{f:?}");
+    assert!(f.recovered <= f.detected, "{f:?}");
+    // Device invocations include supervised retries, so the machine total
+    // can only meet or exceed the supervisor's own invocation count.
+    assert!(stats.npu_invocations >= npu.counters().invocations);
 }
 
 fn supervised_outputs(plan: Option<FaultPlan>, inputs: &[f32]) -> Vec<Vec<f32>> {
