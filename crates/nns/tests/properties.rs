@@ -1,0 +1,134 @@
+//! Property-based conformance tests for the NNS engines (DESIGN.md §11):
+//! on arbitrary seeded point clouds, the k-d tree must agree with brute
+//! force exactly, and an LSH configured to examine every bucket must
+//! degenerate to brute force.
+
+use proptest::prelude::*;
+use tartan_nns::{dist_sq, BruteForce, KdTree, LshConfig, LshNns, NnsEngine, PointSet};
+use tartan_sim::{Machine, MachineConfig};
+
+/// Raw points are generated 4-wide and truncated to the case's
+/// dimensionality (the shimmed proptest has no `prop_flat_map` to couple
+/// the two strategies directly). Coordinates come from a finite range, so
+/// distances are well-defined and the k-d tree build (which sorts on
+/// coordinates) never sees a NaN.
+fn arb_raw_points(max: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-8.0f32..8.0, 4usize),
+        1..max,
+    )
+}
+
+fn truncate(raw: &[Vec<f32>], dim: usize) -> Vec<Vec<f32>> {
+    raw.iter().map(|p| p[..dim].to_vec()).collect()
+}
+
+proptest! {
+    // Each case builds a machine and simulates full queries; a modest case
+    // count keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The k-d tree is exact: for every query its nearest neighbor is at
+    /// the same distance as brute force's (indices may differ on ties).
+    #[test]
+    fn kdtree_nearest_matches_brute_force(
+        dim in 1usize..=4,
+        raw_pts in arb_raw_points(50),
+        raw_queries in arb_raw_points(6),
+    ) {
+        let (pts, queries) = (truncate(&raw_pts, dim), truncate(&raw_queries, dim));
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let set = PointSet::new(&mut m, &pts);
+        let tree = KdTree::build(&mut m, &set);
+        let brute = BruteForce::new();
+        let pairs = m.run(|p| {
+            queries
+                .iter()
+                .map(|q| {
+                    let a = tree.nearest(p, &set, q).expect("non-empty set");
+                    let b = brute.nearest(p, &set, q).expect("non-empty set");
+                    (dist_sq(set.point(a), q), dist_sq(set.point(b), q))
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, (da, db)) in pairs.into_iter().enumerate() {
+            prop_assert_eq!(da, db, "query {}", i);
+        }
+    }
+
+    /// Radius search through the k-d tree returns exactly the brute-force
+    /// index set, including points sitting right on the radius boundary.
+    #[test]
+    fn kdtree_within_matches_brute_force(
+        dim in 1usize..=4,
+        raw_pts in arb_raw_points(50),
+        raw_queries in arb_raw_points(6),
+        eps in 0.1f32..6.0,
+    ) {
+        let (pts, queries) = (truncate(&raw_pts, dim), truncate(&raw_queries, dim));
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let set = PointSet::new(&mut m, &pts);
+        let tree = KdTree::build(&mut m, &set);
+        let brute = BruteForce::new();
+        let pairs = m.run(|p| {
+            queries
+                .iter()
+                .map(|q| {
+                    let (mut a, mut b) = (Vec::new(), Vec::new());
+                    tree.within(p, &set, q, eps, &mut a);
+                    brute.within(p, &set, q, eps, &mut b);
+                    (a, b)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            prop_assert_eq!(a, b, "query {}", i);
+        }
+    }
+
+    /// An LSH whose probes cover every reachable bucket is exhaustive, so
+    /// it must match brute force exactly — in both flavours. With one
+    /// projection and a huge bucket width, every key is 0 or -1 (the dot
+    /// products are far smaller than `w`, but can be negative), and two
+    /// probes (`key±1`) reach both, so every point is examined.
+    #[test]
+    fn exhaustive_probe_lsh_matches_brute_force(
+        dim in 1usize..=4,
+        raw_pts in arb_raw_points(50),
+        raw_queries in arb_raw_points(6),
+        seed in any::<u64>(),
+        vectorized in any::<bool>(),
+        eps in 0.1f32..6.0,
+    ) {
+        let (pts, queries) = (truncate(&raw_pts, dim), truncate(&raw_queries, dim));
+        let cfg = LshConfig {
+            projections: 1,
+            w: 1e6,
+            probes: 2,
+            seed,
+            vectorized,
+        };
+        let mut m = Machine::new(MachineConfig::upgraded_baseline());
+        let set = PointSet::new(&mut m, &pts);
+        let lsh = LshNns::build(&mut m, &set, cfg);
+        prop_assert!(lsh.buckets() <= 2, "keys beyond {{-1, 0}} break coverage");
+        let brute = BruteForce::new();
+        let results = m.run(|p| {
+            queries
+                .iter()
+                .map(|q| {
+                    let a = lsh.nearest(p, &set, q).expect("non-empty set");
+                    let b = brute.nearest(p, &set, q).expect("non-empty set");
+                    let (mut wa, mut wb) = (Vec::new(), Vec::new());
+                    lsh.within(p, &set, q, eps, &mut wa);
+                    brute.within(p, &set, q, eps, &mut wb);
+                    (dist_sq(set.point(a), q), dist_sq(set.point(b), q), wa, wb)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, (da, db, wa, wb)) in results.into_iter().enumerate() {
+            prop_assert_eq!(da, db, "nearest, query {}", i);
+            prop_assert_eq!(wa, wb, "within, query {}", i);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The differential fuzz driver CLI.
+//!
+//! ```text
+//! cargo run -p tartan-oracle --bin fuzz -- --iters 1000 --seed 7
+//! ```
+//!
+//! Generates seeded random machine configs + access patterns, runs each
+//! through the simulator with trace capture on, and replays the trace
+//! through the golden models. On the first divergence it prints the
+//! diagnostic, shrinks the case to a minimal reproducer, prints it in the
+//! corpus format (optionally writing it to `--out`), and exits nonzero.
+//!
+//! `--mutate fcp-index` bends the *golden* FCP indexing off by one; the
+//! run is then expected to diverge, which demonstrates (and CI-checks)
+//! the oracle's detection power. Exit codes follow "did the oracle behave
+//! correctly": a mutated run succeeds when the defect is caught and fails
+//! when it is not, while an honest run succeeds only when every case is
+//! clean.
+
+use std::process::ExitCode;
+
+use tartan_oracle::{generate, run_case, shrink, Mutation, XorShift};
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    mutation: Option<Mutation>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 1000,
+        seed: 7,
+        mutation: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--iters" => {
+                args.iters = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--mutate" => {
+                args.mutation = match value()?.as_str() {
+                    "fcp-index" => Some(Mutation::FcpIndexOffByOne),
+                    other => return Err(format!("unknown mutation {other:?}")),
+                };
+            }
+            "--out" => args.out = Some(value()?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fuzz [--iters N] [--seed S] [--mutate fcp-index] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut rng = XorShift::new(args.seed);
+    let force_fcp = args.mutation.is_some();
+    for i in 0..args.iters {
+        let case = generate(&mut rng, force_fcp);
+        if let Err(divergence) = run_case(&case, args.mutation) {
+            println!("fuzz: divergence at iteration {i} (seed {})", args.seed);
+            println!("  {divergence}");
+            println!("fuzz: shrinking ({} accesses)...", case.accesses());
+            let small = shrink(&case, args.mutation);
+            let final_div =
+                run_case(&small, args.mutation).expect_err("shrunk case still diverges");
+            println!(
+                "fuzz: minimal reproducer has {} accesses:",
+                small.accesses()
+            );
+            println!("  {final_div}");
+            let text = tartan_oracle::corpus::serialize(&small);
+            println!("--- reproducer (corpus format) ---");
+            print!("{text}");
+            println!("----------------------------------");
+            if let Some(path) = &args.out {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("fuzz: failed to write {path}: {e}");
+                } else {
+                    println!("fuzz: reproducer written to {path}");
+                }
+            }
+            // Under a mutation, divergence is the *expected* outcome: the
+            // oracle proved it can see the injected defect.
+            return if args.mutation.is_some() {
+                println!("fuzz: mutation detected — oracle has teeth");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        if (i + 1) % 100 == 0 {
+            eprintln!("fuzz: {} / {} cases clean", i + 1, args.iters);
+        }
+    }
+    println!(
+        "fuzz: {} cases, zero divergences (seed {}{})",
+        args.iters,
+        args.seed,
+        match args.mutation {
+            Some(_) => ", mutated golden model never disagreed — oracle is blind!",
+            None => "",
+        }
+    );
+    // A mutated run that stays clean means the oracle failed to detect the
+    // injected defect: that is a failure of the *oracle*, so exit nonzero.
+    if args.mutation.is_some() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

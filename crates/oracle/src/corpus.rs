@@ -1,0 +1,284 @@
+//! Plain-text serialization of fuzz cases, for the checked-in reproducer
+//! corpus (`tests/corpus/*.txt`).
+//!
+//! The format is line-based and diff-friendly. Floating-point fields
+//! (OVEC origin/orient) are stored as their IEEE-754 bit patterns in hex
+//! so a round trip is exact — a reproducer must replay the *identical*
+//! address stream, and decimal formatting would quietly perturb it.
+
+use tartan_sim::{FcpConfig, FcpManipulation, PrefetcherKind};
+
+use crate::fuzz::{FuzzCase, Op};
+
+/// Magic first line; bump the version if the format changes.
+const HEADER: &str = "tartan-oracle-case v1";
+
+/// Serializes a case into the corpus text format.
+pub fn serialize(case: &FuzzCase) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{HEADER}");
+    let _ = writeln!(s, "cores {}", case.cores);
+    let _ = writeln!(s, "line_bytes {}", case.line_bytes);
+    let _ = writeln!(s, "l1 {} {}", case.l1.0, case.l1.1);
+    let _ = writeln!(s, "l2 {} {}", case.l2.0, case.l2.1);
+    let _ = writeln!(s, "l3 {} {}", case.l3.0, case.l3.1);
+    let _ = writeln!(s, "dram_latency {}", case.dram_latency);
+    let _ = writeln!(
+        s,
+        "prefetcher {}",
+        match case.prefetcher {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "next_line",
+            PrefetcherKind::Anl => "anl",
+            PrefetcherKind::Bingo => "bingo",
+        }
+    );
+    let _ = writeln!(s, "anl_region_bytes {}", case.anl_region_bytes);
+    match case.fcp {
+        None => {
+            let _ = writeln!(s, "fcp none");
+        }
+        Some(f) => {
+            let m = match f.manipulation {
+                FcpManipulation::Increment => "increment",
+                FcpManipulation::Double => "double",
+                FcpManipulation::Square => "square",
+            };
+            let _ = writeln!(s, "fcp {} {} {m}", f.region_bytes, f.xor_bits);
+        }
+    }
+    let _ = writeln!(s, "write_through {}", u8::from(case.write_through));
+    let _ = writeln!(s, "ovec {}", u8::from(case.ovec));
+    for op in &case.ops {
+        match *op {
+            Op::Read { core, pc, addr, bytes } => {
+                let _ = writeln!(s, "op read {core} {pc:#x} {addr:#x} {bytes}");
+            }
+            Op::Write {
+                core,
+                pc,
+                addr,
+                bytes,
+                through,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "op write {core} {pc:#x} {addr:#x} {bytes} {}",
+                    u8::from(through)
+                );
+            }
+            Op::Ovec {
+                core,
+                pc,
+                base,
+                origin,
+                orient,
+                lanes,
+                elem_bytes,
+                max_elems,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "op ovec {core} {pc:#x} {base:#x} {:016x} {:016x} {lanes} {elem_bytes} {max_elems}",
+                    origin.to_bits(),
+                    orient.to_bits(),
+                );
+            }
+            Op::Barrier => {
+                let _ = writeln!(s, "op barrier");
+            }
+        }
+    }
+    s
+}
+
+fn parse_u64(tok: &str) -> Result<u64, String> {
+    let parsed = match tok.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => tok.parse(),
+    };
+    parsed.map_err(|e| format!("bad number {tok:?}: {e}"))
+}
+
+fn parse_f64_bits(tok: &str) -> Result<f64, String> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bit pattern {tok:?}: {e}"))
+}
+
+fn parse_bool(tok: &str) -> Result<bool, String> {
+    match tok {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(format!("bad flag {other:?} (want 0 or 1)")),
+    }
+}
+
+/// Parses the corpus text format back into a case.
+///
+/// Tolerates blank lines and `#` comments; rejects unknown keys, so a
+/// truncated or hand-mangled reproducer fails loudly instead of replaying
+/// the wrong thing.
+pub fn parse(text: &str) -> Result<FuzzCase, String> {
+    let mut lines = text.lines().map(str::trim).filter(|l| {
+        !l.is_empty() && !l.starts_with('#')
+    });
+    if lines.next() != Some(HEADER) {
+        return Err(format!("missing header line {HEADER:?}"));
+    }
+    let mut case = FuzzCase {
+        cores: 1,
+        line_bytes: 64,
+        l1: (512, 2),
+        l2: (2048, 4),
+        l3: (8192, 4),
+        dram_latency: 200,
+        prefetcher: PrefetcherKind::None,
+        anl_region_bytes: 512,
+        fcp: None,
+        write_through: false,
+        ovec: false,
+        ops: Vec::new(),
+    };
+    for line in lines {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let args = &toks[1..];
+        let want = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!("line {line:?}: expected {n} fields after the key"))
+            }
+        };
+        match toks[0] {
+            "cores" => {
+                want(1)?;
+                case.cores = parse_u64(args[0])? as usize;
+            }
+            "line_bytes" => {
+                want(1)?;
+                case.line_bytes = parse_u64(args[0])?;
+            }
+            "l1" | "l2" | "l3" => {
+                want(2)?;
+                let geom = (parse_u64(args[0])?, parse_u64(args[1])? as u32);
+                match toks[0] {
+                    "l1" => case.l1 = geom,
+                    "l2" => case.l2 = geom,
+                    _ => case.l3 = geom,
+                }
+            }
+            "dram_latency" => {
+                want(1)?;
+                case.dram_latency = parse_u64(args[0])?;
+            }
+            "prefetcher" => {
+                want(1)?;
+                case.prefetcher = match args[0] {
+                    "none" => PrefetcherKind::None,
+                    "next_line" => PrefetcherKind::NextLine,
+                    "anl" => PrefetcherKind::Anl,
+                    "bingo" => PrefetcherKind::Bingo,
+                    other => return Err(format!("unknown prefetcher {other:?}")),
+                };
+            }
+            "anl_region_bytes" => {
+                want(1)?;
+                case.anl_region_bytes = parse_u64(args[0])?;
+            }
+            "fcp" => {
+                if args == ["none"] {
+                    case.fcp = None;
+                } else {
+                    want(3)?;
+                    case.fcp = Some(FcpConfig {
+                        region_bytes: parse_u64(args[0])?,
+                        xor_bits: parse_u64(args[1])? as u32,
+                        manipulation: match args[2] {
+                            "increment" => FcpManipulation::Increment,
+                            "double" => FcpManipulation::Double,
+                            "square" => FcpManipulation::Square,
+                            other => return Err(format!("unknown manipulation {other:?}")),
+                        },
+                    });
+                }
+            }
+            "write_through" => {
+                want(1)?;
+                case.write_through = parse_bool(args[0])?;
+            }
+            "ovec" => {
+                want(1)?;
+                case.ovec = parse_bool(args[0])?;
+            }
+            "op" => match args.first().copied() {
+                Some("read") => {
+                    want(5)?;
+                    case.ops.push(Op::Read {
+                        core: parse_u64(args[1])? as usize,
+                        pc: parse_u64(args[2])?,
+                        addr: parse_u64(args[3])?,
+                        bytes: parse_u64(args[4])?,
+                    });
+                }
+                Some("write") => {
+                    want(6)?;
+                    case.ops.push(Op::Write {
+                        core: parse_u64(args[1])? as usize,
+                        pc: parse_u64(args[2])?,
+                        addr: parse_u64(args[3])?,
+                        bytes: parse_u64(args[4])?,
+                        through: parse_bool(args[5])?,
+                    });
+                }
+                Some("ovec") => {
+                    want(9)?;
+                    case.ops.push(Op::Ovec {
+                        core: parse_u64(args[1])? as usize,
+                        pc: parse_u64(args[2])?,
+                        base: parse_u64(args[3])?,
+                        origin: parse_f64_bits(args[4])?,
+                        orient: parse_f64_bits(args[5])?,
+                        lanes: parse_u64(args[6])? as usize,
+                        elem_bytes: parse_u64(args[7])?,
+                        max_elems: parse_u64(args[8])?,
+                    });
+                }
+                Some("barrier") => {
+                    want(1)?;
+                    case.ops.push(Op::Barrier);
+                }
+                other => return Err(format!("unknown op {other:?}")),
+            },
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    Ok(case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShift;
+
+    #[test]
+    fn round_trip_is_exact() {
+        let mut rng = XorShift::new(99);
+        for _ in 0..20 {
+            let case = crate::fuzz::generate(&mut rng, false);
+            let text = serialize(&case);
+            let back = parse(&text).expect("parses back");
+            assert_eq!(case, back, "round trip drifted for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn mangled_input_is_rejected() {
+        assert!(parse("nonsense").is_err());
+        let mut rng = XorShift::new(1);
+        let text = serialize(&crate::fuzz::generate(&mut rng, false));
+        let mangled = text.replace("line_bytes", "line_bytez");
+        assert!(parse(&mangled).is_err());
+    }
+}

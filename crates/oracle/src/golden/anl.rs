@@ -1,0 +1,190 @@
+//! Golden prefetcher models: ANL's `PC+Region` degree table (§VI-D) and
+//! the classic next-line baseline.
+
+/// ANL table size (§VIII-C).
+const TABLE_ENTRIES: usize = 16;
+/// CD/LD saturate at 5 bits.
+const DEGREE_MAX: u32 = 31;
+/// Low-order PC bits kept in the tag (§VIII-C).
+const PC_TAG_MOD: u64 = 1 << 12;
+
+/// One `PC+Region` table entry, counters widened to `u32` so saturation is
+/// an explicit `min` rather than a type-width artifact.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pc_tag: u64,
+    region: u64,
+    /// Misses observed in the current region generation.
+    current_degree: u32,
+    /// Degree learned in the previous generation; consumed once.
+    last_degree: u32,
+}
+
+/// The golden ANL model: a `Vec<Option<Entry>>` table in way order.
+#[derive(Debug, Clone)]
+pub struct GoldenAnl {
+    table: Vec<Option<Entry>>,
+    line_bytes: u64,
+    region_bytes: u64,
+}
+
+impl GoldenAnl {
+    /// Creates a golden ANL for the given line and region sizes.
+    pub fn new(line_bytes: u64, region_bytes: u64) -> GoldenAnl {
+        GoldenAnl {
+            table: vec![None; TABLE_ENTRIES],
+            line_bytes,
+            region_bytes,
+        }
+    }
+
+    fn find(&self, pc_tag: u64, region: u64) -> Option<usize> {
+        self.table
+            .iter()
+            .position(|e| e.is_some_and(|e| e.pc_tag == pc_tag && e.region == region))
+    }
+
+    /// Replacement slot: first empty entry, else the first entry with the
+    /// lowest `max(CD, LD)` — dense regions survive.
+    fn victim(&self) -> usize {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, entry) in self.table.iter().enumerate() {
+            match entry {
+                None => return i,
+                Some(e) => {
+                    let score = e.current_degree.max(e.last_degree);
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some((i, score));
+                    }
+                }
+            }
+        }
+        best.expect("table is non-empty").0
+    }
+
+    /// Observes a demand access; appends next-line prefetch candidates.
+    /// ANL trains on (and triggers from) misses only.
+    pub fn on_access(&mut self, pc: u64, line_addr: u64, hit: bool, out: &mut Vec<u64>) {
+        if hit {
+            return;
+        }
+        let pc_tag = pc % PC_TAG_MOD;
+        let region = line_addr / self.region_bytes;
+        match self.find(pc_tag, region) {
+            Some(i) => {
+                let e = self.table[i].as_mut().expect("entry found");
+                for k in 1..=u64::from(e.last_degree) {
+                    out.push(line_addr + k * self.line_bytes);
+                }
+                e.current_degree = (e.current_degree + 1).min(DEGREE_MAX);
+                e.last_degree = 0;
+            }
+            None => {
+                let v = self.victim();
+                self.table[v] = Some(Entry {
+                    pc_tag,
+                    region,
+                    current_degree: 1,
+                    last_degree: 0,
+                });
+            }
+        }
+    }
+
+    /// Region termination (edge-triggered): the first eviction of a
+    /// generation commits `CD → LD` for every entry tracking the region;
+    /// later evictions of the same dead generation (CD already 0) must not
+    /// clobber the learned degree.
+    pub fn on_eviction(&mut self, line_addr: u64) {
+        let region = line_addr / self.region_bytes;
+        for entry in self.table.iter_mut().flatten() {
+            if entry.region == region && entry.current_degree > 0 {
+                entry.last_degree = entry.current_degree;
+                entry.current_degree = 0;
+            }
+        }
+    }
+}
+
+/// A golden model of whichever prefetcher a config attaches to the L2.
+#[derive(Debug, Clone)]
+pub enum GoldenPrefetcher {
+    /// No prefetching.
+    None,
+    /// Degree-1 next line on every miss.
+    NextLine {
+        /// Cache line size in bytes.
+        line_bytes: u64,
+    },
+    /// Tartan's adaptive next-line.
+    Anl(GoldenAnl),
+}
+
+impl GoldenPrefetcher {
+    /// Observes a demand access (`hit` means a *plain* hit — covered and
+    /// late prefetch touches train as misses, like the simulator).
+    pub fn on_access(&mut self, pc: u64, line_addr: u64, hit: bool, out: &mut Vec<u64>) {
+        match self {
+            GoldenPrefetcher::None => {}
+            GoldenPrefetcher::NextLine { line_bytes } => {
+                if !hit {
+                    out.push(line_addr + *line_bytes);
+                }
+            }
+            GoldenPrefetcher::Anl(anl) => anl.on_access(pc, line_addr, hit, out),
+        }
+    }
+
+    /// Observes an L2 eviction (ANL's region-termination signal).
+    pub fn on_eviction(&mut self, line_addr: u64) {
+        if let GoldenPrefetcher::Anl(anl) = self {
+            anl.on_eviction(line_addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_and_replays_degree() {
+        let mut anl = GoldenAnl::new(64, 1024);
+        let mut out = Vec::new();
+        for i in 0..3u64 {
+            anl.on_access(7, i * 64, false, &mut out);
+        }
+        assert!(out.is_empty(), "first generation only learns");
+        anl.on_eviction(64);
+        anl.on_access(7, 0, false, &mut out);
+        assert_eq!(out, vec![64, 128, 192]);
+        // LD was consumed: the next miss in the region prefetches nothing.
+        out.clear();
+        anl.on_access(7, 128, false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn second_eviction_of_dead_generation_keeps_ld() {
+        let mut anl = GoldenAnl::new(64, 1024);
+        let mut out = Vec::new();
+        anl.on_access(7, 0, false, &mut out);
+        anl.on_access(7, 64, false, &mut out);
+        anl.on_eviction(0);
+        anl.on_eviction(64); // CD is 0: must not zero LD
+        anl.on_access(7, 0, false, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn pc_tags_alias_at_twelve_bits() {
+        let mut anl = GoldenAnl::new(64, 1024);
+        let mut out = Vec::new();
+        anl.on_access(0x10, 0, false, &mut out);
+        anl.on_access(0x10, 64, false, &mut out);
+        anl.on_eviction(0);
+        // 0x10 + 2^12 has the same 12-bit tag: it replays PC 0x10's degree.
+        anl.on_access(0x10 + 4096, 0, false, &mut out);
+        assert_eq!(out, vec![64, 128]);
+    }
+}

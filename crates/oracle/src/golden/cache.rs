@@ -1,0 +1,350 @@
+//! Golden set-associative cache: true LRU, prefetch timeliness, FCP
+//! region indexing, and `m(x)` recency manipulation (§VII of the paper).
+
+use tartan_sim::{FcpConfig, FcpManipulation};
+
+use super::Mutation;
+
+/// Recency values saturate here (mirrors the simulator's 15-bit cap so the
+/// `x²` manipulation cannot overflow).
+const AGE_MAX: u32 = 1 << 15;
+
+/// One resident line's metadata.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: u64,
+    dirty: bool,
+    /// Still awaiting its first demand touch after a prefetch insert.
+    prefetched: bool,
+    /// Thread-local cycle at which a prefetched line's data arrives.
+    ready: u64,
+    /// 0 = most recently used; grows toward eviction.
+    age: u32,
+}
+
+/// What one demand access decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenOutcome {
+    /// Plain hit on a resident, demanded line.
+    Hit,
+    /// Plain miss; the line was filled from below.
+    Miss,
+    /// First touch of a prefetched line whose data had already arrived.
+    Covered,
+    /// First touch of a prefetched line still in flight (counts as a miss).
+    Late,
+}
+
+/// A victim displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldenEviction {
+    /// Line number of the victim.
+    pub line: u64,
+    /// Whether it was dirty (costs a writeback).
+    pub dirty: bool,
+    /// Whether it was a prefetched line never touched by demand.
+    pub prefetched_unused: bool,
+}
+
+/// The golden cache model: per-set vectors of optional slots, way order
+/// preserved so victim tie-breaks are reproducible.
+#[derive(Debug, Clone)]
+pub struct GoldenCache {
+    sets: u64,
+    ways: usize,
+    line_bytes: u64,
+    fcp: Option<FcpConfig>,
+    mutation: Option<Mutation>,
+    slots: Vec<Vec<Option<Slot>>>,
+}
+
+impl GoldenCache {
+    /// Builds a golden cache with the same geometry the simulator derives:
+    /// `sets = size / (line_bytes * ways)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (zero sets/ways).
+    pub fn new(
+        size_bytes: u64,
+        ways: u32,
+        line_bytes: u64,
+        fcp: Option<FcpConfig>,
+        mutation: Option<Mutation>,
+    ) -> GoldenCache {
+        let sets = size_bytes / (line_bytes * u64::from(ways));
+        assert!(sets >= 1 && ways >= 1, "degenerate golden cache geometry");
+        GoldenCache {
+            sets,
+            ways: ways as usize,
+            line_bytes,
+            fcp,
+            mutation,
+            slots: vec![vec![None; ways as usize]; sets as usize],
+        }
+    }
+
+    /// The set a line number maps to.
+    ///
+    /// Written with division/modulo instead of the simulator's masks and
+    /// shifts: conventional indexing is `line mod sets`; FCP indexing takes
+    /// the region number and XORs in the top `l` bits of the intra-region
+    /// line offset, so one region spreads over exactly `2^l` sets.
+    pub fn index_of(&self, line: u64) -> u64 {
+        match self.fcp {
+            None => line % self.sets,
+            Some(f) => {
+                let lines_per_region = f.region_bytes / self.line_bytes;
+                let region = line / lines_per_region;
+                let offset = line % lines_per_region;
+                let span = 1u64 << f.xor_bits;
+                let offset_high = offset / (lines_per_region / span);
+                let offset_high = match self.mutation {
+                    // Off-by-one *before* the XOR: changes which lines
+                    // collide, not just what the sets are called.
+                    Some(Mutation::FcpIndexOffByOne) => offset_high + 1,
+                    None => offset_high,
+                };
+                (region ^ offset_high) % self.sets
+            }
+        }
+    }
+
+    /// True-LRU touch: the named way becomes age 0; every other resident
+    /// way that was younger than it ages by one (saturating).
+    fn touch(set: &mut [Option<Slot>], way: usize) {
+        let old_age = set[way].expect("touched way is resident").age;
+        for (w, slot) in set.iter_mut().enumerate() {
+            if w == way {
+                continue;
+            }
+            if let Some(s) = slot {
+                if s.age < old_age {
+                    s.age = (s.age + 1).min(AGE_MAX);
+                }
+            }
+        }
+        set[way].as_mut().expect("touched way is resident").age = 0;
+    }
+
+    /// Victim way: the first empty slot, else the lowest-numbered way among
+    /// those with the maximum age.
+    fn victim(set: &[Option<Slot>]) -> usize {
+        let mut best: Option<(usize, u32)> = None;
+        for (w, slot) in set.iter().enumerate() {
+            match slot {
+                None => return w,
+                Some(s) => {
+                    if best.is_none_or(|(_, age)| s.age > age) {
+                        best = Some((w, s.age));
+                    }
+                }
+            }
+        }
+        best.expect("set has at least one way").0
+    }
+
+    /// FCP recency manipulation (§VII-B): after a fill, every *other*
+    /// resident line of the filled line's region in this set has its age
+    /// put through `m(x)`, pushing runaway regions toward eviction.
+    fn manipulate_region(&mut self, index: u64, filled_line: u64) {
+        let Some(f) = self.fcp else { return };
+        let lines_per_region = f.region_bytes / self.line_bytes;
+        let region = filled_line / lines_per_region;
+        for slot in self.slots[index as usize].iter_mut().flatten() {
+            if slot.line != filled_line && slot.line / lines_per_region == region {
+                slot.age = apply_manipulation(f.manipulation, slot.age).min(AGE_MAX);
+            }
+        }
+    }
+
+    fn fill(
+        &mut self,
+        index: u64,
+        line: u64,
+        dirty: bool,
+        prefetched: bool,
+        ready: u64,
+    ) -> Option<GoldenEviction> {
+        let set = &mut self.slots[index as usize];
+        let way = Self::victim(set);
+        let evicted = set[way].map(|s| GoldenEviction {
+            line: s.line,
+            dirty: s.dirty,
+            prefetched_unused: s.prefetched,
+        });
+        set[way] = Some(Slot {
+            line,
+            dirty,
+            prefetched,
+            ready,
+            // Oldest possible, so the touch below ages every other line.
+            age: AGE_MAX,
+        });
+        Self::touch(set, way);
+        self.manipulate_region(index, line);
+        evicted
+    }
+
+    /// A demand access. `mark_dirty` is whether the access dirties the line
+    /// (false for reads and for write-through stores); `now` is the
+    /// thread-local cycle prefetch timeliness is judged against.
+    pub fn access(
+        &mut self,
+        line: u64,
+        mark_dirty: bool,
+        now: u64,
+    ) -> (GoldenOutcome, Option<GoldenEviction>) {
+        let index = self.index_of(line);
+        let set = &mut self.slots[index as usize];
+        let hit_way = set
+            .iter()
+            .position(|s| s.is_some_and(|s| s.line == line));
+        if let Some(way) = hit_way {
+            let slot = set[way].as_mut().expect("hit way is resident");
+            let was_prefetched = slot.prefetched;
+            let ready = slot.ready;
+            slot.prefetched = false;
+            if mark_dirty {
+                slot.dirty = true;
+            }
+            Self::touch(set, way);
+            let outcome = if !was_prefetched {
+                GoldenOutcome::Hit
+            } else if ready <= now {
+                GoldenOutcome::Covered
+            } else {
+                GoldenOutcome::Late
+            };
+            return (outcome, None);
+        }
+        let evicted = self.fill(index, line, mark_dirty, false, 0);
+        (GoldenOutcome::Miss, evicted)
+    }
+
+    /// Inserts a prefetched line whose data arrives at `ready`. Returns
+    /// `None` if the line was already resident (no state change), else the
+    /// displaced victim (if any).
+    pub fn insert_prefetch(
+        &mut self,
+        line: u64,
+        ready: u64,
+    ) -> Option<Option<GoldenEviction>> {
+        let index = self.index_of(line);
+        if self.slots[index as usize]
+            .iter()
+            .any(|s| s.is_some_and(|s| s.line == line))
+        {
+            return None;
+        }
+        Some(self.fill(index, line, false, true, ready))
+    }
+
+    /// Whether a line is resident (no state change).
+    pub fn contains(&self, line: u64) -> bool {
+        let index = self.index_of(line);
+        self.slots[index as usize]
+            .iter()
+            .any(|s| s.is_some_and(|s| s.line == line))
+    }
+
+    /// Number of resident lines (capacity invariant checks).
+    pub fn valid_lines(&self) -> usize {
+        self.slots.iter().flatten().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Ways per set (with [`GoldenCache::sets`], the capacity bound).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+/// The recency-manipulation function `m(x)`, re-derived from the paper:
+/// increment, double, or square, saturating.
+fn apply_manipulation(m: FcpManipulation, x: u32) -> u32 {
+    match m {
+        FcpManipulation::Increment => x.saturating_add(1),
+        FcpManipulation::Double => x.saturating_mul(2),
+        FcpManipulation::Square => x.saturating_mul(x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GoldenCache {
+        // 4 sets × 2 ways × 64 B.
+        GoldenCache::new(512, 2, 64, None, None)
+    }
+
+    #[test]
+    fn lru_evicts_oldest_with_low_way_tiebreak() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, false, 0).0, GoldenOutcome::Miss);
+        assert_eq!(c.access(4, false, 0).0, GoldenOutcome::Miss);
+        assert_eq!(c.access(0, false, 0).0, GoldenOutcome::Hit);
+        let (out, ev) = c.access(8, false, 0);
+        assert_eq!(out, GoldenOutcome::Miss);
+        assert_eq!(
+            ev,
+            Some(GoldenEviction {
+                line: 4,
+                dirty: false,
+                prefetched_unused: false
+            })
+        );
+    }
+
+    #[test]
+    fn prefetch_timeliness_splits_covered_and_late() {
+        let mut c = tiny();
+        assert!(c.insert_prefetch(12, 50).is_some());
+        assert!(c.insert_prefetch(12, 50).is_none(), "duplicate is a no-op");
+        assert_eq!(c.access(12, false, 100).0, GoldenOutcome::Covered);
+        assert_eq!(c.access(12, false, 101).0, GoldenOutcome::Hit);
+        let mut c2 = tiny();
+        c2.insert_prefetch(13, 500);
+        assert_eq!(c2.access(13, false, 100).0, GoldenOutcome::Late);
+    }
+
+    #[test]
+    fn fcp_index_matches_division_formulation() {
+        let fcp = FcpConfig {
+            region_bytes: 512,
+            xor_bits: 2,
+            manipulation: FcpManipulation::Square,
+        };
+        // 16 sets × 4 ways × 64 B; 8 lines per region.
+        let c = GoldenCache::new(4096, 4, 64, Some(fcp), None);
+        // A region's 8 lines must spread over exactly 2^l = 4 sets.
+        let mut sets: Vec<u64> = (0..8).map(|o| c.index_of(5 * 8 + o)).collect();
+        sets.sort_unstable();
+        sets.dedup();
+        assert_eq!(sets.len(), 4);
+    }
+
+    #[test]
+    fn mutation_shifts_fcp_index() {
+        let fcp = FcpConfig {
+            region_bytes: 512,
+            xor_bits: 2,
+            manipulation: FcpManipulation::Square,
+        };
+        let honest = GoldenCache::new(4096, 4, 64, Some(fcp), None);
+        let bent = GoldenCache::new(4096, 4, 64, Some(fcp), Some(Mutation::FcpIndexOffByOne));
+        // 8 lines/region, span 4: line 40 = region 5, offset_high 0.
+        assert_eq!(honest.index_of(40), 5);
+        assert_eq!(bent.index_of(40), 4);
+        // The defect changes collision *structure*, not just set labels:
+        // lines 4 (region 0, oh 2) and 14 (region 1, oh 3) conflict in the
+        // honest mapping but land in different sets under the mutation.
+        assert_eq!(honest.index_of(4), honest.index_of(14));
+        assert_ne!(bent.index_of(4), bent.index_of(14));
+    }
+}

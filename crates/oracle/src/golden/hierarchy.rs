@@ -1,0 +1,312 @@
+//! The golden memory hierarchy: per-core L1/L2, a shared L3, golden
+//! prefetchers, and the DRAM/L3 bandwidth accountant, stepped one demand
+//! request at a time.
+//!
+//! [`GoldenHierarchy::step`] reproduces, for one recorded
+//! [`MemRequest`](tartan_telemetry::Event::MemRequest), the exact sequence
+//! of decisions the simulator emits as telemetry events: the L1 access,
+//! the L2 access and its eviction, the L3 access on a true miss, and every
+//! prefetch probe/issue/eviction that follows — in emission order, so the
+//! replay driver can compare streams element by element.
+
+use tartan_sim::{CacheConfig, MachineConfig, PrefetcherKind};
+use tartan_telemetry::{CacheOutcome, Level};
+
+use super::anl::{GoldenAnl, GoldenPrefetcher};
+use super::cache::{GoldenCache, GoldenOutcome};
+use super::Mutation;
+use crate::trace::{Decision, GoldenLevelTotals, GoldenTotals};
+
+/// One demand line request — the golden-side mirror of
+/// [`tartan_telemetry::Event::MemRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Global cycle stamp (used only to label decisions).
+    pub cycle: u64,
+    /// Requesting core.
+    pub core: u32,
+    /// Program counter (prefetcher training input).
+    pub pc: u64,
+    /// Line-aligned byte address.
+    pub line_addr: u64,
+    /// Whether the access is a store.
+    pub write: bool,
+    /// Whether the access dirties cache lines.
+    pub dirty: bool,
+    /// Bytes streamed to the L3 by a write-through store (0 otherwise).
+    pub wt_bytes: u64,
+    /// Thread-local cycle of the access (prefetch-timeliness clock).
+    pub now: u64,
+}
+
+/// The golden hierarchy.
+#[derive(Debug, Clone)]
+pub struct GoldenHierarchy {
+    line_bytes: u64,
+    l1: Vec<GoldenCache>,
+    l2: Vec<GoldenCache>,
+    l3: GoldenCache,
+    prefetchers: Vec<GoldenPrefetcher>,
+    l2_latency: u64,
+    l3_latency: u64,
+    dram_latency: u64,
+    dram_bytes_per_cycle: u64,
+    totals: GoldenTotals,
+}
+
+impl GoldenHierarchy {
+    /// Builds golden models for the hierarchy `cfg` describes, with an
+    /// optional deliberate defect for mutation-testing the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a config whose prefetcher has no golden model (Bingo).
+    pub fn new(cfg: &MachineConfig, mutation: Option<Mutation>) -> GoldenHierarchy {
+        let mk = |level: CacheConfig, fcp, mutation| {
+            GoldenCache::new(level.size_bytes, level.ways, cfg.line_bytes, fcp, mutation)
+        };
+        let mut l1 = Vec::with_capacity(cfg.cores);
+        let mut l2 = Vec::with_capacity(cfg.cores);
+        let mut prefetchers = Vec::with_capacity(cfg.cores);
+        for _ in 0..cfg.cores {
+            l1.push(mk(cfg.l1, None, None));
+            l2.push(mk(cfg.l2, cfg.fcp, mutation));
+            prefetchers.push(match cfg.prefetcher {
+                PrefetcherKind::None => GoldenPrefetcher::None,
+                PrefetcherKind::NextLine => GoldenPrefetcher::NextLine {
+                    line_bytes: cfg.line_bytes,
+                },
+                PrefetcherKind::Anl => {
+                    GoldenPrefetcher::Anl(GoldenAnl::new(cfg.line_bytes, cfg.anl_region_bytes))
+                }
+                PrefetcherKind::Bingo => {
+                    panic!("the oracle has no golden Bingo model; fuzz configs must avoid it")
+                }
+            });
+        }
+        GoldenHierarchy {
+            line_bytes: cfg.line_bytes,
+            l1,
+            l2,
+            l3: mk(cfg.l3, None, None),
+            prefetchers,
+            l2_latency: cfg.l2.latency,
+            l3_latency: cfg.l3.latency,
+            dram_latency: cfg.dram_latency,
+            dram_bytes_per_cycle: cfg.dram_bytes_per_cycle,
+            totals: GoldenTotals::default(),
+        }
+    }
+
+    /// Aggregate counters accumulated so far (the DRAM/L3 accountant plus
+    /// per-level cache tallies, mirroring `MachineStats` semantics).
+    pub fn totals(&self) -> &GoldenTotals {
+        &self.totals
+    }
+
+    /// Feeds one demand request through the golden hierarchy, appending
+    /// the decision sequence (in the simulator's event-emission order) to
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.core` is out of range for the configuration.
+    pub fn step(&mut self, req: &Request, out: &mut Vec<Decision>) {
+        let core = req.core as usize;
+        assert!(core < self.l1.len(), "request from unknown core {core}");
+        let line = req.line_addr / self.line_bytes;
+        self.totals.requests += 1;
+
+        let (l1_out, l1_ev) = self.l1[core].access(line, req.dirty, req.now);
+        self.totals.l1.tally_access(l1_out);
+        out.push(Decision::Access {
+            cycle: req.cycle,
+            level: Level::L1,
+            line_addr: req.line_addr,
+            write: req.write,
+            outcome: outcome_of(l1_out),
+        });
+        if let Some(ev) = l1_ev {
+            self.totals.l1.tally_eviction(ev.dirty);
+            out.push(Decision::Eviction {
+                cycle: req.cycle,
+                level: Level::L1,
+                line_addr: ev.line * self.line_bytes,
+                dirty: ev.dirty,
+                prefetched_unused: ev.prefetched_unused,
+            });
+        }
+
+        if l1_out == GoldenOutcome::Miss {
+            let (l2_out, l2_ev) = self.l2[core].access(line, req.dirty, req.now);
+            self.totals.l2.tally_access(l2_out);
+            out.push(Decision::Access {
+                cycle: req.cycle,
+                level: Level::L2,
+                line_addr: req.line_addr,
+                write: req.write,
+                outcome: outcome_of(l2_out),
+            });
+            if let Some(ev) = l2_ev {
+                self.totals.l2.tally_eviction(ev.dirty);
+                out.push(Decision::Eviction {
+                    cycle: req.cycle,
+                    level: Level::L2,
+                    line_addr: ev.line * self.line_bytes,
+                    dirty: ev.dirty,
+                    prefetched_unused: ev.prefetched_unused,
+                });
+            }
+
+            // Prefetcher training: only a *plain* hit counts as a hit, so
+            // covered and late touches keep teaching the true miss density.
+            let mut candidates = Vec::new();
+            self.prefetchers[core].on_access(
+                req.pc,
+                req.line_addr,
+                l2_out == GoldenOutcome::Hit,
+                &mut candidates,
+            );
+
+            if l2_out == GoldenOutcome::Miss {
+                let (l3_out, l3_ev) = self.l3.access(line, false, req.now);
+                self.totals.l3.tally_access(l3_out);
+                out.push(Decision::Access {
+                    cycle: req.cycle,
+                    level: Level::L3,
+                    line_addr: req.line_addr,
+                    write: false,
+                    outcome: outcome_of(l3_out),
+                });
+                if let Some(ev) = l3_ev {
+                    self.totals.l3.tally_eviction(ev.dirty);
+                    out.push(Decision::Eviction {
+                        cycle: req.cycle,
+                        level: Level::L3,
+                        line_addr: ev.line * self.line_bytes,
+                        dirty: ev.dirty,
+                        prefetched_unused: ev.prefetched_unused,
+                    });
+                }
+                self.totals.l3_traffic_bytes += self.line_bytes;
+                if l3_out == GoldenOutcome::Miss {
+                    self.totals.dram_bytes += self.line_bytes;
+                    if l3_ev.is_some_and(|ev| ev.dirty) {
+                        // The displaced dirty L3 victim writes back to DRAM.
+                        self.totals.dram_bytes += self.line_bytes;
+                    }
+                }
+            }
+
+            if let Some(ev) = l2_ev {
+                // L2 evictions reach the prefetcher (ANL's region
+                // termination) and cost writeback traffic when dirty.
+                self.prefetchers[core].on_eviction(ev.line * self.line_bytes);
+                if ev.dirty {
+                    self.totals.l3_traffic_bytes += self.line_bytes;
+                }
+            }
+
+            for candidate in candidates {
+                self.issue_prefetch(core, candidate, req, out);
+            }
+        }
+
+        if req.wt_bytes > 0 {
+            // Write-through stores stream their payload to the L3.
+            self.totals.l3_traffic_bytes += req.wt_bytes;
+        }
+    }
+
+    fn issue_prefetch(&mut self, core: usize, line_addr: u64, req: &Request, out: &mut Vec<Decision>) {
+        let line = line_addr / self.line_bytes;
+        if self.l2[core].contains(line) {
+            return;
+        }
+        // The L3 probe that determines the fill path (and its latency).
+        let (l3_out, l3_ev) = self.l3.access(line, false, req.now);
+        self.totals.l3.tally_access(l3_out);
+        out.push(Decision::Access {
+            cycle: req.cycle,
+            level: Level::L3,
+            line_addr,
+            write: false,
+            outcome: outcome_of(l3_out),
+        });
+        if let Some(ev) = l3_ev {
+            self.totals.l3.tally_eviction(ev.dirty);
+            out.push(Decision::Eviction {
+                cycle: req.cycle,
+                level: Level::L3,
+                line_addr: ev.line * self.line_bytes,
+                dirty: ev.dirty,
+                prefetched_unused: ev.prefetched_unused,
+            });
+        }
+        self.totals.l3_traffic_bytes += self.line_bytes;
+        let mut fill_latency = self.l3_latency + self.l2_latency;
+        if l3_out == GoldenOutcome::Miss {
+            fill_latency += self.dram_latency + self.line_bytes / self.dram_bytes_per_cycle;
+            self.totals.dram_bytes += self.line_bytes;
+        }
+        if let Some(evicted) = self.l2[core].insert_prefetch(line, req.now + fill_latency) {
+            self.totals.l2.prefetches_issued += 1;
+            out.push(Decision::Prefetch {
+                cycle: req.cycle,
+                level: Level::L2,
+                line_addr,
+            });
+            if let Some(ev) = evicted {
+                self.prefetchers[core].on_eviction(ev.line * self.line_bytes);
+                if ev.dirty {
+                    self.totals.l3_traffic_bytes += self.line_bytes;
+                }
+                self.totals.l2.tally_eviction(ev.dirty);
+                out.push(Decision::Eviction {
+                    cycle: req.cycle,
+                    level: Level::L2,
+                    line_addr: ev.line * self.line_bytes,
+                    dirty: ev.dirty,
+                    prefetched_unused: ev.prefetched_unused,
+                });
+            }
+        }
+    }
+}
+
+impl GoldenLevelTotals {
+    fn tally_access(&mut self, out: GoldenOutcome) {
+        self.accesses += 1;
+        match out {
+            GoldenOutcome::Hit => self.hits += 1,
+            GoldenOutcome::Miss => self.misses += 1,
+            GoldenOutcome::Covered => {
+                self.prefetch_covered += 1;
+                self.prefetches_useful += 1;
+            }
+            GoldenOutcome::Late => {
+                // A late prefetch touch counts as a miss for coverage but
+                // still proves the prefetch was useful.
+                self.misses += 1;
+                self.prefetches_late += 1;
+                self.prefetches_useful += 1;
+            }
+        }
+    }
+
+    fn tally_eviction(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.writebacks += 1;
+        }
+    }
+}
+
+fn outcome_of(out: GoldenOutcome) -> CacheOutcome {
+    match out {
+        GoldenOutcome::Hit => CacheOutcome::Hit,
+        GoldenOutcome::Miss => CacheOutcome::Miss,
+        GoldenOutcome::Covered => CacheOutcome::Covered,
+        GoldenOutcome::Late => CacheOutcome::Late,
+    }
+}

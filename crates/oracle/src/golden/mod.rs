@@ -1,0 +1,34 @@
+//! Golden functional models of the four Tartan hardware mechanisms.
+//!
+//! Each model is a deliberately naive re-implementation, written from the
+//! paper / `DESIGN.md` description rather than from the simulator's code:
+//! shifts become divisions, saturating counters are re-derived, and state
+//! is kept in the most obvious representation. The point is independence —
+//! a bug would have to be made twice, in two different shapes, to survive
+//! the differential comparison.
+
+mod anl;
+mod cache;
+mod hierarchy;
+mod ovec;
+
+pub use anl::{GoldenAnl, GoldenPrefetcher};
+pub use cache::{GoldenCache, GoldenEviction, GoldenOutcome};
+pub use hierarchy::{GoldenHierarchy, Request};
+pub use ovec::{ovec_lane_addresses, ovec_line_requests};
+
+/// A deliberate defect injected into a golden model, used to prove the
+/// oracle catches bugs (mutation testing of the oracle itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// FCP set indexing is off by one *in the XORed offset bits*: the
+    /// golden index becomes `region XOR (offset_high + 1) mod sets`.
+    ///
+    /// Note the placement: adding 1 *after* the XOR would merely relabel
+    /// every set through a fixed bijection, preserving which lines
+    /// collide — undetectable from decision streams by construction.
+    /// Perturbing the offset bits *before* the XOR changes the collision
+    /// structure itself, so any FCP case where the two mappings group
+    /// lines differently diverges.
+    FcpIndexOffByOne,
+}

@@ -1,0 +1,91 @@
+//! Golden OVEC oriented-load address generation (`O_MOVE`, §IV).
+//!
+//! Lane `i` of an oriented load reads element `floor(origin + i·orient)`,
+//! clamped to the buffer; consecutive lanes that fall in one cache line
+//! cost a single probe. These two functions re-derive the byte addresses
+//! and the resulting demand-request stream so the replay driver can check
+//! the simulator's generated addresses lane by lane.
+
+/// The deduplicated byte addresses an oriented load fetches: one per run
+/// of consecutive lanes that share a cache line.
+pub fn ovec_lane_addresses(
+    base: u64,
+    origin: f64,
+    orient: f64,
+    lanes: u32,
+    elem_bytes: u64,
+    max_elems: u64,
+    line_bytes: u64,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut last_line = None;
+    for i in 0..lanes {
+        let raw = (origin + f64::from(i) * orient).floor() as i64;
+        let idx = raw.clamp(0, max_elems as i64 - 1) as u64;
+        let addr = base + idx * elem_bytes;
+        let line = addr / line_bytes;
+        if last_line != Some(line) {
+            out.push(addr);
+            last_line = Some(line);
+        }
+    }
+    out
+}
+
+/// The *line-granular* demand requests those addresses produce: an access
+/// of `elem_bytes` at `addr` touches every line from its first to its last
+/// byte, and each touched line is one request into the hierarchy.
+pub fn ovec_line_requests(lane_addresses: &[u64], elem_bytes: u64, line_bytes: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &addr in lane_addresses {
+        let first = addr / line_bytes;
+        let last = (addr + elem_bytes - 1) / line_bytes;
+        for line in first..=last {
+            out.push(line * line_bytes);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractional_walk_floors_indices() {
+        // origin 10.2, orient 1.5 → elements 10, 11, 13, 14. Line-sized
+        // elements put each lane in its own line, so nothing deduplicates.
+        let addrs = ovec_lane_addresses(0, 10.2, 1.5, 4, 64, 1 << 20, 64);
+        assert_eq!(addrs, vec![640, 704, 832, 896]);
+    }
+
+    #[test]
+    fn consecutive_same_line_lanes_dedup() {
+        // Stride under a line: lanes 0..8 at 4 B inside 32 B lines → one
+        // probe per 8 elements.
+        let addrs = ovec_lane_addresses(0, 0.0, 1.0, 16, 4, 1 << 20, 32);
+        assert_eq!(addrs, vec![0, 32]);
+    }
+
+    #[test]
+    fn negative_orient_walks_backwards() {
+        let addrs = ovec_lane_addresses(0, 10.0, -8.0, 3, 4, 1 << 20, 32);
+        // Indices 10, 2, -6→0: addresses 40 (line 1), then 8 and 0 (both
+        // line 0, deduplicated to the first).
+        assert_eq!(addrs, vec![40, 8]);
+    }
+
+    #[test]
+    fn clamping_pins_lanes_to_the_buffer_edge() {
+        let addrs = ovec_lane_addresses(0, -5.0, 2.0, 4, 4, 4, 64);
+        // Raw indices -5, -3, -1, 1 clamp to 0, 0, 0, 1 → addrs 0 (dedup), 4
+        // — same line, so a single probe.
+        assert_eq!(addrs, vec![0]);
+    }
+
+    #[test]
+    fn straddling_elements_touch_two_lines() {
+        let reqs = ovec_line_requests(&[30], 4, 32);
+        assert_eq!(reqs, vec![0, 32]);
+    }
+}

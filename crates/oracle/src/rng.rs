@@ -1,0 +1,112 @@
+//! A tiny, dependency-free, seeded PRNG for the fuzz driver.
+//!
+//! The in-tree `rand` shim serves the simulator's workloads; the oracle
+//! carries its own generator so fuzz cases stay reproducible even if the
+//! shim's stream ever changes. xorshift64* is deterministic, fast, and
+//! passes the statistical bar a fuzzer needs.
+
+/// An xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator from a seed (any value, including 0, is fine).
+    pub fn new(seed: u64) -> XorShift {
+        // Splash the seed so that nearby seeds do not produce nearby
+        // streams; the state must be nonzero for xorshift to cycle.
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x2545_F491_4F6C_DD1D;
+        if s == 0 {
+            s = 0x9E37_79B9_7F4A_7C15;
+        }
+        XorShift { state: s }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Modulo bias is irrelevant for fuzzing ranges (all tiny vs 2^64).
+        self.next_u64() % n
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// True with probability `num`/`den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = XorShift::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = XorShift::new(8);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers_it() {
+        let mut r = XorShift::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            let v = r.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = XorShift::new(11);
+        let hits = (0..1000).filter(|_| r.chance(1, 4)).count();
+        assert!((150..350).contains(&hits), "1/4 chance hit {hits}/1000");
+    }
+}

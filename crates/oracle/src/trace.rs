@@ -1,0 +1,598 @@
+//! Trace-replay differential validation.
+//!
+//! [`CaptureSink`] records the simulator's event stream (including the
+//! opt-in [`Interest::TRACE`](tartan_telemetry::Interest::TRACE) demand
+//! requests); [`replay`] feeds those requests through the golden models
+//! and checks that every cache/prefetch decision the simulator emitted
+//! matches the golden prediction, element by element and in order. The
+//! first disagreement is returned as a [`Divergence`] carrying enough
+//! context (cycle, PC, address, both decisions) to debug it directly.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use tartan_sim::{MachineConfig, MachineStats};
+use tartan_telemetry::{CacheOutcome, Event, Interest, Level, Sink};
+
+use crate::golden::{ovec_lane_addresses, ovec_line_requests, GoldenHierarchy, Mutation, Request};
+
+/// One decision the hierarchy makes, in the vocabulary shared by the
+/// simulator's telemetry events and the golden models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// A demand access at a cache level and its outcome.
+    Access {
+        /// Global cycle stamp.
+        cycle: u64,
+        /// Cache level.
+        level: Level,
+        /// Accessed line address (bytes).
+        line_addr: u64,
+        /// Whether the access was a store.
+        write: bool,
+        /// Hit/miss/covered/late.
+        outcome: CacheOutcome,
+    },
+    /// A victim displaced from a cache level.
+    Eviction {
+        /// Global cycle stamp.
+        cycle: u64,
+        /// Cache level.
+        level: Level,
+        /// Victim line address (bytes).
+        line_addr: u64,
+        /// Whether the victim costs a writeback.
+        dirty: bool,
+        /// Whether the victim was prefetched but never demanded.
+        prefetched_unused: bool,
+    },
+    /// A prefetch issued into a cache level.
+    Prefetch {
+        /// Global cycle stamp.
+        cycle: u64,
+        /// Cache level prefetched into.
+        level: Level,
+        /// Prefetched line address (bytes).
+        line_addr: u64,
+    },
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Decision::Access {
+                cycle,
+                level,
+                line_addr,
+                write,
+                outcome,
+            } => write!(
+                f,
+                "access[{} {} addr={line_addr:#x} cycle={cycle}] -> {}",
+                level.name(),
+                if write { "store" } else { "load" },
+                outcome.name(),
+            ),
+            Decision::Eviction {
+                cycle,
+                level,
+                line_addr,
+                dirty,
+                prefetched_unused,
+            } => write!(
+                f,
+                "evict[{} addr={line_addr:#x} cycle={cycle} dirty={dirty} unused_pf={prefetched_unused}]",
+                level.name(),
+            ),
+            Decision::Prefetch {
+                cycle,
+                level,
+                line_addr,
+            } => write!(
+                f,
+                "prefetch[{} addr={line_addr:#x} cycle={cycle}]",
+                level.name()
+            ),
+        }
+    }
+}
+
+/// Why (and where) replay disagreed with the recorded stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DivergenceKind {
+    /// The simulator emitted a decision event the golden model predicted
+    /// differently.
+    DecisionMismatch {
+        /// What the golden model predicted.
+        expected: Decision,
+        /// What the simulator recorded.
+        actual: Decision,
+    },
+    /// The golden model predicted a decision the simulator never emitted.
+    MissingEvent {
+        /// The unfulfilled prediction.
+        expected: Decision,
+    },
+    /// The simulator emitted a decision event with nothing predicted.
+    ExtraEvent {
+        /// The unexpected event, as a decision.
+        actual: Decision,
+    },
+    /// An OVEC-generated demand address disagreed with the golden address
+    /// generator.
+    OvecAddr {
+        /// Golden next line address.
+        expected: u64,
+        /// Recorded line address.
+        actual: u64,
+    },
+    /// The golden OVEC address generator expected more demand requests
+    /// than the simulator issued.
+    OvecShortfall {
+        /// How many predicted line requests never appeared.
+        remaining: usize,
+    },
+    /// An aggregate counter disagreed after an otherwise clean replay.
+    TotalsMismatch {
+        /// Which counter (e.g. `l2.misses`, `dram_bytes`).
+        field: &'static str,
+        /// Golden value.
+        golden: u64,
+        /// Simulator value.
+        simulator: u64,
+    },
+}
+
+/// The first point where the simulator and the golden models disagree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence {
+    /// Index into the recorded event stream (== its length for end-of-stream
+    /// and totals divergences).
+    pub index: usize,
+    /// The demand request being replayed when the streams split, if any —
+    /// carries the cycle, PC, and address of the triggering access.
+    pub request: Option<Request>,
+    /// What went wrong.
+    pub kind: DivergenceKind,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divergence at event {}", self.index)?;
+        if let Some(r) = &self.request {
+            write!(
+                f,
+                " (cycle {} pc {:#x} addr {:#x} core {})",
+                r.cycle, r.pc, r.line_addr, r.core
+            )?;
+        }
+        match self.kind {
+            DivergenceKind::DecisionMismatch { expected, actual } => {
+                write!(f, ": golden {expected} vs simulator {actual}")
+            }
+            DivergenceKind::MissingEvent { expected } => {
+                write!(f, ": golden predicted {expected}, simulator emitted nothing")
+            }
+            DivergenceKind::ExtraEvent { actual } => {
+                write!(f, ": simulator emitted {actual}, golden predicted nothing")
+            }
+            DivergenceKind::OvecAddr { expected, actual } => write!(
+                f,
+                ": OVEC generated addr {actual:#x}, golden expected {expected:#x}"
+            ),
+            DivergenceKind::OvecShortfall { remaining } => write!(
+                f,
+                ": OVEC pattern ended with {remaining} golden line requests unissued"
+            ),
+            DivergenceKind::TotalsMismatch {
+                field,
+                golden,
+                simulator,
+            } => write!(f, ": totals field {field}: golden {golden} vs simulator {simulator}"),
+        }
+    }
+}
+
+/// Per-level aggregate counters, shaped like the simulator's `CacheStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GoldenLevelTotals {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Plain demand hits.
+    pub hits: u64,
+    /// Demand misses (including late-prefetch touches).
+    pub misses: u64,
+    /// Misses covered by timely prefetches.
+    pub prefetch_covered: u64,
+    /// Prefetches issued into this level.
+    pub prefetches_issued: u64,
+    /// Prefetched lines later touched by demand.
+    pub prefetches_useful: u64,
+    /// Prefetched lines touched before their data arrived.
+    pub prefetches_late: u64,
+    /// Victims displaced from this level.
+    pub evictions: u64,
+    /// Dirty victims written back.
+    pub writebacks: u64,
+}
+
+/// Aggregate counters accumulated by the golden hierarchy — the golden
+/// DRAM/L3 bandwidth accountant plus per-level cache tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GoldenTotals {
+    /// Demand requests replayed.
+    pub requests: u64,
+    /// Merged per-core L1 counters.
+    pub l1: GoldenLevelTotals,
+    /// Merged per-core L2 counters.
+    pub l2: GoldenLevelTotals,
+    /// Shared L3 counters.
+    pub l3: GoldenLevelTotals,
+    /// Bytes moved between DRAM and the L3.
+    pub dram_bytes: u64,
+    /// Bytes moved between the L3 and the L2s.
+    pub l3_traffic_bytes: u64,
+}
+
+impl GoldenTotals {
+    /// Checks the golden counters against the simulator's end-of-run stats.
+    /// Only the fields the golden hierarchy models are compared.
+    pub fn check_against(&self, stats: &MachineStats, index: usize) -> Result<(), Divergence> {
+        macro_rules! level_fields {
+            ($lvl:ident) => {
+                [
+                    (
+                        concat!(stringify!($lvl), ".accesses"),
+                        self.$lvl.accesses,
+                        stats.$lvl.accesses,
+                    ),
+                    (concat!(stringify!($lvl), ".hits"), self.$lvl.hits, stats.$lvl.hits),
+                    (
+                        concat!(stringify!($lvl), ".misses"),
+                        self.$lvl.misses,
+                        stats.$lvl.misses,
+                    ),
+                    (
+                        concat!(stringify!($lvl), ".prefetch_covered"),
+                        self.$lvl.prefetch_covered,
+                        stats.$lvl.prefetch_covered,
+                    ),
+                    (
+                        concat!(stringify!($lvl), ".prefetches_issued"),
+                        self.$lvl.prefetches_issued,
+                        stats.$lvl.prefetches_issued,
+                    ),
+                    (
+                        concat!(stringify!($lvl), ".prefetches_useful"),
+                        self.$lvl.prefetches_useful,
+                        stats.$lvl.prefetches_useful,
+                    ),
+                    (
+                        concat!(stringify!($lvl), ".prefetches_late"),
+                        self.$lvl.prefetches_late,
+                        stats.$lvl.prefetches_late,
+                    ),
+                    (
+                        concat!(stringify!($lvl), ".evictions"),
+                        self.$lvl.evictions,
+                        stats.$lvl.evictions,
+                    ),
+                    (
+                        concat!(stringify!($lvl), ".writebacks"),
+                        self.$lvl.writebacks,
+                        stats.$lvl.writebacks,
+                    ),
+                ]
+            };
+        }
+        let globals = [
+            ("dram_bytes", self.dram_bytes, stats.dram_bytes),
+            ("l3_traffic_bytes", self.l3_traffic_bytes, stats.l3_traffic_bytes),
+        ];
+        let checks = globals
+            .into_iter()
+            .chain(level_fields!(l1))
+            .chain(level_fields!(l2))
+            .chain(level_fields!(l3));
+        for (field, golden, simulator) in checks {
+            if golden != simulator {
+                return Err(Divergence {
+                    index,
+                    request: None,
+                    kind: DivergenceKind::TotalsMismatch {
+                        field,
+                        golden,
+                        simulator,
+                    },
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Records every cache, prefetch, OVEC, and trace event, unbounded.
+///
+/// The replay driver needs the *complete* stream — a ring buffer's silent
+/// drop-oldest policy would truncate the front and desynchronize replay.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    /// The recorded stream, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl CaptureSink {
+    /// An empty capture.
+    pub fn new() -> CaptureSink {
+        CaptureSink::default()
+    }
+}
+
+impl Sink for CaptureSink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+
+    fn interest(&self) -> Interest {
+        Interest::CACHE | Interest::PREFETCH | Interest::OVEC | Interest::TRACE
+    }
+}
+
+/// The decision a recorded event represents, if it represents one.
+fn decision_of(event: &Event) -> Option<Decision> {
+    match *event {
+        Event::CacheAccess {
+            cycle,
+            level,
+            line_addr,
+            write,
+            outcome,
+        } => Some(Decision::Access {
+            cycle,
+            level,
+            line_addr,
+            write,
+            outcome,
+        }),
+        Event::CacheEviction {
+            cycle,
+            level,
+            line_addr,
+            dirty,
+            prefetched_unused,
+        } => Some(Decision::Eviction {
+            cycle,
+            level,
+            line_addr,
+            dirty,
+            prefetched_unused,
+        }),
+        Event::PrefetchIssue {
+            cycle,
+            level,
+            line_addr,
+        } => Some(Decision::Prefetch {
+            cycle,
+            level,
+            line_addr,
+        }),
+        _ => None,
+    }
+}
+
+/// Replays a recorded event stream through the golden models.
+///
+/// Walks the stream once: each [`Event::MemRequest`] is stepped through
+/// [`GoldenHierarchy`], and the decision events that follow it must match
+/// the golden predictions exactly, in order. [`Event::OvecAddrGen`] events
+/// additionally arm the golden address generator, whose predicted line
+/// requests are checked against the demand addresses that follow. Events
+/// outside the replay contract (NPU, fault, phase) are ignored.
+///
+/// Returns the golden aggregate counters on success (compare them to
+/// `Machine::stats` with [`GoldenTotals::check_against`] to close the loop
+/// on the bandwidth accountant), or the first [`Divergence`].
+///
+/// The config must not enable `intel_lvs`: LVS-elided accesses issue no
+/// demand request, which is fine for decision replay but starves the OVEC
+/// address cross-check.
+pub fn replay(
+    cfg: &MachineConfig,
+    events: &[Event],
+    mutation: Option<Mutation>,
+) -> Result<GoldenTotals, Divergence> {
+    assert!(
+        !cfg.intel_lvs,
+        "replay does not support intel_lvs configurations"
+    );
+    let mut golden = GoldenHierarchy::new(cfg, mutation);
+    let mut pending: VecDeque<Decision> = VecDeque::new();
+    let mut scratch: Vec<Decision> = Vec::new();
+    let mut ovec_queue: VecDeque<u64> = VecDeque::new();
+    let mut last_request: Option<Request> = None;
+
+    for (index, event) in events.iter().enumerate() {
+        match *event {
+            Event::MemRequest {
+                cycle,
+                core,
+                pc,
+                line_addr,
+                write,
+                dirty,
+                wt_bytes,
+                now,
+            } => {
+                if let Some(expected) = pending.pop_front() {
+                    return Err(Divergence {
+                        index,
+                        request: last_request,
+                        kind: DivergenceKind::MissingEvent { expected },
+                    });
+                }
+                let request = Request {
+                    cycle,
+                    core,
+                    pc,
+                    line_addr,
+                    write,
+                    dirty,
+                    wt_bytes,
+                    now,
+                };
+                if let Some(expected) = ovec_queue.pop_front() {
+                    if expected != line_addr {
+                        return Err(Divergence {
+                            index,
+                            request: Some(request),
+                            kind: DivergenceKind::OvecAddr {
+                                expected,
+                                actual: line_addr,
+                            },
+                        });
+                    }
+                }
+                scratch.clear();
+                golden.step(&request, &mut scratch);
+                pending.extend(scratch.drain(..));
+                last_request = Some(request);
+            }
+            Event::OvecAddrGen {
+                lanes,
+                base,
+                origin,
+                orient,
+                elem_bytes,
+                max_elems,
+                ..
+            } => {
+                if !ovec_queue.is_empty() {
+                    return Err(Divergence {
+                        index,
+                        request: last_request,
+                        kind: DivergenceKind::OvecShortfall {
+                            remaining: ovec_queue.len(),
+                        },
+                    });
+                }
+                let lane_addrs = ovec_lane_addresses(
+                    base,
+                    origin,
+                    orient,
+                    lanes,
+                    elem_bytes,
+                    max_elems,
+                    cfg.line_bytes,
+                );
+                ovec_queue.extend(ovec_line_requests(&lane_addrs, elem_bytes, cfg.line_bytes));
+            }
+            _ => {
+                if let Some(actual) = decision_of(event) {
+                    match pending.pop_front() {
+                        None => {
+                            return Err(Divergence {
+                                index,
+                                request: last_request,
+                                kind: DivergenceKind::ExtraEvent { actual },
+                            })
+                        }
+                        Some(expected) if expected != actual => {
+                            return Err(Divergence {
+                                index,
+                                request: last_request,
+                                kind: DivergenceKind::DecisionMismatch { expected, actual },
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                }
+                // NPU / fault / phase events carry no replayed decision.
+            }
+        }
+    }
+
+    if let Some(expected) = pending.pop_front() {
+        return Err(Divergence {
+            index: events.len(),
+            request: last_request,
+            kind: DivergenceKind::MissingEvent { expected },
+        });
+    }
+    if !ovec_queue.is_empty() {
+        return Err(Divergence {
+            index: events.len(),
+            request: last_request,
+            kind: DivergenceKind::OvecShortfall {
+                remaining: ovec_queue.len(),
+            },
+        });
+    }
+    Ok(golden.totals().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tartan_sim::{Machine, MemPolicy, Proc};
+    use tartan_telemetry::shared;
+
+    fn tiny_cfg() -> MachineConfig {
+        let mut cfg = MachineConfig::legacy_baseline();
+        cfg.cores = 1;
+        cfg.l1.size_bytes = 512;
+        cfg.l1.ways = 2;
+        cfg.l2.size_bytes = 2048;
+        cfg.l2.ways = 4;
+        cfg.l3.size_bytes = 8192;
+        cfg.l3.ways = 4;
+        cfg
+    }
+
+    fn capture(cfg: &MachineConfig, body: impl FnOnce(&mut Proc<'_>)) -> (Vec<Event>, MachineStats) {
+        let mut m = Machine::new(cfg.clone());
+        let (typed, erased) = shared(CaptureSink::new());
+        m.set_telemetry(erased);
+        m.run(|p| body(p));
+        let stats = m.stats();
+        let events = std::mem::take(&mut typed.lock().expect("capture sink").events);
+        (events, stats)
+    }
+
+    #[test]
+    fn clean_run_replays_without_divergence() {
+        let cfg = tiny_cfg();
+        let (events, stats) = capture(&cfg, |p| {
+            for i in 0..64u64 {
+                p.read(0x10, i * 64, 4, MemPolicy::Normal);
+            }
+            for i in 0..64u64 {
+                p.write(0x20, i * 64, 4, MemPolicy::Normal);
+            }
+        });
+        assert!(events.iter().any(|e| e.kind() == "mem_request"));
+        let totals = replay(&cfg, &events, None).expect("no divergence");
+        totals.check_against(&stats, events.len()).expect("totals agree");
+        assert_eq!(totals.requests, 128);
+    }
+
+    #[test]
+    fn tampered_stream_is_caught() {
+        let cfg = tiny_cfg();
+        let (mut events, _) = capture(&cfg, |p| {
+            for i in 0..8u64 {
+                p.read(0x10, i * 64, 4, MemPolicy::Normal);
+            }
+        });
+        // Flip one recorded outcome: the replay must localize it.
+        let target = events
+            .iter()
+            .position(|e| matches!(e, Event::CacheAccess { level: Level::L2, .. }))
+            .expect("an L2 access was recorded");
+        if let Event::CacheAccess { outcome, .. } = &mut events[target] {
+            *outcome = CacheOutcome::Hit;
+        }
+        let div = replay(&cfg, &events, None).expect_err("tampering detected");
+        assert_eq!(div.index, target);
+        assert!(matches!(div.kind, DivergenceKind::DecisionMismatch { .. }));
+    }
+}

@@ -469,6 +469,10 @@ impl<'m> Proc<'m> {
                 cycle: self.telemetry_cycle(),
                 lanes: lanes as u32,
                 base,
+                origin,
+                orient,
+                elem_bytes,
+                max_elems,
             });
         }
         let addrs: Vec<u64> = indices

@@ -216,6 +216,26 @@ impl MemorySystem {
         // to the L3 at word granularity.
         let mark_dirty = is_write && !write_through;
 
+        // The replay trace (opt-in): every decision below is a pure function
+        // of this request stream plus the configuration, which is what lets
+        // the differential oracle re-derive them from golden models.
+        if self.wants(Interest::TRACE) {
+            self.emit(&Event::MemRequest {
+                cycle: self.time_base + now,
+                core: core as u32,
+                pc,
+                line_addr: line * self.line_bytes,
+                write: is_write,
+                dirty: mark_dirty,
+                wt_bytes: if write_through {
+                    store_bytes.min(self.line_bytes)
+                } else {
+                    0
+                },
+                now,
+            });
+        }
+
         let mut latency = self.l1[core].latency();
         let l1_out = self.l1[core].access(line, mark_dirty, now);
         if self.wants(Interest::CACHE) {

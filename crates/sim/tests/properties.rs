@@ -131,6 +131,110 @@ proptest! {
         }
     }
 
+    /// FCP XOR indexing is a bijection per set-count (DESIGN.md §11): over
+    /// the aligned window of `sets` regions, every set receives exactly
+    /// `lines_per_region` lines — FCP redistributes conflicts, it never
+    /// concentrates them.
+    #[test]
+    fn fcp_window_indexing_is_conserved(fcp in arb_fcp()) {
+        let c = Cache::new(256 * 1024, 8, 14, 64, Some(fcp));
+        let sets = 256 * 1024 / (64 * 8);
+        let lines_per_region = fcp.region_bytes / 64;
+        let mut per_set = vec![0u64; sets as usize];
+        for line in 0..sets * lines_per_region {
+            per_set[c.index_of(line) as usize] += 1;
+        }
+        for (s, &count) in per_set.iter().enumerate() {
+            prop_assert_eq!(count, lines_per_region, "set {}", s);
+        }
+    }
+
+    /// With enough sets, a region spreads over *exactly* `2^l` sets, not
+    /// just at most: the XORed offset bits take every value in `0..2^l`
+    /// and XOR-with-a-constant is injective.
+    #[test]
+    fn fcp_region_spread_is_exact_when_sets_suffice(
+        fcp in arb_fcp(),
+        region in 0u64..100_000,
+    ) {
+        let c = Cache::new(256 * 1024, 8, 14, 64, Some(fcp));
+        let lines_per_region = fcp.region_bytes / 64;
+        let mut sets: Vec<u64> = (0..lines_per_region)
+            .map(|o| c.index_of(region * lines_per_region + o))
+            .collect();
+        sets.sort_unstable();
+        sets.dedup();
+        prop_assert_eq!(sets.len() as u64, 1 << fcp.xor_bits);
+    }
+
+    /// The capacity invariant survives prefetch fills racing demand fills:
+    /// however demand accesses and `insert_prefetch` interleave, the cache
+    /// never holds more lines than `sets × ways`, and a just-inserted
+    /// prefetched line is immediately visible to `contains`.
+    #[test]
+    fn cache_capacity_invariant_with_prefetch_mix(
+        ops in proptest::collection::vec(
+            (0u64..4096, any::<bool>(), any::<bool>()),
+            1..500,
+        ),
+        fcp in proptest::option::of(arb_fcp()),
+    ) {
+        let mut c = Cache::new(16 * 1024, 8, 14, 64, fcp);
+        let capacity = 16 * 1024 / 64;
+        for (i, &(line, w, prefetch)) in ops.iter().enumerate() {
+            let now = i as u64 * 10;
+            if prefetch {
+                c.insert_prefetch(line, now + 40);
+                prop_assert!(c.contains(line));
+            } else {
+                c.access(line, w, now);
+            }
+            prop_assert!(c.valid_lines() <= capacity);
+        }
+    }
+
+    /// DRAM bandwidth accounting (DESIGN.md §11): with normal-policy
+    /// traffic, DRAM bytes are line-granular and sandwiched by what the L3
+    /// counters allow — at least one line per demand L3 miss, at most one
+    /// extra per writeback — and L3↔L2 traffic is exactly one line per L3
+    /// access (demand or prefetch probe) plus one per dirty L2 eviction.
+    #[test]
+    fn dram_accounting_matches_cache_counters(
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300),
+        kind in prop_oneof![
+            Just(PrefetcherKind::None),
+            Just(PrefetcherKind::NextLine),
+            Just(PrefetcherKind::Anl)
+        ],
+    ) {
+        let mut cfg = MachineConfig::legacy_baseline();
+        cfg.prefetcher = kind;
+        // Tiny caches so short streams still spill to DRAM.
+        (cfg.l1.size_bytes, cfg.l1.ways) = (1024, 2);
+        (cfg.l2.size_bytes, cfg.l2.ways) = (4096, 4);
+        (cfg.l3.size_bytes, cfg.l3.ways) = (8192, 4);
+        let line = cfg.line_bytes;
+        let mut m = Machine::new(cfg);
+        m.run(|p| {
+            for &(slot, w) in &ops {
+                let addr = slot * line;
+                if w {
+                    p.write(0x10, addr, 8, MemPolicy::Normal);
+                } else {
+                    p.read(0x10, addr, 8, MemPolicy::Normal);
+                }
+            }
+        });
+        let s = m.stats();
+        prop_assert_eq!(s.dram_bytes % line, 0);
+        prop_assert!(s.dram_bytes >= line * s.l3.misses);
+        prop_assert!(s.dram_bytes <= line * (s.l3.misses + s.l3.writebacks));
+        prop_assert_eq!(
+            s.l3_traffic_bytes,
+            line * (s.l3.accesses + s.l2.writebacks)
+        );
+    }
+
     /// Prefetching never makes execution slower in wall cycles than not
     /// prefetching *for a purely sequential scan* (timeliness may limit the
     /// gain, but late prefetches still shorten the wait).

@@ -122,6 +122,32 @@ pub enum Event {
         /// Prefetched line address (bytes).
         line_addr: u64,
     },
+    /// One demand line request entering the cache hierarchy — the *input*
+    /// of every cache/prefetch decision that follows it. This is the
+    /// replay stream the differential oracle (`tartan-oracle`) feeds to
+    /// its golden models; it is emitted only under [`Interest::TRACE`]
+    /// because it roughly doubles the cache firehose.
+    MemRequest {
+        /// Global cycle stamp.
+        cycle: u64,
+        /// Requesting core (owns the private L1/L2 the request hits first).
+        core: u32,
+        /// Program counter of the requesting instruction (prefetcher
+        /// training input).
+        pc: u64,
+        /// Line address (bytes).
+        line_addr: u64,
+        /// Whether the access is a store.
+        write: bool,
+        /// Whether the access dirties cache lines (false for reads and for
+        /// write-through stores).
+        dirty: bool,
+        /// Bytes streamed to the L3 by a write-through store (0 otherwise).
+        wt_bytes: u64,
+        /// Thread-local cycle time of the access — the clock prefetch
+        /// timeliness (`ready <= now`) is judged against.
+        now: u64,
+    },
     /// One OVEC oriented-load address generation (`O_MOVE`, §IV).
     OvecAddrGen {
         /// Global cycle stamp.
@@ -130,6 +156,14 @@ pub enum Event {
         lanes: u32,
         /// Base byte address of the oriented pattern.
         base: u64,
+        /// Fractional element index of lane 0.
+        origin: f64,
+        /// Fractional per-lane element displacement.
+        orient: f64,
+        /// Element size in bytes.
+        elem_bytes: u64,
+        /// Lane indices clamp to `[0, max_elems)`.
+        max_elems: u64,
     },
     /// One accelerator (NPU) invocation round-trip.
     NpuInvoke {
@@ -212,6 +246,7 @@ impl Event {
             Event::CacheAccess { cycle, .. }
             | Event::CacheEviction { cycle, .. }
             | Event::PrefetchIssue { cycle, .. }
+            | Event::MemRequest { cycle, .. }
             | Event::OvecAddrGen { cycle, .. }
             | Event::NpuInvoke { cycle, .. }
             | Event::NpuVerdict { cycle, .. }
@@ -231,6 +266,7 @@ impl Event {
             Event::CacheAccess { .. } => "cache_access",
             Event::CacheEviction { .. } => "cache_eviction",
             Event::PrefetchIssue { .. } => "prefetch_issue",
+            Event::MemRequest { .. } => "mem_request",
             Event::OvecAddrGen { .. } => "ovec_addr_gen",
             Event::NpuInvoke { .. } => "npu_invoke",
             Event::NpuVerdict { .. } => "npu_verdict",
@@ -250,6 +286,7 @@ impl Event {
         match self {
             Event::CacheAccess { .. } | Event::CacheEviction { .. } => Interest::CACHE,
             Event::PrefetchIssue { .. } => Interest::PREFETCH,
+            Event::MemRequest { .. } => Interest::TRACE,
             Event::OvecAddrGen { .. } => Interest::OVEC,
             Event::NpuInvoke { .. } | Event::NpuVerdict { .. } | Event::NpuRollback { .. } => {
                 Interest::NPU
@@ -315,8 +352,35 @@ impl Event {
                     line_addr
                 );
             }
-            Event::OvecAddrGen { lanes, base, .. } => {
-                let _ = write!(buf, ",\"lanes\":{lanes},\"base\":{base}");
+            Event::MemRequest {
+                core,
+                pc,
+                line_addr,
+                write,
+                dirty,
+                wt_bytes,
+                now,
+                ..
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"core\":{core},\"pc\":{pc},\"line_addr\":{line_addr},\"write\":{write},\"dirty\":{dirty},\"wt_bytes\":{wt_bytes},\"now\":{now}"
+                );
+            }
+            Event::OvecAddrGen {
+                lanes,
+                base,
+                origin,
+                orient,
+                elem_bytes,
+                max_elems,
+                ..
+            } => {
+                let _ = write!(buf, ",\"lanes\":{lanes},\"base\":{base},\"origin\":");
+                crate::json::push_f64(buf, origin);
+                buf.push_str(",\"orient\":");
+                crate::json::push_f64(buf, orient);
+                let _ = write!(buf, ",\"elem_bytes\":{elem_bytes},\"max_elems\":{max_elems}");
             }
             Event::NpuInvoke {
                 inputs,
@@ -382,8 +446,12 @@ impl Interest {
     pub const FAULT: Interest = Interest(1 << 4);
     /// Phase scopes.
     pub const PHASE: Interest = Interest(1 << 5);
+    /// Per-request replay trace ([`Event::MemRequest`]). Deliberately *not*
+    /// part of [`Interest::all`]: it roughly doubles the cache firehose, so
+    /// sinks must opt in with `Interest::all() | Interest::TRACE`.
+    pub const TRACE: Interest = Interest(1 << 6);
 
-    /// Every category.
+    /// Every standard category (excludes the opt-in [`Interest::TRACE`]).
     pub const fn all() -> Interest {
         Interest(0x3F)
     }
@@ -427,7 +495,7 @@ pub(crate) mod tests {
         for e in &events {
             assert_eq!(e.cycle(), 7, "{e:?}");
             assert!(!e.kind().is_empty());
-            assert!(Interest::all().contains(e.category()));
+            assert!((Interest::all() | Interest::TRACE).contains(e.category()));
         }
         // Kind labels are unique.
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
@@ -455,6 +523,8 @@ pub(crate) mod tests {
         assert!(!i.contains(Interest::CACHE | Interest::NPU));
         assert!(Interest::none().is_empty());
         assert!(!Interest::all().is_empty());
+        // The replay firehose is opt-in, never implied by all().
+        assert!(!Interest::all().contains(Interest::TRACE));
         let mut j = Interest::none();
         j |= Interest::OVEC;
         assert!(j.contains(Interest::OVEC));
@@ -481,10 +551,24 @@ pub(crate) mod tests {
                 level: Level::L2,
                 line_addr: 192,
             },
+            Event::MemRequest {
+                cycle: 7,
+                core: 0,
+                pc: 0x4000,
+                line_addr: 128,
+                write: true,
+                dirty: false,
+                wt_bytes: 8,
+                now: 42,
+            },
             Event::OvecAddrGen {
                 cycle: 7,
                 lanes: 16,
                 base: 0x1_0000,
+                origin: 0.5,
+                orient: 1.25,
+                elem_bytes: 4,
+                max_elems: 1024,
             },
             Event::NpuInvoke {
                 cycle: 7,

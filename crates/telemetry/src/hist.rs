@@ -236,6 +236,110 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_statistic() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.mean(), 42);
+        assert_eq!(h.sum(), 42);
+        for q in [0, 1, 50, 95, 99, 100] {
+            assert_eq!(h.percentile(q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn u64_max_samples_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        // The sum needs more than 64 bits the moment two max samples land.
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+        assert_eq!(h.mean(), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        // Past the cap, the top bucket's floor (1 << 63) would halve the
+        // answer; the min/max clamp must restore the observed value.
+        for _ in 0..2 * SAMPLE_CAP {
+            h.record(u64::MAX);
+        }
+        assert!(h.count() > SAMPLE_CAP as u64);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.percentile(100), u64::MAX);
+    }
+
+    #[test]
+    fn zero_only_samples_stay_zero_past_cap() {
+        let mut h = Histogram::new();
+        for _ in 0..2 * SAMPLE_CAP {
+            h.record(0);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn degraded_percentiles_land_on_bucket_floors() {
+        // Two populations a bucket apart: 512 lives in the [512, 1024)
+        // bucket, 1024 in [1024, 2048). Once degraded, low percentiles
+        // report the lower bucket's floor and high ones the upper's.
+        let mut h = Histogram::new();
+        for _ in 0..SAMPLE_CAP {
+            h.record(512);
+        }
+        for _ in 0..SAMPLE_CAP {
+            h.record(1024);
+        }
+        assert_eq!(h.p50(), 512);
+        assert_eq!(h.p99(), 1024);
+        // A power-of-two boundary value is its own bucket floor, so the
+        // degraded answer for a uniform population is exact.
+        let mut u = Histogram::new();
+        for _ in 0..2 * SAMPLE_CAP {
+            u.record(4096);
+        }
+        assert_eq!(u.p50(), 4096);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for v in [3u64, 9, 27] {
+            a.record(v);
+        }
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram must change nothing");
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before, "merging into an empty histogram must copy it");
+        // In particular the empty side's sentinel min must not leak through.
+        assert_eq!(e.min(), 3);
+    }
+
+    #[test]
+    fn merge_past_cap_keeps_counts_and_degrades_gracefully() {
+        let mut a = Histogram::new();
+        for _ in 0..SAMPLE_CAP {
+            a.record(100);
+        }
+        let mut b = Histogram::new();
+        for _ in 0..100 {
+            b.record(7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), (SAMPLE_CAP + 100) as u64);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 100);
+        // The exact-sample store is full, so percentiles come from buckets:
+        // still clamped into the observed range.
+        let p = a.p50();
+        assert!((7..=100).contains(&p), "p50 {p} escaped the sample range");
+    }
+
+    #[test]
     fn deterministic_across_identical_streams() {
         let build = || {
             let mut h = Histogram::new();

@@ -221,7 +221,8 @@ impl Sink for CountingSink {
             Event::FaultDetected { count, .. } => self.faults.detected += count,
             Event::FaultRecovered { count, .. } => self.faults.recovered += count,
             Event::FaultUnrecovered { count, .. } => self.faults.unrecovered += count,
-            Event::OvecAddrGen { .. }
+            Event::MemRequest { .. }
+            | Event::OvecAddrGen { .. }
             | Event::NpuInvoke { .. }
             | Event::PhaseBegin { .. }
             | Event::PhaseEnd { .. } => {}
@@ -442,7 +443,7 @@ mod tests {
         for e in sample_events() {
             sink.record(&e);
         }
-        assert_eq!(sink.total(), 13);
+        assert_eq!(sink.total(), 14);
         assert_eq!(sink.count("cache_access"), 1);
         assert_eq!(sink.count("nonexistent"), 0);
         assert_eq!(sink.level(Level::L2).accesses, 1);
@@ -478,7 +479,7 @@ mod tests {
         for e in sample_events() {
             sink.record(&e);
         }
-        assert_eq!(sink.lines(), 13);
+        assert_eq!(sink.lines(), 14);
         assert_eq!(sink.dropped(), 0);
         for line in sink.contents().lines() {
             crate::json::validate_json(line).unwrap();
@@ -489,7 +490,7 @@ mod tests {
             tiny.record(&e);
         }
         assert_eq!(tiny.lines(), 1);
-        assert_eq!(tiny.dropped(), 12);
+        assert_eq!(tiny.dropped(), 13);
     }
 
     #[test]
@@ -503,6 +504,7 @@ mod tests {
         for e in sample_events() {
             tee.record(&e);
         }
+        // The all-categories child still misses the opt-in TRACE sample.
         assert_eq!(counts_all.lock().unwrap().total(), 13);
         assert_eq!(counts_fault.lock().unwrap().total(), 4);
     }

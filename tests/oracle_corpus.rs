@@ -1,0 +1,39 @@
+//! Corpus regression: every minimized reproducer checked into
+//! `tests/corpus/` must (a) replay cleanly against the honest golden
+//! models — the simulator bug it once witnessed, or the mutation it was
+//! minimized under, must stay fixed — and (b) if it carries an FCP
+//! config, still detect the injected FCP-indexing defect, proving the
+//! oracle's teeth haven't dulled.
+
+use tartan_oracle::{corpus, run_case, Mutation};
+
+#[test]
+fn corpus_cases_replay_cleanly_and_keep_their_teeth() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("txt"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 3,
+        "expected at least 3 checked-in reproducers, found {}",
+        entries.len()
+    );
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let case = corpus::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: unparseable: {e}", path.display()));
+        if let Err(d) = run_case(&case, None) {
+            panic!("{}: diverges against honest golden models: {d}", path.display());
+        }
+        if case.fcp.is_some() {
+            assert!(
+                run_case(&case, Some(Mutation::FcpIndexOffByOne)).is_err(),
+                "{}: no longer detects the FCP off-by-one mutation",
+                path.display()
+            );
+        }
+    }
+}

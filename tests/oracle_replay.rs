@@ -1,0 +1,52 @@
+//! End-to-end differential conformance: full robot workloads, traced
+//! through the real simulator, must replay decision-for-decision through
+//! the independent golden models of `tartan-oracle` — and the golden
+//! bandwidth accountant must reproduce the machine's aggregate counters.
+//!
+//! Two robots cover the two mechanism-heavy extremes:
+//! - DeliBot: raycast/interpolation-heavy — exercises OVEC oriented-load
+//!   address generation hardest.
+//! - FlyBot: pointcloud/NN-heavy — exercises FCP indexing and the ANL
+//!   prefetcher hardest.
+
+use tartan::core::{MachineConfig, RobotKind, SoftwareConfig};
+use tartan::robots::Scale;
+use tartan::sim::telemetry::shared;
+use tartan::sim::Machine;
+use tartan_oracle::{replay, CaptureSink};
+
+/// Runs one robot on the full Tartan config with trace capture attached
+/// from the very first build access, then replays the whole stream.
+fn robot_replays_exactly(kind: RobotKind, seed: u64) {
+    let cfg = MachineConfig::tartan();
+    let mut m = Machine::new(cfg.clone());
+    let (capture, sink) = shared(CaptureSink::new());
+    m.set_telemetry(sink);
+    let sw = SoftwareConfig::approximable().effective(m.config());
+    let mut bot = kind.build(&mut m, sw, Scale::small(), seed);
+    bot.run(&mut m, 2);
+    let stats = m.stats();
+    drop(m); // the capture below must be the only owner of the stream
+    let events = std::mem::take(&mut capture.lock().unwrap().events);
+
+    assert!(
+        events.iter().any(|e| e.kind() == "mem_request"),
+        "{kind:?}: the TRACE category must deliver demand requests"
+    );
+    let totals = replay(&cfg, &events, None)
+        .unwrap_or_else(|d| panic!("{kind:?}: golden/simulator split: {d}"));
+    totals
+        .check_against(&stats, events.len())
+        .unwrap_or_else(|d| panic!("{kind:?}: accountant disagrees: {d}"));
+    assert!(totals.requests > 0);
+}
+
+#[test]
+fn delibot_ovec_heavy_run_replays_exactly() {
+    robot_replays_exactly(RobotKind::DeliBot, 7);
+}
+
+#[test]
+fn flybot_fcp_anl_heavy_run_replays_exactly() {
+    robot_replays_exactly(RobotKind::FlyBot, 7);
+}
