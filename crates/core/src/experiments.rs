@@ -24,7 +24,7 @@ use tartan_sim::{
     FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind,
 };
 
-use crate::runner::{gmean, run_robot, ExperimentParams};
+use crate::runner::{gmean, run_campaign, CampaignJob, ExperimentParams};
 use tartan_kernels::raycast::VecMethod;
 
 // ---------------------------------------------------------------- Fig. 1
@@ -45,20 +45,23 @@ pub struct Fig1Row {
 
 /// Fig. 1: execution-time breakdown and bottleneck analysis.
 pub fn fig1_breakdown(params: &ExperimentParams) -> Vec<Fig1Row> {
+    let jobs: Vec<CampaignJob> = RobotKind::all()
+        .into_iter()
+        .flat_map(|kind| {
+            [
+                (
+                    kind,
+                    MachineConfig::upgraded_baseline(),
+                    SoftwareConfig::legacy(),
+                ),
+                (kind, MachineConfig::tartan(), SoftwareConfig::approximable()),
+            ]
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
     let mut rows = Vec::new();
-    for kind in RobotKind::all() {
-        let base = run_robot(
-            kind,
-            MachineConfig::upgraded_baseline(),
-            SoftwareConfig::legacy(),
-            params,
-        );
-        let tartan = run_robot(
-            kind,
-            MachineConfig::tartan(),
-            SoftwareConfig::approximable(),
-            params,
-        );
+    for pair in outcomes.chunks_exact(2) {
+        let (base, tartan) = (&pair[0], &pair[1]);
         rows.push(Fig1Row {
             robot: base.robot,
             config: "B",
@@ -115,27 +118,33 @@ pub struct Fig6Row {
 
 /// Fig. 6: OVEC vs Gather vs RACOD on the oriented-access robots.
 pub fn fig6_ovec(params: &ExperimentParams) -> Vec<Fig6Row> {
+    const METHODS: [(&str, VecMethod); 4] = [
+        ("B", VecMethod::Scalar),
+        ("O", VecMethod::Ovec),
+        ("G", VecMethod::Gather),
+        ("R", VecMethod::Racod),
+    ];
+    let jobs: Vec<CampaignJob> = [RobotKind::DeliBot, RobotKind::CarriBot]
+        .into_iter()
+        .flat_map(|kind| {
+            METHODS.map(|(_, method)| {
+                let sw = SoftwareConfig {
+                    vec_method: method,
+                    ..SoftwareConfig::legacy()
+                };
+                // Tartan hardware hosts all methods so OVEC is available;
+                // the baseline bars differ only in the software's fetch
+                // variant.
+                (kind, MachineConfig::tartan(), sw)
+            })
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
     let mut rows = Vec::new();
-    for kind in [RobotKind::DeliBot, RobotKind::CarriBot] {
-        let mut base_time = 0.0;
-        let mut base_instr = 0.0;
-        for (label, method) in [
-            ("B", VecMethod::Scalar),
-            ("O", VecMethod::Ovec),
-            ("G", VecMethod::Gather),
-            ("R", VecMethod::Racod),
-        ] {
-            let sw = SoftwareConfig {
-                vec_method: method,
-                ..SoftwareConfig::legacy()
-            };
-            // Tartan hardware hosts all methods so OVEC is available; the
-            // baseline bars differ only in the software's fetch variant.
-            let out = run_robot(kind, MachineConfig::tartan(), sw, params);
-            if label == "B" {
-                base_time = out.wall_cycles as f64;
-                base_instr = out.instructions as f64;
-            }
+    for per_robot in outcomes.chunks_exact(METHODS.len()) {
+        let base_time = per_robot[0].wall_cycles as f64;
+        let base_instr = per_robot[0].instructions as f64;
+        for ((label, _), out) in METHODS.iter().zip(per_robot) {
             rows.push(Fig6Row {
                 robot: out.robot,
                 method: label,
@@ -184,36 +193,39 @@ pub struct Fig7Row {
 /// Fig. 7: ray-casting with trilinear interpolation — OVEC vs Intel's
 /// accelerator vs both.
 pub fn fig7_interpolation(params: &ExperimentParams) -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
-    let mut base = 0.0;
-    for (label, ovec, intel) in [
+    const CONFIGS: [(&str, bool, bool); 4] = [
         ("B", false, false),
         ("O", true, false),
         ("I", false, true),
         ("O+I", true, true),
-    ] {
-        let mut hw = if ovec {
-            MachineConfig::tartan()
-        } else {
-            MachineConfig::upgraded_baseline()
-        };
-        hw.intel_lvs = intel;
-        let sw = SoftwareConfig {
-            vec_method: if ovec { VecMethod::Ovec } else { VecMethod::Scalar },
-            interpolate_raycast: true,
-            ..SoftwareConfig::legacy()
-        };
-        let out = run_robot(RobotKind::DeliBot, hw, sw, params);
-        let raycast = out.bottleneck_cycles as f64;
-        if label == "B" {
-            base = raycast;
-        }
-        rows.push(Fig7Row {
+    ];
+    let jobs: Vec<CampaignJob> = CONFIGS
+        .iter()
+        .map(|&(_, ovec, intel)| {
+            let mut hw = if ovec {
+                MachineConfig::tartan()
+            } else {
+                MachineConfig::upgraded_baseline()
+            };
+            hw.intel_lvs = intel;
+            let sw = SoftwareConfig {
+                vec_method: if ovec { VecMethod::Ovec } else { VecMethod::Scalar },
+                interpolate_raycast: true,
+                ..SoftwareConfig::legacy()
+            };
+            (RobotKind::DeliBot, hw, sw)
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
+    let base = outcomes[0].bottleneck_cycles as f64;
+    CONFIGS
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(label, _, _), out)| Fig7Row {
             config: label,
-            normalized_raycast_time: raycast / base,
-        });
-    }
-    rows
+            normalized_raycast_time: out.bottleneck_cycles as f64 / base,
+        })
+        .collect()
 }
 
 /// Renders Fig. 7.
@@ -245,37 +257,36 @@ pub struct Table2Row {
 
 /// Table II: the three neural workloads and their quality loss.
 pub fn table2_networks(params: &ExperimentParams) -> Vec<Table2Row> {
-    // FlyBot: path-cost inflation of AXAR vs exact (paper: 0%).
-    let fly_exact = run_robot(
-        RobotKind::FlyBot,
-        MachineConfig::tartan(),
-        SoftwareConfig::optimized(),
-        params,
-    );
-    let fly_axar = run_robot(
-        RobotKind::FlyBot,
-        MachineConfig::tartan(),
-        SoftwareConfig::approximable(),
-        params,
-    );
+    let jobs: Vec<CampaignJob> = vec![
+        // FlyBot exact vs AXAR: path-cost inflation (paper: 0%).
+        (
+            RobotKind::FlyBot,
+            MachineConfig::tartan(),
+            SoftwareConfig::optimized(),
+        ),
+        (
+            RobotKind::FlyBot,
+            MachineConfig::tartan(),
+            SoftwareConfig::approximable(),
+        ),
+        // HomeBot: geometric-mean transform error of TRAP (paper: 6.8%).
+        (
+            RobotKind::HomeBot,
+            MachineConfig::tartan(),
+            SoftwareConfig::approximable(),
+        ),
+        // PatrolBot: classification error of the PCA+MLP port (paper: 1.3%).
+        (
+            RobotKind::PatrolBot,
+            MachineConfig::tartan(),
+            SoftwareConfig::approximable(),
+        ),
+    ];
+    let outcomes = run_campaign(&jobs, params);
+    let (fly_exact, fly_axar, home_trap, patrol) =
+        (&outcomes[0], &outcomes[1], &outcomes[2], &outcomes[3]);
     let fly_err = ((fly_axar.quality / fly_exact.quality.max(1e-9)) - 1.0).max(0.0) * 100.0;
-
-    // HomeBot: geometric-mean transform error of TRAP (paper: 6.8%).
-    let home_trap = run_robot(
-        RobotKind::HomeBot,
-        MachineConfig::tartan(),
-        SoftwareConfig::approximable(),
-        params,
-    );
     let home_err = home_trap.quality * 100.0;
-
-    // PatrolBot: classification error of the PCA+MLP port (paper: 1.3%).
-    let patrol = run_robot(
-        RobotKind::PatrolBot,
-        MachineConfig::tartan(),
-        SoftwareConfig::approximable(),
-        params,
-    );
     let patrol_err = patrol.quality * 100.0;
 
     vec![
@@ -344,27 +355,32 @@ pub struct Fig8Row {
 /// Fig. 8: neural acceleration of robotics — baseline vs integrated NPU vs
 /// software execution vs co-processor.
 pub fn fig8_npu(params: &ExperimentParams) -> Vec<Fig8Row> {
+    const ARRANGEMENTS: [(&str, NpuMode, NeuralExec); 4] = [
+        ("B", NpuMode::None, NeuralExec::None),
+        ("H", NpuMode::Integrated { pes: 4 }, NeuralExec::Npu),
+        ("S", NpuMode::None, NeuralExec::Software),
+        ("C", NpuMode::Coprocessor, NeuralExec::Npu),
+    ];
+    let jobs: Vec<CampaignJob> = [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot]
+        .into_iter()
+        .flat_map(|kind| {
+            ARRANGEMENTS.map(|(_, npu, neural)| {
+                let mut hw = MachineConfig::upgraded_baseline();
+                hw.npu = npu;
+                let sw = SoftwareConfig {
+                    neural,
+                    ..SoftwareConfig::legacy()
+                };
+                (kind, hw, sw)
+            })
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
     let mut rows = Vec::new();
-    for kind in [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot] {
-        let mut base_time = 0.0;
-        let mut base_instr = 0.0;
-        for (label, npu, neural) in [
-            ("B", NpuMode::None, NeuralExec::None),
-            ("H", NpuMode::Integrated { pes: 4 }, NeuralExec::Npu),
-            ("S", NpuMode::None, NeuralExec::Software),
-            ("C", NpuMode::Coprocessor, NeuralExec::Npu),
-        ] {
-            let mut hw = MachineConfig::upgraded_baseline();
-            hw.npu = npu;
-            let sw = SoftwareConfig {
-                neural,
-                ..SoftwareConfig::legacy()
-            };
-            let out = run_robot(kind, hw, sw, params);
-            if label == "B" {
-                base_time = out.wall_cycles as f64;
-                base_instr = out.instructions as f64;
-            }
+    for per_robot in outcomes.chunks_exact(ARRANGEMENTS.len()) {
+        let base_time = per_robot[0].wall_cycles as f64;
+        let base_instr = per_robot[0].instructions as f64;
+        for ((label, _, _), out) in ARRANGEMENTS.iter().zip(per_robot) {
             let total = out.phase_total().max(1) as f64;
             rows.push(Fig8Row {
                 robot: out.robot,
@@ -420,35 +436,42 @@ pub struct Table3Row {
 
 /// Table III: NPU configurations (2/4/8 PEs).
 pub fn table3_npu_pes(params: &ExperimentParams) -> Vec<Table3Row> {
+    const PE_COUNTS: [u32; 3] = [2, 4, 8];
     let robots = [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot];
-    let baselines: Vec<f64> = robots
+    // One campaign: the three baselines first, then every (PE count, robot)
+    // cell of the sweep.
+    let mut jobs: Vec<CampaignJob> = robots
         .iter()
         .map(|&kind| {
-            run_robot(
+            (
                 kind,
                 MachineConfig::upgraded_baseline(),
                 SoftwareConfig::legacy(),
-                params,
             )
-            .wall_cycles as f64
         })
         .collect();
-    let mut rows = Vec::new();
-    for pes in [2u32, 4, 8] {
-        let mut speedups = Vec::new();
-        for (i, &kind) in robots.iter().enumerate() {
+    for pes in PE_COUNTS {
+        for &kind in &robots {
             let mut hw = MachineConfig::upgraded_baseline();
             hw.npu = NpuMode::Integrated { pes };
             let sw = SoftwareConfig {
                 neural: NeuralExec::Npu,
                 ..SoftwareConfig::legacy()
             };
-            let out = run_robot(kind, hw, sw, params);
-            speedups.push(baselines[i] / out.wall_cycles as f64);
+            jobs.push((kind, hw, sw));
         }
-        let model = tartan_npu::NpuAreaModel::new(pes);
+    }
+    let outcomes = run_campaign(&jobs, params);
+    let (baselines, sweep) = outcomes.split_at(robots.len());
+    let mut rows = Vec::new();
+    for (pes, per_pe) in PE_COUNTS.iter().zip(sweep.chunks_exact(robots.len())) {
+        let speedups = baselines
+            .iter()
+            .zip(per_pe)
+            .map(|(base, out)| base.wall_cycles as f64 / out.wall_cycles as f64);
+        let model = tartan_npu::NpuAreaModel::new(*pes);
         rows.push(Table3Row {
-            pes,
+            pes: *pes,
             memory_kb: model.sram_kilobytes(),
             gmean_speedup: gmean(speedups),
             area_um2: model.area_um2(),
@@ -503,10 +526,9 @@ pub fn fig9_nns(params: &ExperimentParams) -> Vec<Fig9Row> {
     let mut params = *params;
     params.scale.map_points *= 4;
     let params = &params;
-    let mut rows = Vec::new();
+    let mut jobs: Vec<CampaignJob> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
     for kind in [RobotKind::MoveBot, RobotKind::HomeBot] {
-        let mut base_time = 0.0;
-        let mut base_misses = 0.0;
         for (label, nns) in engines {
             for anl in [false, true] {
                 let mut hw = MachineConfig::upgraded_baseline();
@@ -519,19 +541,26 @@ pub fn fig9_nns(params: &ExperimentParams) -> Vec<Fig9Row> {
                     nns,
                     ..SoftwareConfig::legacy()
                 };
-                let out = run_robot(kind, hw, sw, params);
-                let misses = out.stats.l2.demand_misses() as f64;
-                if label == "B" && !anl {
-                    base_time = out.wall_cycles as f64;
-                    base_misses = misses.max(1.0);
-                }
-                rows.push(Fig9Row {
-                    robot: out.robot,
-                    config: format!("{label}{}", if anl { "+" } else { "" }),
-                    normalized_time: out.wall_cycles as f64 / base_time,
-                    normalized_l2_misses: misses / base_misses,
-                });
+                jobs.push((kind, hw, sw));
+                labels.push(format!("{label}{}", if anl { "+" } else { "" }));
             }
+        }
+    }
+    let outcomes = run_campaign(&jobs, params);
+    let per_robot = engines.len() * 2;
+    let mut rows = Vec::new();
+    for (chunk, labels) in outcomes.chunks_exact(per_robot).zip(labels.chunks_exact(per_robot)) {
+        // The first job per robot is brute force without ANL — the bar
+        // everything else is normalized to.
+        let base_time = chunk[0].wall_cycles as f64;
+        let base_misses = (chunk[0].stats.l2.demand_misses() as f64).max(1.0);
+        for (out, label) in chunk.iter().zip(labels) {
+            rows.push(Fig9Row {
+                robot: out.robot,
+                config: label.clone(),
+                normalized_time: out.wall_cycles as f64 / base_time,
+                normalized_l2_misses: out.stats.l2.demand_misses() as f64 / base_misses,
+            });
         }
     }
     rows
@@ -588,19 +617,24 @@ pub fn fig10_prefetch(params: &ExperimentParams) -> Vec<Fig10Row> {
     let mut params = *params;
     params.scale.map_points *= 20;
     let params = &params;
+    let jobs: Vec<CampaignJob> = RobotKind::all()
+        .iter()
+        .flat_map(|&robot| {
+            kinds.iter().map(move |(_, pf)| {
+                let mut hw = MachineConfig::upgraded_baseline();
+                hw.prefetcher = *pf;
+                let mut sw = SoftwareConfig::optimized().effective(&hw);
+                sw.nns = NnsKind::Vln;
+                (robot, hw, sw)
+            })
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
     let mut rows = Vec::new();
     let mut per_pf_ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for robot in RobotKind::all() {
-        let mut base_time = 0.0;
-        for (i, (label, pf)) in kinds.iter().enumerate() {
-            let mut hw = MachineConfig::upgraded_baseline();
-            hw.prefetcher = *pf;
-            let mut sw = SoftwareConfig::optimized().effective(&hw);
-            sw.nns = NnsKind::Vln;
-            let out = run_robot(robot, hw, sw, params);
-            if i == 0 {
-                base_time = out.wall_cycles as f64;
-            }
+    for chunk in outcomes.chunks_exact(kinds.len()) {
+        let base_time = chunk[0].wall_cycles as f64;
+        for (i, ((label, _), out)) in kinds.iter().zip(chunk).enumerate() {
             let ratio = out.wall_cycles as f64 / base_time;
             per_pf_ratios[i].push(ratio);
             rows.push(Fig10Row {
@@ -671,16 +705,16 @@ pub fn fig11_fcp(params: &ExperimentParams) -> Vec<Fig11Row> {
     ];
     let geoms = [("512B", 512u64), ("1KB", 1024)];
     let bits = [2u32, 3];
-    let mut rows = Vec::new();
+    // Per robot: one no-FCP baseline, then the 3 x 2 x 2 parameter sweep.
+    let mut jobs: Vec<CampaignJob> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
     for robot in RobotKind::all() {
-        let base = run_robot(
+        jobs.push((
             robot,
             MachineConfig::upgraded_baseline(),
             SoftwareConfig::legacy(),
-            params,
-        );
-        let base_time = base.wall_cycles as f64;
-        let base_misses = base.stats.l2.demand_misses().max(1) as f64;
+        ));
+        labels.push(String::new());
         for (mlabel, m) in manips {
             for (glabel, region) in geoms {
                 for l in bits {
@@ -690,15 +724,29 @@ pub fn fig11_fcp(params: &ExperimentParams) -> Vec<Fig11Row> {
                         xor_bits: l,
                         manipulation: m,
                     });
-                    let out = run_robot(robot, hw, SoftwareConfig::legacy(), params);
-                    rows.push(Fig11Row {
-                        robot: out.robot,
-                        config: format!("{glabel}-{l}b {mlabel}"),
-                        normalized_time: out.wall_cycles as f64 / base_time,
-                        normalized_l2_misses: out.stats.l2.demand_misses() as f64 / base_misses,
-                    });
+                    jobs.push((robot, hw, SoftwareConfig::legacy()));
+                    labels.push(format!("{glabel}-{l}b {mlabel}"));
                 }
             }
+        }
+    }
+    let outcomes = run_campaign(&jobs, params);
+    let per_robot = 1 + manips.len() * geoms.len() * bits.len();
+    let mut rows = Vec::new();
+    for (chunk, labels) in outcomes
+        .chunks_exact(per_robot)
+        .zip(labels.chunks_exact(per_robot))
+    {
+        let base = &chunk[0];
+        let base_time = base.wall_cycles as f64;
+        let base_misses = base.stats.l2.demand_misses().max(1) as f64;
+        for (out, label) in chunk.iter().zip(labels).skip(1) {
+            rows.push(Fig11Row {
+                robot: out.robot,
+                config: label.clone(),
+                normalized_time: out.wall_cycles as f64 / base_time,
+                normalized_l2_misses: out.stats.l2.demand_misses() as f64 / base_misses,
+            });
         }
     }
     rows
@@ -745,17 +793,28 @@ pub fn fig12_end_to_end(params: &ExperimentParams) -> Vec<Fig12Row> {
         ("optimized", SoftwareConfig::optimized()),
         ("approximable", SoftwareConfig::approximable()),
     ];
+    // Per robot: the upgraded-baseline reference, then Tartan per tier.
+    let jobs: Vec<CampaignJob> = RobotKind::all()
+        .iter()
+        .flat_map(|&robot| {
+            std::iter::once((
+                robot,
+                MachineConfig::upgraded_baseline(),
+                SoftwareConfig::legacy(),
+            ))
+            .chain(
+                tiers
+                    .iter()
+                    .map(move |(_, sw)| (robot, MachineConfig::tartan(), *sw)),
+            )
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
     let mut rows = Vec::new();
     let mut per_tier: Vec<Vec<f64>> = vec![Vec::new(); tiers.len()];
-    for robot in RobotKind::all() {
-        let base = run_robot(
-            robot,
-            MachineConfig::upgraded_baseline(),
-            SoftwareConfig::legacy(),
-            params,
-        );
-        for (i, (label, sw)) in tiers.iter().enumerate() {
-            let out = run_robot(robot, MachineConfig::tartan(), *sw, params);
+    for chunk in outcomes.chunks_exact(1 + tiers.len()) {
+        let base = &chunk[0];
+        for (i, ((label, _), out)) in tiers.iter().zip(&chunk[1..]).enumerate() {
             let speedup = base.wall_cycles as f64 / out.wall_cycles as f64;
             per_tier[i].push(speedup);
             rows.push(Fig12Row {
@@ -803,20 +862,19 @@ pub struct UpgradeRow {
 /// §III-A: 32 B cachelines cut unnecessary data movement; write-through
 /// producer/consumer regions cut L3 traffic.
 pub fn baseline_upgrades(params: &ExperimentParams) -> Vec<UpgradeRow> {
+    let jobs: Vec<CampaignJob> = [RobotKind::DeliBot, RobotKind::HomeBot, RobotKind::CarriBot]
+        .iter()
+        .flat_map(|&robot| {
+            [
+                (robot, MachineConfig::legacy_baseline(), SoftwareConfig::legacy()),
+                (robot, MachineConfig::upgraded_baseline(), SoftwareConfig::legacy()),
+            ]
+        })
+        .collect();
+    let outcomes = run_campaign(&jobs, params);
     let mut rows = Vec::new();
-    for robot in [RobotKind::DeliBot, RobotKind::HomeBot, RobotKind::CarriBot] {
-        let legacy = run_robot(
-            robot,
-            MachineConfig::legacy_baseline(),
-            SoftwareConfig::legacy(),
-            params,
-        );
-        let upgraded = run_robot(
-            robot,
-            MachineConfig::upgraded_baseline(),
-            SoftwareConfig::legacy(),
-            params,
-        );
+    for pair in outcomes.chunks_exact(2) {
+        let (legacy, upgraded) = (&pair[0], &pair[1]);
         rows.push(UpgradeRow {
             robot: legacy.robot,
             udm_reduction: legacy.stats.dram_bytes as f64 / upgraded.stats.dram_bytes.max(1) as f64,
@@ -863,43 +921,39 @@ pub struct AblationRow {
 /// ANL's region size (§VI-D argues 1 KB minimizes overprediction) and
 /// OVEC's address-generation latency (§VIII-A estimates 5 cycles).
 pub fn ablations(params: &ExperimentParams) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
-    // ANL region-size sweep on DeliBot (the grid-walking robot).
+    const ANL_REGIONS: [u64; 4] = [512, 1024, 2048, 4096];
+    const OVEC_LATENCIES: [u64; 4] = [1, 5, 10, 20];
+    // ANL region-size sweep on DeliBot (the grid-walking robot), then OVEC
+    // address-generation latency sensitivity on the same robot.
     let mut sw = SoftwareConfig::optimized();
     sw.nns = NnsKind::Vln;
-    let mut base_time = 0.0;
-    for region in [512u64, 1024, 2048, 4096] {
+    let mut jobs: Vec<CampaignJob> = Vec::new();
+    for region in ANL_REGIONS {
         let mut hw = MachineConfig::tartan();
         hw.anl_region_bytes = region;
-        let out = run_robot(RobotKind::DeliBot, hw, sw, params);
-        if region == 1024 {
-            base_time = out.wall_cycles as f64;
-        }
+        jobs.push((RobotKind::DeliBot, hw, sw));
+    }
+    for lat in OVEC_LATENCIES {
+        let mut hw = MachineConfig::tartan();
+        hw.ovec_addr_gen_latency = lat;
+        jobs.push((RobotKind::DeliBot, hw, SoftwareConfig::optimized()));
+    }
+    let outcomes = run_campaign(&jobs, params);
+    let (anl, ovec) = outcomes.split_at(ANL_REGIONS.len());
+    let mut rows = Vec::new();
+    let base_time = anl[1].wall_cycles as f64; // 1 KB region is the default
+    for (region, out) in ANL_REGIONS.iter().zip(anl) {
         rows.push(AblationRow {
             config: format!("ANL region {region}B"),
-            normalized_time: out.wall_cycles as f64,
+            normalized_time: out.wall_cycles as f64 / base_time,
             accuracy: out.stats.l2.accuracy(),
         });
     }
-    for r in rows.iter_mut() {
-        r.normalized_time /= base_time;
-    }
-    // OVEC address-generation latency sensitivity on DeliBot.
-    let mut ovec_rows = Vec::new();
-    let mut base = 0.0;
-    for lat in [1u64, 5, 10, 20] {
-        let mut hw = MachineConfig::tartan();
-        hw.ovec_addr_gen_latency = lat;
-        let out = run_robot(RobotKind::DeliBot, hw, SoftwareConfig::optimized(), params);
-        if lat == 5 {
-            base = out.wall_cycles as f64;
-        }
-        ovec_rows.push((format!("OVEC addr-gen {lat}cy"), out.wall_cycles as f64));
-    }
-    for (config, t) in ovec_rows {
+    let base = ovec[1].wall_cycles as f64; // 5 cycles is the default
+    for (lat, out) in OVEC_LATENCIES.iter().zip(ovec) {
         rows.push(AblationRow {
-            config,
-            normalized_time: t / base,
+            config: format!("OVEC addr-gen {lat}cy"),
+            normalized_time: out.wall_cycles as f64 / base,
             accuracy: 0.0,
         });
     }
@@ -947,6 +1001,7 @@ pub fn format_table1() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_robot;
 
     #[test]
     fn fig6_shapes_hold_at_quick_scale() {

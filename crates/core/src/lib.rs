@@ -24,7 +24,9 @@ pub mod experiments;
 pub mod overhead;
 pub mod runner;
 
-pub use runner::{run_robot, ExperimentParams, RunOutcome};
+pub use runner::{
+    run_campaign, run_campaign_with_jobs, run_robot, CampaignJob, ExperimentParams, RunOutcome,
+};
 
 pub use tartan_robots::{NeuralExec, NnsKind, RobotKind, Scale, SoftwareConfig};
 pub use tartan_sim::{FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind};

@@ -1,7 +1,7 @@
 //! The differential fuzz driver CLI.
 //!
 //! ```text
-//! cargo run -p tartan-oracle --bin fuzz -- --iters 1000 --seed 7
+//! cargo run -p tartan-oracle --bin fuzz -- --iters 1000 --seed 7 --jobs 4
 //! ```
 //!
 //! Generates seeded random machine configs + access patterns, runs each
@@ -9,6 +9,13 @@
 //! through the golden models. On the first divergence it prints the
 //! diagnostic, shrinks the case to a minimal reproducer, prints it in the
 //! corpus format (optionally writing it to `--out`), and exits nonzero.
+//!
+//! `--jobs N` fans the iteration budget out across N host workers, each on
+//! its own seed stream: worker 0 keeps the base seed (so `--jobs 1` is
+//! byte-identical to the historical sequential driver), workers `j > 0`
+//! derive theirs from it. When several workers diverge, the one with the
+//! lowest index is reported — deterministic for a given seed and job
+//! count. Shrinking and reporting always run sequentially afterwards.
 //!
 //! `--mutate fcp-index` bends the *golden* FCP indexing off by one; the
 //! run is then expected to diverge, which demonstrates (and CI-checks)
@@ -19,11 +26,12 @@
 
 use std::process::ExitCode;
 
-use tartan_oracle::{generate, run_case, shrink, Mutation, XorShift};
+use tartan_oracle::{generate, run_case, shrink, Divergence, FuzzCase, Mutation, XorShift};
 
 struct Args {
     iters: u64,
     seed: u64,
+    jobs: usize,
     mutation: Option<Mutation>,
     out: Option<String>,
 }
@@ -32,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         iters: 1000,
         seed: 7,
+        jobs: 1,
         mutation: None,
         out: None,
     };
@@ -52,6 +61,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--jobs" => {
+                let jobs: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                args.jobs = if jobs == 0 {
+                    tartan_par::available_jobs()
+                } else {
+                    jobs
+                };
+            }
             "--mutate" => {
                 args.mutation = match value()?.as_str() {
                     "fcp-index" => Some(Mutation::FcpIndexOffByOne),
@@ -61,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value()?),
             "--help" | "-h" => {
                 println!(
-                    "usage: fuzz [--iters N] [--seed S] [--mutate fcp-index] [--out FILE]"
+                    "usage: fuzz [--iters N] [--seed S] [--jobs J] [--mutate fcp-index] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -69,6 +88,71 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Seed for worker `j`: worker 0 keeps the base seed so a single-worker
+/// run reproduces the historical sequential stream; the rest get
+/// well-mixed distinct streams (splitmix64-style finalizer).
+fn worker_seed(base: u64, j: usize) -> u64 {
+    if j == 0 {
+        return base;
+    }
+    let mut z = base ^ (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One worker's fuzz loop: `iters` fresh cases from `seed`, stopping at
+/// the first divergence. `progress` enables the per-100-case stderr lines
+/// (only the single-worker driver keeps them, to stay byte-identical).
+fn fuzz_worker(
+    seed: u64,
+    iters: u64,
+    mutation: Option<Mutation>,
+    progress: bool,
+) -> Result<u64, Box<(u64, FuzzCase, Divergence)>> {
+    let mut rng = XorShift::new(seed);
+    let force_fcp = mutation.is_some();
+    for i in 0..iters {
+        let case = generate(&mut rng, force_fcp);
+        if let Err(divergence) = run_case(&case, mutation) {
+            return Err(Box::new((i, case, divergence)));
+        }
+        if progress && (i + 1) % 100 == 0 {
+            eprintln!("fuzz: {} / {} cases clean", i + 1, iters);
+        }
+    }
+    Ok(iters)
+}
+
+/// Shrinks and reports one diverging case; returns the process exit code.
+fn report_divergence(args: &Args, case: &FuzzCase, divergence: &Divergence) -> ExitCode {
+    println!("  {divergence}");
+    println!("fuzz: shrinking ({} accesses)...", case.accesses());
+    let small = shrink(case, args.mutation);
+    let final_div = run_case(&small, args.mutation).expect_err("shrunk case still diverges");
+    println!("fuzz: minimal reproducer has {} accesses:", small.accesses());
+    println!("  {final_div}");
+    let text = tartan_oracle::corpus::serialize(&small);
+    println!("--- reproducer (corpus format) ---");
+    print!("{text}");
+    println!("----------------------------------");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("fuzz: failed to write {path}: {e}");
+        } else {
+            println!("fuzz: reproducer written to {path}");
+        }
+    }
+    // Under a mutation, divergence is the *expected* outcome: the oracle
+    // proved it can see the injected defect.
+    if args.mutation.is_some() {
+        println!("fuzz: mutation detected — oracle has teeth");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -80,46 +164,42 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut rng = XorShift::new(args.seed);
-    let force_fcp = args.mutation.is_some();
-    for i in 0..args.iters {
-        let case = generate(&mut rng, force_fcp);
-        if let Err(divergence) = run_case(&case, args.mutation) {
+    if args.jobs <= 1 {
+        if let Err(hit) = fuzz_worker(args.seed, args.iters, args.mutation, true) {
+            let (i, case, divergence) = &*hit;
             println!("fuzz: divergence at iteration {i} (seed {})", args.seed);
-            println!("  {divergence}");
-            println!("fuzz: shrinking ({} accesses)...", case.accesses());
-            let small = shrink(&case, args.mutation);
-            let final_div =
-                run_case(&small, args.mutation).expect_err("shrunk case still diverges");
-            println!(
-                "fuzz: minimal reproducer has {} accesses:",
-                small.accesses()
-            );
-            println!("  {final_div}");
-            let text = tartan_oracle::corpus::serialize(&small);
-            println!("--- reproducer (corpus format) ---");
-            print!("{text}");
-            println!("----------------------------------");
-            if let Some(path) = &args.out {
-                if let Err(e) = std::fs::write(path, &text) {
-                    eprintln!("fuzz: failed to write {path}: {e}");
-                } else {
-                    println!("fuzz: reproducer written to {path}");
-                }
-            }
-            // Under a mutation, divergence is the *expected* outcome: the
-            // oracle proved it can see the injected defect.
-            return if args.mutation.is_some() {
-                println!("fuzz: mutation detected — oracle has teeth");
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            };
+            return report_divergence(&args, case, divergence);
         }
-        if (i + 1) % 100 == 0 {
-            eprintln!("fuzz: {} / {} cases clean", i + 1, args.iters);
+    } else {
+        // Split the budget as evenly as possible; worker j's seed stream
+        // is fixed by (base seed, j), so the set of cases explored depends
+        // only on (--seed, --jobs, --iters).
+        let jobs = args.jobs as u64;
+        let budgets: Vec<(usize, u64, u64)> = (0..args.jobs)
+            .map(|j| {
+                let share = args.iters / jobs + u64::from((j as u64) < args.iters % jobs);
+                (j, worker_seed(args.seed, j), share)
+            })
+            .collect();
+        let results = tartan_par::par_map(args.jobs, &budgets, |&(_, seed, share)| {
+            fuzz_worker(seed, share, args.mutation, false)
+        });
+        // Lowest worker index wins ties: deterministic regardless of which
+        // worker thread happened to finish first.
+        let first = budgets
+            .iter()
+            .zip(&results)
+            .find_map(|(&(j, seed, _), res)| res.as_ref().err().map(|hit| (j, seed, hit)));
+        if let Some((j, seed, hit)) = first {
+            let (i, case, divergence) = &**hit;
+            println!(
+                "fuzz: divergence at iteration {i} of worker {j} (worker seed {seed}, base seed {})",
+                args.seed
+            );
+            return report_divergence(&args, case, divergence);
         }
     }
+
     println!(
         "fuzz: {} cases, zero divergences (seed {}{})",
         args.iters,

@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+
+//! Deterministic host-level parallelism for simulation campaigns.
+//!
+//! Every figure harness, fault campaign, fuzz run, and the tier-1 bench
+//! executes a (robot × config × seed) matrix of *independent,
+//! deterministic* simulations. This crate fans those jobs out across host
+//! cores with nothing but `std`:
+//!
+//! * **Scoped worker pool** — [`par_map`]/[`par_map_indexed`] spawn at most
+//!   `jobs` workers inside [`std::thread::scope`], so borrowed job data
+//!   needs no `'static` bound and no reference counting.
+//! * **Deterministic job list** — workers pull indices from one atomic
+//!   counter (work-conserving: a slow simulation never idles the other
+//!   cores), but every result lands in the slot of its *submission index*.
+//!   The returned `Vec` is therefore identical — element for element — to
+//!   what the sequential loop would have produced, which is what keeps all
+//!   CSV/JSON exports byte-identical between `jobs = 1` and `jobs = N`.
+//! * **Sequential fast path** — `jobs <= 1` (or a single job) runs inline
+//!   on the caller's thread: no spawn, no locks, bit-identical by
+//!   construction.
+//!
+//! The process-wide default job count ([`default_jobs`]/[`set_default_jobs`])
+//! lets deep call sites — the per-figure experiment drivers — pick up a
+//! `--jobs` flag parsed at the CLI edge without threading a parameter
+//! through every signature. It defaults to 1: parallelism is strictly
+//! opt-in, so library users and tests see sequential behavior unless they
+//! ask otherwise.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = tartan_par::par_map_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default for [`default_jobs`]; 1 = sequential.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Number of host cores available to this process (≥ 1).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Sets the process-wide default job count used by [`default_jobs`] (and
+/// through it the experiment drivers). Clamped to ≥ 1.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs.max(1), Ordering::SeqCst);
+}
+
+/// The process-wide default job count. 1 (sequential) unless a CLI edge
+/// called [`set_default_jobs`].
+pub fn default_jobs() -> usize {
+    DEFAULT_JOBS.load(Ordering::SeqCst)
+}
+
+/// Parses a `--jobs N` / `--jobs=N` flag out of an argument list,
+/// returning `(jobs, remaining_args)`. `--jobs 0` and an absent flag both
+/// mean "auto": [`available_jobs`].
+///
+/// # Errors
+///
+/// Returns a message when the flag has a missing or non-numeric value.
+pub fn parse_jobs_flag(args: &[String]) -> Result<(usize, Vec<String>), String> {
+    let mut jobs = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            let v = it
+                .next()
+                .ok_or_else(|| "flag --jobs needs a value".to_string())?;
+            jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    let jobs = match jobs {
+        None | Some(0) => available_jobs(),
+        Some(n) => n,
+    };
+    Ok((jobs, rest))
+}
+
+/// Runs `count` independent jobs `f(0) .. f(count - 1)` on up to `jobs`
+/// worker threads and returns their results **in submission order**.
+///
+/// `f` must be a pure function of its index (plus captured shared state)
+/// for the parallel result to equal the sequential one; every caller in
+/// this workspace passes a deterministic simulation. Panics in `f` are
+/// propagated to the caller once all workers have stopped.
+pub fn par_map_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count);
+    if jobs <= 1 {
+        return (0..count).map(f).collect();
+    }
+    // One slot per submission index. Workers race on *which* jobs they run,
+    // never on *where* results go, so collection order is deterministic.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+/// [`par_map_indexed`] over a slice of job descriptions: returns
+/// `f(&items[0]) .. f(&items[n-1])` in item order.
+pub fn par_map<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        // Make early jobs slow so completion order inverts submission order.
+        let out = par_map_indexed(4, 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20 - 4 * i as u64));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let seq = par_map_indexed(1, 100, work);
+        for jobs in [2, 3, 4, 8, 100, 1000] {
+            assert_eq!(par_map_indexed(jobs, 100, work), seq, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_lists() {
+        assert_eq!(par_map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_borrows_items() {
+        let items: Vec<String> = (0..10).map(|i| format!("job{i}")).collect();
+        let out = par_map(3, &items, |s| s.len());
+        assert_eq!(out, vec![4; 10]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let runs: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        par_map_indexed(8, 64, |i| runs[i].fetch_add(1, Ordering::SeqCst));
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn default_jobs_round_trips() {
+        assert_eq!(default_jobs(), 1);
+        set_default_jobs(6);
+        assert_eq!(default_jobs(), 6);
+        set_default_jobs(0); // clamped
+        assert_eq!(default_jobs(), 1);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_strips() {
+        let args: Vec<String> = ["--iters", "5", "--jobs", "3", "--out", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (jobs, rest) = parse_jobs_flag(&args).unwrap();
+        assert_eq!(jobs, 3);
+        assert_eq!(rest, vec!["--iters", "5", "--out", "x"]);
+        let (jobs, _) = parse_jobs_flag(&["--jobs=2".to_string()]).unwrap();
+        assert_eq!(jobs, 2);
+        // Absent or zero → auto.
+        let (auto, _) = parse_jobs_flag(&[]).unwrap();
+        assert!(auto >= 1);
+        let (auto0, _) = parse_jobs_flag(&["--jobs=0".to_string()]).unwrap();
+        assert_eq!(auto0, auto);
+        assert!(parse_jobs_flag(&["--jobs".to_string()]).is_err());
+        assert!(parse_jobs_flag(&["--jobs".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Microbenchmarks for the memory-hierarchy hot path: the per-line access
+//! loop every simulated load/store takes through `MemorySystem::access`.
+//!
+//! Four regimes bracket the cases that dominate real runs:
+//!
+//! * `l1_hit` — the pure fast path: a working set resident in the L1.
+//! * `l2_hit` — L1 misses that land in the private L2 (FCP-indexed on
+//!   Tartan configs).
+//! * `dram_miss` — the full-hierarchy miss: streaming accesses that walk
+//!   L1 → L2 → L3 → DRAM and exercise fills, evictions, and writebacks.
+//! * `prefetch_covered` — a sequential stream under the next-line
+//!   prefetcher, so most demand accesses find a timely in-flight line.
+//!
+//! Host wall time per iteration is the figure of merit; simulated cycles
+//! are irrelevant here. `cargo bench -p tartan-sim` runs these through the
+//! in-tree criterion shim.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tartan_sim::{AccessKind, MachineConfig, MemPolicy, MemorySystem};
+
+/// Accesses per benchmark iteration, so per-line costs are measured over a
+/// loop long enough to hide harness overhead.
+const ACCESSES: u64 = 4096;
+
+fn l1_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(200);
+    let cfg = MachineConfig::upgraded_baseline();
+    let mut mem = MemorySystem::new(&cfg);
+    // A tiny working set: 8 lines, touched once to warm the L1.
+    for i in 0..8u64 {
+        mem.access(0, 1, i * 64, 4, AccessKind::Read, MemPolicy::Normal, 0);
+    }
+    let mut now = 0u64;
+    group.bench_function("l1_hit", |b| {
+        b.iter(|| {
+            let mut worst = 0;
+            for i in 0..ACCESSES {
+                let addr = (i % 8) * 64;
+                now += 1;
+                worst |= mem.access(0, 1, addr, 4, AccessKind::Read, MemPolicy::Normal, now);
+            }
+            black_box(worst)
+        })
+    });
+    group.finish();
+}
+
+fn l2_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(100);
+    // Tartan config: the L2 runs FCP indexing, so this measures the
+    // region/XOR index computation on every access.
+    let cfg = MachineConfig::tartan();
+    let mut mem = MemorySystem::new(&cfg);
+    // A working set larger than the L1 but comfortably inside the L2:
+    // 2048 lines striding past the L1 sets.
+    let lines = 2048u64;
+    let mut now = 0u64;
+    for i in 0..lines {
+        now += mem.access(0, 1, i * 64, 4, AccessKind::Read, MemPolicy::Normal, now);
+    }
+    group.bench_function("l2_hit_fcp", |b| {
+        b.iter(|| {
+            let mut worst = 0;
+            for i in 0..ACCESSES {
+                let addr = ((i * 97) % lines) * 64;
+                now += 1;
+                worst |= mem.access(0, 1, addr, 4, AccessKind::Read, MemPolicy::Normal, now);
+            }
+            black_box(worst)
+        })
+    });
+    group.finish();
+}
+
+fn dram_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(50);
+    let cfg = MachineConfig::upgraded_baseline();
+    let mut mem = MemorySystem::new(&cfg);
+    let mut now = 0u64;
+    let mut next_line = 0u64;
+    group.bench_function("dram_miss_stream", |b| {
+        b.iter(|| {
+            let mut worst = 0;
+            for _ in 0..ACCESSES {
+                // Every access touches a never-seen line: full miss path,
+                // with steady-state evictions once the hierarchy is warm.
+                let addr = next_line * 64;
+                next_line += 1;
+                now += 1;
+                worst |= mem.access(
+                    0,
+                    7,
+                    addr,
+                    4,
+                    if next_line.is_multiple_of(5) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    MemPolicy::Normal,
+                    now,
+                );
+            }
+            black_box(worst)
+        })
+    });
+    group.finish();
+}
+
+fn prefetch_covered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(50);
+    let mut cfg = MachineConfig::upgraded_baseline();
+    cfg.prefetcher = tartan_sim::PrefetcherKind::NextLine;
+    let mut mem = MemorySystem::new(&cfg);
+    let mut now = 0u64;
+    let mut next_line = 0u64;
+    group.bench_function("prefetch_covered_stream", |b| {
+        b.iter(|| {
+            let mut worst = 0;
+            for _ in 0..ACCESSES {
+                let addr = next_line * 64;
+                next_line += 1;
+                // A compute gap gives prefetches time to land, so demand
+                // accesses take the covered fast path.
+                now += 400;
+                worst |= mem.access(0, 7, addr, 4, AccessKind::Read, MemPolicy::Normal, now);
+            }
+            black_box(worst)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, l1_hit, l2_hit, dram_miss, prefetch_covered);
+criterion_main!(benches);

@@ -47,31 +47,54 @@ pub enum PrefetchOutcome {
     },
 }
 
+/// Packed per-line status bits: one byte instead of three `bool`s keeps a
+/// [`Line`] at 24 bytes, so a whole set stays inside one or two cachelines
+/// of the *host* during the tag scan.
+const VALID: u8 = 1 << 0;
+const DIRTY: u8 = 1 << 1;
+const PREFETCHED: u8 = 1 << 2;
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     line_number: u64,
-    valid: bool,
-    dirty: bool,
-    prefetched: bool,
     /// Cycle (thread-local time domain) at which a prefetched line's data
     /// arrives.
     ready: u64,
     /// LRU age: 0 = most recently used; larger = closer to eviction.
     age: u32,
+    /// `VALID` / `DIRTY` / `PREFETCHED` bits.
+    flags: u8,
+}
+
+impl Line {
+    #[inline(always)]
+    fn valid(&self) -> bool {
+        self.flags & VALID != 0
+    }
 }
 
 /// One set-associative cache level.
 ///
 /// The cache stores no data — only tags and replacement metadata — because
 /// the simulator is execution-driven: functional values live in the
-/// workload's own memory.
+/// workload's own memory. The per-access loop is the simulator's hottest
+/// code: ways live in one flat preallocated array, the FCP index function
+/// runs on masks/shifts precomputed at construction, and LRU aging is
+/// branchless over the set.
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: u64,
     ways: u32,
     latency: u64,
-    line_bytes: u64,
     fcp: Option<FcpConfig>,
+    /// `sets - 1`: the conventional index mask.
+    sets_mask: u64,
+    /// `lines_per_region - 1` (0 without FCP).
+    fcp_offset_mask: u64,
+    /// `log2(lines_per_region)` — shifts replace the per-access divisions.
+    fcp_region_shift: u32,
+    /// `offset_bits - xor_bits`: selects the high offset bits to XOR.
+    fcp_offset_shift: u32,
     lines: Vec<Line>,
     /// Public running statistics for this level.
     pub stats: CacheStats,
@@ -105,19 +128,31 @@ impl Cache {
             sets >= 1 && sets.is_power_of_two(),
             "set count must be a power of two"
         );
-        if let Some(fcp) = fcp {
-            let lines_per_region = fcp.region_bytes / line_bytes;
-            assert!(
-                lines_per_region.is_power_of_two() && lines_per_region >= (1 << fcp.xor_bits),
-                "FCP region must hold at least 2^l lines"
-            );
-        }
+        let (fcp_offset_mask, fcp_region_shift, fcp_offset_shift) = match fcp {
+            None => (0, 0, 0),
+            Some(fcp) => {
+                let lines_per_region = fcp.region_bytes / line_bytes;
+                assert!(
+                    lines_per_region.is_power_of_two() && lines_per_region >= (1 << fcp.xor_bits),
+                    "FCP region must hold at least 2^l lines"
+                );
+                let offset_bits = lines_per_region.trailing_zeros();
+                (
+                    lines_per_region - 1,
+                    offset_bits,
+                    offset_bits - fcp.xor_bits,
+                )
+            }
+        };
         Cache {
             sets,
             ways,
             latency,
-            line_bytes,
             fcp,
+            sets_mask: sets - 1,
+            fcp_offset_mask,
+            fcp_region_shift,
+            fcp_offset_shift,
             lines: vec![Line::default(); (sets as usize) * (ways as usize)],
             stats: CacheStats::default(),
         }
@@ -149,64 +184,73 @@ impl Cache {
     /// low-order offset bits are excluded from the XOR so that next-line
     /// prefetch bursts land set-local rather than hashing across the whole
     /// cache.
+    #[inline(always)]
     pub fn index_of(&self, line_number: u64) -> u64 {
         match self.fcp {
-            None => line_number & (self.sets - 1),
-            Some(fcp) => {
-                let lines_per_region = fcp.region_bytes / self.line_bytes;
-                let offset_bits = lines_per_region.trailing_zeros();
-                let offset = line_number & (lines_per_region - 1);
-                let region = line_number >> offset_bits;
-                let offset_high = offset >> (offset_bits - fcp.xor_bits);
-                (region ^ offset_high) & (self.sets - 1)
+            None => line_number & self.sets_mask,
+            Some(_) => {
+                let offset = line_number & self.fcp_offset_mask;
+                let region = line_number >> self.fcp_region_shift;
+                (region ^ (offset >> self.fcp_offset_shift)) & self.sets_mask
             }
         }
     }
 
+    #[inline(always)]
     fn set_slice(&mut self, index: u64) -> &mut [Line] {
         let start = (index as usize) * (self.ways as usize);
         &mut self.lines[start..start + self.ways as usize]
     }
 
     /// True-LRU touch: the accessed way becomes age 0, ways that were
-    /// younger than it age by one.
+    /// younger than it age by one. The loop is branchless: the accessed way
+    /// itself contributes a zero increment (`age < old_age` is false for
+    /// `age == old_age`), as do invalid and already-older ways. No clamp is
+    /// needed: a way only increments when `age < old_age ≤ AGE_MAX`.
+    #[inline(always)]
     fn touch(set: &mut [Line], way: usize) {
         let old_age = set[way].age;
-        for (w, line) in set.iter_mut().enumerate() {
-            if w != way && line.valid && line.age < old_age {
-                line.age = (line.age + 1).min(AGE_MAX);
-            }
+        for line in set.iter_mut() {
+            line.age += (line.valid() & (line.age < old_age)) as u32;
         }
         set[way].age = 0;
     }
 
+    #[inline(always)]
     fn find(set: &[Line], line_number: u64) -> Option<usize> {
         set.iter()
-            .position(|l| l.valid && l.line_number == line_number)
+            .position(|l| l.valid() && l.line_number == line_number)
     }
 
+    /// First invalid way, else the oldest (smallest way index on ties) — a
+    /// single pass instead of the scan-then-max two-pass.
+    #[inline(always)]
     fn victim(set: &[Line]) -> usize {
-        if let Some(w) = set.iter().position(|l| !l.valid) {
-            return w;
+        let mut victim = 0usize;
+        let mut victim_age = set[0].age;
+        for (w, l) in set.iter().enumerate() {
+            if !l.valid() {
+                return w;
+            }
+            if l.age > victim_age {
+                victim = w;
+                victim_age = l.age;
+            }
         }
-        set.iter()
-            .enumerate()
-            .max_by_key(|(w, l)| (l.age, usize::MAX - w))
-            .map(|(w, _)| w)
-            .expect("set is non-empty")
+        victim
     }
 
     /// Applies FCP's recency manipulation `m(x)` to resident lines that
     /// share the filled line's region (§VII-B, steps 3–5 of Fig. 5).
     fn manipulate_region(&mut self, index: u64, filled_line: u64) {
         let Some(fcp) = self.fcp else { return };
-        let lines_per_region = fcp.region_bytes / self.line_bytes;
-        let region = filled_line / lines_per_region;
+        let region_shift = self.fcp_region_shift;
+        let region = filled_line >> region_shift;
         let m = fcp.manipulation;
         for line in self.set_slice(index) {
-            if line.valid
+            if line.valid()
                 && line.line_number != filled_line
-                && line.line_number / lines_per_region == region
+                && line.line_number >> region_shift == region
             {
                 line.age = m.apply(line.age).min(AGE_MAX);
             }
@@ -220,12 +264,9 @@ impl Cache {
         let index = self.index_of(line_number);
         let set = self.set_slice(index);
         if let Some(way) = Self::find(set, line_number) {
-            let was_prefetched = set[way].prefetched;
+            let was_prefetched = set[way].flags & PREFETCHED != 0;
             let ready = set[way].ready;
-            set[way].prefetched = false;
-            if is_write {
-                set[way].dirty = true;
-            }
+            set[way].flags = (set[way].flags & !PREFETCHED) | if is_write { DIRTY } else { 0 };
             Self::touch(set, way);
             if was_prefetched {
                 self.stats.prefetches_useful += 1;
@@ -291,24 +332,22 @@ impl Cache {
     ) -> Option<EvictedLine> {
         let set = self.set_slice(index);
         let way = Self::victim(set);
-        let evicted = if set[way].valid {
+        let evicted = if set[way].valid() {
             Some(EvictedLine {
                 line_number: set[way].line_number,
-                dirty: set[way].dirty,
-                prefetched: set[way].prefetched,
+                dirty: set[way].flags & DIRTY != 0,
+                prefetched: set[way].flags & PREFETCHED != 0,
             })
         } else {
             None
         };
         set[way] = Line {
             line_number,
-            valid: true,
-            dirty,
-            prefetched,
             ready,
             // Start "infinitely old" so the touch below ages every other
             // resident line by one, as a true LRU stack would.
             age: AGE_MAX,
+            flags: VALID | if dirty { DIRTY } else { 0 } | if prefetched { PREFETCHED } else { 0 },
         };
         Self::touch(set, way);
         if let Some(ev) = evicted {
@@ -327,12 +366,12 @@ impl Cache {
         let start = (index as usize) * (self.ways as usize);
         self.lines[start..start + self.ways as usize]
             .iter()
-            .any(|l| l.valid && l.line_number == line_number)
+            .any(|l| l.valid() && l.line_number == line_number)
     }
 
     /// Number of currently valid lines (for invariants/testing).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid()).count()
     }
 
     /// Invalidates everything, keeping statistics.

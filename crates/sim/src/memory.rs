@@ -41,12 +41,17 @@ pub enum AccessKind {
 /// The full memory system.
 pub struct MemorySystem {
     line_bytes: u64,
+    /// `log2(line_bytes)` — the per-access address→line math runs on
+    /// shifts, not divisions.
+    line_shift: u32,
     l1: Vec<Cache>,
     l2: Vec<Cache>,
     l3: Cache,
     prefetchers: Vec<Box<dyn Prefetcher + Send>>,
     dram_latency: u64,
-    dram_bytes_per_cycle: u64,
+    /// `dram_latency + line_bytes / dram_bytes_per_cycle`, precomputed:
+    /// the full DRAM fill penalty charged on an L3 miss.
+    dram_fill_latency: u64,
     write_through_enabled: bool,
     intel_lvs_enabled: bool,
     lvs: HashSet<u64>,
@@ -104,12 +109,13 @@ impl MemorySystem {
         );
         MemorySystem {
             line_bytes: cfg.line_bytes,
+            line_shift: cfg.line_bytes.trailing_zeros(),
             l1,
             l2,
             l3,
             prefetchers,
             dram_latency: cfg.dram_latency,
-            dram_bytes_per_cycle: cfg.dram_bytes_per_cycle,
+            dram_fill_latency: cfg.dram_latency + cfg.line_bytes / cfg.dram_bytes_per_cycle,
             write_through_enabled: cfg.write_through_regions,
             intel_lvs_enabled: cfg.intel_lvs,
             lvs: HashSet::new(),
@@ -130,13 +136,17 @@ impl MemorySystem {
         self.sink = sink;
     }
 
-    /// Whether the attached sink wants `i`-category events.
+    /// Whether the attached sink wants `i`-category events. Inlined into
+    /// every instrumentation site so the telemetry-disabled case costs a
+    /// single load + bit test on the hot path.
+    #[inline(always)]
     pub(crate) fn wants(&self, i: Interest) -> bool {
         self.interest.contains(i)
     }
 
     /// Delivers one event to the attached sink. Call sites guard with
     /// [`MemorySystem::wants`] so masked categories never construct events.
+    #[inline]
     pub(crate) fn emit(&self, event: &Event) {
         if let Some(sink) = &self.sink {
             sink.lock().expect("telemetry sink poisoned").record(event);
@@ -183,8 +193,12 @@ impl MemorySystem {
     ) -> u64 {
         assert!(bytes > 0, "access must cover at least one byte");
         assert!(core < self.l1.len(), "core {core} out of range");
-        let first_line = addr / self.line_bytes;
-        let last_line = (addr + bytes - 1) / self.line_bytes;
+        let first_line = addr >> self.line_shift;
+        let last_line = (addr + bytes - 1) >> self.line_shift;
+        // Nearly every access fits one line; skip the loop machinery there.
+        if first_line == last_line {
+            return self.access_line(core, pc, first_line, kind, policy, bytes, now);
+        }
         let mut worst = 0;
         for line in first_line..=last_line {
             worst = worst.max(self.access_line(core, pc, line, kind, policy, bytes, now));
@@ -194,6 +208,7 @@ impl MemorySystem {
 
     /// Latency of one line access.
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     fn access_line(
         &mut self,
         core: usize,
@@ -205,8 +220,9 @@ impl MemorySystem {
         now: u64,
     ) -> u64 {
         // Intel LVS: after first touch, the voxel lives in the accelerator's
-        // local storage and costs nothing.
-        if self.intel_lvs_enabled && policy == MemPolicy::IntelLvs && self.lvs.contains(&line) {
+        // local storage and costs nothing. The policy test runs first so
+        // the common `Normal` case never touches the hash set.
+        if policy == MemPolicy::IntelLvs && self.intel_lvs_enabled && self.lvs.contains(&line) {
             return 0;
         }
 
@@ -236,8 +252,9 @@ impl MemorySystem {
             });
         }
 
-        let mut latency = self.l1[core].latency();
-        let l1_out = self.l1[core].access(line, mark_dirty, now);
+        let l1 = &mut self.l1[core];
+        let mut latency = l1.latency();
+        let l1_out = l1.access(line, mark_dirty, now);
         if self.wants(Interest::CACHE) {
             let cycle = self.time_base + now;
             self.emit(&Event::CacheAccess {
@@ -317,7 +334,7 @@ impl MemorySystem {
                 }
                 self.l3_traffic_bytes += self.line_bytes;
                 if !l3_out.hit {
-                    latency += self.dram_latency + self.line_bytes / self.dram_bytes_per_cycle;
+                    latency += self.dram_fill_latency;
                     self.dram_bytes += self.line_bytes;
                     if let Some(ev) = l3_out.evicted {
                         if ev.dirty {
@@ -358,7 +375,7 @@ impl MemorySystem {
     /// but no core latency. The line's data becomes ready after the fill
     /// path it takes (L3 hit or DRAM).
     fn issue_prefetch(&mut self, core: usize, line_addr: u64, now: u64) {
-        let line = line_addr / self.line_bytes;
+        let line = line_addr >> self.line_shift;
         if self.l2[core].contains(line) {
             return;
         }
@@ -384,7 +401,7 @@ impl MemorySystem {
         self.l3_traffic_bytes += self.line_bytes;
         let mut fill_latency = self.l3.latency() + self.l2[core].latency();
         if !l3_out.hit {
-            fill_latency += self.dram_latency + self.line_bytes / self.dram_bytes_per_cycle;
+            fill_latency += self.dram_fill_latency;
             self.dram_bytes += self.line_bytes;
         }
         match self.l2[core].insert_prefetch(line, now + fill_latency) {

@@ -46,6 +46,7 @@ pub use sink::{
     Sink, TeeSink,
 };
 pub use stats::{
-    validate_stats_json, CacheCounters, FaultCounters, PhaseEntry, RobotRunStats, StatsExport,
-    SupervisionCounters, STATS_SCHEMA_VERSION,
+    validate_host_bench_json, validate_stats_json, CacheCounters, FaultCounters, HostBenchExport,
+    HostRunStats, PhaseEntry, RobotRunStats, StatsExport, SupervisionCounters,
+    STATS_SCHEMA_VERSION,
 };

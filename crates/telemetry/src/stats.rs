@@ -236,6 +236,125 @@ impl StatsExport {
     }
 }
 
+/// Host wall-time measurement for one robot run, as recorded by the bench
+/// harness into `results/BENCH_host.json`.
+///
+/// Unlike [`RobotRunStats`], these values depend on the machine running the
+/// benchmark: `host_nanos` is real elapsed time, so the document is *not*
+/// byte-deterministic across runs. Simulated results stay in
+/// `BENCH_tier1.json`; this file exists to track simulator throughput.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostRunStats {
+    /// Robot name (e.g. `"flybot"`).
+    pub robot: String,
+    /// Software configuration label (e.g. `"tartan"`, `"baseline"`).
+    pub config: String,
+    /// Simulated wall cycles for the run.
+    pub wall_cycles: u64,
+    /// Host nanoseconds the simulation took.
+    pub host_nanos: u64,
+}
+
+impl HostRunStats {
+    /// Simulator throughput: simulated cycles per host second.
+    pub fn sim_cycles_per_host_sec(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.wall_cycles as f64 * 1e9 / self.host_nanos as f64
+        }
+    }
+
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        buf.push_str("{\"robot\":");
+        push_str(buf, &self.robot);
+        buf.push_str(",\"config\":");
+        push_str(buf, &self.config);
+        let _ = write!(
+            buf,
+            ",\"wall_cycles\":{},\"host_nanos\":{},\"sim_cycles_per_host_sec\":",
+            self.wall_cycles, self.host_nanos
+        );
+        push_f64(buf, self.sim_cycles_per_host_sec());
+        buf.push('}');
+    }
+}
+
+/// The top-level `BENCH_host.json` document: host wall-time and throughput
+/// for a bench campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostBenchExport {
+    /// Tool that produced the document (e.g. `"bench_tier1"`).
+    pub generator: String,
+    /// Host worker threads the campaign ran with (`--jobs`).
+    pub jobs: u64,
+    /// Elapsed host nanoseconds for the whole campaign (wall clock, not the
+    /// sum of per-run times — with `jobs > 1` runs overlap).
+    pub total_host_nanos: u64,
+    /// One entry per robot run, in campaign submission order.
+    pub runs: Vec<HostRunStats>,
+}
+
+impl HostBenchExport {
+    /// Campaign throughput in completed runs per host second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.total_host_nanos == 0 {
+            0.0
+        } else {
+            self.runs.len() as f64 * 1e9 / self.total_host_nanos as f64
+        }
+    }
+
+    /// Serializes the document, stamping the schema version. The layout is
+    /// deterministic; the timing *values* are whatever the host measured.
+    pub fn to_json(&self) -> String {
+        let mut buf = String::new();
+        use std::fmt::Write;
+        let _ = write!(buf, "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"generator\":");
+        push_str(&mut buf, &self.generator);
+        let _ = write!(
+            buf,
+            ",\"jobs\":{},\"total_host_nanos\":{},\"runs_per_sec\":",
+            self.jobs, self.total_host_nanos
+        );
+        push_f64(&mut buf, self.runs_per_sec());
+        buf.push_str(",\"runs\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            r.write_json(&mut buf);
+        }
+        buf.push_str("]}\n");
+        buf
+    }
+}
+
+/// Structurally validates a `BENCH_host.json` document: well-formed JSON,
+/// the current [`STATS_SCHEMA_VERSION`], and the required top-level and
+/// per-run keys.
+pub fn validate_host_bench_json(s: &str) -> Result<(), String> {
+    crate::json::validate_json(s)?;
+    let expect = format!("\"schema_version\":{STATS_SCHEMA_VERSION}");
+    if !s.contains(&expect) {
+        return Err(format!("missing or mismatched {expect}"));
+    }
+    for key in ["\"generator\":", "\"jobs\":", "\"total_host_nanos\":", "\"runs_per_sec\":", "\"runs\":"] {
+        if !s.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    if s.contains("\"robot\":") {
+        for key in ["\"wall_cycles\":", "\"host_nanos\":", "\"sim_cycles_per_host_sec\":"] {
+            if !s.contains(key) {
+                return Err(format!("missing per-run key {key}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Structurally validates a `stats.json` document: well-formed JSON, the
 /// current [`STATS_SCHEMA_VERSION`], and the required top-level and
 /// per-run keys. Used by tests and the CI schema guard.
@@ -367,5 +486,56 @@ mod tests {
     #[test]
     fn export_is_deterministic() {
         assert_eq!(sample_export().to_json(), sample_export().to_json());
+    }
+
+    fn sample_host_export() -> HostBenchExport {
+        HostBenchExport {
+            generator: "bench_tier1".into(),
+            jobs: 4,
+            total_host_nanos: 2_000_000_000,
+            runs: vec![
+                HostRunStats {
+                    robot: "flybot".into(),
+                    config: "tartan".into(),
+                    wall_cycles: 1_000_000,
+                    host_nanos: 500_000_000,
+                },
+                HostRunStats {
+                    robot: "delibot".into(),
+                    config: "baseline".into(),
+                    wall_cycles: 3_000_000,
+                    host_nanos: 1_500_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn host_export_round_trips_validation() {
+        let json = sample_host_export().to_json();
+        validate_host_bench_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        assert!(json.contains("\"jobs\":4"));
+        assert!(json.contains("\"runs_per_sec\":1"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn host_throughput_math_is_sane() {
+        let e = sample_host_export();
+        assert!((e.runs_per_sec() - 1.0).abs() < 1e-12);
+        assert!((e.runs[0].sim_cycles_per_host_sec() - 2_000_000.0).abs() < 1e-6);
+        let idle = HostRunStats::default();
+        assert_eq!(idle.sim_cycles_per_host_sec(), 0.0);
+        assert_eq!(HostBenchExport::default().runs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn host_validator_rejects_missing_keys() {
+        let json = sample_host_export().to_json().replace("\"jobs\":", "\"j\":");
+        assert!(validate_host_bench_json(&json).is_err());
+        let json = sample_host_export()
+            .to_json()
+            .replace("\"host_nanos\":", "\"hn\":");
+        assert!(validate_host_bench_json(&json).is_err());
     }
 }

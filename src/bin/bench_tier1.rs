@@ -1,46 +1,115 @@
 //! Tier-1 bench harness: runs all six robots on the baseline and Tartan
 //! configurations at test scale and writes `results/BENCH_tier1.json` in
-//! the versioned `stats.json` schema (see `SCHEMA.md`).
+//! the versioned `stats.json` schema (see `SCHEMA.md`), plus
+//! `results/BENCH_host.json` with host wall-time and throughput.
 //!
-//! CI runs this on every push and uploads the export as a workflow
-//! artifact, so per-robot cycle counts, miss rates, and NPU statistics are
+//! The run matrix fans out across host cores (`--jobs N`, default: all
+//! cores); results are collected in submission order, so
+//! `BENCH_tier1.json` is byte-identical for any job count. CI runs this on
+//! every push and uploads both exports as workflow artifacts, so per-robot
+//! cycle counts, miss rates, NPU statistics, and simulator throughput are
 //! comparable across commits without rerunning anything.
+//!
+//! Exits non-zero if any run's stats fail schema validation.
 
 use std::fs;
+use std::time::Instant;
 
 use tartan::core::{run_robot, ExperimentParams, MachineConfig, RobotKind, SoftwareConfig};
-use tartan::sim::telemetry::{validate_stats_json, StatsExport};
+use tartan::par;
+use tartan::sim::telemetry::{
+    validate_host_bench_json, validate_stats_json, HostBenchExport, HostRunStats, StatsExport,
+};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (jobs, rest) = match par::parse_jobs_flag(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_tier1: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !rest.is_empty() {
+        eprintln!("bench_tier1: unrecognized arguments {rest:?} (only --jobs N is accepted)");
+        std::process::exit(2);
+    }
+
     let params = ExperimentParams::quick();
+    let mut matrix: Vec<(&'static str, RobotKind, MachineConfig, SoftwareConfig)> = Vec::new();
+    for kind in RobotKind::all() {
+        matrix.push((
+            "baseline",
+            kind,
+            MachineConfig::upgraded_baseline(),
+            SoftwareConfig::legacy(),
+        ));
+        matrix.push(("tartan", kind, MachineConfig::tartan(), SoftwareConfig::approximable()));
+    }
+
+    let campaign = Instant::now();
+    let timed = par::par_map(jobs, &matrix, |(_, kind, hw, sw)| {
+        let start = Instant::now();
+        let out = run_robot(*kind, hw.clone(), *sw, &params);
+        (out, start.elapsed())
+    });
+    let total_host_nanos = campaign.elapsed().as_nanos() as u64;
+
     let mut export = StatsExport {
         generator: "bench_tier1".into(),
         runs: Vec::new(),
     };
-    for kind in RobotKind::all() {
-        for (config, hw, sw) in [
-            (
-                "baseline",
-                MachineConfig::upgraded_baseline(),
-                SoftwareConfig::legacy(),
-            ),
-            ("tartan", MachineConfig::tartan(), SoftwareConfig::approximable()),
-        ] {
-            let out = run_robot(kind, hw, sw, &params);
-            println!(
-                "{:<10} {:<9} {:>12} cycles  L2 miss {:>5.1}%  NPU {:>4}",
-                out.robot,
-                config,
-                out.wall_cycles,
-                100.0 * out.stats.l2.miss_ratio(),
-                out.stats.npu_invocations,
-            );
-            export.runs.push(out.to_run_stats(config));
+    let mut host = HostBenchExport {
+        generator: "bench_tier1".into(),
+        jobs: jobs as u64,
+        total_host_nanos,
+        runs: Vec::new(),
+    };
+    let mut schema_ok = true;
+    for ((config, ..), (out, elapsed)) in matrix.iter().zip(&timed) {
+        println!(
+            "{:<10} {:<9} {:>12} cycles  L2 miss {:>5.1}%  NPU {:>4}  host {:>9.2} ms",
+            out.robot,
+            config,
+            out.wall_cycles,
+            100.0 * out.stats.l2.miss_ratio(),
+            out.stats.npu_invocations,
+            elapsed.as_secs_f64() * 1e3,
+        );
+        let run = out.to_run_stats(config);
+        let single = StatsExport {
+            generator: "bench_tier1".into(),
+            runs: vec![run.clone()],
+        };
+        if let Err(e) = validate_stats_json(&single.to_json()) {
+            eprintln!("bench_tier1: {} {config}: schema violation: {e}", out.robot);
+            schema_ok = false;
         }
+        host.runs.push(HostRunStats {
+            robot: run.robot.clone(),
+            config: run.config.clone(),
+            wall_cycles: run.wall_cycles,
+            host_nanos: elapsed.as_nanos() as u64,
+        });
+        export.runs.push(run);
     }
+
     let json = export.to_json();
     validate_stats_json(&json).expect("bench export must conform to the stats.json schema");
+    let host_json = host.to_json();
+    validate_host_bench_json(&host_json)
+        .expect("host export must conform to the BENCH_host.json schema");
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_tier1.json", &json).expect("write results/BENCH_tier1.json");
-    println!("wrote results/BENCH_tier1.json ({} runs)", export.runs.len());
+    fs::write("results/BENCH_host.json", &host_json).expect("write results/BENCH_host.json");
+    println!(
+        "wrote results/BENCH_tier1.json ({} runs) and results/BENCH_host.json \
+         (jobs {jobs}, {:.2} s wall, {:.2} runs/s)",
+        export.runs.len(),
+        total_host_nanos as f64 / 1e9,
+        host.runs_per_sec(),
+    );
+    if !schema_ok {
+        std::process::exit(1);
+    }
 }

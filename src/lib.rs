@@ -19,7 +19,9 @@
 //! * [`kernels`] — ray-casting, collision detection, graph search, RRT,
 //!   MCL, EKF, ICP, controllers, behavior trees,
 //! * [`robots`] — DeliBot, PatrolBot, MoveBot, HomeBot, FlyBot, CarriBot,
-//! * [`core`] — the configuration matrix and per-figure experiment drivers.
+//! * [`core`] — the configuration matrix and per-figure experiment drivers,
+//! * [`par`] — the deterministic host-parallel campaign engine
+//!   (order-preserving scoped worker pool; see `DESIGN.md` §12).
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@ pub use tartan_kernels as kernels;
 pub use tartan_nn as nn;
 pub use tartan_nns as nns;
 pub use tartan_npu as npu;
+pub use tartan_par as par;
 pub use tartan_prefetch as prefetch;
 pub use tartan_robots as robots;
 pub use tartan_sim as sim;

@@ -4,17 +4,31 @@
 //! robot and compares quality bit-for-bit against the fault-free run.
 
 use proptest::prelude::*;
-use tartan::core::{run_robot, ExperimentParams, RobotKind, RunOutcome, SoftwareConfig};
+use tartan::core::{
+    run_campaign_with_jobs, run_robot, CampaignJob, ExperimentParams, RobotKind, RunOutcome,
+    SoftwareConfig,
+};
 use tartan::nn::{Mlp, Topology};
 use tartan::npu::SupervisedNpu;
 use tartan::sim::telemetry::{shared, CountingSink};
 use tartan::sim::{FaultPlan, Machine, MachineConfig};
 
-fn outcome(kind: RobotKind, plan: Option<FaultPlan>) -> RunOutcome {
+fn job(kind: RobotKind, plan: Option<FaultPlan>) -> CampaignJob {
     let mut hw = MachineConfig::tartan();
     hw.fault_plan = plan;
     let sw = SoftwareConfig::approximable().effective(&hw);
+    (kind, hw, sw)
+}
+
+fn outcome(kind: RobotKind, plan: Option<FaultPlan>) -> RunOutcome {
+    let (kind, hw, sw) = job(kind, plan);
     run_robot(kind, hw, sw, &ExperimentParams::quick())
+}
+
+/// Fans a campaign matrix across host workers; an explicit job count keeps
+/// the tests independent of the process-global default.
+fn campaign(jobs: &[CampaignJob]) -> Vec<RunOutcome> {
+    run_campaign_with_jobs(4, jobs, &ExperimentParams::quick())
 }
 
 /// The NPU-carrying robots — the ones accelerator faults can reach.
@@ -22,9 +36,13 @@ const NPU_ROBOTS: [RobotKind; 3] = [RobotKind::PatrolBot, RobotKind::HomeBot, Ro
 
 #[test]
 fn zero_rate_plans_are_bit_identical_to_no_plan() {
-    for kind in NPU_ROBOTS {
-        let clean = outcome(kind, None);
-        let quiet = outcome(kind, Some(FaultPlan::quiet(0xDEAD)));
+    let jobs: Vec<CampaignJob> = NPU_ROBOTS
+        .iter()
+        .flat_map(|&kind| [job(kind, None), job(kind, Some(FaultPlan::quiet(0xDEAD)))])
+        .collect();
+    let outcomes = campaign(&jobs);
+    for (kind, pair) in NPU_ROBOTS.iter().zip(outcomes.chunks_exact(2)) {
+        let (clean, quiet) = (&pair[0], &pair[1]);
         assert_eq!(
             clean.stats, quiet.stats,
             "{:?}: an all-zero-rate plan must be a perfect no-op",
@@ -40,17 +58,29 @@ fn zero_rate_plans_are_bit_identical_to_no_plan() {
     }
 }
 
+/// The escalation ladder shared by the accelerator campaigns.
+const SEVERITIES: [(f64, u64); 3] = [(0.1, 11), (0.5, 12), (0.9, 13)];
+
 #[test]
 fn escalating_accel_campaigns_never_change_quality() {
-    for kind in NPU_ROBOTS {
-        let reference = outcome(kind, None);
+    // Per robot: the fault-free reference, then the escalation ladder.
+    let jobs: Vec<CampaignJob> = NPU_ROBOTS
+        .iter()
+        .flat_map(|&kind| {
+            std::iter::once(job(kind, None)).chain(SEVERITIES.iter().map(move |&(severity, seed)| {
+                let plan = FaultPlan::quiet(seed)
+                    .with_accel_errors(severity, 0.5)
+                    .with_accel_bitflips(severity * 0.5)
+                    .with_accel_failures(severity * 0.25);
+                job(kind, Some(plan))
+            }))
+        })
+        .collect();
+    let outcomes = campaign(&jobs);
+    for (kind, chunk) in NPU_ROBOTS.iter().zip(outcomes.chunks_exact(1 + SEVERITIES.len())) {
+        let reference = &chunk[0];
         let mut total_injected = 0u64;
-        for (severity, seed) in [(0.1, 11u64), (0.5, 12), (0.9, 13)] {
-            let plan = FaultPlan::quiet(seed)
-                .with_accel_errors(severity, 0.5)
-                .with_accel_bitflips(severity * 0.5)
-                .with_accel_failures(severity * 0.25);
-            let faulted = outcome(kind, Some(plan));
+        for ((severity, _), faulted) in SEVERITIES.iter().zip(&chunk[1..]) {
             assert!(
                 (faulted.quality - reference.quality).abs() < 1e-9,
                 "{:?} at severity {}: quality {} vs fault-free {}",
@@ -77,10 +107,19 @@ fn escalating_accel_campaigns_never_change_quality() {
 fn memory_spike_campaigns_slow_but_never_corrupt() {
     // Memory latency spikes are timing-only: injected, undetectable by
     // output supervision, and functionally harmless on every robot.
-    for kind in [RobotKind::CarriBot, RobotKind::MoveBot] {
-        let reference = outcome(kind, None);
-        let plan = FaultPlan::quiet(17).with_mem_spikes(0.02, 40);
-        let spiked = outcome(kind, Some(plan));
+    let robots = [RobotKind::CarriBot, RobotKind::MoveBot];
+    let jobs: Vec<CampaignJob> = robots
+        .iter()
+        .flat_map(|&kind| {
+            [
+                job(kind, None),
+                job(kind, Some(FaultPlan::quiet(17).with_mem_spikes(0.02, 40))),
+            ]
+        })
+        .collect();
+    let outcomes = campaign(&jobs);
+    for (kind, pair) in robots.iter().zip(outcomes.chunks_exact(2)) {
+        let (reference, spiked) = (&pair[0], &pair[1]);
         assert_eq!(
             spiked.quality.to_bits(),
             reference.quality.to_bits(),
