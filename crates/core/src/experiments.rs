@@ -1,31 +1,114 @@
 //! Experiment drivers: one function per figure/table of the paper's
 //! evaluation (§VIII), each returning typed rows plus a text formatter.
 //!
-//! | Paper result | Driver |
-//! |---|---|
-//! | Fig. 1 execution-time breakdown        | [`fig1_breakdown`] |
-//! | Fig. 6 oriented vectorization          | [`fig6_ovec`] |
-//! | Fig. 7 ray-casting w/ interpolation    | [`fig7_interpolation`] |
-//! | Table II neural workloads              | [`table2_networks`] |
-//! | Fig. 8 neural acceleration             | [`fig8_npu`] |
-//! | Table III NPU configurations           | [`table3_npu_pes`] |
-//! | Fig. 9 NNS approaches                  | [`fig9_nns`] |
-//! | Fig. 10 prefetchers                    | [`fig10_prefetch`] |
-//! | Fig. 11 FCP parameters                 | [`fig11_fcp`] |
-//! | Fig. 12 end-to-end speedup             | [`fig12_end_to_end`] |
-//! | §III-A engineering upgrades            | [`baseline_upgrades`] |
-//! | Table I application parameters         | [`format_table1`] |
-//! | Table IV overheads                     | [`crate::overhead::table4`] |
+//! Every driver is **data-driven**: the job matrix (robots, machine and
+//! software configurations, sweep axes, bar labels, study-specific scale
+//! adjustments) lives in a checked-in manifest under `scenarios/` (see
+//! [`manifests`]), parsed and expanded by `tartan-scenario`. The driver
+//! only keeps the row math — normalization baselines, geometric means,
+//! derived error metrics — that turns outcomes into figure rows.
+//!
+//! | Paper result | Driver | Manifest |
+//! |---|---|---|
+//! | Fig. 1 execution-time breakdown        | [`fig1_breakdown`] | `fig1_breakdown.json` |
+//! | Fig. 6 oriented vectorization          | [`fig6_ovec`] | `fig6_ovec.json` |
+//! | Fig. 7 ray-casting w/ interpolation    | [`fig7_interpolation`] | `fig7_interpolation.json` |
+//! | Table II neural workloads              | [`table2_networks`] | `table2_networks.json` |
+//! | Fig. 8 neural acceleration             | [`fig8_npu`] | `fig8_npu.json` |
+//! | Table III NPU configurations           | [`table3_npu_pes`] | `table3_npu_pes.json` |
+//! | Fig. 9 NNS approaches                  | [`fig9_nns`] | `fig9_nns.json` |
+//! | Fig. 10 prefetchers                    | [`fig10_prefetch`] | `fig10_prefetch.json` |
+//! | Fig. 11 FCP parameters                 | [`fig11_fcp`] | `fig11_fcp.json` |
+//! | Fig. 12 end-to-end speedup             | [`fig12_end_to_end`] | `fig12_end_to_end.json` |
+//! | §III-A engineering upgrades            | [`baseline_upgrades`] | `baseline_upgrades.json` |
+//! | Ablations (ANL region, OVEC latency)   | [`ablations`] | `ablations.json` |
+//! | Table I application parameters         | [`format_table1`] | — |
+//! | Table IV overheads                     | [`crate::overhead::table4`] | — |
 
 use std::fmt::Write as _;
 
-use tartan_robots::{NeuralExec, NnsKind, RobotKind, SoftwareConfig};
-use tartan_sim::{
-    FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind,
-};
+use tartan_robots::RobotKind;
+use tartan_scenario::{Plan, ScenarioSpec};
+use tartan_sim::NpuMode;
 
 use crate::runner::{gmean, run_campaign, CampaignJob, ExperimentParams};
-use tartan_kernels::raycast::VecMethod;
+
+/// The checked-in scenario manifests (embedded at compile time from
+/// `scenarios/*.json`), one per data-driven harness. CI validates every
+/// file in `scenarios/`, and `tartan_run` can execute any of them — or any
+/// user-written scenario — stand-alone.
+pub mod manifests {
+    /// Fig. 1: execution-time breakdown.
+    pub const FIG1_BREAKDOWN: &str = include_str!("../../../scenarios/fig1_breakdown.json");
+    /// Fig. 6: oriented vectorization.
+    pub const FIG6_OVEC: &str = include_str!("../../../scenarios/fig6_ovec.json");
+    /// Fig. 7: ray-casting with interpolation.
+    pub const FIG7_INTERPOLATION: &str =
+        include_str!("../../../scenarios/fig7_interpolation.json");
+    /// Table II: neural workloads.
+    pub const TABLE2_NETWORKS: &str = include_str!("../../../scenarios/table2_networks.json");
+    /// Fig. 8: neural acceleration arrangements.
+    pub const FIG8_NPU: &str = include_str!("../../../scenarios/fig8_npu.json");
+    /// Table III: NPU sizes.
+    pub const TABLE3_NPU_PES: &str = include_str!("../../../scenarios/table3_npu_pes.json");
+    /// Fig. 9: NNS approaches.
+    pub const FIG9_NNS: &str = include_str!("../../../scenarios/fig9_nns.json");
+    /// Fig. 10: prefetchers.
+    pub const FIG10_PREFETCH: &str = include_str!("../../../scenarios/fig10_prefetch.json");
+    /// Fig. 11: FCP parameter sweep.
+    pub const FIG11_FCP: &str = include_str!("../../../scenarios/fig11_fcp.json");
+    /// Fig. 12: end-to-end speedup.
+    pub const FIG12_END_TO_END: &str =
+        include_str!("../../../scenarios/fig12_end_to_end.json");
+    /// §III-A engineering upgrades.
+    pub const BASELINE_UPGRADES: &str =
+        include_str!("../../../scenarios/baseline_upgrades.json");
+    /// Design-choice ablations.
+    pub const ABLATIONS: &str = include_str!("../../../scenarios/ablations.json");
+    /// The tier-1 bench matrix (`bench_tier1` binary).
+    pub const BENCH_TIER1: &str = include_str!("../../../scenarios/bench_tier1.json");
+    /// A two-job smoke campaign (`tartan_run` CI exercise).
+    pub const SMOKE: &str = include_str!("../../../scenarios/smoke.json");
+
+    /// Every embedded manifest, with its `scenarios/` file name.
+    pub const ALL: [(&str, &str); 14] = [
+        ("fig1_breakdown.json", FIG1_BREAKDOWN),
+        ("fig6_ovec.json", FIG6_OVEC),
+        ("fig7_interpolation.json", FIG7_INTERPOLATION),
+        ("table2_networks.json", TABLE2_NETWORKS),
+        ("fig8_npu.json", FIG8_NPU),
+        ("table3_npu_pes.json", TABLE3_NPU_PES),
+        ("fig9_nns.json", FIG9_NNS),
+        ("fig10_prefetch.json", FIG10_PREFETCH),
+        ("fig11_fcp.json", FIG11_FCP),
+        ("fig12_end_to_end.json", FIG12_END_TO_END),
+        ("baseline_upgrades.json", BASELINE_UPGRADES),
+        ("ablations.json", ABLATIONS),
+        ("bench_tier1.json", BENCH_TIER1),
+        ("smoke.json", SMOKE),
+    ];
+}
+
+/// Parses and expands a checked-in manifest. Panics on an invalid
+/// document: the embedded manifests are validated by unit tests, the
+/// scenario regression suite, and CI, so a failure here means the build
+/// itself is inconsistent.
+fn checked(manifest: &str) -> (ScenarioSpec, Plan) {
+    let spec = ScenarioSpec::from_json(manifest)
+        .unwrap_or_else(|e| panic!("checked-in scenario is invalid: {e}"));
+    let plan = spec
+        .expand()
+        .unwrap_or_else(|e| panic!("checked-in scenario does not expand: {e}"));
+    (spec, plan)
+}
+
+/// The plan's jobs in campaign form.
+fn campaign_jobs(plan: &Plan) -> Vec<CampaignJob> {
+    plan.jobs
+        .iter()
+        .map(|j| (j.robot, j.machine.clone(), j.software))
+        .collect()
+}
 
 // ---------------------------------------------------------------- Fig. 1
 
@@ -36,7 +119,7 @@ pub struct Fig1Row {
     /// Robot name.
     pub robot: &'static str,
     /// `"B"` (upgraded baseline) or `"T"` (Tartan).
-    pub config: &'static str,
+    pub config: String,
     /// Fraction of attributed cycles in the bottleneck operation.
     pub bottleneck_fraction: f64,
     /// Wall time normalized to the robot's baseline run.
@@ -45,32 +128,20 @@ pub struct Fig1Row {
 
 /// Fig. 1: execution-time breakdown and bottleneck analysis.
 pub fn fig1_breakdown(params: &ExperimentParams) -> Vec<Fig1Row> {
-    let jobs: Vec<CampaignJob> = RobotKind::all()
-        .into_iter()
-        .flat_map(|kind| {
-            [
-                (
-                    kind,
-                    MachineConfig::upgraded_baseline(),
-                    SoftwareConfig::legacy(),
-                ),
-                (kind, MachineConfig::tartan(), SoftwareConfig::approximable()),
-            ]
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::FIG1_BREAKDOWN);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
     let mut rows = Vec::new();
-    for pair in outcomes.chunks_exact(2) {
+    for (pair, jobs) in outcomes.chunks_exact(2).zip(plan.jobs.chunks_exact(2)) {
         let (base, tartan) = (&pair[0], &pair[1]);
         rows.push(Fig1Row {
             robot: base.robot,
-            config: "B",
+            config: jobs[0].label.clone(),
             bottleneck_fraction: base.bottleneck_fraction(),
             normalized_time: 1.0,
         });
         rows.push(Fig1Row {
             robot: tartan.robot,
-            config: "T",
+            config: jobs[1].label.clone(),
             bottleneck_fraction: tartan.bottleneck_fraction(),
             normalized_time: tartan.wall_cycles as f64 / base.wall_cycles as f64,
         });
@@ -107,7 +178,7 @@ pub struct Fig6Row {
     /// Robot name (DeliBot: ray-casting; CarriBot: collision).
     pub robot: &'static str,
     /// `"B"`, `"O"`, `"G"`, or `"R"`.
-    pub method: &'static str,
+    pub method: String,
     /// Wall time normalized to the scalar baseline.
     pub normalized_time: f64,
     /// Dynamic instructions normalized to the scalar baseline.
@@ -116,38 +187,24 @@ pub struct Fig6Row {
     pub bottleneck_fraction: f64,
 }
 
-/// Fig. 6: OVEC vs Gather vs RACOD on the oriented-access robots.
+/// Fig. 6: OVEC vs Gather vs RACOD on the oriented-access robots. Tartan
+/// hardware hosts all methods so OVEC is available; the bars differ only
+/// in the software's fetch variant (see the manifest).
 pub fn fig6_ovec(params: &ExperimentParams) -> Vec<Fig6Row> {
-    const METHODS: [(&str, VecMethod); 4] = [
-        ("B", VecMethod::Scalar),
-        ("O", VecMethod::Ovec),
-        ("G", VecMethod::Gather),
-        ("R", VecMethod::Racod),
-    ];
-    let jobs: Vec<CampaignJob> = [RobotKind::DeliBot, RobotKind::CarriBot]
-        .into_iter()
-        .flat_map(|kind| {
-            METHODS.map(|(_, method)| {
-                let sw = SoftwareConfig {
-                    vec_method: method,
-                    ..SoftwareConfig::legacy()
-                };
-                // Tartan hardware hosts all methods so OVEC is available;
-                // the baseline bars differ only in the software's fetch
-                // variant.
-                (kind, MachineConfig::tartan(), sw)
-            })
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::FIG6_OVEC);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let width = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
-    for per_robot in outcomes.chunks_exact(METHODS.len()) {
+    for (per_robot, jobs) in outcomes
+        .chunks_exact(width)
+        .zip(plan.jobs.chunks_exact(width))
+    {
         let base_time = per_robot[0].wall_cycles as f64;
         let base_instr = per_robot[0].instructions as f64;
-        for ((label, _), out) in METHODS.iter().zip(per_robot) {
+        for (out, job) in per_robot.iter().zip(jobs) {
             rows.push(Fig6Row {
                 robot: out.robot,
-                method: label,
+                method: job.label.clone(),
                 normalized_time: out.wall_cycles as f64 / base_time,
                 normalized_instructions: out.instructions as f64 / base_instr,
                 bottleneck_fraction: out.bottleneck_fraction(),
@@ -185,7 +242,7 @@ pub fn format_fig6(rows: &[Fig6Row]) -> String {
 #[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// `"B"`, `"O"`, `"I"`, or `"O+I"`.
-    pub config: &'static str,
+    pub config: String,
     /// Ray-casting phase time normalized to the baseline.
     pub normalized_raycast_time: f64,
 }
@@ -193,36 +250,14 @@ pub struct Fig7Row {
 /// Fig. 7: ray-casting with trilinear interpolation — OVEC vs Intel's
 /// accelerator vs both.
 pub fn fig7_interpolation(params: &ExperimentParams) -> Vec<Fig7Row> {
-    const CONFIGS: [(&str, bool, bool); 4] = [
-        ("B", false, false),
-        ("O", true, false),
-        ("I", false, true),
-        ("O+I", true, true),
-    ];
-    let jobs: Vec<CampaignJob> = CONFIGS
-        .iter()
-        .map(|&(_, ovec, intel)| {
-            let mut hw = if ovec {
-                MachineConfig::tartan()
-            } else {
-                MachineConfig::upgraded_baseline()
-            };
-            hw.intel_lvs = intel;
-            let sw = SoftwareConfig {
-                vec_method: if ovec { VecMethod::Ovec } else { VecMethod::Scalar },
-                interpolate_raycast: true,
-                ..SoftwareConfig::legacy()
-            };
-            (RobotKind::DeliBot, hw, sw)
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::FIG7_INTERPOLATION);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
     let base = outcomes[0].bottleneck_cycles as f64;
-    CONFIGS
+    plan.jobs
         .iter()
         .zip(&outcomes)
-        .map(|(&(label, _, _), out)| Fig7Row {
-            config: label,
+        .map(|(job, out)| Fig7Row {
+            config: job.label.clone(),
             normalized_raycast_time: out.bottleneck_cycles as f64 / base,
         })
         .collect()
@@ -255,36 +290,17 @@ pub struct Table2Row {
     pub error_percent: f64,
 }
 
-/// Table II: the three neural workloads and their quality loss.
+/// Table II: the three neural workloads and their quality loss. Job order
+/// (from the manifest): FlyBot exact, FlyBot AXAR, HomeBot TRAP, PatrolBot
+/// native.
 pub fn table2_networks(params: &ExperimentParams) -> Vec<Table2Row> {
-    let jobs: Vec<CampaignJob> = vec![
-        // FlyBot exact vs AXAR: path-cost inflation (paper: 0%).
-        (
-            RobotKind::FlyBot,
-            MachineConfig::tartan(),
-            SoftwareConfig::optimized(),
-        ),
-        (
-            RobotKind::FlyBot,
-            MachineConfig::tartan(),
-            SoftwareConfig::approximable(),
-        ),
-        // HomeBot: geometric-mean transform error of TRAP (paper: 6.8%).
-        (
-            RobotKind::HomeBot,
-            MachineConfig::tartan(),
-            SoftwareConfig::approximable(),
-        ),
-        // PatrolBot: classification error of the PCA+MLP port (paper: 1.3%).
-        (
-            RobotKind::PatrolBot,
-            MachineConfig::tartan(),
-            SoftwareConfig::approximable(),
-        ),
-    ];
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::TABLE2_NETWORKS);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
     let (fly_exact, fly_axar, home_trap, patrol) =
         (&outcomes[0], &outcomes[1], &outcomes[2], &outcomes[3]);
+    // FlyBot exact vs AXAR: path-cost inflation (paper: 0%). HomeBot:
+    // geometric-mean transform error of TRAP (paper: 6.8%). PatrolBot:
+    // classification error of the PCA+MLP port (paper: 1.3%).
     let fly_err = ((fly_axar.quality / fly_exact.quality.max(1e-9)) - 1.0).max(0.0) * 100.0;
     let home_err = home_trap.quality * 100.0;
     let patrol_err = patrol.quality * 100.0;
@@ -341,7 +357,7 @@ pub struct Fig8Row {
     pub robot: &'static str,
     /// `"B"` baseline, `"H"` hardware NPU, `"S"` software, `"C"`
     /// co-processor.
-    pub config: &'static str,
+    pub config: String,
     /// Wall time normalized to B.
     pub normalized_time: f64,
     /// Instructions normalized to B.
@@ -355,36 +371,21 @@ pub struct Fig8Row {
 /// Fig. 8: neural acceleration of robotics — baseline vs integrated NPU vs
 /// software execution vs co-processor.
 pub fn fig8_npu(params: &ExperimentParams) -> Vec<Fig8Row> {
-    const ARRANGEMENTS: [(&str, NpuMode, NeuralExec); 4] = [
-        ("B", NpuMode::None, NeuralExec::None),
-        ("H", NpuMode::Integrated { pes: 4 }, NeuralExec::Npu),
-        ("S", NpuMode::None, NeuralExec::Software),
-        ("C", NpuMode::Coprocessor, NeuralExec::Npu),
-    ];
-    let jobs: Vec<CampaignJob> = [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot]
-        .into_iter()
-        .flat_map(|kind| {
-            ARRANGEMENTS.map(|(_, npu, neural)| {
-                let mut hw = MachineConfig::upgraded_baseline();
-                hw.npu = npu;
-                let sw = SoftwareConfig {
-                    neural,
-                    ..SoftwareConfig::legacy()
-                };
-                (kind, hw, sw)
-            })
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::FIG8_NPU);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let width = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
-    for per_robot in outcomes.chunks_exact(ARRANGEMENTS.len()) {
+    for (per_robot, jobs) in outcomes
+        .chunks_exact(width)
+        .zip(plan.jobs.chunks_exact(width))
+    {
         let base_time = per_robot[0].wall_cycles as f64;
         let base_instr = per_robot[0].instructions as f64;
-        for ((label, _, _), out) in ARRANGEMENTS.iter().zip(per_robot) {
+        for (out, job) in per_robot.iter().zip(jobs) {
             let total = out.phase_total().max(1) as f64;
             rows.push(Fig8Row {
                 robot: out.robot,
-                config: label,
+                config: job.label.clone(),
                 normalized_time: out.wall_cycles as f64 / base_time,
                 normalized_instructions: out.instructions as f64 / base_instr,
                 target_fraction: out.bottleneck_cycles as f64 / total,
@@ -434,44 +435,33 @@ pub struct Table3Row {
     pub area_um2: f64,
 }
 
-/// Table III: NPU configurations (2/4/8 PEs).
+/// Table III: NPU configurations (2/4/8 PEs). The manifest's first group
+/// runs the three no-NPU baselines; the second sweeps the PE counts with
+/// robots innermost, so each sweep chunk lines up with the baselines. The
+/// PE count of each row is read back from the planned job's machine
+/// config — the single source of truth.
 pub fn table3_npu_pes(params: &ExperimentParams) -> Vec<Table3Row> {
-    const PE_COUNTS: [u32; 3] = [2, 4, 8];
-    let robots = [RobotKind::PatrolBot, RobotKind::HomeBot, RobotKind::FlyBot];
-    // One campaign: the three baselines first, then every (PE count, robot)
-    // cell of the sweep.
-    let mut jobs: Vec<CampaignJob> = robots
-        .iter()
-        .map(|&kind| {
-            (
-                kind,
-                MachineConfig::upgraded_baseline(),
-                SoftwareConfig::legacy(),
-            )
-        })
-        .collect();
-    for pes in PE_COUNTS {
-        for &kind in &robots {
-            let mut hw = MachineConfig::upgraded_baseline();
-            hw.npu = NpuMode::Integrated { pes };
-            let sw = SoftwareConfig {
-                neural: NeuralExec::Npu,
-                ..SoftwareConfig::legacy()
-            };
-            jobs.push((kind, hw, sw));
-        }
-    }
-    let outcomes = run_campaign(&jobs, params);
-    let (baselines, sweep) = outcomes.split_at(robots.len());
+    let (_, plan) = checked(manifests::TABLE3_NPU_PES);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let robots = plan.groups[0].len;
+    let (baselines, sweep) = outcomes.split_at(robots);
+    let sweep_jobs = plan.group_jobs(1);
     let mut rows = Vec::new();
-    for (pes, per_pe) in PE_COUNTS.iter().zip(sweep.chunks_exact(robots.len())) {
+    for (jobs, per_pe) in sweep_jobs
+        .chunks_exact(robots)
+        .zip(sweep.chunks_exact(robots))
+    {
+        let pes = match jobs[0].machine.npu {
+            NpuMode::Integrated { pes } => pes,
+            _ => panic!("Table III sweep jobs must use an integrated NPU"),
+        };
         let speedups = baselines
             .iter()
             .zip(per_pe)
             .map(|(base, out)| base.wall_cycles as f64 / out.wall_cycles as f64);
-        let model = tartan_npu::NpuAreaModel::new(*pes);
+        let model = tartan_npu::NpuAreaModel::new(pes);
         rows.push(Table3Row {
-            pes: *pes,
+            pes,
             memory_kb: model.sram_kilobytes(),
             gmean_speedup: gmean(speedups),
             area_um2: model.area_um2(),
@@ -514,50 +504,30 @@ pub struct Fig9Row {
 }
 
 /// Fig. 9: NNS with different approaches; `+` adds the ANL prefetcher.
+///
+/// The NNS study stresses the memory system with a larger cloud than the
+/// end-to-end runs (the paper tunes each study's inputs, §VIII-C); the
+/// sizing lives in the manifest's `params.adjust` and is applied on top of
+/// the caller's scale.
 pub fn fig9_nns(params: &ExperimentParams) -> Vec<Fig9Row> {
-    let engines = [
-        ("B", NnsKind::Brute),
-        ("V", NnsKind::Vln),
-        ("F", NnsKind::Flann),
-        ("K", NnsKind::KdTree),
-    ];
-    // The NNS study stresses the memory system with a larger cloud than
-    // the end-to-end runs (the paper tunes each study's inputs, §VIII-C).
+    let (spec, plan) = checked(manifests::FIG9_NNS);
     let mut params = *params;
-    params.scale.map_points *= 4;
-    let params = &params;
-    let mut jobs: Vec<CampaignJob> = Vec::new();
-    let mut labels: Vec<String> = Vec::new();
-    for kind in [RobotKind::MoveBot, RobotKind::HomeBot] {
-        for (label, nns) in engines {
-            for anl in [false, true] {
-                let mut hw = MachineConfig::upgraded_baseline();
-                hw.prefetcher = if anl {
-                    PrefetcherKind::Anl
-                } else {
-                    PrefetcherKind::None
-                };
-                let sw = SoftwareConfig {
-                    nns,
-                    ..SoftwareConfig::legacy()
-                };
-                jobs.push((kind, hw, sw));
-                labels.push(format!("{label}{}", if anl { "+" } else { "" }));
-            }
-        }
-    }
-    let outcomes = run_campaign(&jobs, params);
-    let per_robot = engines.len() * 2;
+    spec.params.apply_adjusts(&mut params.scale);
+    let outcomes = run_campaign(&campaign_jobs(&plan), &params);
+    let per_robot = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
-    for (chunk, labels) in outcomes.chunks_exact(per_robot).zip(labels.chunks_exact(per_robot)) {
+    for (chunk, jobs) in outcomes
+        .chunks_exact(per_robot)
+        .zip(plan.jobs.chunks_exact(per_robot))
+    {
         // The first job per robot is brute force without ANL — the bar
         // everything else is normalized to.
         let base_time = chunk[0].wall_cycles as f64;
         let base_misses = (chunk[0].stats.l2.demand_misses() as f64).max(1.0);
-        for (out, label) in chunk.iter().zip(labels) {
+        for (out, job) in chunk.iter().zip(jobs) {
             rows.push(Fig9Row {
                 robot: out.robot,
-                config: label.clone(),
+                config: job.label.clone(),
                 normalized_time: out.wall_cycles as f64 / base_time,
                 normalized_l2_misses: out.stats.l2.demand_misses() as f64 / base_misses,
             });
@@ -591,8 +561,8 @@ pub fn format_fig9(rows: &[Fig9Row]) -> String {
 pub struct Fig10Row {
     /// Robot name or `"GMean"`.
     pub robot: &'static str,
-    /// `"No"`, `"ANL"`, `"NL"`, `"Bingo"`.
-    pub prefetcher: &'static str,
+    /// `"No"`, `"ANL"`, `"NL"`, `"Bi"`.
+    pub prefetcher: String,
     /// Wall time normalized to no prefetching.
     pub normalized_time: f64,
     /// L2 miss coverage.
@@ -606,51 +576,38 @@ pub struct Fig10Row {
 /// ANL is a *bucket-revisit* prefetcher (§VI-D), so this study runs the
 /// Tartan-tuned software (VLN's contiguous buckets) over clouds sized past
 /// the private L2 — the regime whose sparse/dense heterogeneity ANL was
-/// designed for.
+/// designed for. Both the software tier and the cloud sizing live in the
+/// manifest.
 pub fn fig10_prefetch(params: &ExperimentParams) -> Vec<Fig10Row> {
-    let kinds = [
-        ("No", PrefetcherKind::None),
-        ("ANL", PrefetcherKind::Anl),
-        ("NL", PrefetcherKind::NextLine),
-        ("Bi", PrefetcherKind::Bingo),
-    ];
+    let (spec, plan) = checked(manifests::FIG10_PREFETCH);
     let mut params = *params;
-    params.scale.map_points *= 20;
-    let params = &params;
-    let jobs: Vec<CampaignJob> = RobotKind::all()
-        .iter()
-        .flat_map(|&robot| {
-            kinds.iter().map(move |(_, pf)| {
-                let mut hw = MachineConfig::upgraded_baseline();
-                hw.prefetcher = *pf;
-                let mut sw = SoftwareConfig::optimized().effective(&hw);
-                sw.nns = NnsKind::Vln;
-                (robot, hw, sw)
-            })
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    spec.params.apply_adjusts(&mut params.scale);
+    let outcomes = run_campaign(&campaign_jobs(&plan), &params);
+    let width = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
-    let mut per_pf_ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for chunk in outcomes.chunks_exact(kinds.len()) {
+    let mut per_pf_ratios: Vec<Vec<f64>> = vec![Vec::new(); width];
+    for (chunk, jobs) in outcomes
+        .chunks_exact(width)
+        .zip(plan.jobs.chunks_exact(width))
+    {
         let base_time = chunk[0].wall_cycles as f64;
-        for (i, ((label, _), out)) in kinds.iter().zip(chunk).enumerate() {
+        for (i, (out, job)) in chunk.iter().zip(jobs).enumerate() {
             let ratio = out.wall_cycles as f64 / base_time;
             per_pf_ratios[i].push(ratio);
             rows.push(Fig10Row {
                 robot: out.robot,
-                prefetcher: label,
+                prefetcher: job.label.clone(),
                 normalized_time: ratio,
                 coverage: out.stats.l2.coverage(),
                 accuracy: out.stats.l2.accuracy(),
             });
         }
     }
-    for (i, (label, _)) in kinds.iter().enumerate() {
+    for (job, ratios) in plan.jobs[..width].iter().zip(&per_pf_ratios) {
         rows.push(Fig10Row {
             robot: "GMean",
-            prefetcher: label,
-            normalized_time: gmean(per_pf_ratios[i].iter().copied()),
+            prefetcher: job.label.clone(),
+            normalized_time: gmean(ratios.iter().copied()),
             coverage: 0.0,
             accuracy: 0.0,
         });
@@ -696,54 +653,24 @@ pub struct Fig11Row {
 }
 
 /// Fig. 11: FCP with different region sizes, XOR widths, and manipulation
-/// functions.
+/// functions. Per robot: one no-FCP baseline (the manifest's prelude),
+/// then the 3 × 2 × 2 parameter sweep.
 pub fn fig11_fcp(params: &ExperimentParams) -> Vec<Fig11Row> {
-    let manips = [
-        ("x+1", FcpManipulation::Increment),
-        ("2x", FcpManipulation::Double),
-        ("x^2", FcpManipulation::Square),
-    ];
-    let geoms = [("512B", 512u64), ("1KB", 1024)];
-    let bits = [2u32, 3];
-    // Per robot: one no-FCP baseline, then the 3 x 2 x 2 parameter sweep.
-    let mut jobs: Vec<CampaignJob> = Vec::new();
-    let mut labels: Vec<String> = Vec::new();
-    for robot in RobotKind::all() {
-        jobs.push((
-            robot,
-            MachineConfig::upgraded_baseline(),
-            SoftwareConfig::legacy(),
-        ));
-        labels.push(String::new());
-        for (mlabel, m) in manips {
-            for (glabel, region) in geoms {
-                for l in bits {
-                    let mut hw = MachineConfig::upgraded_baseline();
-                    hw.fcp = Some(FcpConfig {
-                        region_bytes: region,
-                        xor_bits: l,
-                        manipulation: m,
-                    });
-                    jobs.push((robot, hw, SoftwareConfig::legacy()));
-                    labels.push(format!("{glabel}-{l}b {mlabel}"));
-                }
-            }
-        }
-    }
-    let outcomes = run_campaign(&jobs, params);
-    let per_robot = 1 + manips.len() * geoms.len() * bits.len();
+    let (_, plan) = checked(manifests::FIG11_FCP);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let per_robot = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
-    for (chunk, labels) in outcomes
+    for (chunk, jobs) in outcomes
         .chunks_exact(per_robot)
-        .zip(labels.chunks_exact(per_robot))
+        .zip(plan.jobs.chunks_exact(per_robot))
     {
         let base = &chunk[0];
         let base_time = base.wall_cycles as f64;
         let base_misses = base.stats.l2.demand_misses().max(1) as f64;
-        for (out, label) in chunk.iter().zip(labels).skip(1) {
+        for (out, job) in chunk.iter().zip(jobs).skip(1) {
             rows.push(Fig11Row {
                 robot: out.robot,
-                config: label.clone(),
+                config: job.label.clone(),
                 normalized_time: out.wall_cycles as f64 / base_time,
                 normalized_l2_misses: out.stats.l2.demand_misses() as f64 / base_misses,
             });
@@ -779,56 +706,42 @@ pub struct Fig12Row {
     /// Robot name or `"GMean"`.
     pub robot: &'static str,
     /// `"legacy"`, `"optimized"`, or `"approximable"`.
-    pub software: &'static str,
+    pub software: String,
     /// Speedup of Tartan over the upgraded baseline running legacy
     /// software.
     pub speedup: f64,
 }
 
 /// Fig. 12: end-to-end Tartan speedup for the three software tiers
-/// (paper: 1.2× legacy, 1.61× optimized, 2.11× approximable).
+/// (paper: 1.2× legacy, 1.61× optimized, 2.11× approximable). Per robot:
+/// the upgraded-baseline reference (prelude), then Tartan per tier.
 pub fn fig12_end_to_end(params: &ExperimentParams) -> Vec<Fig12Row> {
-    let tiers = [
-        ("legacy", SoftwareConfig::legacy()),
-        ("optimized", SoftwareConfig::optimized()),
-        ("approximable", SoftwareConfig::approximable()),
-    ];
-    // Per robot: the upgraded-baseline reference, then Tartan per tier.
-    let jobs: Vec<CampaignJob> = RobotKind::all()
-        .iter()
-        .flat_map(|&robot| {
-            std::iter::once((
-                robot,
-                MachineConfig::upgraded_baseline(),
-                SoftwareConfig::legacy(),
-            ))
-            .chain(
-                tiers
-                    .iter()
-                    .map(move |(_, sw)| (robot, MachineConfig::tartan(), *sw)),
-            )
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::FIG12_END_TO_END);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let per_robot = plan.groups[0].variants_per_robot;
+    let tiers = per_robot - 1;
     let mut rows = Vec::new();
-    let mut per_tier: Vec<Vec<f64>> = vec![Vec::new(); tiers.len()];
-    for chunk in outcomes.chunks_exact(1 + tiers.len()) {
+    let mut per_tier: Vec<Vec<f64>> = vec![Vec::new(); tiers];
+    for (chunk, jobs) in outcomes
+        .chunks_exact(per_robot)
+        .zip(plan.jobs.chunks_exact(per_robot))
+    {
         let base = &chunk[0];
-        for (i, ((label, _), out)) in tiers.iter().zip(&chunk[1..]).enumerate() {
+        for (i, (out, job)) in chunk[1..].iter().zip(&jobs[1..]).enumerate() {
             let speedup = base.wall_cycles as f64 / out.wall_cycles as f64;
             per_tier[i].push(speedup);
             rows.push(Fig12Row {
                 robot: out.robot,
-                software: label,
+                software: job.label.clone(),
                 speedup,
             });
         }
     }
-    for (i, (label, _)) in tiers.iter().enumerate() {
+    for (job, speedups) in plan.jobs[1..per_robot].iter().zip(&per_tier) {
         rows.push(Fig12Row {
             robot: "GMean",
-            software: label,
-            speedup: gmean(per_tier[i].iter().copied()),
+            software: job.label.clone(),
+            speedup: gmean(speedups.iter().copied()),
         });
     }
     rows
@@ -862,16 +775,8 @@ pub struct UpgradeRow {
 /// §III-A: 32 B cachelines cut unnecessary data movement; write-through
 /// producer/consumer regions cut L3 traffic.
 pub fn baseline_upgrades(params: &ExperimentParams) -> Vec<UpgradeRow> {
-    let jobs: Vec<CampaignJob> = [RobotKind::DeliBot, RobotKind::HomeBot, RobotKind::CarriBot]
-        .iter()
-        .flat_map(|&robot| {
-            [
-                (robot, MachineConfig::legacy_baseline(), SoftwareConfig::legacy()),
-                (robot, MachineConfig::upgraded_baseline(), SoftwareConfig::legacy()),
-            ]
-        })
-        .collect();
-    let outcomes = run_campaign(&jobs, params);
+    let (_, plan) = checked(manifests::BASELINE_UPGRADES);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
     let mut rows = Vec::new();
     for pair in outcomes.chunks_exact(2) {
         let (legacy, upgraded) = (&pair[0], &pair[1]);
@@ -919,43 +824,26 @@ pub struct AblationRow {
 
 /// Design-choice ablations the paper discusses but does not plot:
 /// ANL's region size (§VI-D argues 1 KB minimizes overprediction) and
-/// OVEC's address-generation latency (§VIII-A estimates 5 cycles).
+/// OVEC's address-generation latency (§VIII-A estimates 5 cycles). Both
+/// sweeps run DeliBot on Tartan with the optimized software tier; the
+/// second variant of each group is Tartan's default and the normalization
+/// baseline.
 pub fn ablations(params: &ExperimentParams) -> Vec<AblationRow> {
-    const ANL_REGIONS: [u64; 4] = [512, 1024, 2048, 4096];
-    const OVEC_LATENCIES: [u64; 4] = [1, 5, 10, 20];
-    // ANL region-size sweep on DeliBot (the grid-walking robot), then OVEC
-    // address-generation latency sensitivity on the same robot.
-    let mut sw = SoftwareConfig::optimized();
-    sw.nns = NnsKind::Vln;
-    let mut jobs: Vec<CampaignJob> = Vec::new();
-    for region in ANL_REGIONS {
-        let mut hw = MachineConfig::tartan();
-        hw.anl_region_bytes = region;
-        jobs.push((RobotKind::DeliBot, hw, sw));
-    }
-    for lat in OVEC_LATENCIES {
-        let mut hw = MachineConfig::tartan();
-        hw.ovec_addr_gen_latency = lat;
-        jobs.push((RobotKind::DeliBot, hw, SoftwareConfig::optimized()));
-    }
-    let outcomes = run_campaign(&jobs, params);
-    let (anl, ovec) = outcomes.split_at(ANL_REGIONS.len());
+    let (_, plan) = checked(manifests::ABLATIONS);
+    let outcomes = run_campaign(&campaign_jobs(&plan), params);
     let mut rows = Vec::new();
-    let base_time = anl[1].wall_cycles as f64; // 1 KB region is the default
-    for (region, out) in ANL_REGIONS.iter().zip(anl) {
-        rows.push(AblationRow {
-            config: format!("ANL region {region}B"),
-            normalized_time: out.wall_cycles as f64 / base_time,
-            accuracy: out.stats.l2.accuracy(),
-        });
-    }
-    let base = ovec[1].wall_cycles as f64; // 5 cycles is the default
-    for (lat, out) in OVEC_LATENCIES.iter().zip(ovec) {
-        rows.push(AblationRow {
-            config: format!("OVEC addr-gen {lat}cy"),
-            normalized_time: out.wall_cycles as f64 / base,
-            accuracy: 0.0,
-        });
+    for (gi, group) in plan.groups.iter().enumerate() {
+        let chunk = &outcomes[group.first..group.first + group.len];
+        let jobs = plan.group_jobs(gi);
+        let base_time = chunk[1].wall_cycles as f64; // the default setting
+        let is_anl = gi == 0;
+        for (out, job) in chunk.iter().zip(jobs) {
+            rows.push(AblationRow {
+                config: job.label.clone(),
+                normalized_time: out.wall_cycles as f64 / base_time,
+                accuracy: if is_anl { out.stats.l2.accuracy() } else { 0.0 },
+            });
+        }
     }
     rows
 }
@@ -1002,6 +890,18 @@ pub fn format_table1() -> String {
 mod tests {
     use super::*;
     use crate::runner::run_robot;
+    use tartan_robots::SoftwareConfig;
+    use tartan_sim::MachineConfig;
+
+    #[test]
+    fn every_checked_in_manifest_parses_and_expands() {
+        for (file, manifest) in manifests::ALL {
+            let spec = ScenarioSpec::from_json(manifest)
+                .unwrap_or_else(|e| panic!("{file}: {e}"));
+            let plan = spec.expand().unwrap_or_else(|e| panic!("{file}: {e}"));
+            assert!(!plan.jobs.is_empty(), "{file}: empty plan");
+        }
+    }
 
     #[test]
     fn fig6_shapes_hold_at_quick_scale() {

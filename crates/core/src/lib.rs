@@ -29,4 +29,5 @@ pub use runner::{
 };
 
 pub use tartan_robots::{NeuralExec, NnsKind, RobotKind, Scale, SoftwareConfig};
+pub use tartan_scenario::{ConfigId, Plan, PlannedJob, RunParams, ScenarioError, ScenarioSpec};
 pub use tartan_sim::{FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind};

@@ -2,6 +2,7 @@
 //! snapshots everything the figures need.
 
 use tartan_robots::{RobotKind, Scale, SoftwareConfig};
+use tartan_scenario::{ConfigId, RunParams};
 use tartan_sim::telemetry::{
     CacheCounters, FaultCounters, PhaseEntry, Report, ReportBuilder, RobotRunStats, ScopeCounters,
     SupervisionCounters,
@@ -35,6 +36,26 @@ impl ExperimentParams {
             scale: Scale::paper(),
             steps: 3,
             seed: 42,
+        }
+    }
+}
+
+impl From<RunParams> for ExperimentParams {
+    fn from(p: RunParams) -> Self {
+        ExperimentParams {
+            scale: p.scale,
+            steps: p.steps,
+            seed: p.seed,
+        }
+    }
+}
+
+impl From<ExperimentParams> for RunParams {
+    fn from(p: ExperimentParams) -> Self {
+        RunParams {
+            scale: p.scale,
+            steps: p.steps,
+            seed: p.seed,
         }
     }
 }
@@ -82,13 +103,14 @@ impl RunOutcome {
         }
     }
 
-    /// Converts the outcome into one versioned `stats.json` run record
-    /// (`config` labels the hardware/software combination, e.g.
-    /// `"tartan"`).
-    pub fn to_run_stats(&self, config: &str) -> RobotRunStats {
+    /// Converts the outcome into one versioned `stats.json` run record.
+    /// The hardware/software combination is labeled by its canonical
+    /// [`ConfigId`] — the single rendering point for config labels, so
+    /// exports can't drift between harnesses.
+    pub fn to_run_stats(&self, config: &ConfigId) -> RobotRunStats {
         RobotRunStats {
             robot: self.robot.to_string(),
-            config: config.to_string(),
+            config: config.as_str().to_string(),
             wall_cycles: self.wall_cycles,
             instructions: self.instructions,
             quality: self.quality,
@@ -309,7 +331,7 @@ mod tests {
         // The outcome round-trips through the versioned stats.json schema.
         let json = tartan_sim::telemetry::StatsExport {
             generator: "runner_test".into(),
-            runs: vec![out.to_run_stats("legacy")],
+            runs: vec![out.to_run_stats(&ConfigId::Baseline)],
         }
         .to_json();
         tartan_sim::telemetry::validate_stats_json(&json).unwrap();

@@ -31,7 +31,7 @@ pub use homebot::HomeBot;
 pub use movebot::MoveBot;
 pub use patrolbot::PatrolBot;
 
-use tartan_kernels::raycast::VecMethod;
+pub use tartan_kernels::raycast::VecMethod;
 use tartan_sim::telemetry::SupervisionCounters;
 use tartan_sim::{Machine, MachineConfig};
 
@@ -105,6 +105,26 @@ impl SoftwareConfig {
             neural: NeuralExec::Npu,
             ..Self::optimized()
         }
+    }
+
+    /// Canonical preset names, matching the paper's three software tiers.
+    pub const PRESETS: [&'static str; 3] = ["legacy", "optimized", "approximable"];
+
+    /// Builds a preset by its canonical name (see [`Self::PRESETS`]).
+    pub fn from_preset(name: &str) -> Option<SoftwareConfig> {
+        match name {
+            "legacy" => Some(Self::legacy()),
+            "optimized" => Some(Self::optimized()),
+            "approximable" => Some(Self::approximable()),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of this configuration, if it equals a preset.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        Self::PRESETS
+            .into_iter()
+            .find(|name| Self::from_preset(name).as_ref() == Some(self))
     }
 
     /// Downgrades requests the hardware cannot honor (OVEC instructions on
@@ -181,6 +201,25 @@ impl Scale {
             cnn_input: 32,
             delibot_grid: 64,
         }
+    }
+
+    /// Canonical preset names.
+    pub const PRESETS: [&'static str; 2] = ["small", "paper"];
+
+    /// Builds a preset by its canonical name (see [`Self::PRESETS`]).
+    pub fn from_preset(name: &str) -> Option<Scale> {
+        match name {
+            "small" => Some(Self::small()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of this scale, if it equals a preset.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        Self::PRESETS
+            .into_iter()
+            .find(|name| Self::from_preset(name).as_ref() == Some(self))
     }
 
     /// The scale used by the paper-figure harnesses (Table II topologies).
@@ -267,6 +306,11 @@ impl RobotKind {
             RobotKind::FlyBot,
             RobotKind::CarriBot,
         ]
+    }
+
+    /// Looks a robot up by the name the paper spells (`"DeliBot"`, …).
+    pub fn from_name(name: &str) -> Option<RobotKind> {
+        Self::all().into_iter().find(|k| k.name() == name)
     }
 
     /// The robot's name.
@@ -365,6 +409,25 @@ mod tests {
             assert!(!kind.resembling().is_empty());
             assert!(kind.algorithms().contains(','));
             assert!(kind.pipeline_threads().contains("->"));
+            assert_eq!(RobotKind::from_name(kind.name()), Some(kind));
         }
+        assert_eq!(RobotKind::from_name("RoboCop"), None);
+    }
+
+    #[test]
+    fn software_and_scale_presets_round_trip_their_names() {
+        for name in SoftwareConfig::PRESETS {
+            assert_eq!(
+                SoftwareConfig::from_preset(name).unwrap().preset_name(),
+                Some(name)
+            );
+        }
+        for name in Scale::PRESETS {
+            assert_eq!(Scale::from_preset(name).unwrap().preset_name(), Some(name));
+        }
+        let mut custom = SoftwareConfig::legacy();
+        custom.interpolate_raycast = true;
+        assert_eq!(custom.preset_name(), None);
+        assert!(SoftwareConfig::from_preset("hyper").is_none());
     }
 }

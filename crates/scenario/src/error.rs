@@ -1,0 +1,52 @@
+//! Scenario errors: one offending field path plus one reason, always
+//! rendered as a single line.
+
+/// A rejected scenario: which field is wrong and why.
+///
+/// Rendered as one line, `<path>: <reason>` (e.g.
+/// `groups[2].machine.l2.ways: must be at least 1`), so CLIs and CI can
+/// surface it verbatim. The path is relative to the scenario document
+/// root; a parse error before any field exists uses the path `$`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// Dotted path of the offending field (array steps as `[i]`).
+    pub path: String,
+    /// Why the value is unusable.
+    pub reason: String,
+}
+
+impl ScenarioError {
+    /// Builds an error for one field.
+    pub fn new(path: impl Into<String>, reason: impl Into<String>) -> Self {
+        ScenarioError {
+            path: path.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a document-level error (JSON syntax, wrong root type, …).
+    pub fn document(reason: impl Into<String>) -> Self {
+        Self::new("$", reason)
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.reason)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_as_one_line() {
+        let e = ScenarioError::new("groups[2].machine.l2.ways", "must be at least 1");
+        assert_eq!(e.to_string(), "groups[2].machine.l2.ways: must be at least 1");
+        assert!(!e.to_string().contains('\n'));
+        assert_eq!(ScenarioError::document("not JSON").to_string(), "$: not JSON");
+    }
+}

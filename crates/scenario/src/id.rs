@@ -1,0 +1,94 @@
+//! Canonical configuration identity: the single place a
+//! `(machine, software)` pair is turned into the label that appears in
+//! stats exports, CSV rows, and benchmark baselines.
+//!
+//! Before this type existed, every harness and the tier-1 benchmark
+//! carried its own `&str` label and they had to agree by convention.
+//! [`ConfigId::of`] now derives the label from the configs themselves, and
+//! [`ConfigId::as_str`] is the only rendering point.
+
+use tartan_robots::SoftwareConfig;
+use tartan_sim::MachineConfig;
+
+/// The canonical identity of a `(machine, software)` configuration pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConfigId {
+    /// The legacy baseline host running legacy software.
+    LegacyBaseline,
+    /// The upgraded baseline of §III-A running legacy software — the
+    /// reference configuration every figure normalizes to.
+    Baseline,
+    /// Full Tartan running fully approximable software — the paper's
+    /// headline configuration.
+    Tartan,
+    /// Anything else, labeled `<machine>+<software>` from the preset names
+    /// (or `custom` for a non-preset side).
+    Custom(String),
+}
+
+impl ConfigId {
+    /// Derives the canonical identity of a configuration pair.
+    pub fn of(machine: &MachineConfig, software: &SoftwareConfig) -> ConfigId {
+        match (machine.preset_name(), software.preset_name()) {
+            (Some("legacy_baseline"), Some("legacy")) => ConfigId::LegacyBaseline,
+            (Some("upgraded_baseline"), Some("legacy")) => ConfigId::Baseline,
+            (Some("tartan"), Some("approximable")) => ConfigId::Tartan,
+            (hw, sw) => ConfigId::Custom(format!(
+                "{}+{}",
+                hw.unwrap_or("custom"),
+                sw.unwrap_or("custom")
+            )),
+        }
+    }
+
+    /// The rendered label. The three named pairs keep the short labels the
+    /// exports have always used (`legacy-baseline`, `baseline`, `tartan`),
+    /// so schema-stable artifacts like `BENCH_tier1.json` are unchanged.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ConfigId::LegacyBaseline => "legacy-baseline",
+            ConfigId::Baseline => "baseline",
+            ConfigId::Tartan => "tartan",
+            ConfigId::Custom(s) => s,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_pairs_get_short_labels() {
+        assert_eq!(
+            ConfigId::of(&MachineConfig::legacy_baseline(), &SoftwareConfig::legacy()),
+            ConfigId::LegacyBaseline
+        );
+        assert_eq!(
+            ConfigId::of(&MachineConfig::upgraded_baseline(), &SoftwareConfig::legacy()),
+            ConfigId::Baseline
+        );
+        assert_eq!(
+            ConfigId::of(&MachineConfig::tartan(), &SoftwareConfig::approximable()),
+            ConfigId::Tartan
+        );
+        assert_eq!(ConfigId::Baseline.as_str(), "baseline");
+        assert_eq!(ConfigId::Tartan.as_str(), "tartan");
+    }
+
+    #[test]
+    fn off_diagonal_pairs_are_custom() {
+        let id = ConfigId::of(&MachineConfig::tartan(), &SoftwareConfig::optimized());
+        assert_eq!(id, ConfigId::Custom("tartan+optimized".into()));
+        let mut hw = MachineConfig::tartan();
+        hw.mlp += 1;
+        let id = ConfigId::of(&hw, &SoftwareConfig::legacy());
+        assert_eq!(id.as_str(), "custom+legacy");
+    }
+}

@@ -1,0 +1,47 @@
+//! Declarative scenario layer for Tartan experiments.
+//!
+//! A *scenario* is a checked-in JSON document describing one experiment
+//! campaign: which machine configurations, which software configurations,
+//! which robots, at what scale, and how the sweep axes expand into an
+//! ordered job list. The figure harnesses in `tartan-core` and the
+//! `tartan_run` CLI both consume scenarios, so "what did this experiment
+//! run?" has exactly one answer — the manifest — instead of being encoded
+//! ad hoc in each harness.
+//!
+//! The crate is dependency-free beyond the workspace's own `tartan-sim`,
+//! `tartan-robots`, and `tartan-telemetry` (for the JSON writer): the
+//! environment is offline, so serialization is hand-rolled in
+//! [`json`] with exact (raw-text) number round-trips.
+//!
+//! Pipeline:
+//!
+//! 1. [`ScenarioSpec::from_json`] parses + structurally validates (unknown
+//!    fields, keyword spellings, schema version) with single-line,
+//!    path-qualified [`ScenarioError`]s.
+//! 2. [`ScenarioSpec::expand`] merges preset + override specs, takes the
+//!    cartesian product of the sweep axes, resolves every variant into a
+//!    validated `MachineConfig`/`SoftwareConfig`, and returns a [`Plan`]
+//!    whose job order is deterministic.
+//! 3. Callers run the [`Plan`]'s jobs (e.g. through `tartan-core`'s
+//!    campaign engine) and label rows with the expansion's labels and the
+//!    canonical [`ConfigId`].
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod expand;
+pub mod id;
+pub mod json;
+pub mod spec;
+
+pub use error::ScenarioError;
+pub use expand::{
+    AxisSpec, GroupPlan, GroupSpec, Plan, PlannedJob, RobotsSpec, RunParams, ScenarioSpec,
+    SweepOrder, VariantSpec,
+};
+pub use id::ConfigId;
+pub use json::JsonValue;
+pub use spec::{
+    AdjustOp, CacheSpec, FaultSpec, FcpSpec, MachineSpec, ParamsSpec, ScaleAdjust, SoftwareSpec,
+    SCALE_FIELDS, SCENARIO_SCHEMA_VERSION,
+};

@@ -1,0 +1,327 @@
+//! Round-trip property test: for any scenario spec, `parse(render(spec))`
+//! must be the identity, and the rendered document must be a fixed point
+//! of parse∘render. Specs are generated from a seeded xorshift generator
+//! so failures are reproducible; on divergence the test reports the first
+//! differing line of the two specs' debug trees plus the rendered JSON.
+
+use tartan_scenario::{
+    AdjustOp, AxisSpec, CacheSpec, FaultSpec, FcpSpec, GroupSpec, MachineSpec, ParamsSpec,
+    RobotsSpec, ScaleAdjust, ScenarioSpec, SoftwareSpec, SweepOrder, VariantSpec, SCALE_FIELDS,
+};
+
+use tartan_robots::{NeuralExec, NnsKind, RobotKind, VecMethod};
+use tartan_sim::{FcpManipulation, NpuMode, PrefetcherKind, VectorIsa};
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// `Some(gen(self))` with probability 1/3 — most spec fields stay
+    /// omitted, like real manifests.
+    fn opt<T>(&mut self, gen: impl FnOnce(&mut Rng) -> T) -> Option<T> {
+        if self.below(3) == 0 {
+            Some(gen(self))
+        } else {
+            None
+        }
+    }
+
+    fn coin(&mut self) -> bool {
+        self.below(2) == 0
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// A string from a pool that stresses the JSON escaper: quotes,
+    /// backslashes, control characters, and non-ASCII.
+    fn string(&mut self, max_len: u64) -> String {
+        const POOL: [char; 14] = [
+            'a', 'B', '3', '_', '-', ' ', '"', '\\', '\n', '\t', '\u{1}', 'λ', '→', '𝛑',
+        ];
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| POOL[self.below(14) as usize]).collect()
+    }
+
+    /// A scenario name: the layer only accepts `[A-Za-z0-9_-]+`.
+    fn name(&mut self) -> String {
+        const POOL: [char; 6] = ['a', 'Z', '7', '_', '-', 'q'];
+        let len = 1 + self.below(8);
+        (0..len).map(|_| POOL[self.below(6) as usize]).collect()
+    }
+
+    fn f64(&mut self) -> f64 {
+        self.below(1_000_000) as f64 / 4096.0
+    }
+}
+
+fn gen_cache(r: &mut Rng) -> CacheSpec {
+    CacheSpec {
+        size_bytes: r.opt(|r| 1 + r.below(1 << 24)),
+        ways: r.opt(|r| 1 + r.below(32) as u32),
+        latency: r.opt(|r| 1 + r.below(100)),
+    }
+}
+
+fn gen_fcp(r: &mut Rng) -> FcpSpec {
+    FcpSpec {
+        region_bytes: r.opt(|r| 1 << (5 + r.below(8))),
+        xor_bits: r.opt(|r| 1 + r.below(4) as u32),
+        manipulation: r.opt(|r| {
+            r.pick(&[
+                FcpManipulation::Increment,
+                FcpManipulation::Double,
+                FcpManipulation::Square,
+            ])
+        }),
+    }
+}
+
+fn gen_fault(r: &mut Rng) -> FaultSpec {
+    FaultSpec {
+        seed: r.opt(|r| r.next()),
+        accel_error_rate: r.opt(Rng::f64),
+        accel_error_magnitude: r.opt(Rng::f64),
+        accel_bitflip_rate: r.opt(Rng::f64),
+        accel_fail_rate: r.opt(Rng::f64),
+        mem_spike_rate: r.opt(Rng::f64),
+        mem_spike_cycles: r.opt(|r| r.below(10_000)),
+    }
+}
+
+fn gen_machine(r: &mut Rng) -> MachineSpec {
+    MachineSpec {
+        preset: r.opt(|r| {
+            r.pick(&["legacy_baseline", "upgraded_baseline", "tartan"])
+                .to_string()
+        }),
+        cores: r.opt(|r| 1 + r.below(64) as usize),
+        line_bytes: r.opt(|r| 1 << (4 + r.below(4))),
+        l1: r.opt(gen_cache),
+        l2: r.opt(gen_cache),
+        l3: r.opt(gen_cache),
+        dram_latency: r.opt(|r| 1 + r.below(1000)),
+        dram_bytes_per_cycle: r.opt(|r| 1 + r.below(256)),
+        issue_width: r.opt(|r| 1 + r.below(16)),
+        mlp: r.opt(|r| 1 + r.below(64)),
+        l1_ports: r.opt(|r| 1 + r.below(8)),
+        vector_isa: r.opt(|r| r.pick(&[VectorIsa::Avx2, VectorIsa::Avx512])),
+        ovec: r.opt(Rng::coin),
+        ovec_addr_gen_latency: r.opt(|r| 1 + r.below(50)),
+        prefetcher: r.opt(|r| {
+            r.pick(&[
+                PrefetcherKind::None,
+                PrefetcherKind::NextLine,
+                PrefetcherKind::Anl,
+                PrefetcherKind::Bingo,
+            ])
+        }),
+        anl_region_bytes: r.opt(|r| 1 << (6 + r.below(8))),
+        fcp: r.opt(|r| r.opt(gen_fcp)),
+        npu: r.opt(|r| match r.below(3) {
+            0 => NpuMode::None,
+            1 => NpuMode::Integrated {
+                pes: 1 + r.below(16) as u32,
+            },
+            _ => NpuMode::Coprocessor,
+        }),
+        npu_mac_latency: r.opt(|r| 1 + r.below(16)),
+        npu_comm_latency: r.opt(|r| 1 + r.below(500)),
+        npu_coproc_comm_latency: r.opt(|r| 1 + r.below(5000)),
+        write_through_regions: r.opt(Rng::coin),
+        intel_lvs: r.opt(Rng::coin),
+        fault_plan: r.opt(|r| r.opt(gen_fault)),
+    }
+}
+
+fn gen_software(r: &mut Rng) -> SoftwareSpec {
+    SoftwareSpec {
+        preset: r.opt(|r| r.pick(&["legacy", "optimized", "approximable"]).to_string()),
+        vec_method: r.opt(|r| {
+            r.pick(&[
+                VecMethod::Scalar,
+                VecMethod::Gather,
+                VecMethod::Ovec,
+                VecMethod::Racod,
+            ])
+        }),
+        nns: r.opt(|r| r.pick(&[NnsKind::Brute, NnsKind::KdTree, NnsKind::Flann, NnsKind::Vln])),
+        neural: r.opt(|r| r.pick(&[NeuralExec::None, NeuralExec::Npu, NeuralExec::Software])),
+        interpolate_raycast: r.opt(Rng::coin),
+    }
+}
+
+fn gen_variant(r: &mut Rng) -> VariantSpec {
+    VariantSpec {
+        label: r.string(6),
+        machine: gen_machine(r),
+        software: gen_software(r),
+    }
+}
+
+fn gen_axis(r: &mut Rng) -> AxisSpec {
+    let n = 1 + r.below(3);
+    AxisSpec {
+        name: r.opt(|r| r.string(8)),
+        variants: (0..n).map(|_| gen_variant(r)).collect(),
+    }
+}
+
+fn gen_group(r: &mut Rng) -> GroupSpec {
+    let robots = if r.coin() {
+        RobotsSpec::All
+    } else {
+        let n = 1 + r.below(4);
+        RobotsSpec::List((0..n).map(|_| r.pick(&RobotKind::all())).collect())
+    };
+    GroupSpec {
+        name: r.opt(|r| r.string(8)),
+        robots,
+        order: if r.coin() {
+            SweepOrder::RobotsOuter
+        } else {
+            SweepOrder::AxesOuter
+        },
+        machine: gen_machine(r),
+        software: gen_software(r),
+        prelude: {
+            let n = r.below(3);
+            (0..n).map(|_| gen_variant(r)).collect()
+        },
+        axes: {
+            let n = r.below(3);
+            (0..n).map(|_| gen_axis(r)).collect()
+        },
+        label_format: r.opt(|r| {
+            let mut f = r.string(4);
+            f.push_str("{0}");
+            f
+        }),
+    }
+}
+
+fn gen_params(r: &mut Rng) -> ParamsSpec {
+    ParamsSpec {
+        scale: r.opt(|r| r.pick(&["small", "paper"]).to_string()),
+        steps: r.opt(|r| 1 + r.below(10)),
+        seed: r.opt(Rng::next),
+        adjust: {
+            let n = r.below(3);
+            (0..n)
+                .map(|_| ScaleAdjust {
+                    field: r.pick(&SCALE_FIELDS).to_string(),
+                    op: if r.coin() {
+                        AdjustOp::Set(1 + r.below(1 << 20))
+                    } else {
+                        AdjustOp::Mul(1 + r.below(64))
+                    },
+                })
+                .collect()
+        },
+    }
+}
+
+fn gen_spec(r: &mut Rng) -> ScenarioSpec {
+    let n_groups = 1 + r.below(3);
+    ScenarioSpec {
+        name: r.name(),
+        title: r.opt(|r| r.string(20)),
+        params: gen_params(r),
+        machine: gen_machine(r),
+        software: gen_software(r),
+        groups: (0..n_groups).map(|_| gen_group(r)).collect(),
+    }
+}
+
+/// The first line at which the two pretty-debug trees diverge — the
+/// actionable part of an otherwise enormous assert_eq dump.
+fn first_divergence(a: &ScenarioSpec, b: &ScenarioSpec) -> String {
+    let (da, db) = (format!("{a:#?}"), format!("{b:#?}"));
+    for (i, (la, lb)) in da.lines().zip(db.lines()).enumerate() {
+        if la != lb {
+            return format!(
+                "first divergence at debug line {}:\n  rendered+parsed: {la}\n  original:        {lb}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "debug trees share a prefix but differ in length ({} vs {} lines)",
+        da.lines().count(),
+        db.lines().count()
+    )
+}
+
+#[test]
+fn parse_render_roundtrip_holds_for_random_specs() {
+    let mut rng = Rng::new(0x005e_ed7a_47a4_u64);
+    for case in 0..400 {
+        let spec = gen_spec(&mut rng);
+        let rendered = spec.to_json();
+        let reparsed = ScenarioSpec::from_json(&rendered).unwrap_or_else(|e| {
+            panic!("case {case}: rendered spec does not re-parse: {e}\n--- rendered ---\n{rendered}")
+        });
+        assert!(
+            reparsed == spec,
+            "case {case}: parse(render(spec)) != spec\n{}\n--- rendered ---\n{rendered}",
+            first_divergence(&reparsed, &spec)
+        );
+        // Render must also be a fixed point: a second render of the
+        // reparsed spec reproduces the document byte for byte.
+        assert_eq!(
+            reparsed.to_json(),
+            rendered,
+            "case {case}: render is not a fixed point of parse∘render"
+        );
+    }
+}
+
+#[test]
+fn checked_in_manifest_shapes_roundtrip() {
+    // A hand-written nested document (prelude + multi-axis product +
+    // label format + triple-state fcp/fault) as a fixed regression case.
+    let doc = r#"{
+        "schema_version": 1,
+        "name": "rt",
+        "title": "round-trip \"quoted\" λ",
+        "params": {"scale": "paper", "steps": 3, "adjust": [{"field": "rays", "mul": 2}]},
+        "machine": {"preset": "tartan", "fcp": null},
+        "software": {"preset": "optimized"},
+        "groups": [
+            {
+                "robots": ["DeliBot", "FlyBot"],
+                "order": "axes_outer",
+                "machine": {"fcp": {"xor_bits": 3}, "fault_plan": null},
+                "prelude": [{"label": "ref"}],
+                "axes": [
+                    {"name": "size", "variants": [{"label": "512B", "machine": {"anl_region_bytes": 512}}]},
+                    {"variants": [{"label": "x", "software": {"nns": "vln"}}]}
+                ],
+                "label_format": "{0} {1}"
+            }
+        ]
+    }"#;
+    let spec = ScenarioSpec::from_json(doc).expect("fixture parses");
+    let rendered = spec.to_json();
+    let reparsed = ScenarioSpec::from_json(&rendered).expect("render re-parses");
+    assert!(reparsed == spec, "{}", first_divergence(&reparsed, &spec));
+    assert_eq!(reparsed.to_json(), rendered);
+}

@@ -1,7 +1,39 @@
 //! Machine configuration: the baseline processor of §III-A and every knob
-//! Tartan adds to it.
+//! Tartan adds to it, plus [`MachineConfig::validate`] — the single place
+//! that decides whether a configuration is constructible.
 
 use crate::fault::FaultPlan;
+
+/// A rejected configuration: which field is wrong and why.
+///
+/// Rendered as one line, `<path>: <reason>` (e.g.
+/// `l2.ways: must be at least 1`), so harnesses and the scenario layer can
+/// surface it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field, relative to the machine config
+    /// (e.g. `fcp.xor_bits`).
+    pub path: String,
+    /// Why the value is unusable.
+    pub reason: String,
+}
+
+impl ConfigError {
+    fn new(path: &str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            path: path.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Vector ISA generation, which fixes the number of 32-bit lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -236,6 +268,178 @@ impl MachineConfig {
     pub fn sets(&self, level: CacheConfig) -> u64 {
         level.size_bytes / (self.line_bytes * u64::from(level.ways))
     }
+
+    /// Canonical preset names, in the order the paper introduces them.
+    pub const PRESETS: [&'static str; 3] = ["legacy_baseline", "upgraded_baseline", "tartan"];
+
+    /// Builds a preset by its canonical name (see [`Self::PRESETS`]).
+    pub fn from_preset(name: &str) -> Option<MachineConfig> {
+        match name {
+            "legacy_baseline" => Some(Self::legacy_baseline()),
+            "upgraded_baseline" => Some(Self::upgraded_baseline()),
+            "tartan" => Some(Self::tartan()),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of this configuration, if it equals a preset.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        Self::PRESETS
+            .into_iter()
+            .find(|name| Self::from_preset(name).as_ref() == Some(self))
+    }
+
+    /// Checks every invariant the simulator's constructors rely on and
+    /// returns the first violation as a precise `path: reason` error.
+    ///
+    /// [`Machine::new`](crate::Machine::new) historically trusted its
+    /// input: degenerate geometries either tripped a bare `assert!` deep in
+    /// [`Cache::new`](crate::Cache::new) or divided by zero (a zero
+    /// `dram_bytes_per_cycle` or `issue_width`). This pass rejects all of
+    /// them up front with an actionable message; the scenario layer calls
+    /// it on every expanded job before any machine is built.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::new("cores", "must be at least 1"));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::new(
+                "line_bytes",
+                format!("must be a power of two (got {})", self.line_bytes),
+            ));
+        }
+        if self.line_bytes < 4 {
+            return Err(ConfigError::new(
+                "line_bytes",
+                format!("must be at least 4 bytes (got {})", self.line_bytes),
+            ));
+        }
+        for (name, level) in [("l1", self.l1), ("l2", self.l2), ("l3", self.l3)] {
+            self.validate_level(name, level)?;
+        }
+        if self.dram_bytes_per_cycle == 0 {
+            return Err(ConfigError::new(
+                "dram_bytes_per_cycle",
+                "must be at least 1 (the DRAM fill latency divides by it)",
+            ));
+        }
+        if self.issue_width == 0 {
+            return Err(ConfigError::new("issue_width", "must be at least 1"));
+        }
+        if self.mlp == 0 {
+            return Err(ConfigError::new("mlp", "must be at least 1"));
+        }
+        if self.l1_ports == 0 {
+            return Err(ConfigError::new("l1_ports", "must be at least 1"));
+        }
+        if !self.anl_region_bytes.is_power_of_two() || self.anl_region_bytes < self.line_bytes {
+            return Err(ConfigError::new(
+                "anl_region_bytes",
+                format!(
+                    "must be a power of two no smaller than line_bytes (got {} with {} B lines)",
+                    self.anl_region_bytes, self.line_bytes
+                ),
+            ));
+        }
+        if let Some(fcp) = self.fcp {
+            self.validate_fcp(fcp)?;
+        }
+        if let NpuMode::Integrated { pes } = self.npu {
+            if pes == 0 || !pes.is_power_of_two() || pes > 64 {
+                return Err(ConfigError::new(
+                    "npu.pes",
+                    format!("must be a power of two in 1..=64 (got {pes})"),
+                ));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            for (path, rate) in [
+                ("fault_plan.accel_error_rate", plan.accel_error_rate),
+                ("fault_plan.accel_bitflip_rate", plan.accel_bitflip_rate),
+                ("fault_plan.accel_fail_rate", plan.accel_fail_rate),
+                ("fault_plan.mem_spike_rate", plan.mem_spike_rate),
+            ] {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(ConfigError::new(
+                        path,
+                        format!("must be a probability in [0, 1] (got {rate})"),
+                    ));
+                }
+            }
+            if !plan.accel_error_magnitude.is_finite() || plan.accel_error_magnitude < 0.0 {
+                return Err(ConfigError::new(
+                    "fault_plan.accel_error_magnitude",
+                    format!("must be non-negative (got {})", plan.accel_error_magnitude),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_level(&self, name: &str, level: CacheConfig) -> Result<(), ConfigError> {
+        if level.ways == 0 {
+            return Err(ConfigError::new(&format!("{name}.ways"), "must be at least 1"));
+        }
+        let line_capacity = self.line_bytes * u64::from(level.ways);
+        if level.size_bytes < line_capacity {
+            return Err(ConfigError::new(
+                &format!("{name}.size_bytes"),
+                format!(
+                    "holds zero sets: {} B cannot fit {} ways of {} B lines",
+                    level.size_bytes, level.ways, self.line_bytes
+                ),
+            ));
+        }
+        let sets = self.sets(level);
+        if sets * line_capacity != level.size_bytes || !sets.is_power_of_two() {
+            return Err(ConfigError::new(
+                &format!("{name}.size_bytes"),
+                format!(
+                    "must yield a power-of-two set count ({} B / ({} ways x {} B lines) = {sets} sets)",
+                    level.size_bytes, level.ways, self.line_bytes
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_fcp(&self, fcp: FcpConfig) -> Result<(), ConfigError> {
+        if !fcp.region_bytes.is_power_of_two() || fcp.region_bytes < self.line_bytes {
+            return Err(ConfigError::new(
+                "fcp.region_bytes",
+                format!(
+                    "must be a power of two no smaller than line_bytes (got {} with {} B lines)",
+                    fcp.region_bytes, self.line_bytes
+                ),
+            ));
+        }
+        if fcp.xor_bits == 0 {
+            return Err(ConfigError::new("fcp.xor_bits", "must be at least 1"));
+        }
+        let lines_per_region = fcp.region_bytes / self.line_bytes;
+        if lines_per_region < (1 << fcp.xor_bits) {
+            return Err(ConfigError::new(
+                "fcp.xor_bits",
+                format!(
+                    "2^{} exceeds the {} lines per {} B region",
+                    fcp.xor_bits, lines_per_region, fcp.region_bytes
+                ),
+            ));
+        }
+        let index_bits = self.sets(self.l2).trailing_zeros();
+        if fcp.xor_bits > index_bits {
+            return Err(ConfigError::new(
+                "fcp.xor_bits",
+                format!(
+                    "{} exceeds the {} L2 set-index bits ({} sets)",
+                    fcp.xor_bits,
+                    index_bits,
+                    self.sets(self.l2)
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for MachineConfig {
@@ -289,5 +493,145 @@ mod tests {
         assert_eq!(FcpManipulation::Increment.apply(3), 4);
         assert_eq!(FcpManipulation::Double.apply(3), 6);
         assert_eq!(FcpManipulation::Square.apply(3), 9);
+    }
+
+    #[test]
+    fn presets_round_trip_their_names() {
+        for name in MachineConfig::PRESETS {
+            let cfg = MachineConfig::from_preset(name).expect("preset exists");
+            assert_eq!(cfg.preset_name(), Some(name));
+        }
+        assert!(MachineConfig::from_preset("warp-drive").is_none());
+        let mut custom = MachineConfig::tartan();
+        custom.mlp += 1;
+        assert_eq!(custom.preset_name(), None);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for name in MachineConfig::PRESETS {
+            MachineConfig::from_preset(name).unwrap().validate().unwrap();
+        }
+    }
+
+    /// Asserts that `validate()` rejects the config with an error whose
+    /// single-line rendering names `path` and contains `fragment`.
+    fn rejects(cfg: &MachineConfig, path: &str, fragment: &str) {
+        let err = cfg.validate().expect_err("config must be rejected");
+        assert_eq!(err.path, path, "wrong field blamed: {err}");
+        let line = err.to_string();
+        assert!(
+            line.starts_with(&format!("{path}: ")) && line.contains(fragment),
+            "unhelpful error: {line}"
+        );
+        assert!(!line.contains('\n'), "errors must be single-line: {line:?}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_set_caches() {
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.l2.size_bytes = cfg.line_bytes * u64::from(cfg.l2.ways) / 2;
+        rejects(&cfg, "l2.size_bytes", "zero sets");
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_set_counts() {
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.l3.size_bytes = 3 * 1024 * 1024;
+        rejects(&cfg, "l3.size_bytes", "power-of-two set count");
+    }
+
+    #[test]
+    fn validate_rejects_zero_ways() {
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.l1.ways = 0;
+        rejects(&cfg, "l1.ways", "at least 1");
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_lines() {
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.line_bytes = 48;
+        rejects(&cfg, "line_bytes", "power of two");
+    }
+
+    #[test]
+    fn validate_rejects_zero_dram_bandwidth() {
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.dram_bytes_per_cycle = 0;
+        rejects(&cfg, "dram_bytes_per_cycle", "at least 1");
+    }
+
+    #[test]
+    fn validate_rejects_zero_core_parameters() {
+        for (field, apply) in [
+            ("cores", (|c: &mut MachineConfig| c.cores = 0) as fn(&mut MachineConfig)),
+            ("issue_width", |c| c.issue_width = 0),
+            ("mlp", |c| c.mlp = 0),
+            ("l1_ports", |c| c.l1_ports = 0),
+        ] {
+            let mut cfg = MachineConfig::upgraded_baseline();
+            apply(&mut cfg);
+            rejects(&cfg, field, "at least 1");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_fcp_xor_bits_exceeding_region_lines() {
+        let mut cfg = MachineConfig::tartan();
+        // 1 KB regions of 32 B lines hold 32 lines = 2^5; l = 6 overflows.
+        cfg.fcp = Some(FcpConfig {
+            region_bytes: 1024,
+            xor_bits: 6,
+            manipulation: FcpManipulation::Square,
+        });
+        rejects(&cfg, "fcp.xor_bits", "lines per");
+    }
+
+    #[test]
+    fn validate_rejects_fcp_xor_bits_exceeding_index_bits() {
+        let mut cfg = MachineConfig::tartan();
+        // Shrink the L2 to 4 sets (2 index bits) while keeping a region
+        // large enough that the lines-per-region check passes first.
+        cfg.l2.size_bytes = 4 * cfg.line_bytes * u64::from(cfg.l2.ways);
+        cfg.fcp = Some(FcpConfig {
+            region_bytes: 1024,
+            xor_bits: 3,
+            manipulation: FcpManipulation::Square,
+        });
+        rejects(&cfg, "fcp.xor_bits", "set-index bits");
+    }
+
+    #[test]
+    fn validate_rejects_bad_fcp_regions_and_anl_regions() {
+        let mut cfg = MachineConfig::tartan();
+        cfg.fcp = Some(FcpConfig {
+            region_bytes: 768,
+            xor_bits: 2,
+            manipulation: FcpManipulation::Square,
+        });
+        rejects(&cfg, "fcp.region_bytes", "power of two");
+        let mut cfg = MachineConfig::tartan();
+        cfg.anl_region_bytes = 16; // smaller than the 32 B line
+        rejects(&cfg, "anl_region_bytes", "no smaller than line_bytes");
+    }
+
+    #[test]
+    fn validate_rejects_bad_npu_pe_counts() {
+        for pes in [0u32, 3, 128] {
+            let mut cfg = MachineConfig::tartan();
+            cfg.npu = NpuMode::Integrated { pes };
+            rejects(&cfg, "npu.pes", "power of two in 1..=64");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_insane_fault_plans() {
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.fault_plan = Some(FaultPlan::quiet(1).with_accel_failures(1.5));
+        rejects(&cfg, "fault_plan.accel_fail_rate", "probability in [0, 1]");
+        let mut cfg = MachineConfig::upgraded_baseline();
+        cfg.fault_plan = Some(FaultPlan::quiet(1).with_accel_errors(0.5, -0.1));
+        rejects(&cfg, "fault_plan.accel_error_magnitude", "non-negative");
     }
 }

@@ -54,7 +54,8 @@ pub use accel::{AccelId, Accelerator, InvokeCost};
 pub use alloc::Buffer;
 pub use cache::{AccessOutcome, Cache, EvictedLine, PrefetchOutcome};
 pub use config::{
-    CacheConfig, FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind, VectorIsa,
+    CacheConfig, ConfigError, FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind,
+    VectorIsa,
 };
 pub use error::TartanError;
 pub use fault::{FaultPlan, FaultStats};

@@ -410,7 +410,7 @@ impl<'m> Proc<'m> {
                     .access(self.core, pc, l * line, 1, AccessKind::Read, policy, self.cycles);
             worst = worst.max(raw);
         }
-        let serial = (last - first).div_ceil(self.machine.cfg.l1_ports);
+        let serial = (last - first).div_ceil(self.machine.cfg.l1_ports.max(1));
         let stall = self.overlap(worst, false) + serial;
         self.stall(stall);
     }

@@ -3,7 +3,8 @@
 //! the versioned `stats.json` schema (see `SCHEMA.md`), plus
 //! `results/BENCH_host.json` with host wall-time and throughput.
 //!
-//! The run matrix fans out across host cores (`--jobs N`, default: all
+//! The run matrix comes from the checked-in `scenarios/bench_tier1.json`
+//! manifest and fans out across host cores (`--jobs N`, default: all
 //! cores); results are collected in submission order, so
 //! `BENCH_tier1.json` is byte-identical for any job count. CI runs this on
 //! every push and uploads both exports as workflow artifacts, so per-robot
@@ -15,7 +16,8 @@
 use std::fs;
 use std::time::Instant;
 
-use tartan::core::{run_robot, ExperimentParams, MachineConfig, RobotKind, SoftwareConfig};
+use tartan::core::experiments::manifests;
+use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
 use tartan::par;
 use tartan::sim::telemetry::{
     validate_host_bench_json, validate_stats_json, HostBenchExport, HostRunStats, StatsExport,
@@ -36,21 +38,14 @@ fn main() {
     }
 
     let params = ExperimentParams::quick();
-    let mut matrix: Vec<(&'static str, RobotKind, MachineConfig, SoftwareConfig)> = Vec::new();
-    for kind in RobotKind::all() {
-        matrix.push((
-            "baseline",
-            kind,
-            MachineConfig::upgraded_baseline(),
-            SoftwareConfig::legacy(),
-        ));
-        matrix.push(("tartan", kind, MachineConfig::tartan(), SoftwareConfig::approximable()));
-    }
+    let spec = ScenarioSpec::from_json(manifests::BENCH_TIER1)
+        .expect("checked-in bench scenario must parse");
+    let plan = spec.expand().expect("checked-in bench scenario must expand");
 
     let campaign = Instant::now();
-    let timed = par::par_map(jobs, &matrix, |(_, kind, hw, sw)| {
+    let timed = par::par_map(jobs, &plan.jobs, |job| {
         let start = Instant::now();
-        let out = run_robot(*kind, hw.clone(), *sw, &params);
+        let out = run_robot(job.robot, job.machine.clone(), job.software, &params);
         (out, start.elapsed())
     });
     let total_host_nanos = campaign.elapsed().as_nanos() as u64;
@@ -66,7 +61,8 @@ fn main() {
         runs: Vec::new(),
     };
     let mut schema_ok = true;
-    for ((config, ..), (out, elapsed)) in matrix.iter().zip(&timed) {
+    for (job, (out, elapsed)) in plan.jobs.iter().zip(&timed) {
+        let config = job.config.as_str();
         println!(
             "{:<10} {:<9} {:>12} cycles  L2 miss {:>5.1}%  NPU {:>4}  host {:>9.2} ms",
             out.robot,
@@ -76,7 +72,7 @@ fn main() {
             out.stats.npu_invocations,
             elapsed.as_secs_f64() * 1e3,
         );
-        let run = out.to_run_stats(config);
+        let run = out.to_run_stats(&job.config);
         let single = StatsExport {
             generator: "bench_tier1".into(),
             runs: vec![run.clone()],

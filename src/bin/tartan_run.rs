@@ -1,0 +1,204 @@
+//! `tartan_run`: executes any scenario file (see `SCHEMA.md` and the
+//! checked-in examples under `scenarios/`) and writes its results as a
+//! validated `stats.json` export plus a flat CSV.
+//!
+//! ```text
+//! tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]
+//! tartan_run --check FILE...
+//! ```
+//!
+//! Run mode expands the scenario into its ordered job list, fans it out
+//! across host cores (`--jobs N`, default: all cores; results are
+//! collected in submission order, so the outputs are byte-identical for
+//! any job count), and writes `<out>/<name>.stats.json` and
+//! `<out>/<name>.csv` (default `results/`). `--scale` overrides the
+//! scenario's scale preset; the scenario's `params.adjust` list still
+//! applies on top.
+//!
+//! Check mode validates each file and prints one line per problem in the
+//! scenario layer's `file: field.path: reason` form — the same errors CI
+//! enforces for the checked-in manifests.
+//!
+//! Exit codes: 0 success, 1 invalid scenario or schema violation, 2 usage.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
+use tartan::par;
+use tartan::robots::Scale;
+use tartan::sim::telemetry::{validate_stats_json, StatsExport};
+
+const USAGE: &str = "usage: tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]\n       tartan_run --check FILE...";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("tartan_run: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Quotes a CSV field only when it needs it (commas, quotes, newlines).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn check(files: &[String]) -> ! {
+    let mut ok = true;
+    for file in files {
+        let text = match fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: $: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match ScenarioSpec::from_json(&text).and_then(|s| s.expand().map(|p| (s, p))) {
+            Ok((spec, plan)) => println!(
+                "{file}: OK ({} jobs, {} groups, name {})",
+                plan.jobs.len(),
+                plan.groups.len(),
+                spec.name
+            ),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                ok = false;
+            }
+        }
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        if args.len() < 2 {
+            usage_error("--check needs at least one file");
+        }
+        check(&args[1..]);
+    }
+
+    let (jobs, rest) = match par::parse_jobs_flag(&args) {
+        Ok(v) => v,
+        Err(e) => usage_error(&e),
+    };
+    let mut file: Option<String> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut scale_override: Option<Scale> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => usage_error("--out needs a directory"),
+            },
+            "--scale" => match it.next().map(String::as_str) {
+                Some("small") => scale_override = Some(Scale::small()),
+                Some("paper") => scale_override = Some(Scale::paper()),
+                Some(other) => usage_error(&format!("unknown scale {other:?} (small|paper)")),
+                None => usage_error("--scale needs a preset (small|paper)"),
+            },
+            other if other.starts_with("--") => {
+                usage_error(&format!("unrecognized flag {other}"))
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    usage_error("exactly one scenario file is expected");
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        usage_error("a scenario file is required");
+    };
+
+    let text = fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("tartan_run: {file}: {e}");
+        std::process::exit(1);
+    });
+    let (spec, plan) = match ScenarioSpec::from_json(&text).and_then(|s| {
+        let p = s.expand()?;
+        Ok((s, p))
+    }) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut params: ExperimentParams = spec.base_params().into();
+    if let Some(mut scale) = scale_override {
+        spec.params.apply_adjusts(&mut scale);
+        params.scale = scale;
+    }
+
+    if let Some(title) = &spec.title {
+        println!("{title}");
+    }
+    println!(
+        "{}: {} jobs in {} group(s), steps {}, seed {}",
+        spec.name,
+        plan.jobs.len(),
+        plan.groups.len(),
+        params.steps,
+        params.seed
+    );
+
+    let campaign = Instant::now();
+    let outcomes = par::par_map(jobs, &plan.jobs, |job| {
+        run_robot(job.robot, job.machine.clone(), job.software, &params)
+    });
+    let host_secs = campaign.elapsed().as_secs_f64();
+
+    let mut export = StatsExport {
+        generator: "tartan_run".into(),
+        runs: Vec::new(),
+    };
+    let mut csv =
+        String::from("robot,config,label,group,wall_cycles,instructions,l2_demand_misses,quality\n");
+    for (job, out) in plan.jobs.iter().zip(&outcomes) {
+        println!(
+            "{:<10} {:<16} {:<14} {:>12} cycles  L2 miss {:>5.1}%  quality {:.4}",
+            out.robot,
+            job.config.as_str(),
+            job.label,
+            out.wall_cycles,
+            100.0 * out.stats.l2.miss_ratio(),
+            out.quality,
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            csv_field(out.robot),
+            csv_field(job.config.as_str()),
+            csv_field(&job.label),
+            csv_field(&plan.groups[job.group].name),
+            out.wall_cycles,
+            out.instructions,
+            out.stats.l2.demand_misses(),
+            out.quality,
+        ));
+        export.runs.push(out.to_run_stats(&job.config));
+    }
+
+    let json = export.to_json();
+    if let Err(e) = validate_stats_json(&json) {
+        eprintln!("tartan_run: stats export violates the schema: {e}");
+        std::process::exit(1);
+    }
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    let stats_path = out_dir.join(format!("{}.stats.json", spec.name));
+    let csv_path = out_dir.join(format!("{}.csv", spec.name));
+    fs::write(&stats_path, &json).expect("write stats export");
+    fs::write(&csv_path, &csv).expect("write CSV export");
+    println!(
+        "wrote {} and {} ({} runs, jobs {jobs}, {host_secs:.2} s host)",
+        stats_path.display(),
+        csv_path.display(),
+        export.runs.len(),
+    );
+}

@@ -21,7 +21,9 @@
 //! * [`robots`] — DeliBot, PatrolBot, MoveBot, HomeBot, FlyBot, CarriBot,
 //! * [`core`] — the configuration matrix and per-figure experiment drivers,
 //! * [`par`] — the deterministic host-parallel campaign engine
-//!   (order-preserving scoped worker pool; see `DESIGN.md` §12).
+//!   (order-preserving scoped worker pool; see `DESIGN.md` §12),
+//! * [`scenario`] — typed scenario specs, validated JSON serialization, and
+//!   sweep expansion into ordered job lists (see `DESIGN.md` §13).
 //!
 //! # Examples
 //!
@@ -40,4 +42,5 @@ pub use tartan_npu as npu;
 pub use tartan_par as par;
 pub use tartan_prefetch as prefetch;
 pub use tartan_robots as robots;
+pub use tartan_scenario as scenario;
 pub use tartan_sim as sim;

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use tartan::core::{
-    run_campaign_with_jobs, CampaignJob, ExperimentParams, MachineConfig, RobotKind,
+    run_campaign_with_jobs, CampaignJob, ConfigId, ExperimentParams, MachineConfig, RobotKind,
     SoftwareConfig,
 };
 use tartan::par;
@@ -21,7 +21,7 @@ use tartan::sim::{Machine, MemPolicy};
 /// A bench_tier1-style matrix over the quicker robots: baseline and Tartan
 /// per robot (PatrolBot/CarriBot are left to the bench binary itself —
 /// they dominate wall time without adding scheduling variety).
-fn matrix() -> Vec<(&'static str, CampaignJob)> {
+fn matrix() -> Vec<(ConfigId, CampaignJob)> {
     let mut m = Vec::new();
     for kind in [
         RobotKind::DeliBot,
@@ -30,7 +30,7 @@ fn matrix() -> Vec<(&'static str, CampaignJob)> {
         RobotKind::FlyBot,
     ] {
         m.push((
-            "baseline",
+            ConfigId::Baseline,
             (
                 kind,
                 MachineConfig::upgraded_baseline(),
@@ -38,7 +38,7 @@ fn matrix() -> Vec<(&'static str, CampaignJob)> {
             ),
         ));
         m.push((
-            "tartan",
+            ConfigId::Tartan,
             (kind, MachineConfig::tartan(), SoftwareConfig::approximable()),
         ));
     }

@@ -149,7 +149,7 @@ fn flybot_exports_valid_chrome_trace_and_stats_json() {
     assert!(sup.invocations > 0);
     let export = StatsExport {
         generator: "telemetry_test".into(),
-        runs: vec![out.to_run_stats("tartan")],
+        runs: vec![out.to_run_stats(&tartan::core::ConfigId::Tartan)],
     };
     validate_stats_json(&export.to_json()).unwrap();
 }
