@@ -332,6 +332,7 @@ mod tests {
         let json = tartan_sim::telemetry::StatsExport {
             generator: "runner_test".into(),
             runs: vec![out.to_run_stats(&ConfigId::Baseline)],
+            failures: Vec::new(),
         }
         .to_json();
         tartan_sim::telemetry::validate_stats_json(&json).unwrap();

@@ -19,6 +19,12 @@
 //! * **Sequential fast path** — `jobs <= 1` (or a single job) runs inline
 //!   on the caller's thread: no spawn, no locks, bit-identical by
 //!   construction.
+//! * **Fault isolation** — [`try_par_map`]/[`try_par_map_indexed`] wrap
+//!   each job in [`std::panic::catch_unwind`], so one panicking job yields
+//!   a structured [`JobFailure`] in its slot while every other job still
+//!   completes and returns its result. A [`RetryPolicy`] adds bounded
+//!   per-job retries with linear backoff and an optional watchdog timeout
+//!   that *flags* (never kills) jobs running past their deadline.
 //!
 //! The process-wide default job count ([`default_jobs`]/[`set_default_jobs`])
 //! lets deep call sites — the per-figure experiment drivers — pick up a
@@ -34,8 +40,10 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Process-wide default for [`default_jobs`]; 1 = sequential.
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(1);
@@ -117,7 +125,10 @@ where
                     break;
                 }
                 let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                // Recover from poisoning: if a sibling worker panicked while
+                // holding a lock, the stored value is still intact — taking
+                // it keeps one job failure from masquerading as another's.
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
             });
         }
     });
@@ -125,7 +136,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .expect("every job index was claimed by exactly one worker")
         })
         .collect()
@@ -140,6 +151,224 @@ where
     F: Fn(&I) -> T + Sync,
 {
     par_map_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+/// A job that did not produce a result: it panicked on every attempt the
+/// [`RetryPolicy`] allowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// How many attempts were made (≥ 1).
+    pub attempts: u32,
+    /// Panic message of the final attempt.
+    pub message: String,
+}
+
+/// Failure-handling policy for [`try_par_map_indexed`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per job (≥ 1; 1 = no retry).
+    pub attempts: u32,
+    /// Base sleep before retry `n` (the actual sleep is `backoff * n`,
+    /// i.e. linear backoff). [`Duration::ZERO`] retries immediately.
+    pub backoff: Duration,
+    /// If set, jobs running longer than this are *flagged* in
+    /// [`TryReport::slow`] (and noted on stderr mid-flight by a watchdog
+    /// thread) — never killed: a deterministic simulation that is slow is
+    /// still making progress.
+    pub watchdog: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+            watchdog: None,
+        }
+    }
+}
+
+/// Outcome of a fault-isolated campaign: per-job results in submission
+/// order plus the indices the watchdog flagged as slow.
+#[derive(Debug)]
+pub struct TryReport<T> {
+    /// One entry per job, in submission order: the job's value, or a
+    /// [`JobFailure`] if every attempt panicked.
+    pub results: Vec<Result<T, JobFailure>>,
+    /// Submission indices whose runtime exceeded the watchdog timeout,
+    /// sorted ascending. Flagged jobs still ran to completion (or failure)
+    /// and their `results` entries are valid.
+    pub slow: Vec<usize>,
+}
+
+impl<T> TryReport<T> {
+    /// The failures, in submission order.
+    pub fn failures(&self) -> Vec<&JobFailure> {
+        self.results.iter().filter_map(|r| r.as_ref().err()).collect()
+    }
+
+    /// Whether every job produced a value.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(Result::is_ok)
+    }
+}
+
+/// Best-effort human-readable panic payload (`&str` / `String` payloads,
+/// which is what `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs job `i` under `catch_unwind` with the policy's retry budget.
+fn run_isolated<T, F>(i: usize, policy: &RetryPolicy, f: &F) -> Result<T, JobFailure>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let attempts = policy.attempts.max(1);
+    let mut last = String::new();
+    for attempt in 1..=attempts {
+        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(v) => return Ok(v),
+            Err(payload) => {
+                last = panic_message(payload.as_ref());
+                if attempt < attempts && !policy.backoff.is_zero() {
+                    std::thread::sleep(policy.backoff * attempt);
+                }
+            }
+        }
+    }
+    Err(JobFailure {
+        index: i,
+        attempts,
+        message: last,
+    })
+}
+
+/// Fault-isolated [`par_map_indexed`]: runs `count` jobs on up to `jobs`
+/// workers, isolating each job with [`catch_unwind`]. A panicking job
+/// records a [`JobFailure`] in its submission-order slot — it never aborts
+/// the pool, and every other job still completes. Retries and the watchdog
+/// timeout come from `policy`.
+///
+/// Results (and failures) land in submission order, so successful entries
+/// are byte-identical to what a sequential run would produce.
+pub fn try_par_map_indexed<T, F>(
+    jobs: usize,
+    count: usize,
+    policy: &RetryPolicy,
+    f: F,
+) -> TryReport<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count.max(1));
+    let epoch = Instant::now();
+    // starts[i] holds (millis since epoch) + 1 while job i is running; 0 =
+    // not running. The watchdog samples these without stopping anyone.
+    let starts: Vec<AtomicU64> = (0..count).map(|_| AtomicU64::new(0)).collect();
+    let slow: Vec<AtomicBool> = (0..count).map(|_| AtomicBool::new(false)).collect();
+
+    let flag_if_slow = |i: usize, elapsed: Duration| {
+        if let Some(limit) = policy.watchdog {
+            if elapsed > limit && !slow[i].swap(true, Ordering::SeqCst) {
+                eprintln!(
+                    "tartan-par: job {i} exceeded the {:.1}s watchdog ({:.1}s); still running to completion",
+                    limit.as_secs_f64(),
+                    elapsed.as_secs_f64()
+                );
+            }
+        }
+    };
+
+    let run_job = |i: usize| {
+        let begun = epoch.elapsed();
+        starts[i].store(begun.as_millis() as u64 + 1, Ordering::SeqCst);
+        let result = run_isolated(i, policy, &f);
+        starts[i].store(0, Ordering::SeqCst);
+        // Post-completion check covers the sequential path (no watchdog
+        // thread) and jobs that finished between watchdog ticks.
+        flag_if_slow(i, epoch.elapsed() - begun);
+        result
+    };
+
+    let results: Vec<Result<T, JobFailure>> = if jobs <= 1 {
+        (0..count).map(run_job).collect()
+    } else {
+        let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            if let Some(limit) = policy.watchdog {
+                let (stop, starts, flag_if_slow) = (&stop, &starts, &flag_if_slow);
+                scope.spawn(move || {
+                    let tick = (limit / 4).min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(tick);
+                        let now = epoch.elapsed().as_millis() as u64;
+                        for (i, s) in starts.iter().enumerate() {
+                            let begun = s.load(Ordering::SeqCst);
+                            if begun != 0 {
+                                flag_if_slow(i, Duration::from_millis(now.saturating_sub(begun - 1)));
+                            }
+                        }
+                    }
+                });
+            }
+            let mut workers = Vec::with_capacity(jobs);
+            for _ in 0..jobs {
+                workers.push(scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = run_job(i);
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+                }));
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("every job index was claimed by exactly one worker")
+            })
+            .collect()
+    };
+
+    let slow: Vec<usize> = slow
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.load(Ordering::SeqCst))
+        .map(|(i, _)| i)
+        .collect();
+    TryReport { results, slow }
+}
+
+/// Fault-isolated [`par_map`] with the default [`RetryPolicy`] (single
+/// attempt, no watchdog): one panicking item yields a [`JobFailure`] in
+/// its slot while every other item's result is still returned.
+pub fn try_par_map<I, T, F>(jobs: usize, items: &[I], f: F) -> TryReport<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    try_par_map_indexed(jobs, items.len(), &RetryPolicy::default(), |i| f(&items[i]))
 }
 
 #[cfg(test)]
@@ -222,5 +451,176 @@ mod tests {
     #[test]
     fn available_jobs_is_positive() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn duplicate_jobs_flag_last_wins() {
+        let args: Vec<String> = ["--jobs", "2", "--jobs", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (jobs, rest) = parse_jobs_flag(&args).unwrap();
+        assert_eq!(jobs, 5);
+        assert!(rest.is_empty());
+        // Mixed spellings: the later `--jobs=N` still wins.
+        let args: Vec<String> = ["--jobs", "7", "--jobs=3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (jobs, _) = parse_jobs_flag(&args).unwrap();
+        assert_eq!(jobs, 3);
+    }
+
+    #[test]
+    fn empty_jobs_value_rejected() {
+        let err = parse_jobs_flag(&["--jobs=".to_string()]).unwrap_err();
+        assert!(err.contains("bad --jobs"), "got: {err}");
+        let err =
+            parse_jobs_flag(&["--jobs".to_string(), String::new()]).unwrap_err();
+        assert!(err.contains("bad --jobs"), "got: {err}");
+    }
+
+    // Satellite regression: one panicking job under try_par_map must still
+    // yield every other job's result — no pool-wide abort, no poisoned-slot
+    // panic.
+    #[test]
+    fn one_panicking_job_spares_the_rest() {
+        let items: Vec<usize> = (0..32).collect();
+        let report = try_par_map(4, &items, |&i| {
+            if i == 13 {
+                panic!("injected failure in job {i}");
+            }
+            i * 2
+        });
+        assert_eq!(report.results.len(), 32);
+        for (i, r) in report.results.iter().enumerate() {
+            if i == 13 {
+                let f = r.as_ref().unwrap_err();
+                assert_eq!(f.index, 13);
+                assert_eq!(f.attempts, 1);
+                assert!(f.message.contains("injected failure"), "{}", f.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2, "job {i}");
+            }
+        }
+        assert!(!report.all_ok());
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.slow.is_empty());
+    }
+
+    #[test]
+    fn k_failures_leave_n_minus_k_results() {
+        let bad = [3usize, 7, 8, 20];
+        for jobs in [1, 4] {
+            let report = try_par_map_indexed(jobs, 24, &RetryPolicy::default(), |i| {
+                if bad.contains(&i) {
+                    panic!("boom {i}");
+                }
+                i
+            });
+            let failed: Vec<usize> =
+                report.failures().iter().map(|f| f.index).collect();
+            assert_eq!(failed, bad, "jobs = {jobs}");
+            assert_eq!(
+                report.results.iter().filter(|r| r.is_ok()).count(),
+                24 - bad.len(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_recovers_flaky_jobs() {
+        use std::sync::atomic::AtomicU32;
+        let tries: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+            watchdog: None,
+        };
+        let report = try_par_map_indexed(2, 8, &policy, |i| {
+            // Every job fails its first two attempts, succeeds on the third.
+            if tries[i].fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient {i}");
+            }
+            i + 100
+        });
+        assert!(report.all_ok());
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i + 100);
+            assert_eq!(tries[i].load(Ordering::SeqCst), 3);
+        }
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        use std::sync::atomic::AtomicU32;
+        let tries = AtomicU32::new(0);
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::ZERO,
+            watchdog: None,
+        };
+        let report = try_par_map_indexed(1, 1, &policy, |_| -> usize {
+            tries.fetch_add(1, Ordering::SeqCst);
+            panic!("always fails");
+        });
+        let f = report.results[0].as_ref().unwrap_err();
+        assert_eq!(f.attempts, 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert_eq!(f.message, "always fails");
+    }
+
+    #[test]
+    fn watchdog_flags_but_never_kills() {
+        let policy = RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+            watchdog: Some(Duration::from_millis(10)),
+        };
+        for jobs in [1, 3] {
+            let report = try_par_map_indexed(jobs, 6, &policy, |i| {
+                if i == 2 {
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                i
+            });
+            assert!(report.all_ok(), "jobs = {jobs}: slow job must complete");
+            assert_eq!(
+                *report.results[2].as_ref().unwrap(),
+                2,
+                "jobs = {jobs}: flagged job's result is intact"
+            );
+            assert!(
+                report.slow.contains(&2),
+                "jobs = {jobs}: slow = {:?}",
+                report.slow
+            );
+        }
+    }
+
+    #[test]
+    fn try_results_preserve_submission_order() {
+        let report = try_par_map_indexed(4, 16, &RetryPolicy::default(), |i| {
+            if i < 4 {
+                std::thread::sleep(Duration::from_millis(20 - 4 * i as u64));
+            }
+            i * 10
+        });
+        let values: Vec<usize> = report
+            .results
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(values, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_empty_job_list() {
+        let report =
+            try_par_map_indexed(4, 0, &RetryPolicy::default(), |i| i);
+        assert!(report.results.is_empty());
+        assert!(report.slow.is_empty());
+        assert!(report.all_ok());
     }
 }

@@ -32,6 +32,7 @@ pub mod error;
 pub mod expand;
 pub mod id;
 pub mod json;
+pub mod key;
 pub mod spec;
 
 pub use error::ScenarioError;
@@ -41,6 +42,7 @@ pub use expand::{
 };
 pub use id::ConfigId;
 pub use json::JsonValue;
+pub use key::CACHE_KEY_VERSION;
 pub use spec::{
     AdjustOp, CacheSpec, FaultSpec, FcpSpec, MachineSpec, ParamsSpec, ScaleAdjust, SoftwareSpec,
     SCALE_FIELDS, SCENARIO_SCHEMA_VERSION,

@@ -46,7 +46,7 @@ pub use sink::{
     Sink, TeeSink,
 };
 pub use stats::{
-    validate_host_bench_json, validate_stats_json, CacheCounters, FaultCounters, HostBenchExport,
-    HostRunStats, PhaseEntry, RobotRunStats, StatsExport, SupervisionCounters,
-    STATS_SCHEMA_VERSION,
+    stats_export_json, validate_host_bench_json, validate_stats_json, CacheCounters,
+    FaultCounters, HostBenchExport, HostRunStats, JobFailureStats, PhaseEntry, RobotRunStats,
+    StatsExport, SupervisionCounters, STATS_SCHEMA_VERSION,
 };

@@ -17,7 +17,10 @@ use crate::json::{push_f64, push_str};
 /// Version of the `stats.json` schema emitted by [`StatsExport::to_json`].
 ///
 /// CI fails if this changes without a matching entry in `SCHEMA.md`.
-pub const STATS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: every document carries an always-present `"failures"` array of
+/// structured per-job failure records (empty on a clean campaign).
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 /// Mirror of one cache level's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -164,6 +167,19 @@ pub struct RobotRunStats {
 }
 
 impl RobotRunStats {
+    /// Serializes this run as a standalone JSON object — exactly the bytes
+    /// [`StatsExport::to_json`] would place in its `"runs"` array.
+    ///
+    /// This is the campaign store's payload unit: a cached record can be
+    /// spliced verbatim into a later export with [`stats_export_json`] and
+    /// the result is byte-identical to a fresh serialization, which is what
+    /// makes resumed campaigns reproduce a clean run's output bit for bit.
+    pub fn to_json_record(&self) -> String {
+        let mut buf = String::new();
+        self.write_json(&mut buf);
+        buf
+    }
+
     fn write_json(&self, buf: &mut String) {
         use std::fmt::Write;
         buf.push_str("{\"robot\":");
@@ -207,6 +223,41 @@ impl RobotRunStats {
     }
 }
 
+/// One job that produced no result: it panicked on every attempt the
+/// campaign's retry policy allowed (schema v2 `"failures"` entry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobFailureStats {
+    /// Robot name of the failed job.
+    pub robot: String,
+    /// Configuration label of the failed job.
+    pub config: String,
+    /// Scenario job label.
+    pub label: String,
+    /// Scenario group name.
+    pub group: String,
+    /// Attempts made before giving up (≥ 1).
+    pub attempts: u32,
+    /// Panic message of the final attempt.
+    pub message: String,
+}
+
+impl JobFailureStats {
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        buf.push_str("{\"robot\":");
+        push_str(buf, &self.robot);
+        buf.push_str(",\"config\":");
+        push_str(buf, &self.config);
+        buf.push_str(",\"label\":");
+        push_str(buf, &self.label);
+        buf.push_str(",\"group\":");
+        push_str(buf, &self.group);
+        let _ = write!(buf, ",\"attempts\":{},\"message\":", self.attempts);
+        push_str(buf, &self.message);
+        buf.push('}');
+    }
+}
+
 /// The top-level `stats.json` document.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsExport {
@@ -214,26 +265,52 @@ pub struct StatsExport {
     pub generator: String,
     /// One entry per robot run.
     pub runs: Vec<RobotRunStats>,
+    /// Jobs that failed to produce a run (empty on a clean campaign).
+    pub failures: Vec<JobFailureStats>,
 }
 
 impl StatsExport {
     /// Serializes the document. The schema version is stamped
     /// automatically; the output is byte-deterministic.
     pub fn to_json(&self) -> String {
-        let mut buf = String::new();
-        use std::fmt::Write;
-        let _ = write!(buf, "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"generator\":");
-        push_str(&mut buf, &self.generator);
-        buf.push_str(",\"runs\":[");
-        for (i, r) in self.runs.iter().enumerate() {
-            if i > 0 {
-                buf.push(',');
-            }
-            r.write_json(&mut buf);
-        }
-        buf.push_str("]}\n");
-        buf
+        let records: Vec<String> = self.runs.iter().map(RobotRunStats::to_json_record).collect();
+        stats_export_json(&self.generator, &records, &self.failures)
     }
+}
+
+/// Assembles a `stats.json` document from pre-serialized run records
+/// (each the output of [`RobotRunStats::to_json_record`], spliced in
+/// verbatim) plus structured failures.
+///
+/// [`StatsExport::to_json`] is implemented on top of this, so an export
+/// built from cached record bytes is byte-identical to one re-serialized
+/// from live [`RobotRunStats`] values — the invariant the campaign store's
+/// `--resume` path relies on.
+pub fn stats_export_json(
+    generator: &str,
+    run_records: &[String],
+    failures: &[JobFailureStats],
+) -> String {
+    let mut buf = String::new();
+    use std::fmt::Write;
+    let _ = write!(buf, "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"generator\":");
+    push_str(&mut buf, generator);
+    buf.push_str(",\"runs\":[");
+    for (i, r) in run_records.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(r);
+    }
+    buf.push_str("],\"failures\":[");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        f.write_json(&mut buf);
+    }
+    buf.push_str("]}\n");
+    buf
 }
 
 /// Host wall-time measurement for one robot run, as recorded by the bench
@@ -364,7 +441,7 @@ pub fn validate_stats_json(s: &str) -> Result<(), String> {
     if !s.contains(&expect) {
         return Err(format!("missing or mismatched {expect}"));
     }
-    for key in ["\"generator\":", "\"runs\":"] {
+    for key in ["\"generator\":", "\"runs\":", "\"failures\":"] {
         if !s.contains(key) {
             return Err(format!("missing top-level key {key}"));
         }
@@ -447,6 +524,7 @@ mod tests {
                     },
                 ],
             }],
+            failures: Vec::new(),
         }
     }
 
@@ -454,9 +532,10 @@ mod tests {
     fn export_round_trips_validation() {
         let json = sample_export().to_json();
         validate_stats_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"robot\":\"flybot\""));
         assert!(json.contains("\"supervision\":{\"invocations\":12"));
+        assert!(json.contains("\"failures\":[]"));
         assert!(json.ends_with("]}\n"));
     }
 
@@ -473,8 +552,60 @@ mod tests {
     fn validator_rejects_wrong_version() {
         let json = sample_export()
             .to_json()
-            .replace("\"schema_version\":1", "\"schema_version\":9999");
+            .replace("\"schema_version\":2", "\"schema_version\":9999");
         assert!(validate_stats_json(&json).is_err());
+    }
+
+    #[test]
+    fn failures_section_serializes_and_validates() {
+        let mut e = sample_export();
+        e.failures.push(JobFailureStats {
+            robot: "DeliBot".into(),
+            config: "tartan".into(),
+            label: "sweep \"a\"".into(),
+            group: "main".into(),
+            attempts: 2,
+            message: "index out of bounds: the len is 4".into(),
+        });
+        let json = e.to_json();
+        validate_stats_json(&json).unwrap_or_else(|err| panic!("{json}: {err}"));
+        assert!(json.contains("\"failures\":[{\"robot\":\"DeliBot\""));
+        assert!(json.contains("\"attempts\":2"));
+        assert!(json.contains("\"sweep \\\"a\\\"\""), "labels must be escaped");
+    }
+
+    #[test]
+    fn validator_requires_failures_key() {
+        let json = sample_export().to_json().replace("\"failures\":", "\"f\":");
+        assert!(validate_stats_json(&json).is_err());
+    }
+
+    // The store splices cached record bytes into exports; this equality is
+    // what makes a resumed campaign byte-identical to a clean one.
+    #[test]
+    fn spliced_records_equal_direct_serialization() {
+        let e = sample_export();
+        let records: Vec<String> =
+            e.runs.iter().map(RobotRunStats::to_json_record).collect();
+        assert_eq!(
+            stats_export_json(&e.generator, &records, &e.failures),
+            e.to_json()
+        );
+        // And with a failure present.
+        let failures = vec![JobFailureStats {
+            robot: "FlyBot".into(),
+            config: "baseline".into(),
+            label: "l".into(),
+            group: "g".into(),
+            attempts: 1,
+            message: "boom".into(),
+        }];
+        let mut e2 = e.clone();
+        e2.failures = failures.clone();
+        assert_eq!(
+            stats_export_json(&e2.generator, &records, &failures),
+            e2.to_json()
+        );
     }
 
     #[test]

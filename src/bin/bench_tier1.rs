@@ -14,6 +14,7 @@
 //! Exits non-zero if any run's stats fail schema validation.
 
 use std::fs;
+use std::path::Path;
 use std::time::Instant;
 
 use tartan::core::experiments::manifests;
@@ -22,6 +23,12 @@ use tartan::par;
 use tartan::sim::telemetry::{
     validate_host_bench_json, validate_stats_json, HostBenchExport, HostRunStats, StatsExport,
 };
+
+/// Single-line I/O failure in the scenario layer's `path: reason` style.
+fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
+    eprintln!("bench_tier1: {}: {reason}", path.display());
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +60,7 @@ fn main() {
     let mut export = StatsExport {
         generator: "bench_tier1".into(),
         runs: Vec::new(),
+        failures: Vec::new(),
     };
     let mut host = HostBenchExport {
         generator: "bench_tier1".into(),
@@ -76,6 +84,7 @@ fn main() {
         let single = StatsExport {
             generator: "bench_tier1".into(),
             runs: vec![run.clone()],
+            failures: Vec::new(),
         };
         if let Err(e) = validate_stats_json(&single.to_json()) {
             eprintln!("bench_tier1: {} {config}: schema violation: {e}", out.robot);
@@ -91,13 +100,27 @@ fn main() {
     }
 
     let json = export.to_json();
-    validate_stats_json(&json).expect("bench export must conform to the stats.json schema");
+    if let Err(e) = validate_stats_json(&json) {
+        eprintln!("bench_tier1: bench export violates the stats.json schema: {e}");
+        std::process::exit(1);
+    }
     let host_json = host.to_json();
-    validate_host_bench_json(&host_json)
-        .expect("host export must conform to the BENCH_host.json schema");
-    fs::create_dir_all("results").expect("create results/");
-    fs::write("results/BENCH_tier1.json", &json).expect("write results/BENCH_tier1.json");
-    fs::write("results/BENCH_host.json", &host_json).expect("write results/BENCH_host.json");
+    if let Err(e) = validate_host_bench_json(&host_json) {
+        eprintln!("bench_tier1: host export violates the BENCH_host.json schema: {e}");
+        std::process::exit(1);
+    }
+    let results_dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(results_dir) {
+        die(results_dir, e);
+    }
+    let tier1_path = results_dir.join("BENCH_tier1.json");
+    if let Err(e) = fs::write(&tier1_path, &json) {
+        die(&tier1_path, e);
+    }
+    let host_path = results_dir.join("BENCH_host.json");
+    if let Err(e) = fs::write(&host_path, &host_json) {
+        die(&host_path, e);
+    }
     println!(
         "wrote results/BENCH_tier1.json ({} runs) and results/BENCH_host.json \
          (jobs {jobs}, {:.2} s wall, {:.2} runs/s)",

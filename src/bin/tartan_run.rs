@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]
+//!                 [--store DIR [--resume] [--verify N]] [--retries N]
 //! tartan_run --check FILE...
 //! ```
 //!
@@ -15,26 +16,59 @@
 //! scenario's scale preset; the scenario's `params.adjust` list still
 //! applies on top.
 //!
+//! Crash-safe campaigns (DESIGN.md §14): `--store DIR` records every
+//! completed run in a content-addressed store keyed by the SHA-256 of the
+//! job's canonical rendering, committed atomically as each job finishes.
+//! `--resume` serves jobs from the store instead of re-simulating them —
+//! because runs are byte-deterministic and exports splice the stored
+//! record bytes verbatim, a resumed campaign's outputs are byte-identical
+//! to an uninterrupted run. `--verify N` re-executes a seeded sample of N
+//! cache-served jobs and diffs the records byte-for-byte; a mismatch
+//! quarantines and repairs the entry and fails the run. Jobs that panic
+//! are isolated per job (`--retries N` attempts each, default 1): the
+//! remaining jobs complete, and the export carries a structured
+//! `failures` section instead of the campaign aborting.
+//!
 //! Check mode validates each file and prints one line per problem in the
 //! scenario layer's `file: field.path: reason` form — the same errors CI
 //! enforces for the checked-in manifests.
 //!
-//! Exit codes: 0 success, 1 invalid scenario or schema violation, 2 usage.
+//! Exit codes: 0 success, 1 invalid scenario, schema violation, I/O
+//! error, job failure, or verification mismatch; 2 usage.
+//!
+//! Test hooks (used by the kill-resume suite and CI, not part of the UI):
+//! `TARTAN_RUN_PANIC_AT=i,j,...` panics those job indices;
+//! `TARTAN_RUN_EXIT_AFTER=N` hard-exits (code 3) after N completions,
+//! simulating a mid-campaign kill.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
 use tartan::par;
 use tartan::robots::Scale;
-use tartan::sim::telemetry::{validate_stats_json, StatsExport};
+use tartan::scenario::json::{parse as parse_json, JsonValue};
+use tartan::scenario::RunParams;
+use tartan::sim::telemetry::{
+    push_str, stats_export_json, validate_stats_json, JobFailureStats,
+};
+use tartan::store::{sha256_hex, ResultStore};
 
-const USAGE: &str = "usage: tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]\n       tartan_run --check FILE...";
+const USAGE: &str = "usage: tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]\n\
+                     \x20                [--store DIR [--resume] [--verify N]] [--retries N]\n\
+                     \x20      tartan_run --check FILE...";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("tartan_run: {msg}\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Single-line I/O failure in the scenario layer's `path: reason` style.
+fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
+    eprintln!("tartan_run: {}: {reason}", path.display());
+    std::process::exit(1);
 }
 
 /// Quotes a CSV field only when it needs it (commas, quotes, newlines).
@@ -73,6 +107,93 @@ fn check(files: &[String]) -> ! {
     std::process::exit(if ok { 0 } else { 1 });
 }
 
+/// One completed job, whether simulated fresh or served from the store.
+struct JobResult {
+    /// The run's `stats.json` record, verbatim — the splice/export unit.
+    record: String,
+    /// CSV columns (robot/config come back from the payload on cache hits
+    /// so a corrupted entry can never relabel a row).
+    robot: String,
+    wall_cycles: u64,
+    instructions: u64,
+    l2_demand_misses: u64,
+    /// Quality as the CSV renders it (`{}` on the f64), kept as text so a
+    /// cached row reproduces the fresh row byte-for-byte.
+    quality: String,
+    /// L2 demand miss ratio, for the console line (fresh runs only).
+    l2_miss_pct: Option<f64>,
+    /// Whether this result came out of the store.
+    cached: bool,
+}
+
+/// Store payload: one summary header line (the CSV numerics), then the
+/// full `stats.json` record verbatim. See `SCHEMA.md` ("store entry").
+fn render_payload(result: &JobResult, config: &str) -> String {
+    let mut header = String::from("{\"robot\":");
+    push_str(&mut header, &result.robot);
+    header.push_str(",\"config\":");
+    push_str(&mut header, config);
+    header.push_str(&format!(
+        ",\"wall_cycles\":{},\"instructions\":{},\"l2_demand_misses\":{},\"quality\":\"{}\"}}",
+        result.wall_cycles, result.instructions, result.l2_demand_misses, result.quality
+    ));
+    format!("{header}\n{}", result.record)
+}
+
+/// Decodes a store payload back into a [`JobResult`], cross-checking the
+/// robot/config against the job it is about to stand in for. `None` means
+/// "treat as a miss" (the caller quarantines and re-runs).
+fn parse_payload(payload: &str, want_robot: &str, want_config: &str) -> Option<JobResult> {
+    let (header, record) = payload.split_once('\n')?;
+    let v = parse_json(header).ok()?;
+    let get_str = |key: &str| match v.get(key) {
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let get_u64 = |key: &str| match v.get(key) {
+        Some(JsonValue::Num(raw)) => raw.parse::<u64>().ok(),
+        _ => None,
+    };
+    let robot = get_str("robot")?;
+    let config = get_str("config")?;
+    if robot != want_robot || config != want_config {
+        return None;
+    }
+    Some(JobResult {
+        record: record.to_string(),
+        robot,
+        wall_cycles: get_u64("wall_cycles")?,
+        instructions: get_u64("instructions")?,
+        l2_demand_misses: get_u64("l2_demand_misses")?,
+        quality: get_str("quality")?,
+        l2_miss_pct: None,
+        cached: true,
+    })
+}
+
+/// Comma-separated job indices from a test-hook env var.
+fn env_index_set(name: &str) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// xorshift64* — the deterministic sampler behind `--verify N`.
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F491_4F6CDD1D)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
@@ -89,6 +210,10 @@ fn main() {
     let mut file: Option<String> = None;
     let mut out_dir = PathBuf::from("results");
     let mut scale_override: Option<Scale> = None;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut verify: usize = 0;
+    let mut retries: u32 = 1;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -101,6 +226,19 @@ fn main() {
                 Some("paper") => scale_override = Some(Scale::paper()),
                 Some(other) => usage_error(&format!("unknown scale {other:?} (small|paper)")),
                 None => usage_error("--scale needs a preset (small|paper)"),
+            },
+            "--store" => match it.next() {
+                Some(d) => store_dir = Some(PathBuf::from(d)),
+                None => usage_error("--store needs a directory"),
+            },
+            "--resume" => resume = true,
+            "--verify" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => verify = n,
+                _ => usage_error("--verify needs a sample count"),
+            },
+            "--retries" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => retries = n,
+                _ => usage_error("--retries needs a count of at least 1"),
             },
             other if other.starts_with("--") => {
                 usage_error(&format!("unrecognized flag {other}"))
@@ -115,6 +253,9 @@ fn main() {
     let Some(file) = file else {
         usage_error("a scenario file is required");
     };
+    if (resume || verify > 0) && store_dir.is_none() {
+        usage_error("--resume and --verify require --store DIR");
+    }
 
     let text = fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("tartan_run: {file}: {e}");
@@ -137,6 +278,19 @@ fn main() {
         params.scale = scale;
     }
 
+    let store = store_dir.map(|dir| {
+        ResultStore::open(&dir).unwrap_or_else(|e| die(&e.path, e.reason))
+    });
+    // Content addresses: SHA-256 of each job's canonical rendering
+    // (config + machine + software + scale + steps + seed + schema
+    // versions; labels deliberately excluded — see DESIGN.md §14).
+    let run_params: RunParams = params.into();
+    let keys: Vec<String> = plan
+        .jobs
+        .iter()
+        .map(|job| sha256_hex(job.cache_key_text(&run_params).as_bytes()))
+        .collect();
+
     if let Some(title) = &spec.title {
         println!("{title}");
     }
@@ -149,56 +303,226 @@ fn main() {
         params.seed
     );
 
+    let panic_at = env_index_set("TARTAN_RUN_PANIC_AT");
+    let exit_after: Option<usize> = std::env::var("TARTAN_RUN_EXIT_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let completed = AtomicUsize::new(0);
+
     let campaign = Instant::now();
-    let outcomes = par::par_map(jobs, &plan.jobs, |job| {
-        run_robot(job.robot, job.machine.clone(), job.software, &params)
+    let policy = par::RetryPolicy {
+        attempts: retries,
+        backoff: std::time::Duration::from_millis(10),
+        watchdog: None,
+    };
+    let report = par::try_par_map_indexed(jobs, plan.jobs.len(), &policy, |i| {
+        let job = &plan.jobs[i];
+        if panic_at.contains(&i) {
+            panic!("injected test panic at job {i}");
+        }
+        let config = job.config.as_str();
+        let result = store
+            .as_ref()
+            .filter(|_| resume)
+            .and_then(|s| match s.get(&keys[i]) {
+                Ok(Some(payload)) => {
+                    let parsed = parse_payload(&payload, job.robot.name(), config);
+                    if parsed.is_none() {
+                        // Hash-valid but semantically wrong for this job
+                        // (stale key scheme, hand-edited entry): self-heal.
+                        eprintln!(
+                            "tartan_run: store entry {} does not describe job {i}; quarantining",
+                            &keys[i][..12]
+                        );
+                        let _ = s.quarantine(&keys[i]);
+                    }
+                    parsed
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    eprintln!("tartan_run: {e}; re-running job {i}");
+                    None
+                }
+            });
+        let result = result.unwrap_or_else(|| {
+            let out = run_robot(job.robot, job.machine.clone(), job.software, &params);
+            let fresh = JobResult {
+                record: out.to_run_stats(&job.config).to_json_record(),
+                robot: out.robot.to_string(),
+                wall_cycles: out.wall_cycles,
+                instructions: out.instructions,
+                l2_demand_misses: out.stats.l2.demand_misses(),
+                quality: format!("{}", out.quality),
+                l2_miss_pct: Some(100.0 * out.stats.l2.miss_ratio()),
+                cached: false,
+            };
+            if let Some(s) = &store {
+                // Commit immediately — a kill after this point loses
+                // nothing this job computed.
+                if let Err(e) = s.put(&keys[i], &render_payload(&fresh, config)) {
+                    eprintln!("tartan_run: {e}; result kept in memory only");
+                }
+            }
+            fresh
+        });
+        let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if exit_after.is_some_and(|n| done >= n) {
+            // Simulated kill for the resume tests: completed jobs are
+            // already committed to the store; everything else is lost.
+            std::process::exit(3);
+        }
+        result
     });
     let host_secs = campaign.elapsed().as_secs_f64();
 
-    let mut export = StatsExport {
-        generator: "tartan_run".into(),
-        runs: Vec::new(),
-    };
+    let mut results: Vec<Option<JobResult>> = Vec::with_capacity(plan.jobs.len());
+    let mut failures: Vec<JobFailureStats> = Vec::new();
+    for (i, r) in report.results.into_iter().enumerate() {
+        let job = &plan.jobs[i];
+        match r {
+            Ok(res) => results.push(Some(res)),
+            Err(f) => {
+                eprintln!(
+                    "tartan_run: job {i} ({} {} {:?}) failed after {} attempt(s): {}",
+                    job.robot.name(),
+                    job.config.as_str(),
+                    job.label,
+                    f.attempts,
+                    f.message
+                );
+                failures.push(JobFailureStats {
+                    robot: job.robot.name().to_string(),
+                    config: job.config.as_str().to_string(),
+                    label: job.label.clone(),
+                    group: plan.groups[job.group].name.clone(),
+                    attempts: f.attempts,
+                    message: f.message,
+                });
+                results.push(None);
+            }
+        }
+    }
+
+    // --verify N: re-execute a seeded sample of the cache-served jobs and
+    // demand byte-identical records. A mismatch means the entry lied about
+    // its content (or determinism broke) — quarantine, repair, fail.
+    let mut verify_mismatches = 0usize;
+    if verify > 0 {
+        let mut cached_idx: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.as_ref().is_some_and(|r| r.cached))
+            .map(|(i, _)| i)
+            .collect();
+        let mut rng = params.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let sample = verify.min(cached_idx.len());
+        for _ in 0..sample {
+            let pick = (xorshift64star(&mut rng) % cached_idx.len() as u64) as usize;
+            let i = cached_idx.swap_remove(pick);
+            let job = &plan.jobs[i];
+            let out = run_robot(job.robot, job.machine.clone(), job.software, &params);
+            let fresh = JobResult {
+                record: out.to_run_stats(&job.config).to_json_record(),
+                robot: out.robot.to_string(),
+                wall_cycles: out.wall_cycles,
+                instructions: out.instructions,
+                l2_demand_misses: out.stats.l2.demand_misses(),
+                quality: format!("{}", out.quality),
+                l2_miss_pct: Some(100.0 * out.stats.l2.miss_ratio()),
+                cached: false,
+            };
+            let cached = results[i].as_ref().expect("sampled index is Some");
+            if cached.record == fresh.record {
+                println!("verified job {i}: cached record matches re-execution");
+            } else {
+                verify_mismatches += 1;
+                eprintln!(
+                    "tartan_run: verify mismatch on job {i} ({} {}): cached record differs from re-execution; repairing entry",
+                    job.robot.name(),
+                    job.config.as_str()
+                );
+                if let Some(s) = &store {
+                    let _ = s.quarantine(&keys[i]);
+                    if let Err(e) = s.put(&keys[i], &render_payload(&fresh, job.config.as_str())) {
+                        eprintln!("tartan_run: {e}");
+                    }
+                }
+                results[i] = Some(fresh);
+            }
+        }
+        if sample < verify {
+            println!(
+                "verify: only {sample} cached result(s) available (asked for {verify})"
+            );
+        }
+    }
+
+    let mut records: Vec<String> = Vec::with_capacity(plan.jobs.len());
     let mut csv =
         String::from("robot,config,label,group,wall_cycles,instructions,l2_demand_misses,quality\n");
-    for (job, out) in plan.jobs.iter().zip(&outcomes) {
-        println!(
-            "{:<10} {:<16} {:<14} {:>12} cycles  L2 miss {:>5.1}%  quality {:.4}",
-            out.robot,
-            job.config.as_str(),
-            job.label,
-            out.wall_cycles,
-            100.0 * out.stats.l2.miss_ratio(),
-            out.quality,
-        );
+    let cached_served = results
+        .iter()
+        .filter(|r| r.as_ref().is_some_and(|r| r.cached))
+        .count();
+    for (job, result) in plan.jobs.iter().zip(&results) {
+        let Some(out) = result else { continue };
+        match out.l2_miss_pct {
+            Some(pct) => println!(
+                "{:<10} {:<16} {:<14} {:>12} cycles  L2 miss {:>5.1}%  quality {}",
+                out.robot,
+                job.config.as_str(),
+                job.label,
+                out.wall_cycles,
+                pct,
+                out.quality,
+            ),
+            None => println!(
+                "{:<10} {:<16} {:<14} {:>12} cycles  (cached)",
+                out.robot,
+                job.config.as_str(),
+                job.label,
+                out.wall_cycles,
+            ),
+        }
         csv.push_str(&format!(
             "{},{},{},{},{},{},{},{}\n",
-            csv_field(out.robot),
+            csv_field(&out.robot),
             csv_field(job.config.as_str()),
             csv_field(&job.label),
             csv_field(&plan.groups[job.group].name),
             out.wall_cycles,
             out.instructions,
-            out.stats.l2.demand_misses(),
+            out.l2_demand_misses,
             out.quality,
         ));
-        export.runs.push(out.to_run_stats(&job.config));
+        records.push(out.record.clone());
     }
 
-    let json = export.to_json();
+    let json = stats_export_json("tartan_run", &records, &failures);
     if let Err(e) = validate_stats_json(&json) {
         eprintln!("tartan_run: stats export violates the schema: {e}");
         std::process::exit(1);
     }
-    fs::create_dir_all(&out_dir).expect("create output directory");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        die(&out_dir, e);
+    }
     let stats_path = out_dir.join(format!("{}.stats.json", spec.name));
     let csv_path = out_dir.join(format!("{}.csv", spec.name));
-    fs::write(&stats_path, &json).expect("write stats export");
-    fs::write(&csv_path, &csv).expect("write CSV export");
+    if let Err(e) = fs::write(&stats_path, &json) {
+        die(&stats_path, e);
+    }
+    if let Err(e) = fs::write(&csv_path, &csv) {
+        die(&csv_path, e);
+    }
     println!(
-        "wrote {} and {} ({} runs, jobs {jobs}, {host_secs:.2} s host)",
+        "wrote {} and {} ({} runs, {} cached, {} failed, jobs {jobs}, {host_secs:.2} s host)",
         stats_path.display(),
         csv_path.display(),
-        export.runs.len(),
+        records.len(),
+        cached_served,
+        failures.len(),
     );
+    if !failures.is_empty() || verify_mismatches > 0 {
+        std::process::exit(1);
+    }
 }

@@ -23,7 +23,9 @@
 //! * [`par`] — the deterministic host-parallel campaign engine
 //!   (order-preserving scoped worker pool; see `DESIGN.md` §12),
 //! * [`scenario`] — typed scenario specs, validated JSON serialization, and
-//!   sweep expansion into ordered job lists (see `DESIGN.md` §13).
+//!   sweep expansion into ordered job lists (see `DESIGN.md` §13),
+//! * [`store`] — content-addressed on-disk result store with integrity
+//!   re-hash and quarantine self-healing (see `DESIGN.md` §14).
 //!
 //! # Examples
 //!
@@ -44,3 +46,4 @@ pub use tartan_prefetch as prefetch;
 pub use tartan_robots as robots;
 pub use tartan_scenario as scenario;
 pub use tartan_sim as sim;
+pub use tartan_store as store;

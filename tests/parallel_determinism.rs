@@ -56,6 +56,7 @@ fn export_for(jobs: usize) -> StatsExport {
             .zip(&outcomes)
             .map(|((config, _), out)| out.to_run_stats(config))
             .collect(),
+        failures: Vec::new(),
     }
 }
 

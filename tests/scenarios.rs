@@ -510,6 +510,7 @@ fn scenario_export_is_byte_identical_across_job_counts() {
                 .zip(&outcomes)
                 .map(|(job, out)| out.to_run_stats(&job.config))
                 .collect(),
+            failures: Vec::new(),
         }
         .to_json()
     };

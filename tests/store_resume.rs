@@ -1,0 +1,283 @@
+//! Kill-resume determinism for crash-safe campaigns (DESIGN.md §14).
+//!
+//! The contract under test: a `tartan_run --store` campaign interrupted
+//! mid-flight — by an injected panic or a hard process exit — and then
+//! resumed with `--resume` produces `stats.json` and CSV exports
+//! **byte-identical** to an uninterrupted sequential run; a campaign with
+//! K panicking jobs completes the remaining N−K jobs and reports exactly
+//! K structured failures; corrupt store entries are detected, quarantined,
+//! and transparently re-run; and `--verify` catches a cached record that
+//! diverges from re-execution.
+//!
+//! The tests drive the real binary (`CARGO_BIN_EXE_tartan_run`) against a
+//! four-job scenario, and reach into the store with the `tartan-store` API
+//! where a test needs to corrupt or forge entries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use tartan::core::ScenarioSpec;
+use tartan::store::{sha256_hex, ResultStore};
+
+/// DeliBot and MoveBot (the two fastest robots under a debug build) on the
+/// default baseline and on Tartan: four quick jobs with distinct configs,
+/// so interruption points land mid-campaign.
+const SCENARIO: &str = r#"{
+    "schema_version": 1,
+    "name": "resume-mini",
+    "params": {"steps": 1},
+    "groups": [{
+        "robots": ["DeliBot", "MoveBot"],
+        "axes": [{"variants": [
+            {"label": "base"},
+            {"label": "tartan",
+             "machine": {"preset": "tartan"},
+             "software": {"preset": "approximable"}}
+        ]}]
+    }]
+}"#;
+
+/// Fresh per-test sandbox with the scenario file written into it.
+fn sandbox(test: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "tartan-store-resume-{test}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("resume-mini.json");
+    fs::write(&scenario, SCENARIO).unwrap();
+    (dir, scenario)
+}
+
+/// Runs the real `tartan_run` binary with a clean hook environment plus
+/// the given `(var, value)` overrides.
+fn run(scenario: &Path, args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tartan_run"));
+    cmd.arg(scenario)
+        .args(["--jobs", "1"])
+        .args(args)
+        .env_remove("TARTAN_RUN_PANIC_AT")
+        .env_remove("TARTAN_RUN_EXIT_AFTER");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn tartan_run")
+}
+
+fn read(path: PathBuf) -> String {
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn exports(dir: &Path, out: &str) -> (String, String) {
+    (
+        read(dir.join(out).join("resume-mini.stats.json")),
+        read(dir.join(out).join("resume-mini.csv")),
+    )
+}
+
+/// The store keys tartan_run will compute for the scenario's four jobs,
+/// derived through the same public API the binary uses.
+fn job_keys() -> Vec<String> {
+    let spec = ScenarioSpec::from_json(SCENARIO).unwrap();
+    let plan = spec.expand().unwrap();
+    let params = spec.base_params();
+    plan.jobs
+        .iter()
+        .map(|j| sha256_hex(j.cache_key_text(&params).as_bytes()))
+        .collect()
+}
+
+fn out_arg(dir: &Path, name: &str) -> Vec<String> {
+    vec!["--out".into(), dir.join(name).to_string_lossy().into_owned()]
+}
+
+fn as_refs(v: &[String]) -> Vec<&str> {
+    v.iter().map(String::as_str).collect()
+}
+
+#[test]
+fn hard_kill_then_resume_is_byte_identical_to_a_clean_run() {
+    let (dir, scenario) = sandbox("kill");
+    let store = dir.join("store").to_string_lossy().into_owned();
+
+    let cold = run(&scenario, &as_refs(&out_arg(&dir, "cold")), &[]);
+    assert!(cold.status.success(), "{cold:?}");
+
+    // Simulated kill after 2 of 4 completions: exit code 3, no exports.
+    let mut args = out_arg(&dir, "int");
+    args.extend(["--store".into(), store.clone()]);
+    let interrupted = run(
+        &scenario,
+        &as_refs(&args),
+        &[("TARTAN_RUN_EXIT_AFTER", "2")],
+    );
+    assert_eq!(interrupted.status.code(), Some(3), "{interrupted:?}");
+    assert!(
+        !dir.join("int").join("resume-mini.stats.json").exists(),
+        "a killed campaign must not have written exports"
+    );
+
+    // Resume: the two committed jobs come from the store, the rest run.
+    let mut args = out_arg(&dir, "res");
+    args.extend(["--store".into(), store, "--resume".into()]);
+    let resumed = run(&scenario, &as_refs(&args), &[]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("2 cached"), "resume must serve from the store: {stdout}");
+
+    assert_eq!(exports(&dir, "cold"), exports(&dir, "res"));
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn k_panics_complete_n_minus_k_and_report_k_failures_then_resume_heals() {
+    let (dir, scenario) = sandbox("panic");
+    let store = dir.join("store").to_string_lossy().into_owned();
+
+    let cold = run(&scenario, &as_refs(&out_arg(&dir, "cold")), &[]);
+    assert!(cold.status.success(), "{cold:?}");
+
+    // Jobs 1 and 2 panic: the campaign must finish the other two, export
+    // a structured failures section, and exit 1.
+    let mut args = out_arg(&dir, "fail");
+    args.extend(["--store".into(), store.clone()]);
+    let failed = run(&scenario, &as_refs(&args), &[("TARTAN_RUN_PANIC_AT", "1,2")]);
+    assert_eq!(failed.status.code(), Some(1), "{failed:?}");
+    let (stats, csv) = exports(&dir, "fail");
+    assert_eq!(
+        stats.matches("\"message\":\"injected test panic").count(),
+        2,
+        "exactly K=2 structured failures: {stats}"
+    );
+    assert_eq!(
+        csv.lines().count(),
+        1 + 2,
+        "N-K=2 completed rows plus the header: {csv}"
+    );
+
+    // Resume without injection: failed jobs run, finished ones are cached,
+    // and the output is byte-identical to the clean run.
+    let mut args = out_arg(&dir, "res");
+    args.extend(["--store".into(), store, "--resume".into()]);
+    let resumed = run(&scenario, &as_refs(&args), &[]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(exports(&dir, "cold"), exports(&dir, "res"));
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_entries_are_quarantined_and_transparently_re_run() {
+    let (dir, scenario) = sandbox("corrupt");
+    let store_dir = dir.join("store");
+    let store_arg = store_dir.to_string_lossy().into_owned();
+
+    let cold = run(&scenario, &as_refs(&out_arg(&dir, "cold")), &[]);
+    assert!(cold.status.success(), "{cold:?}");
+
+    // Populate the store, then flip one byte near the end of every entry.
+    let mut args = out_arg(&dir, "warm");
+    args.extend(["--store".into(), store_arg.clone()]);
+    assert!(run(&scenario, &as_refs(&args), &[]).status.success());
+    let mut flipped = 0;
+    for key in job_keys() {
+        let shard = store_dir.join("objects").join(&key[..2]);
+        let path = shard.join(format!("{key}.entry"));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        flipped += 1;
+    }
+    assert_eq!(flipped, 4, "all four entries must exist to corrupt");
+
+    // Resume over the corrupt store: every entry is detected, quarantined,
+    // and re-run; the output is still byte-identical to the clean run.
+    let mut args = out_arg(&dir, "res");
+    args.extend(["--store".into(), store_arg, "--resume".into()]);
+    let resumed = run(&scenario, &as_refs(&args), &[]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("quarantining"),
+        "corruption must be reported: {stderr}"
+    );
+    let store = ResultStore::open(&store_dir).unwrap();
+    assert_eq!(store.quarantined().unwrap(), 4);
+    assert_eq!(store.len().unwrap(), 4, "fresh entries must be re-committed");
+    assert_eq!(exports(&dir, "cold"), exports(&dir, "res"));
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn verify_catches_a_forged_record_and_repairs_the_entry() {
+    let (dir, scenario) = sandbox("verify");
+    let store_dir = dir.join("store");
+    let store_arg = store_dir.to_string_lossy().into_owned();
+
+    let cold = run(&scenario, &as_refs(&out_arg(&dir, "cold")), &[]);
+    assert!(cold.status.success(), "{cold:?}");
+
+    let mut args = out_arg(&dir, "warm");
+    args.extend(["--store".into(), store_arg.clone()]);
+    assert!(run(&scenario, &as_refs(&args), &[]).status.success());
+
+    // Forge job 0's entry: keep the summary header intact but perturb the
+    // record body, re-committing through the store API so the entry is
+    // hash-valid — only byte-level re-execution (--verify) can catch it.
+    let key = &job_keys()[0];
+    let store = ResultStore::open(&store_dir).unwrap();
+    let payload = store.get(key).unwrap().expect("entry exists");
+    let (header, record) = payload.split_once('\n').unwrap();
+    let forged = record.replacen("\"instructions\":", "\"instructions\":1", 1);
+    assert_ne!(forged, record, "the forgery must change the record");
+    store.put(key, &format!("{header}\n{forged}")).unwrap();
+
+    // A plain resume trusts the hash-valid entry (it cannot know better)…
+    let mut args = out_arg(&dir, "trust");
+    args.extend(["--store".into(), store_arg.clone(), "--resume".into()]);
+    assert!(run(&scenario, &as_refs(&args), &[]).status.success());
+    let (stats, _) = exports(&dir, "trust");
+    assert_ne!(stats, exports(&dir, "cold").0, "the forgery reached the export");
+
+    // …but --verify over all four cached entries re-executes and diffs.
+    let mut args = out_arg(&dir, "ver");
+    args.extend([
+        "--store".into(),
+        store_arg,
+        "--resume".into(),
+        "--verify".into(),
+        "4".into(),
+    ]);
+    let verified = run(&scenario, &as_refs(&args), &[]);
+    assert_eq!(verified.status.code(), Some(1), "{verified:?}");
+    let stderr = String::from_utf8_lossy(&verified.stderr);
+    assert!(stderr.contains("verify mismatch"), "{stderr}");
+    // The export was repaired in place and the bad entry re-committed.
+    assert_eq!(exports(&dir, "cold"), exports(&dir, "ver"));
+    assert!(store.quarantined().unwrap() >= 1);
+    let healed = run(&scenario, &as_refs(&{
+        let mut a = out_arg(&dir, "healed");
+        a.extend([
+            "--store".into(),
+            store_dir.to_string_lossy().into_owned(),
+            "--resume".into(),
+            "--verify".into(),
+            "4".into(),
+        ]);
+        a
+    }), &[]);
+    assert!(healed.status.success(), "repaired store must verify clean: {healed:?}");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_flags_require_a_store() {
+    let (dir, scenario) = sandbox("usage");
+    let resumed = run(&scenario, &["--resume"], &[]);
+    assert_eq!(resumed.status.code(), Some(2), "{resumed:?}");
+    let verified = run(&scenario, &["--verify", "3"], &[]);
+    assert_eq!(verified.status.code(), Some(2), "{verified:?}");
+    let _ = fs::remove_dir_all(dir);
+}

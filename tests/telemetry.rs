@@ -150,6 +150,7 @@ fn flybot_exports_valid_chrome_trace_and_stats_json() {
     let export = StatsExport {
         generator: "telemetry_test".into(),
         runs: vec![out.to_run_stats(&tartan::core::ConfigId::Tartan)],
+        failures: Vec::new(),
     };
     validate_stats_json(&export.to_json()).unwrap();
 }
