@@ -69,9 +69,11 @@ pub mod manifests {
     pub const BENCH_TIER1: &str = include_str!("../../../scenarios/bench_tier1.json");
     /// A two-job smoke campaign (`tartan_run` CI exercise).
     pub const SMOKE: &str = include_str!("../../../scenarios/smoke.json");
+    /// A fourteen-job campaign (the `--progress` observability exercise).
+    pub const CAMPAIGN14: &str = include_str!("../../../scenarios/campaign14.json");
 
     /// Every embedded manifest, with its `scenarios/` file name.
-    pub const ALL: [(&str, &str); 14] = [
+    pub const ALL: [(&str, &str); 15] = [
         ("fig1_breakdown.json", FIG1_BREAKDOWN),
         ("fig6_ovec.json", FIG6_OVEC),
         ("fig7_interpolation.json", FIG7_INTERPOLATION),
@@ -86,6 +88,7 @@ pub mod manifests {
         ("ablations.json", ABLATIONS),
         ("bench_tier1.json", BENCH_TIER1),
         ("smoke.json", SMOKE),
+        ("campaign14.json", CAMPAIGN14),
     ];
 }
 

@@ -25,6 +25,11 @@
 //!   completes and returns its result. A [`RetryPolicy`] adds bounded
 //!   per-job retries with linear backoff and an optional watchdog timeout
 //!   that *flags* (never kills) jobs running past their deadline.
+//! * **Lifecycle observability** — [`try_par_map_indexed_observed`] taps
+//!   every claimed/started/retried/slow/panicked/done transition (with
+//!   per-job host nanoseconds and worker ids) through a [`JobObserver`],
+//!   feeding the campaign progress/metrics layer without changing any
+//!   result.
 //!
 //! The process-wide default job count ([`default_jobs`]/[`set_default_jobs`])
 //! lets deep call sites — the per-figure experiment drivers — pick up a
@@ -41,7 +46,7 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -153,6 +158,62 @@ where
     par_map_indexed(jobs, items.len(), |i| f(&items[i]))
 }
 
+/// Observer for per-job lifecycle events inside a fault-isolated campaign
+/// ([`try_par_map_indexed_observed`]).
+///
+/// Every method has a no-op default, so an observer implements only what
+/// it needs. Methods are called from worker threads (and `on_slow` also
+/// from the watchdog thread) — implementations must be cheap and
+/// `Sync`-safe; the campaign observability layer backs them with atomic
+/// counters. Events never affect results: an observed campaign returns
+/// exactly what an unobserved one would.
+///
+/// Event order per job: `on_claimed` → `on_started` (once per attempt) →
+/// zero or more `on_retried` → optionally `on_panicked` → `on_done`.
+/// `on_slow` can interleave at any point after the first `on_started`.
+pub trait JobObserver: Sync {
+    /// Worker `worker` (0-based) pulled job `index` off the queue.
+    fn on_claimed(&self, index: usize, worker: usize) {
+        let _ = (index, worker);
+    }
+
+    /// Attempt `attempt` (1-based) of job `index` began executing.
+    fn on_started(&self, index: usize, attempt: u32) {
+        let _ = (index, attempt);
+    }
+
+    /// Attempt `attempt` of job `index` panicked with `message`, and
+    /// another attempt will follow.
+    fn on_retried(&self, index: usize, attempt: u32, message: &str) {
+        let _ = (index, attempt, message);
+    }
+
+    /// The watchdog flagged job `index` as running past its deadline
+    /// (`elapsed` so far). Fires at most once per job.
+    fn on_slow(&self, index: usize, elapsed: Duration) {
+        let _ = (index, elapsed);
+    }
+
+    /// Job `index` exhausted all `attempts` attempts; `message` is the
+    /// final panic payload. `on_done` still follows with `ok = false`.
+    fn on_panicked(&self, index: usize, attempts: u32, message: &str) {
+        let _ = (index, attempts, message);
+    }
+
+    /// Job `index` finished on worker `worker` after `attempts` attempts
+    /// and `host_nanos` of host time (all attempts plus retry backoff).
+    fn on_done(&self, index: usize, worker: usize, host_nanos: u64, attempts: u32, ok: bool) {
+        let _ = (index, worker, host_nanos, attempts, ok);
+    }
+}
+
+/// A [`JobObserver`] that ignores every event — the default for the
+/// unobserved entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl JobObserver for NoopObserver {}
+
 /// A job that did not produce a result: it panicked on every attempt the
 /// [`RetryPolicy`] allowed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -201,6 +262,9 @@ pub struct TryReport<T> {
     /// sorted ascending. Flagged jobs still ran to completion (or failure)
     /// and their `results` entries are valid.
     pub slow: Vec<usize>,
+    /// Execution attempts per job, in submission order (all ≥ 1; an entry
+    /// > 1 means the job was retried).
+    pub attempts: Vec<u32>,
 }
 
 impl<T> TryReport<T> {
@@ -212,6 +276,23 @@ impl<T> TryReport<T> {
     /// Whether every job produced a value.
     pub fn all_ok(&self) -> bool {
         self.results.iter().all(Result::is_ok)
+    }
+
+    /// Submission indices that needed more than one attempt (whether they
+    /// eventually succeeded or not), sorted ascending.
+    pub fn retried(&self) -> Vec<usize> {
+        self.attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a > 1)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total retry attempts across the campaign: attempts beyond each
+    /// job's first.
+    pub fn total_retries(&self) -> u64 {
+        self.attempts.iter().map(|&a| u64::from(a) - 1).sum()
     }
 }
 
@@ -228,28 +309,43 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs job `i` under `catch_unwind` with the policy's retry budget.
-fn run_isolated<T, F>(i: usize, policy: &RetryPolicy, f: &F) -> Result<T, JobFailure>
+/// Returns the result plus the number of attempts actually made.
+fn run_isolated<T, F, O>(
+    i: usize,
+    policy: &RetryPolicy,
+    observer: &O,
+    f: &F,
+) -> (Result<T, JobFailure>, u32)
 where
     F: Fn(usize) -> T + Sync,
+    O: JobObserver + ?Sized,
 {
     let attempts = policy.attempts.max(1);
     let mut last = String::new();
     for attempt in 1..=attempts {
+        observer.on_started(i, attempt);
         match catch_unwind(AssertUnwindSafe(|| f(i))) {
-            Ok(v) => return Ok(v),
+            Ok(v) => return (Ok(v), attempt),
             Err(payload) => {
                 last = panic_message(payload.as_ref());
-                if attempt < attempts && !policy.backoff.is_zero() {
-                    std::thread::sleep(policy.backoff * attempt);
+                if attempt < attempts {
+                    observer.on_retried(i, attempt, &last);
+                    if !policy.backoff.is_zero() {
+                        std::thread::sleep(policy.backoff * attempt);
+                    }
                 }
             }
         }
     }
-    Err(JobFailure {
-        index: i,
+    observer.on_panicked(i, attempts, &last);
+    (
+        Err(JobFailure {
+            index: i,
+            attempts,
+            message: last,
+        }),
         attempts,
-        message: last,
-    })
+    )
 }
 
 /// Fault-isolated [`par_map_indexed`]: runs `count` jobs on up to `jobs`
@@ -270,12 +366,32 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    try_par_map_indexed_observed(jobs, count, policy, &NoopObserver, f)
+}
+
+/// [`try_par_map_indexed`] with per-job lifecycle events delivered to
+/// `observer` (see [`JobObserver`] for the event order). The observer is
+/// purely a tap: results, ordering, and failure handling are identical to
+/// the unobserved call.
+pub fn try_par_map_indexed_observed<T, F, O>(
+    jobs: usize,
+    count: usize,
+    policy: &RetryPolicy,
+    observer: &O,
+    f: F,
+) -> TryReport<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: JobObserver + ?Sized,
+{
     let jobs = jobs.max(1).min(count.max(1));
     let epoch = Instant::now();
     // starts[i] holds (millis since epoch) + 1 while job i is running; 0 =
     // not running. The watchdog samples these without stopping anyone.
     let starts: Vec<AtomicU64> = (0..count).map(|_| AtomicU64::new(0)).collect();
     let slow: Vec<AtomicBool> = (0..count).map(|_| AtomicBool::new(false)).collect();
+    let attempts_made: Vec<AtomicU32> = (0..count).map(|_| AtomicU32::new(0)).collect();
 
     let flag_if_slow = |i: usize, elapsed: Duration| {
         if let Some(limit) = policy.watchdog {
@@ -285,23 +401,28 @@ where
                     limit.as_secs_f64(),
                     elapsed.as_secs_f64()
                 );
+                observer.on_slow(i, elapsed);
             }
         }
     };
 
-    let run_job = |i: usize| {
+    let run_job = |i: usize, worker: usize| {
+        observer.on_claimed(i, worker);
         let begun = epoch.elapsed();
         starts[i].store(begun.as_millis() as u64 + 1, Ordering::SeqCst);
-        let result = run_isolated(i, policy, &f);
+        let (result, attempts) = run_isolated(i, policy, observer, &f);
         starts[i].store(0, Ordering::SeqCst);
+        let elapsed = epoch.elapsed() - begun;
         // Post-completion check covers the sequential path (no watchdog
         // thread) and jobs that finished between watchdog ticks.
-        flag_if_slow(i, epoch.elapsed() - begun);
+        flag_if_slow(i, elapsed);
+        attempts_made[i].store(attempts, Ordering::SeqCst);
+        observer.on_done(i, worker, elapsed.as_nanos() as u64, attempts, result.is_ok());
         result
     };
 
     let results: Vec<Result<T, JobFailure>> = if jobs <= 1 {
-        (0..count).map(run_job).collect()
+        (0..count).map(|i| run_job(i, 0)).collect()
     } else {
         let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
             (0..count).map(|_| Mutex::new(None)).collect();
@@ -325,13 +446,14 @@ where
                 });
             }
             let mut workers = Vec::with_capacity(jobs);
-            for _ in 0..jobs {
-                workers.push(scope.spawn(|| loop {
+            for w in 0..jobs {
+                let (run_job, slots, next) = (&run_job, &slots, &next);
+                workers.push(scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= count {
                         break;
                     }
-                    let result = run_job(i);
+                    let result = run_job(i, w);
                     *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
                 }));
             }
@@ -356,7 +478,15 @@ where
         .filter(|(_, s)| s.load(Ordering::SeqCst))
         .map(|(i, _)| i)
         .collect();
-    TryReport { results, slow }
+    let attempts = attempts_made
+        .iter()
+        .map(|a| a.load(Ordering::SeqCst).max(1))
+        .collect();
+    TryReport {
+        results,
+        slow,
+        attempts,
+    }
 }
 
 /// Fault-isolated [`par_map`] with the default [`RetryPolicy`] (single
@@ -621,6 +751,145 @@ mod tests {
             try_par_map_indexed(4, 0, &RetryPolicy::default(), |i| i);
         assert!(report.results.is_empty());
         assert!(report.slow.is_empty());
+        assert!(report.attempts.is_empty());
         assert!(report.all_ok());
+    }
+
+    #[test]
+    fn attempts_recorded_per_job() {
+        use std::sync::atomic::AtomicU32;
+        let tries: Vec<AtomicU32> = (0..6).map(|_| AtomicU32::new(0)).collect();
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::ZERO,
+            watchdog: None,
+        };
+        let report = try_par_map_indexed(2, 6, &policy, |i| {
+            // Job 2 needs two attempts, job 4 fails all three.
+            let t = tries[i].fetch_add(1, Ordering::SeqCst);
+            if (i == 2 && t < 1) || i == 4 {
+                panic!("boom {i}");
+            }
+            i
+        });
+        assert_eq!(report.attempts, vec![1, 1, 2, 1, 3, 1]);
+        assert_eq!(report.retried(), vec![2, 4]);
+        assert_eq!(report.total_retries(), 3);
+    }
+
+    /// Counting observer used by the lifecycle tests.
+    #[derive(Default)]
+    struct CountingObserver {
+        claimed: AtomicU64,
+        started: AtomicU64,
+        retried: AtomicU64,
+        slow: AtomicU64,
+        panicked: AtomicU64,
+        done: AtomicU64,
+        done_ok: AtomicU64,
+        host_nanos: AtomicU64,
+        max_worker: AtomicU64,
+    }
+
+    impl JobObserver for CountingObserver {
+        fn on_claimed(&self, _i: usize, worker: usize) {
+            self.claimed.fetch_add(1, Ordering::SeqCst);
+            self.max_worker.fetch_max(worker as u64, Ordering::SeqCst);
+        }
+        fn on_started(&self, _i: usize, _attempt: u32) {
+            self.started.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_retried(&self, _i: usize, _attempt: u32, _message: &str) {
+            self.retried.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_slow(&self, _i: usize, _elapsed: Duration) {
+            self.slow.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_panicked(&self, _i: usize, _attempts: u32, _message: &str) {
+            self.panicked.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_done(&self, _i: usize, _worker: usize, host_nanos: u64, _attempts: u32, ok: bool) {
+            self.done.fetch_add(1, Ordering::SeqCst);
+            if ok {
+                self.done_ok.fetch_add(1, Ordering::SeqCst);
+            }
+            self.host_nanos.fetch_add(host_nanos, Ordering::SeqCst);
+        }
+    }
+
+    // Satellite reconciliation: the observer's event counts must agree
+    // with the TryReport the same campaign returns.
+    #[test]
+    fn observer_events_reconcile_with_report() {
+        use std::sync::atomic::AtomicU32;
+        let tries: Vec<AtomicU32> = (0..12).map(|_| AtomicU32::new(0)).collect();
+        let policy = RetryPolicy {
+            attempts: 2,
+            backoff: Duration::ZERO,
+            watchdog: Some(Duration::from_millis(10)),
+        };
+        for jobs in [1, 3] {
+            tries.iter().for_each(|t| t.store(0, Ordering::SeqCst));
+            let obs = CountingObserver::default();
+            let report = try_par_map_indexed_observed(jobs, 12, &policy, &obs, |i| {
+                let t = tries[i].fetch_add(1, Ordering::SeqCst);
+                if i == 5 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                if i == 7 || (i == 9 && t == 0) {
+                    panic!("boom {i}");
+                }
+                i
+            });
+            assert_eq!(obs.claimed.load(Ordering::SeqCst), 12, "jobs = {jobs}");
+            assert_eq!(obs.done.load(Ordering::SeqCst), 12, "jobs = {jobs}");
+            assert_eq!(
+                obs.done_ok.load(Ordering::SeqCst) as usize,
+                report.results.iter().filter(|r| r.is_ok()).count(),
+                "jobs = {jobs}"
+            );
+            assert_eq!(
+                obs.started.load(Ordering::SeqCst),
+                report.attempts.iter().map(|&a| u64::from(a)).sum::<u64>(),
+                "jobs = {jobs}"
+            );
+            assert_eq!(
+                obs.retried.load(Ordering::SeqCst),
+                report.total_retries(),
+                "jobs = {jobs}"
+            );
+            assert_eq!(
+                obs.panicked.load(Ordering::SeqCst) as usize,
+                report.failures().len(),
+                "jobs = {jobs}"
+            );
+            assert_eq!(
+                obs.slow.load(Ordering::SeqCst) as usize,
+                report.slow.len(),
+                "jobs = {jobs}"
+            );
+            assert!(report.slow.contains(&5), "jobs = {jobs}");
+            assert!(
+                obs.host_nanos.load(Ordering::SeqCst) >= 30_000_000,
+                "jobs = {jobs}: per-job host time must cover the slow job"
+            );
+            assert!(
+                (obs.max_worker.load(Ordering::SeqCst) as usize) < jobs.max(1),
+                "jobs = {jobs}: worker ids stay in range"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_results_equal_unobserved() {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(9);
+        let plain = try_par_map_indexed(3, 40, &RetryPolicy::default(), work);
+        let obs = CountingObserver::default();
+        let observed =
+            try_par_map_indexed_observed(3, 40, &RetryPolicy::default(), &obs, work);
+        let a: Vec<u64> = plain.results.into_iter().map(|r| r.unwrap()).collect();
+        let b: Vec<u64> = observed.results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+        assert_eq!(observed.attempts, vec![1; 40]);
     }
 }

@@ -83,10 +83,32 @@ fn validate_key(key: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-handle operation counters, snapshot by [`ResultStore::counts`].
+///
+/// These count *this process's* traffic through one open handle since
+/// [`ResultStore::open`] — they are campaign-lifetime counters for the
+/// observability layer, not persisted store state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounts {
+    /// Validated reads that returned a payload.
+    pub hits: u64,
+    /// Reads that found no (valid) entry — includes quarantined reads.
+    pub misses: u64,
+    /// Entries committed.
+    pub puts: u64,
+    /// Entries moved to `quarantine/` (integrity failures plus explicit
+    /// [`ResultStore::quarantine`] calls that found a file).
+    pub quarantines: u64,
+}
+
 /// On-disk content-addressed result store. See the crate docs for the
 /// layout and integrity guarantees.
 pub struct ResultStore {
     root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl ResultStore {
@@ -97,7 +119,23 @@ impl ResultStore {
             let p = root.join(sub);
             fs::create_dir_all(&p).map_err(|e| StoreError::new(&p, e))?;
         }
-        Ok(ResultStore { root })
+        Ok(ResultStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshot of this handle's operation counters (see [`StoreCounts`]).
+    pub fn counts(&self) -> StoreCounts {
+        StoreCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+        }
     }
 
     /// The store's root directory.
@@ -147,6 +185,7 @@ impl ResultStore {
             fs::create_dir_all(parent).map_err(|e| StoreError::new(parent, e))?;
         }
         fs::rename(&tmp, &dest).map_err(|e| StoreError::new(&dest, e))?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -161,17 +200,24 @@ impl ResultStore {
         let path = self.object_path(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
             Err(e) => return Err(StoreError::new(&path, e)),
         };
         match Self::decode(key, &bytes) {
-            Ok(payload) => Ok(Some(payload)),
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(payload))
+            }
             Err(why) => {
                 eprintln!(
                     "tartan-store: {}: {why}; quarantining",
                     path.display()
                 );
                 self.quarantine(key)?;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 Ok(None)
             }
         }
@@ -220,7 +266,10 @@ impl ResultStore {
         validate_key(key).map_err(|e| StoreError::new(&self.root, e))?;
         let path = self.object_path(key);
         match fs::rename(&path, self.quarantine_path(key)) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                self.quarantines.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(StoreError::new(&path, e)),
         }
@@ -409,6 +458,47 @@ mod tests {
         fs::copy(store.object_path(&key_a), store.object_path(&key_b)).unwrap();
         assert_eq!(store.get(&key_b).unwrap(), None);
         assert_eq!(store.get(&key_a).unwrap().as_deref(), Some("payload a"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn operation_counters_track_hits_misses_puts_quarantines() {
+        let (dir, store) = temp_store("counters");
+        assert_eq!(store.counts(), StoreCounts::default());
+        let key = sha256_hex(b"counted");
+        // Miss on absent, then put + hit.
+        assert_eq!(store.get(&key).unwrap(), None);
+        store.put(&key, "payload to count").unwrap();
+        assert!(store.get(&key).unwrap().is_some());
+        assert_eq!(
+            store.counts(),
+            StoreCounts {
+                hits: 1,
+                misses: 1,
+                puts: 1,
+                quarantines: 0
+            }
+        );
+        // Corrupt the entry: the next read quarantines and counts a miss.
+        let path = store.object_path(&key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(store.get(&key).unwrap(), None);
+        assert_eq!(
+            store.counts(),
+            StoreCounts {
+                hits: 1,
+                misses: 2,
+                puts: 1,
+                quarantines: 1
+            }
+        );
+        // Explicit quarantine of a missing entry counts nothing.
+        assert!(!store.quarantine(&key).unwrap());
+        assert_eq!(store.counts().quarantines, 1);
+        // Counters are per-handle: a re-opened store starts at zero.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.counts(), StoreCounts::default());
         let _ = fs::remove_dir_all(dir);
     }
 

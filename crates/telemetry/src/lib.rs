@@ -21,6 +21,12 @@
 //!   Perfetto-loadable Chrome trace and the versioned `stats.json`
 //!   schema ([`STATS_SCHEMA_VERSION`]) consumed by the bench harness
 //!   and CI.
+//! * **Campaign observability** ([`MetricsRegistry`],
+//!   [`CampaignProfile`], [`Heartbeat`], [`BenchHistoryLine`],
+//!   [`campaign_trace_json`]) — host-side visibility for multi-job
+//!   campaigns: lock-free counters/gauges, per-phase host-time
+//!   attribution, worker-track Chrome traces, progress heartbeats, and
+//!   bench history lines (all under [`CAMPAIGN_SCHEMA_VERSION`]).
 //!
 //! The crate is deliberately dependency-free so every other workspace
 //! crate — including `tartan-sim` at the bottom of the stack — can link
@@ -28,15 +34,23 @@
 
 #![warn(missing_docs)]
 
+mod campaign;
 mod chrome;
 mod event;
 mod hist;
 mod json;
+mod metrics;
 mod report;
 mod sink;
 mod stats;
 
+pub use campaign::{
+    campaign_trace_json, validate_bench_history_line, validate_campaign_profile_json,
+    validate_heartbeat_json, BenchHistoryLine, CampaignPhase, CampaignProfile, Heartbeat,
+    JobSpan, CAMPAIGN_SCHEMA_VERSION,
+};
 pub use chrome::chrome_trace_json;
+pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use event::{CacheOutcome, Event, FaultSite, Interest, Level};
 pub use hist::{Histogram, SAMPLE_CAP};
 pub use json::{push_f64, push_str, validate_json};
@@ -48,5 +62,5 @@ pub use sink::{
 pub use stats::{
     stats_export_json, validate_host_bench_json, validate_stats_json, CacheCounters,
     FaultCounters, HostBenchExport, HostRunStats, JobFailureStats, PhaseEntry, RobotRunStats,
-    StatsExport, SupervisionCounters, STATS_SCHEMA_VERSION,
+    StatsExport, SupervisionCounters, WarmBenchStats, STATS_SCHEMA_VERSION,
 };

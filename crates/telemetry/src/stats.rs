@@ -20,7 +20,11 @@ use crate::json::{push_f64, push_str};
 ///
 /// v2: every document carries an always-present `"failures"` array of
 /// structured per-job failure records (empty on a clean campaign).
-pub const STATS_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `BENCH_host.json` may carry an optional `"warm"` section (a second
+/// store-served timing pass, written only when the bench ran with
+/// `--store`); `stats.json` itself is unchanged beyond the version stamp.
+pub const STATS_SCHEMA_VERSION: u32 = 3;
 
 /// Mirror of one cache level's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -358,6 +362,47 @@ impl HostRunStats {
     }
 }
 
+/// The warm (store-served) half of a cold/warm bench split: the same run
+/// matrix timed again with every result served from the result store, so
+/// cache speedup is measurable instead of silently mixed into one number.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmBenchStats {
+    /// Elapsed host nanoseconds for the warm pass.
+    pub total_host_nanos: u64,
+    /// One entry per run, submission order; `host_nanos` is the store
+    /// fetch + decode time for that run's record.
+    pub runs: Vec<HostRunStats>,
+}
+
+impl WarmBenchStats {
+    /// Warm throughput in store-served runs per host second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.total_host_nanos == 0 {
+            0.0
+        } else {
+            self.runs.len() as f64 * 1e9 / self.total_host_nanos as f64
+        }
+    }
+
+    fn write_json(&self, buf: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            buf,
+            "{{\"total_host_nanos\":{},\"runs_per_sec\":",
+            self.total_host_nanos
+        );
+        push_f64(buf, self.runs_per_sec());
+        buf.push_str(",\"runs\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            r.write_json(buf);
+        }
+        buf.push_str("]}");
+    }
+}
+
 /// The top-level `BENCH_host.json` document: host wall-time and throughput
 /// for a bench campaign.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -371,6 +416,8 @@ pub struct HostBenchExport {
     pub total_host_nanos: u64,
     /// One entry per robot run, in campaign submission order.
     pub runs: Vec<HostRunStats>,
+    /// Warm-pass timings, when the bench ran a cold/warm split (`--store`).
+    pub warm: Option<WarmBenchStats>,
 }
 
 impl HostBenchExport {
@@ -403,14 +450,19 @@ impl HostBenchExport {
             }
             r.write_json(&mut buf);
         }
-        buf.push_str("]}\n");
+        buf.push(']');
+        if let Some(warm) = &self.warm {
+            buf.push_str(",\"warm\":");
+            warm.write_json(&mut buf);
+        }
+        buf.push_str("}\n");
         buf
     }
 }
 
 /// Structurally validates a `BENCH_host.json` document: well-formed JSON,
 /// the current [`STATS_SCHEMA_VERSION`], and the required top-level and
-/// per-run keys.
+/// per-run keys. The `"warm"` section is optional (v3).
 pub fn validate_host_bench_json(s: &str) -> Result<(), String> {
     crate::json::validate_json(s)?;
     let expect = format!("\"schema_version\":{STATS_SCHEMA_VERSION}");
@@ -532,7 +584,7 @@ mod tests {
     fn export_round_trips_validation() {
         let json = sample_export().to_json();
         validate_stats_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"robot\":\"flybot\""));
         assert!(json.contains("\"supervision\":{\"invocations\":12"));
         assert!(json.contains("\"failures\":[]"));
@@ -552,7 +604,7 @@ mod tests {
     fn validator_rejects_wrong_version() {
         let json = sample_export()
             .to_json()
-            .replace("\"schema_version\":2", "\"schema_version\":9999");
+            .replace("\"schema_version\":3", "\"schema_version\":9999");
         assert!(validate_stats_json(&json).is_err());
     }
 
@@ -638,6 +690,7 @@ mod tests {
                     host_nanos: 1_500_000_000,
                 },
             ],
+            warm: None,
         }
     }
 
@@ -658,6 +711,23 @@ mod tests {
         let idle = HostRunStats::default();
         assert_eq!(idle.sim_cycles_per_host_sec(), 0.0);
         assert_eq!(HostBenchExport::default().runs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn warm_section_is_optional_and_validates() {
+        let mut e = sample_host_export();
+        let json = e.to_json();
+        assert!(!json.contains("\"warm\":"), "warm must be absent by default");
+        e.warm = Some(WarmBenchStats {
+            total_host_nanos: 100_000_000,
+            runs: e.runs.clone(),
+        });
+        let json = e.to_json();
+        validate_host_bench_json(&json).unwrap_or_else(|err| panic!("{json}: {err}"));
+        assert!(json.contains("\"warm\":{\"total_host_nanos\":100000000"));
+        // 2 runs in 0.1 s → 20 runs/s.
+        assert!((e.warm.as_ref().unwrap().runs_per_sec() - 20.0).abs() < 1e-9);
+        assert_eq!(WarmBenchStats::default().runs_per_sec(), 0.0);
     }
 
     #[test]

@@ -11,18 +11,31 @@
 //! cycle counts, miss rates, NPU statistics, and simulator throughput are
 //! comparable across commits without rerunning anything.
 //!
+//! `--store DIR` adds a cold/warm split: the cold pass seeds the result
+//! store (records keyed exactly like `tartan_run`'s), then a warm pass
+//! times the same matrix served entirely from the store, and
+//! `BENCH_host.json` gains a `warm` section so cache speedup is a measured
+//! number instead of being silently mixed into one figure. Every
+//! invocation also appends one summary line to
+//! `results/BENCH_history.jsonl` (see `SCHEMA.md`), the input to
+//! `bench_compare`'s regression check.
+//!
 //! Exits non-zero if any run's stats fail schema validation.
 
-use std::fs;
-use std::path::Path;
-use std::time::Instant;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use tartan::core::experiments::manifests;
 use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
 use tartan::par;
+use tartan::scenario::RunParams;
 use tartan::sim::telemetry::{
-    validate_host_bench_json, validate_stats_json, HostBenchExport, HostRunStats, StatsExport,
+    validate_bench_history_line, validate_host_bench_json, validate_stats_json, BenchHistoryLine,
+    HostBenchExport, HostRunStats, StatsExport, WarmBenchStats,
 };
+use tartan::store::{sha256_hex, ResultStore};
 
 /// Single-line I/O failure in the scenario layer's `path: reason` style.
 fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
@@ -39,9 +52,24 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if !rest.is_empty() {
-        eprintln!("bench_tier1: unrecognized arguments {rest:?} (only --jobs N is accepted)");
-        std::process::exit(2);
+    let mut store_dir: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => match it.next() {
+                Some(d) => store_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("bench_tier1: --store needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "bench_tier1: unrecognized argument {other:?} (--jobs N and --store DIR are accepted)"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     let params = ExperimentParams::quick();
@@ -67,6 +95,7 @@ fn main() {
         jobs: jobs as u64,
         total_host_nanos,
         runs: Vec::new(),
+        warm: None,
     };
     let mut schema_ok = true;
     for (job, (out, elapsed)) in plan.jobs.iter().zip(&timed) {
@@ -99,6 +128,56 @@ fn main() {
         export.runs.push(run);
     }
 
+    // Cold/warm split: seed the store from the cold pass, then time the
+    // same matrix served entirely from it.
+    if let Some(dir) = &store_dir {
+        let store = ResultStore::open(dir).unwrap_or_else(|e| die(&e.path, e.reason));
+        let run_params: RunParams = params.into();
+        let keys: Vec<String> = plan
+            .jobs
+            .iter()
+            .map(|job| sha256_hex(job.cache_key_text(&run_params).as_bytes()))
+            .collect();
+        for (i, (out, _)) in timed.iter().enumerate() {
+            let record = out.to_run_stats(&plan.jobs[i].config).to_json_record();
+            if let Err(e) = store.put(&keys[i], &record) {
+                eprintln!("bench_tier1: {e}");
+                std::process::exit(1);
+            }
+        }
+        let warm_campaign = Instant::now();
+        let warm_timed = par::par_map_indexed(jobs, plan.jobs.len(), |i| {
+            let start = Instant::now();
+            let got = store.get(&keys[i]);
+            (start.elapsed().as_nanos() as u64, matches!(got, Ok(Some(_))))
+        });
+        let mut warm = WarmBenchStats {
+            total_host_nanos: warm_campaign.elapsed().as_nanos() as u64,
+            runs: Vec::new(),
+        };
+        for (i, &(nanos, hit)) in warm_timed.iter().enumerate() {
+            if !hit {
+                eprintln!(
+                    "bench_tier1: warm pass missed {} {} in the store it just seeded",
+                    host.runs[i].robot, host.runs[i].config
+                );
+                std::process::exit(1);
+            }
+            warm.runs.push(HostRunStats {
+                robot: host.runs[i].robot.clone(),
+                config: host.runs[i].config.clone(),
+                wall_cycles: host.runs[i].wall_cycles,
+                host_nanos: nanos,
+            });
+        }
+        println!(
+            "warm (store-served): {:.3} s wall, {:.2} runs/s",
+            warm.total_host_nanos as f64 / 1e9,
+            warm.runs_per_sec(),
+        );
+        host.warm = Some(warm);
+    }
+
     let json = export.to_json();
     if let Err(e) = validate_stats_json(&json) {
         eprintln!("bench_tier1: bench export violates the stats.json schema: {e}");
@@ -121,9 +200,37 @@ fn main() {
     if let Err(e) = fs::write(&host_path, &host_json) {
         die(&host_path, e);
     }
+    // Append (never rewrite) one history line per invocation, so the file
+    // accumulates a local throughput trajectory for bench_compare.
+    let line = BenchHistoryLine {
+        generator: "bench_tier1".into(),
+        timestamp_secs: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        jobs: jobs as u64,
+        runs: export.runs.len() as u64,
+        total_host_nanos,
+        runs_per_sec: host.runs_per_sec(),
+        warm_runs_per_sec: host.warm.as_ref().map(WarmBenchStats::runs_per_sec),
+    }
+    .to_json_line();
+    if let Err(e) = validate_bench_history_line(&line) {
+        eprintln!("bench_tier1: history line violates the schema: {e}");
+        std::process::exit(1);
+    }
+    let history_path = results_dir.join("BENCH_history.jsonl");
+    if let Err(e) = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| writeln!(f, "{line}"))
+    {
+        die(&history_path, e);
+    }
     println!(
         "wrote results/BENCH_tier1.json ({} runs) and results/BENCH_host.json \
-         (jobs {jobs}, {:.2} s wall, {:.2} runs/s)",
+         (jobs {jobs}, {:.2} s wall, {:.2} runs/s); appended results/BENCH_history.jsonl",
         export.runs.len(),
         total_host_nanos as f64 / 1e9,
         host.runs_per_sec(),

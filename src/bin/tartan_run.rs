@@ -5,6 +5,7 @@
 //! ```text
 //! tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]
 //!                 [--store DIR [--resume] [--verify N]] [--retries N]
+//!                 [--watchdog MS] [--progress[=human|jsonl]]
 //! tartan_run --check FILE...
 //! ```
 //!
@@ -29,6 +30,19 @@
 //! remaining jobs complete, and the export carries a structured
 //! `failures` section instead of the campaign aborting.
 //!
+//! Campaign observability (DESIGN.md §15): `--progress[=human|jsonl]`
+//! prints rate-limited heartbeats to stderr (done/total, runs/sec, ETA,
+//! cache-hit rate, retries, slow, failures) and writes two additional
+//! artifacts next to the stats export — `<name>.campaign_profile.json`
+//! (schema-validated host-time attribution: disjoint parse/plan/simulate/
+//! store-io/export phases whose nanos sum to the campaign total by
+//! construction, one span per job, and the metrics snapshot) and
+//! `<name>.campaign_trace.json` (a Perfetto-loadable timeline with one
+//! track per worker). `--watchdog MS` flags jobs that run longer than the
+//! timeout; slow and retried job indices are summarized on stdout either
+//! way. All of this is strictly additive: the stats/CSV outputs are
+//! byte-identical with the flags on or off.
+//!
 //! Check mode validates each file and prints one line per problem in the
 //! scenario layer's `file: field.path: reason` form — the same errors CI
 //! enforces for the checked-in manifests.
@@ -43,8 +57,9 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
 use tartan::par;
@@ -52,12 +67,15 @@ use tartan::robots::Scale;
 use tartan::scenario::json::{parse as parse_json, JsonValue};
 use tartan::scenario::RunParams;
 use tartan::sim::telemetry::{
-    push_str, stats_export_json, validate_stats_json, JobFailureStats,
+    campaign_trace_json, push_str, stats_export_json, validate_campaign_profile_json,
+    validate_stats_json, CampaignPhase, CampaignProfile, Counter, Heartbeat, JobFailureStats,
+    JobSpan, MetricsRegistry,
 };
 use tartan::store::{sha256_hex, ResultStore};
 
 const USAGE: &str = "usage: tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]\n\
                      \x20                [--store DIR [--resume] [--verify N]] [--retries N]\n\
+                     \x20                [--watchdog MS] [--progress[=human|jsonl]]\n\
                      \x20      tartan_run --check FILE...";
 
 fn usage_error(msg: &str) -> ! {
@@ -194,6 +212,212 @@ fn xorshift64star(state: &mut u64) -> u64 {
     x.wrapping_mul(0x2545F491_4F6CDD1D)
 }
 
+/// How `--progress` renders its stderr heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgressMode {
+    Human,
+    Jsonl,
+}
+
+/// Minimum gap between mid-campaign heartbeats; the first and last
+/// completions always emit one regardless.
+const HEARTBEAT_INTERVAL_NANOS: u64 = 200_000_000;
+
+/// The campaign tap (DESIGN.md §15): receives `tartan-par`'s per-job
+/// lifecycle events and aggregates them into named metrics, one
+/// [`JobSpan`] per job for the profile/trace exports, and rate-limited
+/// stderr heartbeats. Purely additive — it never touches job results or
+/// the deterministic stats/CSV outputs.
+struct ProgressObserver {
+    /// Campaign epoch; span timestamps are host nanos since this instant.
+    epoch: Instant,
+    total: usize,
+    /// `None` collects metrics and spans without printing anything.
+    mode: Option<ProgressMode>,
+    claimed: Counter,
+    started: Counter,
+    retried: Counter,
+    slow: Counter,
+    panicked: Counter,
+    done: Counter,
+    failed: Counter,
+    /// Results served from the store; bumped by the job closure, read
+    /// here for the heartbeat's cache-hit figure.
+    cached: Counter,
+    spans: Mutex<Vec<JobSpan>>,
+    finished: AtomicUsize,
+    last_beat_nanos: AtomicU64,
+}
+
+impl ProgressObserver {
+    fn new(
+        registry: &MetricsRegistry,
+        epoch: Instant,
+        total: usize,
+        mode: Option<ProgressMode>,
+    ) -> ProgressObserver {
+        ProgressObserver {
+            epoch,
+            total,
+            mode,
+            claimed: registry.counter("job.claimed"),
+            started: registry.counter("job.started"),
+            retried: registry.counter("job.retried"),
+            slow: registry.counter("job.slow"),
+            panicked: registry.counter("job.panicked"),
+            done: registry.counter("job.done"),
+            failed: registry.counter("job.failed"),
+            cached: registry.counter("job.cached"),
+            spans: Mutex::new(
+                (0..total)
+                    .map(|index| JobSpan {
+                        index,
+                        ..JobSpan::default()
+                    })
+                    .collect(),
+            ),
+            finished: AtomicUsize::new(0),
+            last_beat_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn with_span(&self, index: usize, f: impl FnOnce(&mut JobSpan)) {
+        let mut spans = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(span) = spans.get_mut(index) {
+            f(span);
+        }
+    }
+
+    fn into_spans(self) -> Vec<JobSpan> {
+        self.spans
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn heartbeat(&self, done: usize) {
+        let Some(mode) = self.mode else { return };
+        let now = self.nanos();
+        let last = self.last_beat_nanos.load(Ordering::Relaxed);
+        // First and final completions always beat; in between, rate-limit
+        // and let the compare-exchange loser yield to the thread that won.
+        let boundary = done == 1 || done == self.total;
+        if !boundary && now.saturating_sub(last) < HEARTBEAT_INTERVAL_NANOS {
+            return;
+        }
+        if self
+            .last_beat_nanos
+            .compare_exchange(last, now, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+            && !boundary
+        {
+            return;
+        }
+        let beat = Heartbeat {
+            done,
+            total: self.total,
+            elapsed_nanos: now,
+            cache_hits: self.cached.get(),
+            retries: self.retried.get(),
+            slow: self.slow.get(),
+            failures: self.failed.get(),
+        };
+        match mode {
+            ProgressMode::Jsonl => eprintln!("{}", beat.to_json_line()),
+            ProgressMode::Human => eprintln!("{}", beat.render_human()),
+        }
+    }
+}
+
+impl par::JobObserver for ProgressObserver {
+    fn on_claimed(&self, index: usize, worker: usize) {
+        self.claimed.inc();
+        let now = self.nanos();
+        self.with_span(index, |s| {
+            s.worker = worker;
+            s.start_nanos = now;
+        });
+    }
+
+    fn on_started(&self, _index: usize, _attempt: u32) {
+        self.started.inc();
+    }
+
+    fn on_retried(&self, _index: usize, _attempt: u32, _message: &str) {
+        self.retried.inc();
+    }
+
+    fn on_slow(&self, index: usize, _elapsed: Duration) {
+        self.slow.inc();
+        self.with_span(index, |s| s.slow = true);
+    }
+
+    fn on_panicked(&self, _index: usize, _attempts: u32, _message: &str) {
+        self.panicked.inc();
+    }
+
+    fn on_done(&self, index: usize, worker: usize, _host_nanos: u64, attempts: u32, ok: bool) {
+        self.done.inc();
+        if !ok {
+            self.failed.inc();
+        }
+        let now = self.nanos();
+        self.with_span(index, |s| {
+            s.worker = worker;
+            s.end_nanos = now;
+            s.attempts = attempts;
+            s.ok = ok;
+        });
+        let done = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
+        self.heartbeat(done);
+    }
+}
+
+/// Disjoint wall-clock attribution (DESIGN.md §15): each `mark` closes
+/// the segment since the previous mark, so the per-phase nanos sum to
+/// `total_nanos()` exactly by construction.
+struct PhaseClock {
+    t0: Instant,
+    last: Instant,
+    phases: Vec<CampaignPhase>,
+}
+
+impl PhaseClock {
+    fn start() -> PhaseClock {
+        let now = Instant::now();
+        PhaseClock {
+            t0: now,
+            last: now,
+            phases: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, name: &str) {
+        let now = Instant::now();
+        self.phases.push(CampaignPhase {
+            name: name.to_string(),
+            host_nanos: now.duration_since(self.last).as_nanos() as u64,
+        });
+        self.last = now;
+    }
+
+    fn total_nanos(&self) -> u64 {
+        self.last.duration_since(self.t0).as_nanos() as u64
+    }
+}
+
+/// `"3, 7, 11"` — the summary-line list form for job indices.
+fn fmt_indices(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
@@ -214,6 +438,8 @@ fn main() {
     let mut resume = false;
     let mut verify: usize = 0;
     let mut retries: u32 = 1;
+    let mut watchdog_ms: Option<u64> = None;
+    let mut progress: Option<ProgressMode> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -240,6 +466,15 @@ fn main() {
                 Some(Ok(n)) if n >= 1 => retries = n,
                 _ => usage_error("--retries needs a count of at least 1"),
             },
+            "--watchdog" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) if ms >= 1 => watchdog_ms = Some(ms),
+                _ => usage_error("--watchdog needs a timeout in milliseconds"),
+            },
+            "--progress" | "--progress=human" => progress = Some(ProgressMode::Human),
+            "--progress=jsonl" => progress = Some(ProgressMode::Jsonl),
+            other if other.starts_with("--progress=") => {
+                usage_error(&format!("unknown progress mode {other:?} (human|jsonl)"))
+            }
             other if other.starts_with("--") => {
                 usage_error(&format!("unrecognized flag {other}"))
             }
@@ -257,15 +492,23 @@ fn main() {
         usage_error("--resume and --verify require --store DIR");
     }
 
+    // Phase attribution starts here: parse → plan → simulate → store-io
+    // → export, as disjoint wall-clock segments (DESIGN.md §15).
+    let mut clock = PhaseClock::start();
     let text = fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("tartan_run: {file}: {e}");
         std::process::exit(1);
     });
-    let (spec, plan) = match ScenarioSpec::from_json(&text).and_then(|s| {
-        let p = s.expand()?;
-        Ok((s, p))
-    }) {
-        Ok(v) => v,
+    let spec = match ScenarioSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    clock.mark("parse");
+    let plan = match spec.expand() {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("{file}: {e}");
             std::process::exit(1);
@@ -308,14 +551,23 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok());
     let completed = AtomicUsize::new(0);
+    clock.mark("plan");
+
+    // Worker count the pool will actually use — also the trace's tracks.
+    let workers = jobs.max(1).min(plan.jobs.len().max(1));
+    let registry = MetricsRegistry::new();
+    registry.gauge("campaign.total_jobs").set(plan.jobs.len() as u64);
+    registry.gauge("campaign.workers").set(workers as u64);
+    let observer = ProgressObserver::new(&registry, clock.t0, plan.jobs.len(), progress);
+    let cached_ctr = observer.cached.clone();
 
     let campaign = Instant::now();
     let policy = par::RetryPolicy {
         attempts: retries,
         backoff: std::time::Duration::from_millis(10),
-        watchdog: None,
+        watchdog: watchdog_ms.map(Duration::from_millis),
     };
-    let report = par::try_par_map_indexed(jobs, plan.jobs.len(), &policy, |i| {
+    let report = par::try_par_map_indexed_observed(jobs, plan.jobs.len(), &policy, &observer, |i| {
         let job = &plan.jobs[i];
         if panic_at.contains(&i) {
             panic!("injected test panic at job {i}");
@@ -365,6 +617,9 @@ fn main() {
             }
             fresh
         });
+        if result.cached {
+            cached_ctr.inc();
+        }
         let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
         if exit_after.is_some_and(|n| done >= n) {
             // Simulated kill for the resume tests: completed jobs are
@@ -374,6 +629,10 @@ fn main() {
         result
     });
     let host_secs = campaign.elapsed().as_secs_f64();
+    clock.mark("simulate");
+    // Snapshot these before `report.results` is moved out below.
+    let retried_jobs = report.retried();
+    let total_retries = report.total_retries();
 
     let mut results: Vec<Option<JobResult>> = Vec::with_capacity(plan.jobs.len());
     let mut failures: Vec<JobFailureStats> = Vec::new();
@@ -456,6 +715,7 @@ fn main() {
             );
         }
     }
+    clock.mark("store-io");
 
     let mut records: Vec<String> = Vec::with_capacity(plan.jobs.len());
     let mut csv =
@@ -514,6 +774,7 @@ fn main() {
     if let Err(e) = fs::write(&csv_path, &csv) {
         die(&csv_path, e);
     }
+    clock.mark("export");
     println!(
         "wrote {} and {} ({} runs, {} cached, {} failed, jobs {jobs}, {host_secs:.2} s host)",
         stats_path.display(),
@@ -522,6 +783,68 @@ fn main() {
         cached_served,
         failures.len(),
     );
+
+    // Store summary (satellite of DESIGN.md §15): campaign-lifetime op
+    // counts from this handle, folded into the metrics snapshot.
+    if let Some(s) = &store {
+        let c = s.counts();
+        registry.counter("store.hit").add(c.hits);
+        registry.counter("store.miss").add(c.misses);
+        registry.counter("store.put").add(c.puts);
+        registry.counter("store.quarantine").add(c.quarantines);
+        println!(
+            "store: {} hit(s), {} miss(es), {} put(s), {} quarantine(s)",
+            c.hits, c.misses, c.puts, c.quarantines
+        );
+    }
+    if !retried_jobs.is_empty() {
+        println!(
+            "retried jobs ({total_retries} extra attempt(s)): {}",
+            fmt_indices(&retried_jobs)
+        );
+    }
+    if !report.slow.is_empty() {
+        println!("watchdog-slow jobs: {}", fmt_indices(&report.slow));
+    }
+
+    if progress.is_some() {
+        let mut spans = observer.into_spans();
+        for (i, span) in spans.iter_mut().enumerate() {
+            let job = &plan.jobs[i];
+            span.robot = job.robot.name().to_string();
+            span.config = job.config.as_str().to_string();
+            span.label = job.label.clone();
+            span.cached = results[i].as_ref().is_some_and(|r| r.cached);
+        }
+        let profile = CampaignProfile {
+            generator: "tartan_run".to_string(),
+            scenario: spec.name.clone(),
+            jobs: workers as u64,
+            total_host_nanos: clock.total_nanos(),
+            phases: clock.phases.clone(),
+            spans,
+            metrics: registry.snapshot(),
+        };
+        let profile_json = profile.to_json();
+        if let Err(e) = validate_campaign_profile_json(&profile_json) {
+            eprintln!("tartan_run: campaign profile violates the schema: {e}");
+            std::process::exit(1);
+        }
+        let profile_path = out_dir.join(format!("{}.campaign_profile.json", spec.name));
+        if let Err(e) = fs::write(&profile_path, &profile_json) {
+            die(&profile_path, e);
+        }
+        let trace = campaign_trace_json(&spec.name, workers, &profile.spans);
+        let trace_path = out_dir.join(format!("{}.campaign_trace.json", spec.name));
+        if let Err(e) = fs::write(&trace_path, &trace) {
+            die(&trace_path, e);
+        }
+        println!(
+            "wrote {} and {}",
+            profile_path.display(),
+            trace_path.display()
+        );
+    }
     if !failures.is_empty() || verify_mismatches > 0 {
         std::process::exit(1);
     }
