@@ -25,7 +25,8 @@ pub mod overhead;
 pub mod runner;
 
 pub use runner::{
-    run_campaign, run_campaign_with_jobs, run_robot, CampaignJob, ExperimentParams, RunOutcome,
+    probe_spec, run_campaign, run_campaign_with_jobs, run_robot, CampaignJob, ExperimentParams,
+    RunOutcome,
 };
 
 pub use tartan_robots::{NeuralExec, NnsKind, RobotKind, Scale, SoftwareConfig};

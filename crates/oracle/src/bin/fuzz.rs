@@ -26,7 +26,8 @@
 
 use std::process::ExitCode;
 
-use tartan_oracle::{generate, run_case, shrink, Divergence, FuzzCase, Mutation, XorShift};
+use tartan_oracle::fuzz::shrink;
+use tartan_oracle::{generate, run_case, Divergence, FuzzCase, Mutation, XorShift};
 
 struct Args {
     iters: u64,

@@ -323,32 +323,18 @@ pub fn shrink(case: &FuzzCase, mutation: Option<Mutation>) -> FuzzCase {
     assert!(diverges(case), "shrink starts from a diverging case");
     let mut best = case.clone();
 
-    // Pass 1: chunked op deletion, repeated until a fixpoint.
-    loop {
-        let before = best.ops.len();
-        let mut chunk = (best.ops.len() / 2).max(1);
-        loop {
-            let mut start = 0;
-            while start < best.ops.len() {
-                let mut candidate = best.clone();
-                let end = (start + chunk).min(candidate.ops.len());
-                candidate.ops.drain(start..end);
-                if !candidate.ops.is_empty() && diverges(&candidate) {
-                    best = candidate;
-                    // Same start index now holds the next chunk.
-                } else {
-                    start += chunk;
-                }
-            }
-            if chunk == 1 {
-                break;
-            }
-            chunk /= 2;
+    // Pass 1: chunked op deletion down to a 1-minimal op list, via the
+    // shared greedy loop (`crate::shrink`). The config stays fixed while
+    // ops shrink; an empty op list is never interesting.
+    let template = best.clone();
+    best.ops = crate::shrink::greedy_min_subset(&best.ops, |ops| {
+        if ops.is_empty() {
+            return false;
         }
-        if best.ops.len() == before {
-            break;
-        }
-    }
+        let mut candidate = template.clone();
+        candidate.ops = ops.to_vec();
+        diverges(&candidate)
+    });
 
     // Pass 2: config simplifications, each kept only if still diverging.
     let mut candidate = best.clone();

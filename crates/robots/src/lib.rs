@@ -203,6 +203,34 @@ impl Scale {
         }
     }
 
+    /// Tiny scale for behavioral *probes*: every robot finishes one step
+    /// in single-digit-to-low-tens of milliseconds, so the scenario
+    /// synthesizer can afford hundreds of exploratory runs plus the
+    /// shrinker's re-probes. Deliberately **not** in [`Self::PRESETS`] —
+    /// checked-in scenario files cannot name it; it exists for the
+    /// coverage probe path only, where fidelity does not matter as long
+    /// as the run is deterministic and exercises every subsystem.
+    pub fn probe() -> Self {
+        Scale {
+            grid2: 24,
+            grid3: (8, 8, 4),
+            particles: 8,
+            rays: 4,
+            rrt_nodes: 200,
+            map_points: 96,
+            source_points: 16,
+            image_side: 8,
+            pca_k: 4,
+            patrol_hidden: (16, 8),
+            train_epochs: 2,
+            heuristic_samples: 4,
+            theta_bins: 4,
+            depth_side: 16,
+            cnn_input: 16,
+            delibot_grid: 24,
+        }
+    }
+
     /// Canonical preset names.
     pub const PRESETS: [&'static str; 2] = ["small", "paper"];
 

@@ -1,0 +1,617 @@
+//! A compositional workload grammar: scenario *patterns* with typed
+//! holes, in the style of enumo's rule-synthesis workloads.
+//!
+//! A [`Pattern`] is a [`ScenarioSpec`] template plus an ordered list of
+//! [`Hole`]s. Each hole names one degree of freedom — which robots run,
+//! which machine geometry, whether FCP is on, how the scale is bent —
+//! and carries a list of [`Filling`]s, each a label plus a bundle of
+//! typed [`Edit`]s. [`Pattern::plug`] replaces (or appends) a hole's
+//! filling list, so callers compose variations the way enumo programs
+//! `plug` term sets into grammar metavariables.
+//!
+//! Instantiation takes the **cartesian product** of all filling lists:
+//! the pattern describes `∏ |hole_i|` concrete scenarios. That space is
+//! enumerable exhaustively ([`Pattern::enumerate_all`]) or sampled
+//! deterministically with a seeded full-period walk
+//! ([`Pattern::select`]): with `N` points and a stride coprime to `N`,
+//! the walk visits distinct indices in a pseudo-random order that is a
+//! pure function of the seed — the same seed and budget always yield
+//! the same scenario list, independent of host or parallelism.
+//!
+//! Every instantiated spec is structurally valid by construction (the
+//! default pattern's fillings only use schema keywords), carries a
+//! unique `[A-Za-z0-9_-]` name derived from its filling labels, and
+//! round-trips through `parse(render(spec))` like any hand-written
+//! scenario; the property tests in `tests/roundtrip.rs` pin that for
+//! a thousand enumerated points.
+
+use crate::expand::{AxisSpec, GroupSpec, RobotsSpec, ScenarioSpec, VariantSpec};
+use crate::spec::{AdjustOp, FaultSpec, FcpSpec, MachineSpec, ParamsSpec, ScaleAdjust, SoftwareSpec};
+use tartan_robots::{NeuralExec, RobotKind};
+use tartan_sim::PrefetcherKind;
+
+// ------------------------------------------------------------------ Edits
+
+/// One typed change a filling applies to the template.
+// MachineSpec dwarfs the other payloads, but edits are cold pattern
+// data (a pattern holds dozens at most) — boxing buys nothing here.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Set the robot list of every group.
+    Robots(RobotsSpec),
+    /// Merge a partial machine spec over the scenario-wide base.
+    Machine(MachineSpec),
+    /// Merge a partial software spec over the scenario-wide base.
+    Software(SoftwareSpec),
+    /// Append a scale adjustment to `params.adjust`.
+    Adjust(ScaleAdjust),
+    /// Append a sweep axis to every group.
+    Sweep(AxisSpec),
+    /// Append a sweep axis to one group (by index; out-of-range is a
+    /// no-op). For multi-group templates whose groups sweep different
+    /// dimensions, e.g. the ablation studies.
+    SweepAt(usize, AxisSpec),
+    /// Set `params.steps`.
+    Steps(u64),
+}
+
+impl Edit {
+    fn apply(&self, spec: &mut ScenarioSpec) {
+        match self {
+            Edit::Robots(r) => {
+                for g in &mut spec.groups {
+                    g.robots = r.clone();
+                }
+            }
+            Edit::Machine(m) => spec.machine = spec.machine.merged(m),
+            Edit::Software(s) => spec.software = spec.software.merged(s),
+            Edit::Adjust(a) => spec.params.adjust.push(a.clone()),
+            Edit::Sweep(axis) => {
+                for g in &mut spec.groups {
+                    g.axes.push(axis.clone());
+                }
+            }
+            Edit::SweepAt(i, axis) => {
+                if let Some(g) = spec.groups.get_mut(*i) {
+                    g.axes.push(axis.clone());
+                }
+            }
+            Edit::Steps(n) => spec.params.steps = Some(*n),
+        }
+    }
+}
+
+// --------------------------------------------------------------- Fillings
+
+/// One way to fill a hole: a label (becomes part of the scenario name)
+/// plus the edits it applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filling {
+    /// Label fragment; sanitized into `[A-Za-z0-9_-]` for naming.
+    pub label: String,
+    /// The edits, applied in order.
+    pub edits: Vec<Edit>,
+}
+
+impl Filling {
+    /// A filling with a single edit.
+    pub fn new(label: &str, edit: Edit) -> Filling {
+        Filling {
+            label: label.to_string(),
+            edits: vec![edit],
+        }
+    }
+
+    /// A label-only filling that changes nothing (an "off" option).
+    pub fn noop(label: &str) -> Filling {
+        Filling {
+            label: label.to_string(),
+            edits: Vec::new(),
+        }
+    }
+}
+
+/// One degree of freedom: a named hole and its candidate fillings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hole {
+    /// Hole name, used by [`Pattern::plug`].
+    pub name: String,
+    /// The candidate fillings, in enumeration order.
+    pub fillings: Vec<Filling>,
+}
+
+// ---------------------------------------------------------------- Pattern
+
+/// A scenario template with typed holes; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// The base spec every instantiation starts from.
+    pub template: ScenarioSpec,
+    /// The holes, in application (and mixed-radix digit) order: the
+    /// first hole is the most significant digit of the point index.
+    pub holes: Vec<Hole>,
+}
+
+impl Pattern {
+    /// A pattern over a template with no holes (a single point).
+    pub fn new(template: ScenarioSpec) -> Pattern {
+        Pattern {
+            template,
+            holes: Vec::new(),
+        }
+    }
+
+    /// Replaces the fillings of hole `name`, or appends a new hole when
+    /// no hole has that name yet. Empty filling lists are ignored (a
+    /// hole must keep at least one option).
+    pub fn plug(mut self, name: &str, fillings: Vec<Filling>) -> Pattern {
+        if fillings.is_empty() {
+            return self;
+        }
+        match self.holes.iter_mut().find(|h| h.name == name) {
+            Some(hole) => hole.fillings = fillings,
+            None => self.holes.push(Hole {
+                name: name.to_string(),
+                fillings,
+            }),
+        }
+        self
+    }
+
+    /// Number of points in the pattern's cartesian space.
+    pub fn space(&self) -> u64 {
+        self.holes
+            .iter()
+            .map(|h| h.fillings.len() as u64)
+            .product()
+    }
+
+    /// Decodes point `index` (mixed radix, first hole most significant)
+    /// into one digit per hole.
+    fn decode(&self, index: u64) -> Vec<usize> {
+        let mut digits = vec![0usize; self.holes.len()];
+        let mut rest = index;
+        for (slot, hole) in digits.iter_mut().zip(&self.holes).rev() {
+            let radix = hole.fillings.len() as u64;
+            *slot = (rest % radix) as usize;
+            rest /= radix;
+        }
+        digits
+    }
+
+    /// Builds the concrete scenario at one point of the space. The name
+    /// is `<template name>-<labels>` with every label sanitized to the
+    /// schema's `[A-Za-z0-9_-]` alphabet; distinct points yield
+    /// distinct names as long as each hole's labels are distinct.
+    pub fn instantiate(&self, digits: &[usize]) -> ScenarioSpec {
+        assert_eq!(digits.len(), self.holes.len(), "one digit per hole");
+        let mut spec = self.template.clone();
+        let mut name = spec.name.clone();
+        for (hole, &d) in self.holes.iter().zip(digits) {
+            let filling = &hole.fillings[d];
+            for edit in &filling.edits {
+                edit.apply(&mut spec);
+            }
+            name.push('-');
+            name.extend(filling.label.chars().map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '-'
+                }
+            }));
+        }
+        spec.name = name;
+        spec
+    }
+
+    /// Enumerates the entire space in mixed-radix order.
+    pub fn enumerate_all(&self) -> Vec<ScenarioSpec> {
+        (0..self.space())
+            .map(|i| self.instantiate(&self.decode(i)))
+            .collect()
+    }
+
+    /// Deterministically selects `budget` *distinct* points of the
+    /// space, seeded. Uses a full-period walk: `index_i = (offset +
+    /// i·stride) mod N` with `gcd(stride, N) = 1`, so the first `N`
+    /// indices are a permutation of the space — no rejection sampling,
+    /// no duplicates, and the result is a pure function of
+    /// `(pattern, seed, budget)`.
+    pub fn select(&self, seed: u64, budget: usize) -> Vec<ScenarioSpec> {
+        let n = self.space();
+        if n == 0 {
+            return Vec::new();
+        }
+        let count = (budget as u64).min(n);
+        let mut rng = SplitMix64::new(seed);
+        let offset = rng.next() % n;
+        let stride = coprime_stride(rng.next(), n);
+        (0..count)
+            .map(|i| {
+                let idx = (offset + (i % n).wrapping_mul(stride)) % n;
+                self.instantiate(&self.decode(idx))
+            })
+            .collect()
+    }
+
+    /// The default Tartan pattern: one group, holes for robots, machine
+    /// geometry, prefetcher, FCP, software/NPU stack, fault plans,
+    /// scale bending, a sweep-axis hole, and pipeline depth. The space
+    /// is a few tens of thousands of points, all structurally valid.
+    ///
+    /// Scale edits are multiply-only so the corpus shrinker's
+    /// "smaller scales" pass (halving multipliers toward 1) applies to
+    /// every generated spec, and probes stay cheap.
+    pub fn tartan_default() -> Pattern {
+        let template = ScenarioSpec {
+            name: "gen".into(),
+            title: Some("grammar-generated scenario".into()),
+            params: ParamsSpec::default(),
+            machine: MachineSpec::default(),
+            software: SoftwareSpec::default(),
+            groups: vec![GroupSpec::default()],
+        };
+        let robot = |k: RobotKind| {
+            Filling::new(
+                &k.name().to_ascii_lowercase(),
+                Edit::Robots(RobotsSpec::List(vec![k])),
+            )
+        };
+        let machine_preset = |label: &str, preset: &str| {
+            Filling::new(
+                label,
+                Edit::Machine(MachineSpec {
+                    preset: Some(preset.to_string()),
+                    ..MachineSpec::default()
+                }),
+            )
+        };
+        let prefetcher = |label: &str, kind: PrefetcherKind| {
+            Filling::new(
+                label,
+                Edit::Machine(MachineSpec {
+                    prefetcher: Some(kind),
+                    ..MachineSpec::default()
+                }),
+            )
+        };
+        let software_preset = |label: &str, preset: &str| {
+            Filling::new(
+                label,
+                Edit::Software(SoftwareSpec {
+                    preset: Some(preset.to_string()),
+                    ..SoftwareSpec::default()
+                }),
+            )
+        };
+        let mul = |label: &str, field: &str, by: u64| {
+            Filling::new(
+                label,
+                Edit::Adjust(ScaleAdjust {
+                    field: field.to_string(),
+                    op: AdjustOp::Mul(by),
+                }),
+            )
+        };
+
+        Pattern::new(template)
+            .plug(
+                "robots",
+                RobotKind::all()
+                    .iter()
+                    .map(|&k| robot(k))
+                    .chain([Filling::new(
+                        "nav2",
+                        Edit::Robots(RobotsSpec::List(vec![
+                            RobotKind::MoveBot,
+                            RobotKind::HomeBot,
+                        ])),
+                    )])
+                    .collect(),
+            )
+            .plug(
+                "machine",
+                vec![
+                    machine_preset("ub", "upgraded_baseline"),
+                    machine_preset("legacy", "legacy_baseline"),
+                    machine_preset("tartan", "tartan"),
+                ],
+            )
+            .plug(
+                "prefetch",
+                vec![
+                    Filling::noop("pfkeep"),
+                    prefetcher("pfnone", PrefetcherKind::None),
+                    prefetcher("pfanl", PrefetcherKind::Anl),
+                    prefetcher("pfbingo", PrefetcherKind::Bingo),
+                ],
+            )
+            .plug(
+                "fcp",
+                vec![
+                    Filling::new("fcpoff", Edit::Machine(MachineSpec {
+                        fcp: Some(None),
+                        ..MachineSpec::default()
+                    })),
+                    Filling::new("fcpon", Edit::Machine(MachineSpec {
+                        fcp: Some(Some(FcpSpec::default())),
+                        ..MachineSpec::default()
+                    })),
+                    Filling::new("fcp1k", Edit::Machine(MachineSpec {
+                        fcp: Some(Some(FcpSpec {
+                            region_bytes: Some(1024),
+                            xor_bits: Some(3),
+                            manipulation: None,
+                        })),
+                        ..MachineSpec::default()
+                    })),
+                ],
+            )
+            .plug(
+                "software",
+                vec![
+                    software_preset("swleg", "legacy"),
+                    software_preset("swopt", "optimized"),
+                    software_preset("swapx", "approximable"),
+                    Filling {
+                        label: "swsoftnn".into(),
+                        edits: vec![
+                            Edit::Software(SoftwareSpec {
+                                preset: Some("approximable".to_string()),
+                                neural: Some(NeuralExec::Software),
+                                ..SoftwareSpec::default()
+                            }),
+                        ],
+                    },
+                ],
+            )
+            .plug(
+                "faults",
+                vec![
+                    Filling::noop("clean"),
+                    Filling::new("faulty", Edit::Machine(MachineSpec {
+                        fault_plan: Some(Some(FaultSpec {
+                            seed: Some(7),
+                            accel_error_rate: Some(0.05),
+                            accel_error_magnitude: None,
+                            accel_bitflip_rate: Some(0.01),
+                            accel_fail_rate: None,
+                            mem_spike_rate: None,
+                            mem_spike_cycles: None,
+                        })),
+                        ..MachineSpec::default()
+                    })),
+                ],
+            )
+            .plug(
+                "scale",
+                vec![
+                    Filling::noop("s1"),
+                    mul("smap4", "map_points", 4),
+                    mul("srays8", "rays", 8),
+                    Filling {
+                        label: "sgrid2x2".into(),
+                        edits: vec![
+                            Edit::Adjust(ScaleAdjust {
+                                field: "grid2".into(),
+                                op: AdjustOp::Mul(2),
+                            }),
+                            Edit::Adjust(ScaleAdjust {
+                                field: "delibot_grid".into(),
+                                op: AdjustOp::Mul(2),
+                            }),
+                        ],
+                    },
+                ],
+            )
+            .plug(
+                "sweep",
+                vec![
+                    Filling::noop("flat"),
+                    Filling::new(
+                        "pfsweep",
+                        Edit::Sweep(AxisSpec {
+                            name: Some("prefetcher".into()),
+                            variants: vec![
+                                VariantSpec {
+                                    label: "base".into(),
+                                    ..VariantSpec::default()
+                                },
+                                VariantSpec {
+                                    label: "+anl".into(),
+                                    machine: MachineSpec {
+                                        prefetcher: Some(PrefetcherKind::Anl),
+                                        ..MachineSpec::default()
+                                    },
+                                    ..VariantSpec::default()
+                                },
+                            ],
+                        }),
+                    ),
+                    Filling {
+                        label: "isasweep".into(),
+                        edits: vec![Edit::Sweep(AxisSpec {
+                            name: Some("vec".into()),
+                            variants: vec![
+                                VariantSpec {
+                                    label: "scalar".into(),
+                                    software: SoftwareSpec {
+                                        vec_method: Some(tartan_robots::VecMethod::Scalar),
+                                        ..SoftwareSpec::default()
+                                    },
+                                    ..VariantSpec::default()
+                                },
+                                VariantSpec {
+                                    label: "ovec".into(),
+                                    software: SoftwareSpec {
+                                        vec_method: Some(tartan_robots::VecMethod::Ovec),
+                                        ..SoftwareSpec::default()
+                                    },
+                                    ..VariantSpec::default()
+                                },
+                            ],
+                        })],
+                    },
+                ],
+            )
+            .plug(
+                "steps",
+                vec![
+                    Filling::new("t1", Edit::Steps(1)),
+                    Filling::new("t2", Edit::Steps(2)),
+                ],
+            )
+    }
+}
+
+// -------------------------------------------------------------- selection
+
+/// splitmix64: the seed expander behind the selection walk. Chosen over
+/// xorshift because it is well-defined at seed 0 and two outputs are
+/// enough here.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Derives a stride in `[1, n)` coprime to `n` from raw random bits, by
+/// linear probing from the candidate — terminates because 1 is coprime
+/// to everything.
+fn coprime_stride(raw: u64, n: u64) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let mut stride = 1 + raw % (n - 1);
+    while gcd(stride, n) != 1 {
+        stride += 1;
+        if stride >= n {
+            stride = 1;
+        }
+    }
+    stride
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn plug_replaces_existing_holes_and_appends_new_ones() {
+        let p = Pattern::tartan_default();
+        let holes = p.holes.len();
+        let p = p.plug("robots", vec![Filling::noop("any")]);
+        assert_eq!(p.holes.len(), holes, "plug on a known hole replaces");
+        assert_eq!(p.holes[0].fillings.len(), 1);
+        let p = p.plug("extra", vec![Filling::noop("x"), Filling::noop("y")]);
+        assert_eq!(p.holes.len(), holes + 1, "plug on a new name appends");
+        assert_eq!(p.space() % 2, 0);
+    }
+
+    #[test]
+    fn the_default_space_is_thousands_of_points_with_unique_names() {
+        let p = Pattern::tartan_default();
+        assert!(
+            p.space() >= 2000,
+            "default pattern space too small: {}",
+            p.space()
+        );
+        // Distinct points → distinct names (sampled; the full space is
+        // covered transitively by per-hole label uniqueness).
+        let specs = p.select(1, 512);
+        let names: HashSet<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), specs.len(), "duplicate scenario names");
+        for s in &specs {
+            assert!(
+                s.name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+                "bad name {:?}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_selected_spec_parses_expands_and_round_trips() {
+        for spec in Pattern::tartan_default().select(7, 64) {
+            let json = spec.to_json();
+            let reparsed = ScenarioSpec::from_json(&json).unwrap_or_else(|e| {
+                panic!("{}: generated spec does not re-parse: {e}", spec.name)
+            });
+            assert_eq!(reparsed, spec, "{}: parse(render) diverged", spec.name);
+            let plan = spec
+                .expand()
+                .unwrap_or_else(|e| panic!("{}: does not expand: {e}", spec.name));
+            assert!(!plan.jobs.is_empty());
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_duplicate_free() {
+        let p = Pattern::tartan_default();
+        let a = p.select(42, 300);
+        let b = p.select(42, 300);
+        assert_eq!(a, b, "same seed must give the same selection");
+        let idx: HashSet<String> = a.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(idx.len(), a.len(), "full-period walk repeated a point");
+        let c = p.select(43, 300);
+        assert_ne!(
+            a.iter().map(|s| &s.name).collect::<Vec<_>>(),
+            c.iter().map(|s| &s.name).collect::<Vec<_>>(),
+            "different seeds should explore differently"
+        );
+    }
+
+    #[test]
+    fn selection_covers_the_space_when_budget_exceeds_it() {
+        // A small pattern: budget > space must yield exactly the space,
+        // every point once.
+        let p = Pattern::tartan_default()
+            .plug("robots", vec![Filling::noop("a"), Filling::noop("b")])
+            .plug("machine", vec![Filling::noop("m")])
+            .plug("prefetch", vec![Filling::noop("p")])
+            .plug("fcp", vec![Filling::noop("f")])
+            .plug("software", vec![Filling::noop("s")])
+            .plug("faults", vec![Filling::noop("c")])
+            .plug("scale", vec![Filling::noop("1"), Filling::noop("2")])
+            .plug("sweep", vec![Filling::noop("w")])
+            .plug("steps", vec![Filling::noop("t")]);
+        assert_eq!(p.space(), 4);
+        let all = p.select(9, 1000);
+        assert_eq!(all.len(), 4);
+        let names: HashSet<String> = all.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn coprime_stride_is_always_coprime() {
+        for n in 1..200u64 {
+            for raw in [0, 1, 7, n, n * 3 + 1, u64::MAX] {
+                let s = coprime_stride(raw, n);
+                assert!(n <= 1 || s < n);
+                assert_eq!(gcd(s, n.max(1)), 1, "stride {s} not coprime to {n}");
+            }
+        }
+    }
+}

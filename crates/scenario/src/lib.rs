@@ -9,9 +9,10 @@
 //! ad hoc in each harness.
 //!
 //! The crate is dependency-free beyond the workspace's own `tartan-sim`,
-//! `tartan-robots`, and `tartan-telemetry` (for the JSON writer): the
-//! environment is offline, so serialization is hand-rolled in
-//! [`json`] with exact (raw-text) number round-trips.
+//! `tartan-robots`, `tartan-telemetry` (coverage fingerprints), and
+//! `tartan-oracle` (the [`synth`] corpus shrinker reuses its ddmin
+//! loop): the environment is offline, so serialization is hand-rolled
+//! in [`json`] with exact (raw-text) number round-trips.
 //!
 //! Pipeline:
 //!
@@ -25,22 +26,34 @@
 //! 3. Callers run the [`Plan`]'s jobs (e.g. through `tartan-core`'s
 //!    campaign engine) and label rows with the expansion's labels and the
 //!    canonical [`ConfigId`].
+//!
+//! On top of the document pipeline sit the *synthesis* layers: a
+//! compositional workload [`grammar`] (patterns with typed holes, plugged
+//! and enumerated enumo-style) and the coverage-guided corpus curator in
+//! [`synth`], which together drive the `tartan_gen` binary.
 
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod expand;
+pub mod grammar;
 pub mod id;
 pub mod json;
 pub mod key;
 pub mod spec;
+pub mod synth;
 
 pub use error::ScenarioError;
 pub use expand::{
     AxisSpec, GroupPlan, GroupSpec, Plan, PlannedJob, RobotsSpec, RunParams, ScenarioSpec,
     SweepOrder, VariantSpec,
 };
+pub use grammar::{Edit, Filling, Hole, Pattern};
 pub use id::ConfigId;
+pub use synth::{
+    curate, shrink_spec, CorpusEntry, CorpusManifest, CoverageVector, Curated, Keeper,
+    CORPUS_MANIFEST_VERSION,
+};
 pub use json::JsonValue;
 pub use key::CACHE_KEY_VERSION;
 pub use spec::{

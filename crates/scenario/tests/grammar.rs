@@ -1,0 +1,221 @@
+//! Differential test: two checked-in manifests re-expressed as grammar
+//! patterns must expand to the *identical* plans.
+//!
+//! `fig11_fcp.json` and `ablations.json` are the repository's most
+//! sweep-heavy scenarios (a 3-axis cartesian product with a prelude;
+//! two groups sweeping different machine knobs). Rebuilding them from
+//! `Pattern` + typed `Edit`s and pinning spec equality, `Plan`
+//! equality, and per-job cache-key *bytes* against the parsed disk
+//! files proves the grammar composes through exactly the same
+//! expansion semantics as hand-written documents — if either side
+//! drifts (grammar application order, axis crossing, label formatting,
+//! store keys), this test names the first divergent job.
+
+use std::fs;
+
+use tartan_scenario::{
+    AxisSpec, Edit, Filling, GroupSpec, MachineSpec, Pattern, RobotsSpec, ScenarioSpec,
+    VariantSpec,
+};
+use tartan_sim::FcpManipulation;
+
+fn disk_spec(file: &str) -> ScenarioSpec {
+    let path = format!("{}/../../scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{file}: {e}"))
+}
+
+/// An axis whose variants each override one machine field, built from a
+/// `(label, spec)` table.
+fn machine_axis(name: &str, variants: &[(&str, MachineSpec)]) -> AxisSpec {
+    AxisSpec {
+        name: Some(name.into()),
+        variants: variants
+            .iter()
+            .map(|(label, machine)| VariantSpec {
+                label: (*label).into(),
+                machine: machine.clone(),
+                ..VariantSpec::default()
+            })
+            .collect(),
+    }
+}
+
+fn fcp(build: impl FnOnce(&mut tartan_scenario::FcpSpec)) -> MachineSpec {
+    let mut f = tartan_scenario::FcpSpec::default();
+    build(&mut f);
+    MachineSpec {
+        fcp: Some(Some(f)),
+        ..MachineSpec::default()
+    }
+}
+
+/// Asserts the grammar-made spec and the checked-in one are the same
+/// document, expand to equal plans, and key the store identically.
+fn assert_differential(mut made: ScenarioSpec, file: &str) {
+    let want = disk_spec(file);
+    // The grammar suffixes filling labels onto the name; the manifest
+    // identity is the one part re-expression restores by hand.
+    made.name = want.name.clone();
+    assert_eq!(made, want, "{file}: grammar spec != checked-in spec");
+
+    let made_plan = made.expand().expect("grammar spec expands");
+    let want_plan = want.expand().expect("checked-in spec expands");
+    assert_eq!(
+        made_plan, want_plan,
+        "{file}: grammar plan != checked-in plan"
+    );
+
+    // Byte-level: every job's canonical cache key (what addresses its
+    // result in the store) must match, so a grammar-generated campaign
+    // would hit a manifest-generated store and vice versa.
+    let params = want.base_params();
+    for (i, (a, b)) in made_plan.jobs.iter().zip(&want_plan.jobs).enumerate() {
+        assert_eq!(
+            a.cache_key_text(&params),
+            b.cache_key_text(&params),
+            "{file}: job {i} cache key bytes differ"
+        );
+    }
+}
+
+#[test]
+fn fig11_fcp_re_expressed_as_a_pattern_expands_identically() {
+    let template = ScenarioSpec {
+        name: "fig11".into(),
+        title: Some("Fig. 11: FCP region sizes, XOR widths, and manipulation functions".into()),
+        params: Default::default(),
+        machine: MachineSpec::default(),
+        software: Default::default(),
+        groups: vec![GroupSpec {
+            name: Some("fcp_sweep".into()),
+            robots: RobotsSpec::All,
+            prelude: vec![VariantSpec::default()],
+            label_format: Some("{1}-{2} {0}".into()),
+            ..GroupSpec::default()
+        }],
+    };
+    // Each manifest axis is one single-filling sweep hole; plugging them
+    // in axis order reproduces the cartesian product (first outermost).
+    let pattern = Pattern::new(template)
+        .plug(
+            "manipulation",
+            vec![Filling::new(
+                "manip",
+                Edit::Sweep(machine_axis(
+                    "manipulation",
+                    &[
+                        ("x+1", fcp(|f| f.manipulation = Some(FcpManipulation::Increment))),
+                        ("2x", fcp(|f| f.manipulation = Some(FcpManipulation::Double))),
+                        ("x^2", fcp(|f| f.manipulation = Some(FcpManipulation::Square))),
+                    ],
+                )),
+            )],
+        )
+        .plug(
+            "region",
+            vec![Filling::new(
+                "region",
+                Edit::Sweep(machine_axis(
+                    "region",
+                    &[
+                        ("512B", fcp(|f| f.region_bytes = Some(512))),
+                        ("1KB", fcp(|f| f.region_bytes = Some(1024))),
+                    ],
+                )),
+            )],
+        )
+        .plug(
+            "xor",
+            vec![Filling::new(
+                "xor",
+                Edit::Sweep(machine_axis(
+                    "xor_bits",
+                    &[
+                        ("2b", fcp(|f| f.xor_bits = Some(2))),
+                        ("3b", fcp(|f| f.xor_bits = Some(3))),
+                    ],
+                )),
+            )],
+        );
+    assert_eq!(pattern.space(), 1, "every hole is pinned to one filling");
+    let specs = pattern.enumerate_all();
+    assert_differential(specs.into_iter().next().unwrap(), "fig11_fcp.json");
+}
+
+#[test]
+fn ablations_re_expressed_as_a_pattern_expands_identically() {
+    let group = |name: &str, label_format: &str| GroupSpec {
+        name: Some(name.into()),
+        robots: RobotsSpec::List(vec![tartan_robots::RobotKind::DeliBot]),
+        label_format: Some(label_format.into()),
+        ..GroupSpec::default()
+    };
+    let template = ScenarioSpec {
+        name: "abl".into(),
+        title: Some(
+            "Design-choice ablations: ANL region size and OVEC address-generation latency".into(),
+        ),
+        params: Default::default(),
+        machine: MachineSpec {
+            preset: Some("tartan".into()),
+            ..MachineSpec::default()
+        },
+        software: tartan_scenario::SoftwareSpec {
+            preset: Some("optimized".into()),
+            ..Default::default()
+        },
+        groups: vec![
+            group("anl_region", "ANL region {0}"),
+            group("ovec_latency", "OVEC addr-gen {0}"),
+        ],
+    };
+    let anl = |bytes: u64| MachineSpec {
+        anl_region_bytes: Some(bytes),
+        ..MachineSpec::default()
+    };
+    let ovec = |cycles: u64| MachineSpec {
+        ovec_addr_gen_latency: Some(cycles),
+        ..MachineSpec::default()
+    };
+    let pattern = Pattern::new(template)
+        .plug(
+            "anl",
+            vec![Filling::new(
+                "anl",
+                Edit::SweepAt(
+                    0,
+                    machine_axis(
+                        "region",
+                        &[
+                            ("512B", anl(512)),
+                            ("1024B", anl(1024)),
+                            ("2048B", anl(2048)),
+                            ("4096B", anl(4096)),
+                        ],
+                    ),
+                ),
+            )],
+        )
+        .plug(
+            "ovec",
+            vec![Filling::new(
+                "ovec",
+                Edit::SweepAt(
+                    1,
+                    machine_axis(
+                        "latency",
+                        &[
+                            ("1cy", ovec(1)),
+                            ("5cy", ovec(5)),
+                            ("10cy", ovec(10)),
+                            ("20cy", ovec(20)),
+                        ],
+                    ),
+                ),
+            )],
+        );
+    let specs = pattern.enumerate_all();
+    assert_eq!(specs.len(), 1);
+    assert_differential(specs.into_iter().next().unwrap(), "ablations.json");
+}

@@ -295,6 +295,47 @@ fn parse_render_roundtrip_holds_for_random_specs() {
 }
 
 #[test]
+fn grammar_enumerated_specs_validate_and_roundtrip() {
+    // 1000 seeded points of the default grammar space: each must pass
+    // both validation phases (structural parse, expansion into resolved
+    // machine configs) and round-trip exactly like hand-written specs.
+    let specs = tartan_scenario::Pattern::tartan_default().select(0x005e_ed7a_47a4, 1000);
+    assert_eq!(specs.len(), 1000, "the default space holds 1000+ points");
+    for (case, spec) in specs.iter().enumerate() {
+        let rendered = spec.to_json();
+        // Phase 1: the rendered document passes structural validation.
+        let reparsed = ScenarioSpec::from_json(&rendered).unwrap_or_else(|e| {
+            panic!(
+                "case {case} ({}): rendered spec does not re-parse: {e}\n--- rendered ---\n{rendered}",
+                spec.name
+            )
+        });
+        assert!(
+            &reparsed == spec,
+            "case {case} ({}): parse(render(spec)) != spec\n{}\n--- rendered ---\n{rendered}",
+            spec.name,
+            first_divergence(&reparsed, spec)
+        );
+        assert_eq!(
+            reparsed.to_json(),
+            rendered,
+            "case {case} ({}): render is not a fixed point of parse∘render",
+            spec.name
+        );
+        // Phase 2: expansion resolves every variant into a validated
+        // machine/software configuration and yields at least one job.
+        let plan = spec
+            .expand()
+            .unwrap_or_else(|e| panic!("case {case} ({}): does not expand: {e}", spec.name));
+        assert!(
+            !plan.jobs.is_empty(),
+            "case {case} ({}): expanded to zero jobs",
+            spec.name
+        );
+    }
+}
+
+#[test]
 fn checked_in_manifest_shapes_roundtrip() {
     // A hand-written nested document (prelude + multi-axis product +
     // label format + triple-state fcp/fault) as a fixed regression case.

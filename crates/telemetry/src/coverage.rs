@@ -1,0 +1,337 @@
+//! Behavioral coverage fingerprints for scenario synthesis.
+//!
+//! The coverage-guided scenario generator (`tartan-scenario`'s `synth`
+//! module and the `tartan_gen` binary) needs a *signal*: a compact,
+//! deterministic summary of "what kind of behavior did this run
+//! exhibit?" so it can keep scenarios that exercise something new and
+//! drop the ones that re-tread covered ground. This module extracts
+//! that signal from the stats every run already produces —
+//! [`RobotRunStats`] — so coverage costs nothing extra to collect.
+//!
+//! A [`CoverageFingerprint`] deliberately buckets aggressively. The
+//! point is not to distinguish every run (wall-cycle counts would do
+//! that and make everything "novel"); it is to distinguish *regimes*:
+//! which phases dominated, roughly how often the L2 missed, whether
+//! prefetching helped, whether the NPU ran supervised and how the
+//! supervisor ruled, and the order of magnitude of NPU traffic. Two
+//! runs in the same regime produce the same fingerprint, which is
+//! exactly what lets the corpus curator treat one of them as redundant.
+
+use crate::stats::RobotRunStats;
+
+/// A demand miss-ratio regime for one cache level, bucketed on a log2
+/// scale so "misses a lot" and "misses a little" separate without
+/// every percentage point being its own bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MissRegime {
+    /// The level saw no demand accesses at all.
+    Idle,
+    /// Accesses but zero misses (fully cache-resident working set).
+    None,
+    /// Every access missed (streaming / cold working set).
+    All,
+    /// `floor(log2(accesses / misses))`, capped at 7: 0 means roughly
+    /// "miss ratio above 50%", 7 means "below ~1%".
+    Log2(u8),
+}
+
+impl MissRegime {
+    /// Buckets a (accesses, misses) pair.
+    pub fn classify(accesses: u64, misses: u64) -> MissRegime {
+        if accesses == 0 {
+            MissRegime::Idle
+        } else if misses == 0 {
+            MissRegime::None
+        } else if misses >= accesses {
+            MissRegime::All
+        } else {
+            let k = (accesses / misses).ilog2().min(7) as u8;
+            MissRegime::Log2(k)
+        }
+    }
+
+    fn key_fragment(&self) -> String {
+        match self {
+            MissRegime::Idle => "idle".into(),
+            MissRegime::None => "none".into(),
+            MissRegime::All => "all".into(),
+            MissRegime::Log2(k) => format!("log2:{k}"),
+        }
+    }
+}
+
+/// How prefetching fared at one level: not issued at all, or a
+/// usefulness quartile (`0` = under 25% useful, `3` = 75%+).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrefetchBand {
+    /// No prefetches were issued into this level.
+    Off,
+    /// Usefulness quartile: `min(useful * 4 / issued, 3)`.
+    Quartile(u8),
+}
+
+impl PrefetchBand {
+    /// Buckets an (issued, useful) pair.
+    pub fn classify(issued: u64, useful: u64) -> PrefetchBand {
+        match useful.saturating_mul(4).checked_div(issued) {
+            None => PrefetchBand::Off,
+            Some(q) => PrefetchBand::Quartile(q.min(3) as u8),
+        }
+    }
+
+    fn key_fragment(&self) -> String {
+        match self {
+            PrefetchBand::Off => "off".into(),
+            PrefetchBand::Quartile(q) => format!("q{q}"),
+        }
+    }
+}
+
+/// What the NPU supervisor did, if one ran at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SupervisionVerdict {
+    /// The run had no supervisor attached.
+    Unsupervised,
+    /// Bit 0: invocations observed, bit 1: rollbacks observed, bit 2:
+    /// CPU fallbacks observed. `Supervised(0)` means a supervisor was
+    /// attached but never fired.
+    Supervised(u8),
+}
+
+impl SupervisionVerdict {
+    fn key_fragment(&self) -> String {
+        match self {
+            SupervisionVerdict::Unsupervised => "unsup".into(),
+            SupervisionVerdict::Supervised(bits) => format!("sup:{bits}"),
+        }
+    }
+}
+
+/// The coverage regime one robot run landed in.
+///
+/// Ordered and hashable so fingerprints can be sorted, deduplicated,
+/// and used as set keys. The canonical text form is [`key`](Self::key),
+/// which is what the corpus manifest records.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoverageFingerprint {
+    /// Names of phases claiming at least 1/8 of total phase cycles,
+    /// sorted. Empty when the run recorded no phase cycles.
+    pub dominant_phases: Vec<String>,
+    /// L2 demand miss regime.
+    pub l2_miss: MissRegime,
+    /// L2 prefetch usefulness band.
+    pub l2_prefetch: PrefetchBand,
+    /// Supervisor verdict set.
+    pub supervision: SupervisionVerdict,
+    /// `0` for no NPU traffic, else `1 + min(ilog2(n), 14)` — a
+    /// power-of-two magnitude bucket.
+    pub npu_bucket: u8,
+}
+
+impl CoverageFingerprint {
+    /// Extracts the fingerprint from one run's stats.
+    pub fn from_stats(stats: &RobotRunStats) -> CoverageFingerprint {
+        let total: u64 = stats.phases.iter().map(|p| p.cycles).sum();
+        let mut dominant_phases: Vec<String> = stats
+            .phases
+            .iter()
+            .filter(|p| total > 0 && p.cycles >= total / 8)
+            .map(|p| p.name.clone())
+            .collect();
+        dominant_phases.sort();
+        dominant_phases.dedup();
+
+        let supervision = match &stats.supervision {
+            None => SupervisionVerdict::Unsupervised,
+            Some(s) => {
+                let bits = u8::from(s.invocations > 0)
+                    | u8::from(s.rollbacks > 0) << 1
+                    | u8::from(s.cpu_fallbacks > 0) << 2;
+                SupervisionVerdict::Supervised(bits)
+            }
+        };
+
+        let npu_bucket = if stats.npu_invocations == 0 {
+            0
+        } else {
+            1 + stats.npu_invocations.ilog2().min(14) as u8
+        };
+
+        CoverageFingerprint {
+            dominant_phases,
+            l2_miss: MissRegime::classify(stats.l2.accesses, stats.l2.misses),
+            l2_prefetch: PrefetchBand::classify(
+                stats.l2.prefetches_issued,
+                stats.l2.prefetches_useful,
+            ),
+            supervision,
+            npu_bucket,
+        }
+    }
+
+    /// Canonical single-line text form, e.g.
+    /// `phases=[plan,sense] l2=log2:3 pf=q2 sup:1 npu=5`.
+    ///
+    /// Equal fingerprints render to equal keys and vice versa; the
+    /// corpus manifest stores these strings verbatim.
+    pub fn key(&self) -> String {
+        format!(
+            "phases=[{}] l2={} pf={} {} npu={}",
+            self.dominant_phases.join(","),
+            self.l2_miss.key_fragment(),
+            self.l2_prefetch.key_fragment(),
+            self.supervision.key_fragment(),
+            self.npu_bucket
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{CacheCounters, PhaseEntry, SupervisionCounters};
+
+    fn base_stats() -> RobotRunStats {
+        RobotRunStats {
+            robot: "delibot".into(),
+            config: "tartan".into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn zero_access_level_is_idle_not_a_low_miss_bucket() {
+        assert_eq!(MissRegime::classify(0, 0), MissRegime::Idle);
+        let fp = CoverageFingerprint::from_stats(&base_stats());
+        assert_eq!(fp.l2_miss, MissRegime::Idle);
+        assert_eq!(fp.l2_prefetch, PrefetchBand::Off);
+        assert_eq!(fp.npu_bucket, 0);
+        assert!(fp.dominant_phases.is_empty());
+        assert_eq!(fp.key(), "phases=[] l2=idle pf=off unsup npu=0");
+    }
+
+    #[test]
+    fn all_miss_and_no_miss_get_their_own_regimes() {
+        assert_eq!(MissRegime::classify(100, 100), MissRegime::All);
+        // Defensive: more misses than accesses still classifies as All.
+        assert_eq!(MissRegime::classify(100, 150), MissRegime::All);
+        assert_eq!(MissRegime::classify(100, 0), MissRegime::None);
+    }
+
+    #[test]
+    fn log2_regime_buckets_and_caps() {
+        // 1000/400 = 2 -> log2 = 1.
+        assert_eq!(MissRegime::classify(1000, 400), MissRegime::Log2(1));
+        // 1000/999: ratio 1 -> bucket 0 ("misses more than half").
+        assert_eq!(MissRegime::classify(1000, 999), MissRegime::Log2(0));
+        // One miss in a million caps at 7.
+        assert_eq!(MissRegime::classify(1_000_000, 1), MissRegime::Log2(7));
+    }
+
+    #[test]
+    fn prefetch_bands_cover_edges() {
+        assert_eq!(PrefetchBand::classify(0, 0), PrefetchBand::Off);
+        assert_eq!(PrefetchBand::classify(100, 0), PrefetchBand::Quartile(0));
+        assert_eq!(PrefetchBand::classify(100, 24), PrefetchBand::Quartile(0));
+        assert_eq!(PrefetchBand::classify(100, 25), PrefetchBand::Quartile(1));
+        assert_eq!(PrefetchBand::classify(100, 100), PrefetchBand::Quartile(3));
+        // Defensive: useful > issued still lands in the top quartile.
+        assert_eq!(PrefetchBand::classify(10, 40), PrefetchBand::Quartile(3));
+    }
+
+    #[test]
+    fn dominant_phases_threshold_is_an_eighth_of_total() {
+        let mut stats = base_stats();
+        stats.phases = vec![
+            PhaseEntry {
+                name: "plan".into(),
+                cycles: 700,
+                instructions: 0,
+            },
+            PhaseEntry {
+                name: "sense".into(),
+                cycles: 200,
+                instructions: 0,
+            },
+            PhaseEntry {
+                name: "log".into(),
+                cycles: 100,
+                instructions: 0,
+            },
+        ];
+        // total = 1000, threshold = 125: "log" (100) is below it.
+        let fp = CoverageFingerprint::from_stats(&stats);
+        assert_eq!(fp.dominant_phases, ["plan", "sense"]);
+        // Sorted regardless of phase order in the stats.
+        stats.phases.reverse();
+        assert_eq!(
+            CoverageFingerprint::from_stats(&stats).dominant_phases,
+            ["plan", "sense"]
+        );
+    }
+
+    #[test]
+    fn supervision_verdict_distinguishes_absent_idle_and_active() {
+        let mut stats = base_stats();
+        assert_eq!(
+            CoverageFingerprint::from_stats(&stats).supervision,
+            SupervisionVerdict::Unsupervised
+        );
+        stats.supervision = Some(SupervisionCounters::default());
+        assert_eq!(
+            CoverageFingerprint::from_stats(&stats).supervision,
+            SupervisionVerdict::Supervised(0)
+        );
+        stats.supervision = Some(SupervisionCounters {
+            invocations: 10,
+            rollbacks: 2,
+            cpu_fallbacks: 0,
+        });
+        assert_eq!(
+            CoverageFingerprint::from_stats(&stats).supervision,
+            SupervisionVerdict::Supervised(0b011)
+        );
+    }
+
+    #[test]
+    fn npu_bucket_is_log_magnitude_with_zero_reserved() {
+        let mut stats = base_stats();
+        for (n, bucket) in [(0u64, 0u8), (1, 1), (2, 2), (3, 2), (4, 3), (1 << 20, 15)] {
+            stats.npu_invocations = n;
+            assert_eq!(
+                CoverageFingerprint::from_stats(&stats).npu_bucket,
+                bucket,
+                "npu_invocations = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_is_injective_over_distinct_fingerprints() {
+        let mut stats = base_stats();
+        stats.l2 = CacheCounters {
+            accesses: 1000,
+            misses: 100,
+            prefetches_issued: 50,
+            prefetches_useful: 40,
+            ..Default::default()
+        };
+        stats.npu_invocations = 9;
+        stats.supervision = Some(SupervisionCounters {
+            invocations: 9,
+            rollbacks: 0,
+            cpu_fallbacks: 0,
+        });
+        stats.phases = vec![PhaseEntry {
+            name: "plan".into(),
+            cycles: 10,
+            instructions: 0,
+        }];
+        let a = CoverageFingerprint::from_stats(&stats);
+        assert_eq!(a.key(), "phases=[plan] l2=log2:3 pf=q3 sup:1 npu=4");
+        let mut b = a.clone();
+        b.npu_bucket = 5;
+        assert_ne!(a.key(), b.key());
+        assert!(a < b || b < a, "distinct fingerprints must order");
+    }
+}

@@ -27,6 +27,9 @@
 //!   campaigns: lock-free counters/gauges, per-phase host-time
 //!   attribution, worker-track Chrome traces, progress heartbeats, and
 //!   bench history lines (all under [`CAMPAIGN_SCHEMA_VERSION`]).
+//! * **Coverage fingerprints** ([`CoverageFingerprint`]) — bucketed
+//!   behavioral regimes extracted from [`RobotRunStats`], the novelty
+//!   signal behind the coverage-guided scenario synthesizer.
 //!
 //! The crate is deliberately dependency-free so every other workspace
 //! crate — including `tartan-sim` at the bottom of the stack — can link
@@ -36,6 +39,7 @@
 
 mod campaign;
 mod chrome;
+mod coverage;
 mod event;
 mod hist;
 mod json;
@@ -50,6 +54,7 @@ pub use campaign::{
     JobSpan, CAMPAIGN_SCHEMA_VERSION,
 };
 pub use chrome::chrome_trace_json;
+pub use coverage::{CoverageFingerprint, MissRegime, PrefetchBand, SupervisionVerdict};
 pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use event::{CacheOutcome, Event, FaultSite, Interest, Level};
 pub use hist::{Histogram, SAMPLE_CAP};

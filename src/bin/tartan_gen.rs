@@ -1,0 +1,201 @@
+//! `tartan_gen`: coverage-guided scenario synthesis — grammar-enumerate
+//! candidate scenarios, probe each one's behavioral coverage, keep the
+//! novel ones, shrink every keeper, and write the corpus.
+//!
+//! ```text
+//! tartan_gen [--seed N] [--budget N] [--out DIR] [--jobs N]
+//! ```
+//!
+//! The pipeline (DESIGN.md §16):
+//!
+//! 1. **Enumerate** — `Pattern::tartan_default().select(seed, budget)`
+//!    walks the grammar's cartesian space with a seeded full-period
+//!    stride: `budget` distinct, structurally valid scenario specs.
+//! 2. **Probe** — every spec runs end-to-end at the tiny probe scale
+//!    (`Scale::probe`, milliseconds per job) and is reduced to its
+//!    coverage vector: one bucketed `(robot, regime)` entry per planned
+//!    job, extracted from the ordinary telemetry stats.
+//! 3. **Curate** — a greedy novelty filter keeps a spec only when it
+//!    contributes a coverage entry no earlier spec produced.
+//! 4. **Shrink** — each keeper is minimized with the oracle's ddmin
+//!    loop (fewer axes/variants/robots/adjusts, smaller multipliers,
+//!    fewer steps) under the invariant that its coverage vector is
+//!    unchanged and the spec still validates.
+//!
+//! Output: `<out>/<name>.json` per keeper (replayable with `tartan_run`,
+//! validatable with `tartan_run --check`) plus `<out>/corpus_manifest.json`
+//! (`corpus_schema_version` 1, see `SCHEMA.md`) recording the seed, the
+//! space/enumeration statistics, and every keeper's coverage vector.
+//! Stale `*.json` files in the output directory are removed first, so
+//! the directory always equals the generation it claims.
+//!
+//! Determinism: probing fans out over `--jobs` host threads but results
+//! are collected in submission order, curation is sequential, and each
+//! keeper shrinks independently — the corpus tree is byte-identical for
+//! any `--jobs` value and fixed `(--seed, --budget)`.
+//!
+//! Exit codes: 0 success; 1 I/O error or an empty corpus; 2 usage.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tartan::core::probe_spec;
+use tartan::par;
+use tartan::scenario::{
+    curate, shrink_spec, CorpusEntry, CorpusManifest, CoverageVector, Pattern, ScenarioSpec,
+};
+
+const USAGE: &str = "usage: tartan_gen [--seed N] [--budget N] [--out DIR] [--jobs N]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("tartan_gen: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
+    eprintln!("tartan_gen: {}: {reason}", path.display());
+    std::process::exit(1);
+}
+
+fn probe(spec: &ScenarioSpec) -> Option<CoverageVector> {
+    probe_spec(spec)
+        .ok()
+        .map(|runs| CoverageVector::from_runs(&runs))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (jobs, rest) = match par::parse_jobs_flag(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => usage_error(&e),
+    };
+
+    let mut seed: u64 = 7;
+    let mut budget: usize = 512;
+    let mut out = PathBuf::from("scenarios/corpus");
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                seed = value()
+                    .parse()
+                    .unwrap_or_else(|e| usage_error(&format!("bad --seed: {e}")))
+            }
+            "--budget" => {
+                budget = value()
+                    .parse()
+                    .unwrap_or_else(|e| usage_error(&format!("bad --budget: {e}")))
+            }
+            "--out" => out = PathBuf::from(value()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+    if budget == 0 {
+        usage_error("--budget must be at least 1");
+    }
+
+    // 1. Enumerate.
+    let pattern = Pattern::tartan_default();
+    let space = pattern.space();
+    let specs = pattern.select(seed, budget);
+    eprintln!(
+        "tartan_gen: enumerated {} of {} points (seed {seed})",
+        specs.len(),
+        space
+    );
+
+    // 2. Probe (parallel, submission order).
+    let probed: Vec<Option<CoverageVector>> = par::par_map(jobs, &specs, probe);
+
+    // 3. Curate (sequential greedy novelty).
+    let curated = curate(specs.into_iter().zip(probed).collect());
+    eprintln!(
+        "tartan_gen: kept {} ({} redundant, {} invalid)",
+        curated.keepers.len(),
+        curated.duplicate_coverage,
+        curated.invalid
+    );
+    if curated.keepers.is_empty() {
+        eprintln!("tartan_gen: empty corpus — nothing probed successfully");
+        std::process::exit(1);
+    }
+
+    // 4. Shrink every keeper (parallel; keepers are independent).
+    let shrunk: Vec<(ScenarioSpec, u64)> = par::par_map(jobs, &curated.keepers, |k| {
+        let mut p = probe;
+        shrink_spec(&k.spec, &k.coverage, &mut p)
+    });
+    let shrink_probes: u64 = shrunk.iter().map(|(_, n)| n).sum();
+
+    // 5. Write the corpus: fresh *.json set plus the manifest.
+    if let Err(e) = fs::create_dir_all(&out) {
+        die(&out, e);
+    }
+    match fs::read_dir(&out) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|ext| ext == "json") {
+                    if let Err(e) = fs::remove_file(&path) {
+                        die(&path, e);
+                    }
+                }
+            }
+        }
+        Err(e) => die(&out, e),
+    }
+    let mut entries = Vec::with_capacity(shrunk.len());
+    for (keeper, (spec, _)) in curated.keepers.iter().zip(&shrunk) {
+        let file = format!("{}.json", spec.name);
+        let path = out.join(&file);
+        let mut text = spec.to_json();
+        text.push('\n');
+        if let Err(e) = fs::write(&path, text) {
+            die(&path, e);
+        }
+        let plan = spec
+            .expand()
+            .unwrap_or_else(|e| die(&path, format!("shrunk spec no longer expands: {e}")));
+        entries.push(CorpusEntry {
+            name: spec.name.clone(),
+            file,
+            jobs: plan.jobs.len() as u64,
+            coverage: keeper.coverage.entries().to_vec(),
+        });
+    }
+    let manifest = CorpusManifest {
+        seed,
+        budget: budget as u64,
+        space,
+        enumerated: (budget as u64).min(space),
+        invalid: curated.invalid as u64,
+        kept: entries.len() as u64,
+        duplicate_coverage: curated.duplicate_coverage as u64,
+        shrink_probes,
+        entries,
+    };
+    let manifest_path = out.join("corpus_manifest.json");
+    let text = manifest.to_json();
+    // Self-check before writing: the manifest must satisfy its own
+    // validator, the same gate CI applies to the checked-in copy.
+    if let Err(e) = CorpusManifest::from_json(&text) {
+        die(&manifest_path, format!("generated manifest is invalid: {e}"));
+    }
+    if let Err(e) = fs::write(&manifest_path, text) {
+        die(&manifest_path, e);
+    }
+    println!(
+        "tartan_gen: wrote {} scenarios + corpus_manifest.json to {} ({} shrink probes)",
+        manifest.kept,
+        out.display(),
+        shrink_probes
+    );
+}

@@ -1,0 +1,191 @@
+//! Corpus synthesis end-to-end (DESIGN.md §16).
+//!
+//! Three contracts around `tartan_gen` and the checked-in corpus:
+//!
+//! 1. **Byte determinism** — the same `(--seed, --budget)` produces a
+//!    byte-identical corpus tree (scenario files *and* manifest) whether
+//!    probing fans out over 1 or 4 host threads.
+//! 2. **Shrinker idempotence** — re-shrinking an already-shrunk keeper
+//!    with the real probe changes nothing and needs no structural
+//!    passes beyond the fixpoint check.
+//! 3. **Checked-in corpus consistency** — `scenarios/corpus/` matches
+//!    its `corpus_manifest.json` exactly: every listed file exists,
+//!    parses, expands to the recorded job count; no stray files.
+//!
+//! The determinism tests drive the real binary via
+//! `CARGO_BIN_EXE_tartan_gen`; the idempotence test uses the library
+//! pipeline directly so it can count probe invocations.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tartan::core::probe_spec;
+use tartan::scenario::{curate, shrink_spec, CorpusManifest, CoverageVector, Pattern, ScenarioSpec};
+
+fn sandbox(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tartan-corpus-gen-{test}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_gen(out: &Path, seed: u64, budget: usize, jobs: u32) {
+    let output = Command::new(env!("CARGO_BIN_EXE_tartan_gen"))
+        .args(["--seed", &seed.to_string()])
+        .args(["--budget", &budget.to_string()])
+        .args(["--jobs", &jobs.to_string()])
+        .arg("--out")
+        .arg(out)
+        .output()
+        .expect("spawn tartan_gen");
+    assert!(
+        output.status.success(),
+        "tartan_gen failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// Reads every file in `dir` (non-recursive) into a name → bytes map.
+fn tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(name, fs::read(entry.path()).unwrap());
+    }
+    files
+}
+
+fn probe(spec: &ScenarioSpec) -> Option<CoverageVector> {
+    probe_spec(spec)
+        .ok()
+        .map(|runs| CoverageVector::from_runs(&runs))
+}
+
+#[test]
+fn same_seed_and_budget_is_byte_identical_across_job_counts() {
+    let dir = sandbox("determinism");
+    let serial = dir.join("serial");
+    let parallel = dir.join("parallel");
+    run_gen(&serial, 11, 24, 1);
+    run_gen(&parallel, 11, 24, 4);
+
+    let a = tree(&serial);
+    let b = tree(&parallel);
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "--jobs 1 and --jobs 4 produced different file sets"
+    );
+    for (name, bytes) in &a {
+        assert_eq!(
+            bytes, &b[name],
+            "{name}: bytes differ between --jobs 1 and --jobs 4"
+        );
+    }
+    assert!(
+        a.contains_key("corpus_manifest.json"),
+        "corpus is missing its manifest"
+    );
+    assert!(a.len() >= 2, "budget 24 should keep at least one scenario");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rerunning_into_a_populated_directory_replaces_stale_files() {
+    let dir = sandbox("stale");
+    let out = dir.join("corpus");
+    fs::create_dir_all(&out).unwrap();
+    // A leftover from a previous generation with a name no current run
+    // produces: tartan_gen must remove it, not merge around it.
+    fs::write(out.join("zz-stale-leftover.json"), "{}").unwrap();
+    run_gen(&out, 11, 16, 2);
+    let files = tree(&out);
+    assert!(
+        !files.contains_key("zz-stale-leftover.json"),
+        "stale scenario file survived regeneration"
+    );
+    let manifest =
+        CorpusManifest::from_json(std::str::from_utf8(&files["corpus_manifest.json"]).unwrap())
+            .expect("generated manifest validates");
+    assert_eq!(
+        manifest.entries.len() + 1,
+        files.len(),
+        "output directory holds exactly the manifest's scenarios"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shrinking_with_the_real_probe_is_idempotent() {
+    // Run the library pipeline at a small budget, then re-shrink each
+    // keeper's minimized spec: the second pass must be a fixpoint.
+    let specs = Pattern::tartan_default().select(3, 8);
+    let probed: Vec<_> = specs.iter().map(probe).collect();
+    let curated = curate(specs.into_iter().zip(probed).collect());
+    assert!(!curated.keepers.is_empty(), "nothing probed successfully");
+    for keeper in &curated.keepers {
+        let (small, _) = shrink_spec(&keeper.spec, &keeper.coverage, &mut probe);
+        let (again, _) = shrink_spec(&small, &keeper.coverage, &mut probe);
+        assert_eq!(
+            small, again,
+            "{}: shrinking a shrunk spec changed it",
+            keeper.spec.name
+        );
+        assert_eq!(
+            probe(&small),
+            Some(keeper.coverage.clone()),
+            "{}: shrunk spec lost coverage",
+            keeper.spec.name
+        );
+    }
+}
+
+#[test]
+fn checked_in_corpus_matches_its_manifest() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/corpus");
+    let manifest_text = fs::read_to_string(corpus.join("corpus_manifest.json"))
+        .expect("scenarios/corpus/corpus_manifest.json is checked in");
+    let manifest = CorpusManifest::from_json(&manifest_text).expect("checked-in manifest validates");
+    assert_eq!(manifest.kept, manifest.entries.len() as u64);
+    assert!(
+        manifest.kept >= 16,
+        "checked-in corpus is suspiciously small ({} scenarios)",
+        manifest.kept
+    );
+
+    let mut listed = std::collections::BTreeSet::new();
+    for entry in &manifest.entries {
+        listed.insert(entry.file.clone());
+        let path = corpus.join(&entry.file);
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let spec = ScenarioSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.file));
+        assert_eq!(spec.name, entry.name, "{}: name mismatch", entry.file);
+        let plan = spec
+            .expand()
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.file));
+        assert_eq!(
+            plan.jobs.len() as u64,
+            entry.jobs,
+            "{}: job count drifted from the manifest",
+            entry.file
+        );
+        assert!(
+            !entry.coverage.is_empty(),
+            "{}: keeper with empty coverage vector",
+            entry.file
+        );
+    }
+
+    // No unlisted scenario files: the directory is exactly one generation.
+    for entry in fs::read_dir(&corpus).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "corpus_manifest.json" || !name.ends_with(".json") {
+            continue;
+        }
+        assert!(listed.contains(&name), "{name}: on disk but not in the manifest");
+    }
+}
