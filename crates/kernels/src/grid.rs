@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+use tartan_sim::{recycled_f32, Buffer, Machine, MemPolicy, Proc};
 
 /// Program counter for scalar grid occupancy loads.
 pub const PC_GRID_LOAD: u64 = 0x7_1000;
@@ -58,7 +58,7 @@ impl Grid2 {
         policy: MemPolicy,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut cells = vec![0.0f32; width * height];
+        let mut cells = recycled_f32(width * height);
         for x in 0..width {
             cells[x] = 1.0;
             cells[(height - 1) * width + x] = 1.0;
@@ -148,6 +148,14 @@ impl Grid2 {
         self.data.get(p, PC_GRID_LOAD, idx.min(self.len() - 1))
     }
 
+    /// Simulated address of the cell [`Grid2::load`] would touch for
+    /// `(x, y)` — the building block for batched address-stream walks
+    /// (`Proc::run_mem_addrs`). `idx` clamps to the border, so the address
+    /// is always in bounds and matches `load`'s `idx.min(len - 1)` exactly.
+    pub fn cell_addr(&self, x: i64, y: i64) -> u64 {
+        self.data.addr_of(self.idx(x, y))
+    }
+
     /// Timed store (map updates, POM fusion).
     pub fn store(&mut self, p: &mut Proc<'_>, idx: usize, value: f32) {
         let i = idx.min(self.len() - 1);
@@ -193,7 +201,7 @@ impl Grid3 {
             "grid dimensions must be positive"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut cells = vec![0.0f32; width * height * depth];
+        let mut cells = recycled_f32(width * height * depth);
         // Ground plane.
         for y in 0..height {
             for x in 0..width {
@@ -267,6 +275,12 @@ impl Grid3 {
     /// Timed dependent load.
     pub fn load_dep(&self, p: &mut Proc<'_>, idx: usize) -> f32 {
         self.data.get_dep(p, PC_GRID_LOAD, idx.min(self.len() - 1))
+    }
+
+    /// Simulated address of the cell behind `(x, y, z)`, clamped like
+    /// [`Grid3::idx`] (see [`Grid2::cell_addr`]).
+    pub fn cell_addr(&self, x: i64, y: i64, z: i64) -> u64 {
+        self.data.addr_of(self.idx(x, y, z))
     }
 
     /// Simulated base address.

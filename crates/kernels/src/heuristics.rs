@@ -58,13 +58,12 @@ impl WindField {
         [s[i], s[i + 1], s[i + 2]]
     }
 
-    /// Timed wind sample.
+    /// Timed wind sample (one 3-element address run; charge-identical to
+    /// three scalar gets).
     pub fn load_wind(&self, p: &mut Proc<'_>, x: f32, y: f32, z: f32) -> [f32; 3] {
         let i = self.idx(x, y, z);
-        let _ = self.data.get(p, PC_WIND, i);
-        let _ = self.data.get(p, PC_WIND, i + 1);
-        let _ = self.data.get(p, PC_WIND, i + 2);
-        self.wind_at(x, y, z)
+        let s = self.data.get_run(p, PC_WIND, i, 3, 0);
+        [s[0], s[1], s[2]]
     }
 }
 

@@ -97,16 +97,15 @@ impl Mcl {
         end: usize,
     ) {
         for i in start..end.min(self.cfg.particles) {
-            let x = self.particles.get(p, PC_PARTICLE, i * 4);
-            let y = self.particles.get(p, PC_PARTICLE, i * 4 + 1);
-            let t = self.particles.get(p, PC_PARTICLE, i * 4 + 2);
+            // Batched pose read/write: same charges as three gets, flop(9),
+            // three sets, but issued as two address runs.
+            let s = self.particles.get_run(p, PC_PARTICLE, i * 4, 3, 0);
+            let (x, y, t) = (s[0], s[1], s[2]);
             p.flop(9);
             let nx = x + motion.0 + self.rng.random_range(-0.1f32..0.1);
             let ny = y + motion.1 + self.rng.random_range(-0.1f32..0.1);
             let nt = t + motion.2 + self.rng.random_range(-0.02f32..0.02);
-            self.particles.set(p, PC_PARTICLE, i * 4, nx);
-            self.particles.set(p, PC_PARTICLE, i * 4 + 1, ny);
-            self.particles.set(p, PC_PARTICLE, i * 4 + 2, nt);
+            self.particles.set_run(p, PC_PARTICLE, i * 4, &[nx, ny, nt], 0);
         }
     }
 
@@ -178,9 +177,7 @@ impl Mcl {
             ]);
             u += step;
         }
-        for (i, v) in resampled.into_iter().enumerate() {
-            self.particles.set(p, PC_PARTICLE, i, v);
-        }
+        self.particles.set_run(p, PC_PARTICLE, 0, &resampled, 0);
         Pose {
             x: ex,
             y: ey,
@@ -200,18 +197,16 @@ impl Mcl {
         observed: &[f32],
     ) -> Pose {
         let n = self.cfg.particles;
-        // Motion update with noise.
+        // Motion update with noise (two address runs per particle; see
+        // `motion_update_range`).
         for i in 0..n {
-            let x = self.particles.get(p, PC_PARTICLE, i * 4);
-            let y = self.particles.get(p, PC_PARTICLE, i * 4 + 1);
-            let t = self.particles.get(p, PC_PARTICLE, i * 4 + 2);
+            let s = self.particles.get_run(p, PC_PARTICLE, i * 4, 3, 0);
+            let (x, y, t) = (s[0], s[1], s[2]);
             p.flop(9);
             let nx = x + motion.0 + self.rng.random_range(-0.1f32..0.1);
             let ny = y + motion.1 + self.rng.random_range(-0.1f32..0.1);
             let nt = t + motion.2 + self.rng.random_range(-0.02f32..0.02);
-            self.particles.set(p, PC_PARTICLE, i * 4, nx);
-            self.particles.set(p, PC_PARTICLE, i * 4 + 1, ny);
-            self.particles.set(p, PC_PARTICLE, i * 4 + 2, nt);
+            self.particles.set_run(p, PC_PARTICLE, i * 4, &[nx, ny, nt], 0);
         }
         // Sensor update: ray-cast each particle (the bottleneck).
         let inv_2sig = 1.0 / (2.0 * self.cfg.sigma * self.cfg.sigma);
@@ -263,9 +258,7 @@ impl Mcl {
             ]);
             u += step;
         }
-        for (i, v) in resampled.into_iter().enumerate() {
-            self.particles.set(p, PC_PARTICLE, i, v);
-        }
+        self.particles.set_run(p, PC_PARTICLE, 0, &resampled, 0);
         Pose {
             x: ex,
             y: ey,

@@ -5,7 +5,7 @@
 
 use tartan_nn::{Mlp, Pca};
 use tartan_npu::SupervisedNpu;
-use tartan_sim::{AccelId, Buffer, Machine, MemPolicy, Proc};
+use tartan_sim::{recycled_f32, AccelId, Buffer, Machine, MemPolicy, Proc};
 
 use crate::grid::Grid2;
 
@@ -135,7 +135,7 @@ pub struct MlpClassifier {
 impl MlpClassifier {
     /// Wraps a trained PCA + MLP.
     pub fn new(machine: &mut Machine, pca: Pca, mlp: Mlp) -> Self {
-        let weights = machine.buffer_from_vec(vec![0.0f32; mlp.parameter_count()], MemPolicy::Normal);
+        let weights = machine.buffer_from_vec(recycled_f32(mlp.parameter_count()), MemPolicy::Normal);
         MlpClassifier { pca, mlp, weights }
     }
 
@@ -163,8 +163,16 @@ impl MlpClassifier {
             // library MLP code is scalar: one load + 3 instructions per MAC.
             for chunk_start in (0..macs).step_by(64) {
                 let n = 64.min(macs - chunk_start);
-                for i in 0..n {
-                    let _ = self.weights.get(p, PC_MLP_WEIGHTS, (w_idx + chunk_start + i) % self.weights.len());
+                // The chunk's weight loads are consecutive modulo the buffer
+                // length: stream them as address runs, split at the wrap —
+                // charge-identical to n scalar gets.
+                let len = self.weights.len();
+                let mut i = 0usize;
+                while i < n {
+                    let start = (w_idx + chunk_start + i) % len;
+                    let seg = (n - i).min(len - start);
+                    let _ = self.weights.get_run(p, PC_MLP_WEIGHTS, start, seg, 0);
+                    i += seg;
                 }
                 p.flop(2 * n as u64);
                 p.instr(2 * n as u64);

@@ -2,9 +2,17 @@
 //! orientation until the first obstacle, in the paper's three software
 //! variants plus the trilinear-interpolation mode of Fig. 7.
 
-use tartan_sim::Proc;
+use std::cell::RefCell;
+
+use tartan_sim::{AccessKind, Proc};
 
 use crate::grid::{Grid2, OCCUPIED, PC_GRID_LOAD};
+
+std::thread_local! {
+    /// Per-thread scratch for the batched walks below; reused across rays so
+    /// the host allocates once per worker instead of once per cast.
+    static RAY_ADDRS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// How the oriented cell walk fetches memory (§VIII-A, Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,6 +119,38 @@ fn cast_scalar(
 ) -> f32 {
     let (dx, dy) = (cfg.step * theta.cos(), cfg.step * theta.sin());
     let steps = (cfg.max_range / cfg.step) as usize;
+    if !cfg.interpolate {
+        // Batched address-stream walk. Per cell the scalar loop charges
+        // flop(4) + instr(4) (position update, flatten, floor, compare,
+        // branch — §IV-A) plus the load's own instr(1), then issues one
+        // independent read; flop is an instruction-count alias, so the
+        // whole lead folds into `lead_instr = 8` (+1 inside the run) and
+        // the run is charge-for-charge identical to the original loop.
+        // The walk's addresses never depend on loaded values, so the cell
+        // sequence can be precomputed functionally and replayed as one run.
+        return RAY_ADDRS.with(|scratch| {
+            let mut addrs = scratch.borrow_mut();
+            addrs.clear();
+            let mut hit = None;
+            for i in 1..=steps {
+                let x = (ox + i as f32 * dx).floor() as i64;
+                let y = (oy + i as f32 * dy).floor() as i64;
+                addrs.push(grid.cell_addr(x, y));
+                if grid.occupied(x, y) {
+                    hit = Some(i);
+                    break;
+                }
+            }
+            p.run_mem_addrs(PC_GRID_LOAD, &addrs, 4, AccessKind::Read, grid.policy(), 8, false);
+            if let Some(i) = hit {
+                // The speculated "continue" path was wrong: branch mispredict.
+                p.stall(12);
+                i as f32 * cfg.step
+            } else {
+                cfg.max_range
+            }
+        });
+    }
     for i in 1..=steps {
         let x = ox + i as f32 * dx;
         let y = oy + i as f32 * dy;
@@ -120,17 +160,13 @@ fn cast_scalar(
         // overlap; the cost is the per-cell instruction stream (§IV-A).
         p.flop(4);
         p.instr(4);
-        if cfg.interpolate {
-            let idx = grid.idx(x.floor() as i64, y.floor() as i64);
-            grid.load(p, idx);
-            grid.load(p, idx + 1);
-            grid.load(p, idx + grid.width());
-            grid.load(p, idx + grid.width() + 1);
-            if !cfg.intel_accel {
-                p.flop(12); // bilinear weights and blend
-            }
-        } else {
-            grid.load(p, grid.idx(x.floor() as i64, y.floor() as i64));
+        let idx = grid.idx(x.floor() as i64, y.floor() as i64);
+        grid.load(p, idx);
+        grid.load(p, idx + 1);
+        grid.load(p, idx + grid.width());
+        grid.load(p, idx + grid.width() + 1);
+        if !cfg.intel_accel {
+            p.flop(12); // bilinear weights and blend
         }
         if sample_occupied(grid, x, y, cfg.interpolate) {
             // The speculated "continue" path was wrong: branch mispredict.
@@ -168,8 +204,10 @@ fn cast_vector(
         };
         for &shift in corner_shifts {
             if ovec {
-                // One O_MOVE: 5-cycle hardware address generation.
-                let _ = p.oriented_load(
+                // One O_MOVE: 5-cycle hardware address generation. The walk
+                // checks occupancy functionally below, so the lane indices
+                // need not be materialized.
+                p.oriented_load_discard(
                     PC_GRID_LOAD,
                     grid.base_addr(),
                     origin + shift,
@@ -186,13 +224,15 @@ fn cast_vector(
                 // index vector register.
                 p.instr(6 * n as u64);
                 p.flop(3 * n as u64);
-                let addrs: Vec<u64> = (0..n)
-                    .map(|l| {
+                RAY_ADDRS.with(|scratch| {
+                    let mut addrs = scratch.borrow_mut();
+                    addrs.clear();
+                    addrs.extend((0..n).map(|l| {
                         let idx = (origin + shift + l as f64 * orient).floor().max(0.0) as u64;
                         grid.base_addr() + 4 * idx.min(grid.len() as u64 - 1)
-                    })
-                    .collect();
-                p.vgather(PC_GRID_LOAD, &addrs, 4, policy);
+                    }));
+                    p.vgather(PC_GRID_LOAD, &addrs, 4, policy);
+                });
             }
         }
         // Vector compare (+ interpolation blend when enabled) and the
@@ -231,6 +271,29 @@ fn cast_racod(
     p.instr(6); // configure + launch + collect
     let (dx, dy) = (cfg.step * theta.cos(), cfg.step * theta.sin());
     let steps = (cfg.max_range / cfg.step) as usize;
+    if !cfg.interpolate {
+        // Same batched replay as the scalar walk, but the ASIC executes no
+        // CPU instructions per cell (`lead_instr + 1` must equal the
+        // original per-cell instr(1) charged by `grid.load`, so lead 0).
+        return RAY_ADDRS.with(|scratch| {
+            let mut addrs = scratch.borrow_mut();
+            addrs.clear();
+            let mut hit = cfg.max_range;
+            for i in 1..=steps {
+                let x = (ox + i as f32 * dx).floor() as i64;
+                let y = (oy + i as f32 * dy).floor() as i64;
+                addrs.push(grid.cell_addr(x, y));
+                if grid.occupied(x, y) {
+                    hit = i as f32 * cfg.step;
+                    break;
+                }
+            }
+            p.run_mem_addrs(PC_GRID_LOAD, &addrs, 4, AccessKind::Read, grid.policy(), 0, false);
+            // ASIC pipeline: two cells per cycle beyond what the loads stalled.
+            p.stall(addrs.len() as u64 / 2);
+            hit
+        });
+    }
     let mut hit = cfg.max_range;
     let mut scanned = 0u64;
     for i in 1..=steps {

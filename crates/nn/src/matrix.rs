@@ -78,23 +78,88 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Matrix–vector product `self · v`.
     ///
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product written into a reusable output vector, which is
+    /// resized to `self.rows()`. Accumulation order matches [`Matrix::mul_vec`]
+    /// exactly, so the two are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec_into(&self, v: &[f32], out: &mut Vec<f32>) {
         assert_eq!(v.len(), self.cols, "vector length must match columns");
-        let mut out = vec![0.0; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            let row = self.row(r);
+        out.clear();
+        out.resize(self.rows, 0.0);
+        // Eight rows per pass: each row keeps its own accumulator, walking
+        // columns in order, so every dot product performs the identical
+        // left-to-right f32 addition sequence as a one-row-at-a-time loop —
+        // but the eight dependency chains are independent, which hides the
+        // floating-point add latency that otherwise bounds this kernel.
+        let cols = self.cols;
+        let mut r = 0;
+        while r + 8 <= self.rows {
+            let base = r * cols;
+            let r0 = &self.data[base..base + cols];
+            let r1 = &self.data[base + cols..base + 2 * cols];
+            let r2 = &self.data[base + 2 * cols..base + 3 * cols];
+            let r3 = &self.data[base + 3 * cols..base + 4 * cols];
+            let r4 = &self.data[base + 4 * cols..base + 5 * cols];
+            let r5 = &self.data[base + 5 * cols..base + 6 * cols];
+            let r6 = &self.data[base + 6 * cols..base + 7 * cols];
+            let r7 = &self.data[base + 7 * cols..base + 8 * cols];
+            let mut acc = [0.0f32; 8];
+            for ((((((((&b, &x0), &x1), &x2), &x3), &x4), &x5), &x6), &x7) in v
+                .iter()
+                .zip(r0)
+                .zip(r1)
+                .zip(r2)
+                .zip(r3)
+                .zip(r4)
+                .zip(r5)
+                .zip(r6)
+                .zip(r7)
+            {
+                acc[0] += x0 * b;
+                acc[1] += x1 * b;
+                acc[2] += x2 * b;
+                acc[3] += x3 * b;
+                acc[4] += x4 * b;
+                acc[5] += x5 * b;
+                acc[6] += x6 * b;
+                acc[7] += x7 * b;
+            }
+            out[r..r + 8].copy_from_slice(&acc);
+            r += 8;
+        }
+        while r < self.rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += a * b;
             }
-            *o = acc;
+            out[r] = acc;
+            r += 1;
         }
-        out
     }
 
     /// Transposed matrix–vector product `selfᵀ · v`.
@@ -103,15 +168,28 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.rows()`.
     pub fn mul_vec_transposed(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.mul_vec_transposed_into(v, &mut out);
+        out
+    }
+
+    /// Transposed matrix–vector product written into a reusable output
+    /// vector, which is resized to `self.cols()`. Bit-identical to
+    /// [`Matrix::mul_vec_transposed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn mul_vec_transposed_into(&self, v: &[f32], out: &mut Vec<f32>) {
         assert_eq!(v.len(), self.rows, "vector length must match rows");
-        let mut out = vec![0.0; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
         for (r, &s) in v.iter().enumerate() {
-            let row = self.row(r);
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (o, a) in out.iter_mut().zip(row.iter()) {
                 *o += s * a;
             }
         }
-        out
     }
 
     /// Frobenius norm squared (used by L2 regularization).

@@ -24,6 +24,14 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Stable discriminant for the trainer's fit-memo key.
+    pub(crate) fn memo_tag(self) -> u64 {
+        match self {
+            Activation::Sigmoid => 0,
+            Activation::Identity => 1,
+        }
+    }
+
     /// Applies the activation.
     pub fn apply(self, x: f32) -> f32 {
         match self {
@@ -250,20 +258,22 @@ impl Mlp {
         activ
     }
 
-    /// Forward pass that also records every layer's activated outputs
-    /// (used by backprop). The first element is the input itself.
-    pub(crate) fn forward_trace(&self, input: &[f32]) -> Vec<Vec<f32>> {
-        let mut trace = Vec::with_capacity(self.layers.len() + 1);
-        trace.push(input.to_vec());
-        for layer in &self.layers {
-            let prev = trace.last().expect("trace is non-empty");
-            let mut z = layer.weights.mul_vec(prev);
+    /// Forward pass that records every layer's activated outputs into
+    /// reusable per-layer buffers (used by backprop), so training loops pay
+    /// no allocation per sample. The first trace element is the input itself.
+    pub(crate) fn forward_trace_into(&self, input: &[f32], trace: &mut Vec<Vec<f32>>) {
+        trace.resize_with(self.layers.len() + 1, Vec::new);
+        trace[0].clear();
+        trace[0].extend_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = trace.split_at_mut(i + 1);
+            let prev = &done[i];
+            let z = &mut rest[0];
+            layer.weights.mul_vec_into(prev, z);
             for (zi, b) in z.iter_mut().zip(layer.biases.iter()) {
                 *zi = layer.activation.apply(*zi + b);
             }
-            trace.push(z);
         }
-        trace
     }
 
     /// Total number of trainable parameters.

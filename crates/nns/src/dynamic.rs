@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use tartan_sim::{Buffer, Machine, MemPolicy, Proc};
+use tartan_sim::{recycled_f32, Buffer, Machine, MemPolicy, Proc};
 
 use crate::dist_sq;
 use crate::lsh::LshConfig;
@@ -44,7 +44,7 @@ impl DynPointStore {
         DynPointStore {
             dim,
             len: 0,
-            data: machine.buffer_from_vec(vec![0.0; dim * capacity], MemPolicy::Normal),
+            data: machine.buffer_from_vec(recycled_f32(dim * capacity), MemPolicy::Normal),
         }
     }
 
@@ -75,9 +75,7 @@ impl DynPointStore {
             "store capacity exhausted"
         );
         let idx = self.len;
-        for (d, &v) in point.iter().enumerate() {
-            self.data.set(p, PC_STORE, idx * self.dim + d, v);
-        }
+        self.data.set_run(p, PC_STORE, idx * self.dim, point, 0);
         self.len += 1;
         idx
     }
@@ -92,12 +90,11 @@ impl DynPointStore {
         &self.data.as_slice()[i * self.dim..(i + 1) * self.dim]
     }
 
-    /// Timed scalar read of point `i`.
+    /// Timed scalar read of point `i` (one address run, charge-identical
+    /// to `dim` scalar gets).
     pub fn load_point(&self, p: &mut Proc<'_>, i: usize) -> &[f32] {
-        for d in 0..self.dim {
-            let _ = self.data.get(p, PC_STORE, i * self.dim + d);
-        }
-        self.point(i)
+        assert!(i < self.len, "point {i} out of bounds");
+        self.data.get_run(p, PC_STORE, i * self.dim, self.dim, 0)
     }
 
     /// Timed vector read of `n` points starting at `start`.
@@ -306,7 +303,7 @@ impl DynLsh {
             cfg,
             dim,
             proj,
-            chunk_data: machine.buffer_from_vec(vec![0.0; slots * dim], MemPolicy::Normal),
+            chunk_data: machine.buffer_from_vec(recycled_f32(slots * dim), MemPolicy::Normal),
             chunk_ids: machine.buffer_from_vec(vec![0; slots], MemPolicy::Normal),
             next_slot: 0,
             buckets: HashMap::new(),
@@ -400,9 +397,7 @@ impl DynNns for DynLsh {
                     }
                 } else {
                     for j in 0..used {
-                        for d in 0..self.dim {
-                            let _ = self.chunk_data.get(p, PC_CHUNK, (start + j) * self.dim + d);
-                        }
+                        let _ = self.chunk_data.get_run(p, PC_CHUNK, (start + j) * self.dim, self.dim, 0);
                         p.flop(3 * self.dim as u64);
                         p.instr(4);
                         let id = self.chunk_ids.get(p, PC_CHUNK, start + j);

@@ -62,16 +62,14 @@ impl PointSet {
     }
 
     /// Timed scalar read of point `i` (one load per coordinate, plus the
-    /// arithmetic the caller charges).
+    /// arithmetic the caller charges). Issued as one address run,
+    /// charge-identical to `dim` scalar gets.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
     pub fn load_point(&self, p: &mut Proc<'_>, i: usize) -> &[f32] {
-        for d in 0..self.dim {
-            let _ = self.data.get(p, PC_POINT_LOAD, i * self.dim + d);
-        }
-        self.point(i)
+        self.data.get_run(p, PC_POINT_LOAD, i * self.dim, self.dim, 0)
     }
 
     /// Timed vector read of points `[start, start + n)` as one contiguous

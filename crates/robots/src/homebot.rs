@@ -98,8 +98,9 @@ impl HomeBot {
             ]),
         );
 
-        let depth_image =
-            machine.buffer_from_vec(vec![1.0f32; scale.depth_side * scale.depth_side], MemPolicy::Normal);
+        let mut depth = tartan_sim::recycled_f32(scale.depth_side * scale.depth_side);
+        depth.fill(1.0);
+        let depth_image = machine.buffer_from_vec(depth, MemPolicy::Normal);
         HomeBot {
             software,
             depth_image,
@@ -214,8 +215,14 @@ impl Robot for HomeBot {
             let per = px.div_ceil(8);
             let lo = tid * per;
             let hi = ((tid + 1) * per).min(px);
-            for i in lo..hi {
-                let _ = depth.get(p, 0x8_1000, i);
+            if hi > lo {
+                // Address run with a one-element shift: each element's
+                // lead absorbs the previous element's filter flops, so the
+                // cumulative instruction count before every access — and
+                // hence all timing — matches the original
+                // `get(i); flop(14)` loop exactly.
+                let _ = depth.get(p, 0x8_1000, lo);
+                let _ = depth.get_run(p, 0x8_1000, lo + 1, hi - lo - 1, 14);
                 p.flop(14); // filter taps + back-projection
             }
         });

@@ -16,7 +16,7 @@
 //! in-tree criterion shim.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use tartan_sim::{AccessKind, MachineConfig, MemPolicy, MemorySystem};
+use tartan_sim::{AccessKind, Machine, MachineConfig, MemPolicy, MemRun, MemorySystem};
 
 /// Accesses per benchmark iteration, so per-line costs are measured over a
 /// loop long enough to hide harness overhead.
@@ -135,5 +135,108 @@ fn prefetch_covered(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, l1_hit, l2_hit, dram_miss, prefetch_covered);
+fn batch_unit_stride(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(100);
+    // The batched interface's best case: one unit-stride run over a small
+    // working set, where nearly every element collapses onto the previous
+    // line (bulk L1-hit accounting instead of one `access` call each).
+    let mut m = Machine::new(MachineConfig::upgraded_baseline());
+    let buf = m.buffer_from_vec(vec![0.0f32; 4096], MemPolicy::Normal);
+    let run = MemRun {
+        base: buf.base_addr(),
+        stride: 4,
+        count: ACCESSES,
+        bytes: 4,
+        kind: AccessKind::Read,
+        policy: MemPolicy::Normal,
+        lead_instr: 3,
+        dependent: false,
+    };
+    group.bench_function("batch_unit_stride_run", |b| {
+        b.iter(|| {
+            m.run(|p| p.run_mem(7, &run));
+            black_box(m.wall_cycles())
+        })
+    });
+    group.finish();
+}
+
+fn batch_ovec_strided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(100);
+    // OVEC oriented loads with a fractional stride — the ray-walk access
+    // shape — through the fused zero-materialization lane fetch.
+    let mut m = Machine::new(MachineConfig::tartan());
+    let buf = m.buffer_from_vec(vec![0.0f32; 256 * 256], MemPolicy::Normal);
+    group.bench_function("batch_ovec_strided_run", |b| {
+        b.iter(|| {
+            m.run(|p| {
+                let lanes = p.lanes();
+                for block in 0..(ACCESSES as usize / lanes) {
+                    p.oriented_load_discard(
+                        7,
+                        buf.base_addr(),
+                        100.0 + block as f64 * lanes as f64 * 257.3,
+                        257.3,
+                        lanes,
+                        4,
+                        256 * 256,
+                        MemPolicy::Normal,
+                    );
+                }
+            });
+            black_box(m.wall_cycles())
+        })
+    });
+    group.finish();
+}
+
+fn batch_mixed_interleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memhier");
+    group.sample_size(100);
+    // Realistic kernel shape: short scalar bursts (pose bookkeeping)
+    // interleaved with medium address runs (a ray segment), exercising the
+    // batch entry/exit overhead rather than the steady state.
+    let mut m = Machine::new(MachineConfig::upgraded_baseline());
+    let buf = m.buffer_from_vec(vec![0.0f32; 4096], MemPolicy::Normal);
+    group.bench_function("batch_mixed_interleave", |b| {
+        b.iter(|| {
+            m.run(|p| {
+                for i in 0..(ACCESSES / 32) {
+                    let base = buf.base_addr() + (i % 64) * 64;
+                    p.read(7, base, 4, MemPolicy::Normal);
+                    p.flop(6);
+                    p.run_mem(
+                        7,
+                        &MemRun {
+                            base,
+                            stride: 4,
+                            count: 30,
+                            bytes: 4,
+                            kind: AccessKind::Read,
+                            policy: MemPolicy::Normal,
+                            lead_instr: 8,
+                            dependent: false,
+                        },
+                    );
+                    p.write(7, base, 4, MemPolicy::Normal);
+                }
+            });
+            black_box(m.wall_cycles())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    l1_hit,
+    l2_hit,
+    dram_miss,
+    prefetch_covered,
+    batch_unit_stride,
+    batch_ovec_strided,
+    batch_mixed_interleave
+);
 criterion_main!(benches);

@@ -216,10 +216,19 @@ impl Cache {
         set[way].age = 0;
     }
 
+    /// Tag compare across all ways, branchless: every way contributes a
+    /// conditional-move instead of an early-exit branch, so the scan runs at
+    /// a fixed few cycles regardless of which way (if any) matches. A line
+    /// is resident in at most one way, so keeping the last match is
+    /// equivalent to the first.
     #[inline(always)]
     fn find(set: &[Line], line_number: u64) -> Option<usize> {
-        set.iter()
-            .position(|l| l.valid() && l.line_number == line_number)
+        let mut found = usize::MAX;
+        for (w, l) in set.iter().enumerate() {
+            let hit = l.valid() & (l.line_number == line_number);
+            found = if hit { w } else { found };
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// First invalid way, else the oldest (smallest way index on ties) — a

@@ -51,7 +51,7 @@ mod stats;
 mod vector;
 
 pub use accel::{AccelId, Accelerator, InvokeCost};
-pub use alloc::Buffer;
+pub use alloc::{recycled_f32, Buffer};
 pub use cache::{AccessOutcome, Cache, EvictedLine, PrefetchOutcome};
 pub use config::{
     CacheConfig, ConfigError, FcpConfig, FcpManipulation, MachineConfig, NpuMode, PrefetcherKind,
@@ -59,10 +59,10 @@ pub use config::{
 };
 pub use error::TartanError;
 pub use fault::{FaultPlan, FaultStats};
-pub use machine::{Machine, Proc, PHASE_COMM, PHASE_OTHER};
+pub use machine::{Machine, MemRun, Proc, PHASE_COMM, PHASE_OTHER};
 pub use memory::{AccessKind, MemPolicy, MemorySystem};
 pub use stats::{CacheStats, MachineStats, PhaseStats};
-pub use vector::oriented_lane_indices;
+pub use vector::{oriented_lane_index, oriented_lane_indices};
 
 // Telemetry surface, re-exported so workloads can attach sinks without a
 // separate dependency on `tartan-telemetry`.

@@ -26,7 +26,7 @@ use crate::error::TartanError;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::memory::{AccessKind, MemPolicy, MemorySystem};
 use crate::stats::{MachineStats, PhaseStats};
-use crate::vector::oriented_lane_indices;
+use crate::vector::oriented_lane_index;
 
 /// Phase name used for cycles not attributed to any named phase.
 pub const PHASE_OTHER: &str = "other";
@@ -190,6 +190,46 @@ impl std::fmt::Debug for Machine {
     }
 }
 
+/// A batched run of memory references sharing one kind, policy, and
+/// per-element leading arithmetic: `count` elements of `bytes` bytes each,
+/// element `i` at byte address `base + i * stride`.
+///
+/// Executing a run via [`Proc::run_mem`] is *defined* as equivalent to the
+/// scalar loop
+///
+/// ```text
+/// for i in 0..count {
+///     proc.instr(lead_instr + 1);              // address math + the access
+///     <access element i, stalling like read/read_dep/write>
+/// }
+/// ```
+///
+/// so timing, statistics, telemetry, and fault-injection draws are
+/// bit-identical to issuing the elements one at a time. The batch form only
+/// lets the simulator *recognize* runs of guaranteed same-line L1 hits and
+/// charge them in bulk instead of re-walking the hierarchy per element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRun {
+    /// Byte address of element 0.
+    pub base: u64,
+    /// Byte distance between consecutive elements (may be negative or zero).
+    pub stride: i64,
+    /// Number of elements.
+    pub count: u64,
+    /// Bytes accessed per element.
+    pub bytes: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Caching policy of the region.
+    pub policy: MemPolicy,
+    /// Non-memory instructions (index/address arithmetic, compares,
+    /// branches) charged alongside each element's access instruction.
+    pub lead_instr: u64,
+    /// Whether each element's value feeds the next instruction (dependent
+    /// loads stall for their full latency, like [`Proc::read_dep`]).
+    pub dependent: bool,
+}
+
 /// A thread's execution handle: charges instructions, memory accesses,
 /// vector operations, and accelerator invocations against one core.
 #[derive(Debug)]
@@ -199,6 +239,16 @@ pub struct Proc<'m> {
     cycles: u64,
     instr_carry: u64,
     phase: &'static str,
+    /// Cycles charged to the active phase but not yet written through to the
+    /// machine's phase table (flushed on phase switch and at finish, so the
+    /// hot instr/stall path never touches the `BTreeMap`).
+    phase_cycles: u64,
+    /// Instructions charged to the active phase but not yet written through.
+    phase_instr: u64,
+    /// Whether the active phase received any charge at all — zero-valued
+    /// charges still create the phase's entry in the stats table, so the
+    /// flush must preserve them.
+    phase_touched: bool,
 }
 
 impl<'m> Proc<'m> {
@@ -209,11 +259,15 @@ impl<'m> Proc<'m> {
             cycles: 0,
             instr_carry: 0,
             phase: PHASE_OTHER,
+            phase_cycles: 0,
+            phase_instr: 0,
+            phase_touched: false,
         }
     }
 
     fn finish(mut self) -> u64 {
         self.fold_issue();
+        self.flush_phase();
         self.cycles
     }
 
@@ -249,6 +303,7 @@ impl<'m> Proc<'m> {
     /// the glue between kernels with noise scopes).
     pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
         self.fold_issue();
+        self.flush_phase();
         let prev = std::mem::replace(&mut self.phase, phase);
         if prev != phase && self.wants_telemetry(Interest::PHASE) {
             let cycle = self.telemetry_cycle();
@@ -296,14 +351,27 @@ impl<'m> Proc<'m> {
         if cycles > 0 {
             self.instr_carry %= width;
             self.cycles += cycles;
-            self.machine.charge_phase(self.phase, cycles, 0);
+            self.phase_cycles += cycles;
+            self.phase_touched = true;
+        }
+    }
+
+    /// Writes the locally accumulated phase charges through to the machine.
+    fn flush_phase(&mut self) {
+        if self.phase_touched {
+            self.machine
+                .charge_phase(self.phase, self.phase_cycles, self.phase_instr);
+            self.phase_cycles = 0;
+            self.phase_instr = 0;
+            self.phase_touched = false;
         }
     }
 
     /// Charges `n` dynamic instructions (ALU/FP/branch/address arithmetic).
     pub fn instr(&mut self, n: u64) {
         self.instr_carry += n;
-        self.machine.charge_phase(self.phase, 0, n);
+        self.phase_instr += n;
+        self.phase_touched = true;
         if self.instr_carry >= self.machine.cfg.issue_width {
             self.fold_issue();
         }
@@ -317,7 +385,8 @@ impl<'m> Proc<'m> {
     /// Charges raw stall cycles.
     pub fn stall(&mut self, cycles: u64) {
         self.cycles += cycles;
-        self.machine.charge_phase(self.phase, cycles, 0);
+        self.phase_cycles += cycles;
+        self.phase_touched = true;
     }
 
     fn stall_to(&mut self, phase: &'static str, cycles: u64) {
@@ -394,6 +463,121 @@ impl<'m> Proc<'m> {
         self.stall(stall);
     }
 
+    /// Executes a batched address run (see [`MemRun`] for the equivalence
+    /// contract). Timing, stats, telemetry, and fault draws are identical to
+    /// the element-at-a-time scalar loop; the batch form exists so runs of
+    /// same-line references can be charged in bulk.
+    pub fn run_mem(&mut self, pc: u64, run: &MemRun) {
+        let MemRun {
+            base,
+            stride,
+            count,
+            bytes,
+            kind,
+            policy,
+            lead_instr,
+            dependent,
+        } = *run;
+        self.run_elements(
+            pc,
+            (0..count).map(|i| base.wrapping_add_signed(i as i64 * stride)),
+            bytes,
+            kind,
+            policy,
+            lead_instr,
+            dependent,
+        );
+    }
+
+    /// Executes a batched run over an explicit address list — the irregular
+    /// (non-constant-stride) form of [`Proc::run_mem`], with the same
+    /// scalar-loop equivalence contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mem_addrs(
+        &mut self,
+        pc: u64,
+        addrs: &[u64],
+        bytes: u64,
+        kind: AccessKind,
+        policy: MemPolicy,
+        lead_instr: u64,
+        dependent: bool,
+    ) {
+        self.run_elements(pc, addrs.iter().copied(), bytes, kind, policy, lead_instr, dependent);
+    }
+
+    /// Shared run executor. The fast path collapses consecutive elements
+    /// that land in the line the previous element just touched: such an
+    /// element is a *guaranteed* plain L1 hit (the line is MRU, so the LRU
+    /// touch is a no-op; its PREFETCHED bit was cleared and DIRTY marking is
+    /// idempotent for a same-kind repeat), costs exactly the L1 latency, and
+    /// — with telemetry's CACHE/TRACE categories masked and no fault plan —
+    /// has no observable effect beyond `accesses`/`hits` counters and the
+    /// issue/stall charges. Those are all additive, so a run of `n` repeats
+    /// collapses into one bulk charge. Everything else (new lines,
+    /// line-crossing elements, special policies, fault plans, traced runs)
+    /// takes the exact scalar sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn run_elements<I: Iterator<Item = u64>>(
+        &mut self,
+        pc: u64,
+        addrs: I,
+        bytes: u64,
+        kind: AccessKind,
+        policy: MemPolicy,
+        lead_instr: u64,
+        dependent: bool,
+    ) {
+        let fast = policy == MemPolicy::Normal
+            && self.machine.fault_state.is_none()
+            // `wants` is all-bits containment, so query each category on its
+            // own: either CACHE or TRACE interest alone must disable the
+            // collapse (both categories emit one event per access).
+            && !self.machine.mem.wants(Interest::CACHE)
+            && !self.machine.mem.wants(Interest::TRACE);
+        let line = self.machine.mem.line_bytes();
+        let l1_latency = self.machine.mem.l1_latency();
+        let per_elem = lead_instr + 1;
+        let mut last_line = u64::MAX;
+        let mut repeats: u64 = 0;
+        for addr in addrs {
+            let first = addr / line;
+            let last = (addr + bytes - 1) / line;
+            if fast && first == last && first == last_line {
+                repeats += 1;
+                continue;
+            }
+            if repeats > 0 {
+                self.charge_l1_repeats(repeats, per_elem, dependent, l1_latency);
+                repeats = 0;
+            }
+            self.instr(per_elem);
+            let raw = self
+                .machine
+                .mem
+                .access(self.core, pc, addr, bytes, kind, policy, self.cycles);
+            let raw = raw + self.fault_spike();
+            let stall = if dependent { raw } else { self.overlap(raw, false) };
+            self.stall(stall);
+            last_line = last;
+        }
+        if repeats > 0 {
+            self.charge_l1_repeats(repeats, per_elem, dependent, l1_latency);
+        }
+    }
+
+    /// Bulk charge for `n` collapsed same-line L1 hits: the issue charges
+    /// fold associatively (`instr(a); instr(b)` ≡ `instr(a + b)`), dependent
+    /// hits stall the full L1 latency each, and independent hits stall zero
+    /// cycles (`overlap(l1_latency, false) == 0`).
+    fn charge_l1_repeats(&mut self, n: u64, per_elem: u64, dependent: bool, l1_latency: u64) {
+        self.instr(per_elem * n);
+        self.machine.mem.note_l1_hits(self.core, n);
+        if dependent {
+            self.stall(l1_latency * n);
+        }
+    }
+
     /// A contiguous vector load of `bytes` starting at `addr`: one vector
     /// instruction per register width, lanes overlap like independent loads.
     pub fn vload(&mut self, pc: u64, addr: u64, bytes: u64, policy: MemPolicy) {
@@ -454,15 +638,56 @@ impl<'m> Proc<'m> {
         max_elems: u64,
         policy: MemPolicy,
     ) -> Vec<i64> {
+        let mut indices = Vec::with_capacity(lanes);
+        self.oriented_fetch(pc, base, origin, orient, lanes, elem_bytes, max_elems, policy, Some(&mut indices));
+        indices
+    }
+
+    /// [`Proc::oriented_load`] without materializing the lane indices —
+    /// for callers that track the walk's functional state themselves (the
+    /// vectorized ray cast discards the returned vector). Timing, stats,
+    /// and telemetry are identical to `oriented_load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Proc::oriented_load`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn oriented_load_discard(
+        &mut self,
+        pc: u64,
+        base: u64,
+        origin: f64,
+        orient: f64,
+        lanes: usize,
+        elem_bytes: u64,
+        max_elems: u64,
+        policy: MemPolicy,
+    ) {
+        self.oriented_fetch(pc, base, origin, orient, lanes, elem_bytes, max_elems, policy, None);
+    }
+
+    /// Shared O_MOVE engine: lane index generation, telemetry, and the
+    /// line-deduplicated lane fetch fused into one pass (addresses are
+    /// computed on the fly instead of materialized, mirroring the
+    /// in-hardware address generator).
+    #[allow(clippy::too_many_arguments)]
+    fn oriented_fetch(
+        &mut self,
+        pc: u64,
+        base: u64,
+        origin: f64,
+        orient: f64,
+        lanes: usize,
+        elem_bytes: u64,
+        max_elems: u64,
+        policy: MemPolicy,
+        mut sink: Option<&mut Vec<i64>>,
+    ) {
         assert!(
             self.machine.cfg.ovec,
             "O_MOVE executed on a machine without OVEC support"
         );
         assert!(max_elems > 0, "oriented load needs a nonempty buffer");
-        let indices: Vec<i64> = oriented_lane_indices(origin, orient, lanes)
-            .into_iter()
-            .map(|i| i.clamp(0, max_elems as i64 - 1))
-            .collect();
         self.instr(1);
         if self.wants_telemetry(Interest::OVEC) {
             self.emit_telemetry(&Event::OvecAddrGen {
@@ -475,11 +700,27 @@ impl<'m> Proc<'m> {
                 max_elems,
             });
         }
-        let addrs: Vec<u64> = indices
-            .iter()
-            .map(|&i| base + i as u64 * elem_bytes)
-            .collect();
-        let worst = self.lane_fetch(pc, &addrs, elem_bytes, policy);
+        // Same per-line dedup as `lane_fetch`: consecutive lanes landing in
+        // one cache line cost a single probe.
+        let line = self.machine.mem.line_bytes();
+        let mut worst = 0;
+        let mut last_line = u64::MAX;
+        for lane in 0..lanes {
+            let i = oriented_lane_index(origin, orient, lane).clamp(0, max_elems as i64 - 1);
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.push(i);
+            }
+            let a = base + i as u64 * elem_bytes;
+            let l = a / line;
+            if l != last_line {
+                let raw = self
+                    .machine
+                    .mem
+                    .access(self.core, pc, a, elem_bytes, AccessKind::Read, policy, self.cycles);
+                worst = worst.max(raw);
+                last_line = l;
+            }
+        }
         let serial = (lanes as u64).div_ceil(self.machine.cfg.l1_ports.max(1));
         // The address generator adds its latency in front of the load's;
         // the whole O_MOVE overlaps in the OoO window like other loads.
@@ -487,7 +728,6 @@ impl<'m> Proc<'m> {
             .overlap(self.machine.cfg.ovec_addr_gen_latency + worst, false)
             + serial;
         self.stall(stall);
-        indices
     }
 
     /// Issues a set of lane addresses, returning the slowest lane's raw

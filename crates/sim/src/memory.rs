@@ -427,6 +427,17 @@ impl MemorySystem {
         }
     }
 
+    /// Records `n` guaranteed L1 hits collapsed out of a batched run
+    /// ([`Proc::run_mem`](crate::Proc::run_mem)'s fast path). Equivalent to
+    /// `n` repeat `access` calls to the resident MRU line with CACHE/TRACE
+    /// telemetry masked: each is a plain hit whose LRU touch is a no-op, so
+    /// only the counters move.
+    pub(crate) fn note_l1_hits(&mut self, core: usize, n: u64) {
+        let stats = &mut self.l1[core].stats;
+        stats.accesses += n;
+        stats.hits += n;
+    }
+
     /// Merged L1 statistics across cores.
     pub fn l1_stats(&self) -> CacheStats {
         merge(self.l1.iter().map(|c| c.stats))

@@ -23,9 +23,25 @@
 /// assert_eq!(lanes, vec![10, 11, 13, 14]);
 /// ```
 pub fn oriented_lane_indices(origin: f64, orient: f64, lanes: usize) -> Vec<i64> {
-    (0..lanes)
-        .map(|i| (origin + i as f64 * orient).floor() as i64)
-        .collect()
+    (0..lanes).map(|i| oriented_lane_index(origin, orient, i)).collect()
+}
+
+/// The lane-`lane` element index of an oriented load — the exact arithmetic
+/// of [`oriented_lane_indices`] exposed per lane, so streaming consumers can
+/// walk the lanes without materializing the index vector.
+///
+/// # Examples
+///
+/// ```
+/// use tartan_sim::{oriented_lane_index, oriented_lane_indices};
+///
+/// let all = oriented_lane_indices(10.2, 1.5, 4);
+/// for (i, &idx) in all.iter().enumerate() {
+///     assert_eq!(oriented_lane_index(10.2, 1.5, i), idx);
+/// }
+/// ```
+pub fn oriented_lane_index(origin: f64, orient: f64, lane: usize) -> i64 {
+    (origin + lane as f64 * orient).floor() as i64
 }
 
 #[cfg(test)]

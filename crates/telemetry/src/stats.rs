@@ -332,17 +332,29 @@ pub struct HostRunStats {
     pub config: String,
     /// Simulated wall cycles for the run.
     pub wall_cycles: u64,
-    /// Host nanoseconds the simulation took.
+    /// Host nanoseconds this row's pass took. For a cold row that is the
+    /// simulation time; for a warm row it is the store fetch + decode time.
     pub host_nanos: u64,
+    /// For warm rows: host nanoseconds the *cold* pass spent actually
+    /// simulating the `wall_cycles` this row repeats. Warm rows reuse the
+    /// cold pass's cycle count, so dividing it by the warm `host_nanos`
+    /// would fabricate an absurd throughput; this field keeps the
+    /// numerator and denominator from the same pass. `None` on cold rows
+    /// (and in pre-existing documents), where `host_nanos` already is the
+    /// simulation time.
+    pub cold_host_nanos: Option<u64>,
 }
 
 impl HostRunStats {
-    /// Simulator throughput: simulated cycles per host second.
+    /// Simulator throughput: simulated cycles per host second, always
+    /// measured against the pass that produced the cycles (the cold
+    /// simulation), never against a store fetch.
     pub fn sim_cycles_per_host_sec(&self) -> f64 {
-        if self.host_nanos == 0 {
+        let nanos = self.cold_host_nanos.unwrap_or(self.host_nanos);
+        if nanos == 0 {
             0.0
         } else {
-            self.wall_cycles as f64 * 1e9 / self.host_nanos as f64
+            self.wall_cycles as f64 * 1e9 / nanos as f64
         }
     }
 
@@ -354,9 +366,13 @@ impl HostRunStats {
         push_str(buf, &self.config);
         let _ = write!(
             buf,
-            ",\"wall_cycles\":{},\"host_nanos\":{},\"sim_cycles_per_host_sec\":",
+            ",\"wall_cycles\":{},\"host_nanos\":{}",
             self.wall_cycles, self.host_nanos
         );
+        if let Some(cold) = self.cold_host_nanos {
+            let _ = write!(buf, ",\"cold_host_nanos\":{cold}");
+        }
+        buf.push_str(",\"sim_cycles_per_host_sec\":");
         push_f64(buf, self.sim_cycles_per_host_sec());
         buf.push('}');
     }
@@ -682,12 +698,14 @@ mod tests {
                     config: "tartan".into(),
                     wall_cycles: 1_000_000,
                     host_nanos: 500_000_000,
+                    cold_host_nanos: None,
                 },
                 HostRunStats {
                     robot: "delibot".into(),
                     config: "baseline".into(),
                     wall_cycles: 3_000_000,
                     host_nanos: 1_500_000_000,
+                    cold_host_nanos: None,
                 },
             ],
             warm: None,
@@ -711,6 +729,27 @@ mod tests {
         let idle = HostRunStats::default();
         assert_eq!(idle.sim_cycles_per_host_sec(), 0.0);
         assert_eq!(HostBenchExport::default().runs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn warm_rows_measure_throughput_against_the_cold_pass() {
+        // A warm row repeats the cold pass's wall_cycles but its own
+        // host_nanos is just a store fetch; the throughput figure must use
+        // cold_host_nanos so warm and cold rows stay comparable.
+        let mut row = sample_host_export().runs[0].clone();
+        row.host_nanos = 1_000; // 1 µs store fetch
+        row.cold_host_nanos = Some(500_000_000);
+        assert!((row.sim_cycles_per_host_sec() - 2_000_000.0).abs() < 1e-6);
+        let json = {
+            let mut buf = String::new();
+            row.write_json(&mut buf);
+            buf
+        };
+        assert!(json.contains("\"host_nanos\":1000,\"cold_host_nanos\":500000000"));
+        // Cold rows keep the key out of the document entirely.
+        let mut buf = String::new();
+        sample_host_export().runs[0].write_json(&mut buf);
+        assert!(!buf.contains("cold_host_nanos"));
     }
 
     #[test]

@@ -124,6 +124,7 @@ fn main() {
             config: run.config.clone(),
             wall_cycles: run.wall_cycles,
             host_nanos: elapsed.as_nanos() as u64,
+            cold_host_nanos: None,
         });
         export.runs.push(run);
     }
@@ -168,6 +169,10 @@ fn main() {
                 config: host.runs[i].config.clone(),
                 wall_cycles: host.runs[i].wall_cycles,
                 host_nanos: nanos,
+                // Warm rows reuse the cold pass's cycle count, so carry the
+                // cold simulation time too — sim_cycles_per_host_sec divides
+                // cycles by the pass that produced them, not the store fetch.
+                cold_host_nanos: Some(host.runs[i].host_nanos),
             });
         }
         println!(
