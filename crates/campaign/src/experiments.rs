@@ -23,15 +23,17 @@
 //! | §III-A engineering upgrades            | [`baseline_upgrades`] | `baseline_upgrades.json` |
 //! | Ablations (ANL region, OVEC latency)   | [`ablations`] | `ablations.json` |
 //! | Table I application parameters         | [`format_table1`] | — |
-//! | Table IV overheads                     | [`crate::overhead::table4`] | — |
+//! | Table IV overheads                     | [`tartan_core::overhead::table4`] | — |
 
 use std::fmt::Write as _;
 
+use tartan_core::runner::gmean;
+use tartan_core::ExperimentParams;
 use tartan_robots::RobotKind;
 use tartan_scenario::{Plan, ScenarioSpec};
 use tartan_sim::NpuMode;
 
-use crate::runner::{gmean, run_campaign, CampaignJob, ExperimentParams};
+use crate::engine::run_plan;
 
 /// The checked-in scenario manifests (embedded at compile time from
 /// `scenarios/*.json`), one per data-driven harness. CI validates every
@@ -105,14 +107,6 @@ fn checked(manifest: &str) -> (ScenarioSpec, Plan) {
     (spec, plan)
 }
 
-/// The plan's jobs in campaign form.
-fn campaign_jobs(plan: &Plan) -> Vec<CampaignJob> {
-    plan.jobs
-        .iter()
-        .map(|j| (j.robot, j.machine.clone(), j.software))
-        .collect()
-}
-
 // ---------------------------------------------------------------- Fig. 1
 
 /// One Fig. 1 bar: a robot on Baseline or Tartan, with the bottleneck
@@ -131,8 +125,8 @@ pub struct Fig1Row {
 
 /// Fig. 1: execution-time breakdown and bottleneck analysis.
 pub fn fig1_breakdown(params: &ExperimentParams) -> Vec<Fig1Row> {
-    let (_, plan) = checked(manifests::FIG1_BREAKDOWN);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::FIG1_BREAKDOWN);
+    let outcomes = run_plan(&spec, params);
     let mut rows = Vec::new();
     for (pair, jobs) in outcomes.chunks_exact(2).zip(plan.jobs.chunks_exact(2)) {
         let (base, tartan) = (&pair[0], &pair[1]);
@@ -194,8 +188,8 @@ pub struct Fig6Row {
 /// hardware hosts all methods so OVEC is available; the bars differ only
 /// in the software's fetch variant (see the manifest).
 pub fn fig6_ovec(params: &ExperimentParams) -> Vec<Fig6Row> {
-    let (_, plan) = checked(manifests::FIG6_OVEC);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::FIG6_OVEC);
+    let outcomes = run_plan(&spec, params);
     let width = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
     for (per_robot, jobs) in outcomes
@@ -253,8 +247,8 @@ pub struct Fig7Row {
 /// Fig. 7: ray-casting with trilinear interpolation — OVEC vs Intel's
 /// accelerator vs both.
 pub fn fig7_interpolation(params: &ExperimentParams) -> Vec<Fig7Row> {
-    let (_, plan) = checked(manifests::FIG7_INTERPOLATION);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::FIG7_INTERPOLATION);
+    let outcomes = run_plan(&spec, params);
     let base = outcomes[0].bottleneck_cycles as f64;
     plan.jobs
         .iter()
@@ -297,8 +291,8 @@ pub struct Table2Row {
 /// (from the manifest): FlyBot exact, FlyBot AXAR, HomeBot TRAP, PatrolBot
 /// native.
 pub fn table2_networks(params: &ExperimentParams) -> Vec<Table2Row> {
-    let (_, plan) = checked(manifests::TABLE2_NETWORKS);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, _plan) = checked(manifests::TABLE2_NETWORKS);
+    let outcomes = run_plan(&spec, params);
     let (fly_exact, fly_axar, home_trap, patrol) =
         (&outcomes[0], &outcomes[1], &outcomes[2], &outcomes[3]);
     // FlyBot exact vs AXAR: path-cost inflation (paper: 0%). HomeBot:
@@ -374,8 +368,8 @@ pub struct Fig8Row {
 /// Fig. 8: neural acceleration of robotics — baseline vs integrated NPU vs
 /// software execution vs co-processor.
 pub fn fig8_npu(params: &ExperimentParams) -> Vec<Fig8Row> {
-    let (_, plan) = checked(manifests::FIG8_NPU);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::FIG8_NPU);
+    let outcomes = run_plan(&spec, params);
     let width = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
     for (per_robot, jobs) in outcomes
@@ -444,8 +438,8 @@ pub struct Table3Row {
 /// PE count of each row is read back from the planned job's machine
 /// config — the single source of truth.
 pub fn table3_npu_pes(params: &ExperimentParams) -> Vec<Table3Row> {
-    let (_, plan) = checked(manifests::TABLE3_NPU_PES);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::TABLE3_NPU_PES);
+    let outcomes = run_plan(&spec, params);
     let robots = plan.groups[0].len;
     let (baselines, sweep) = outcomes.split_at(robots);
     let sweep_jobs = plan.group_jobs(1);
@@ -516,7 +510,7 @@ pub fn fig9_nns(params: &ExperimentParams) -> Vec<Fig9Row> {
     let (spec, plan) = checked(manifests::FIG9_NNS);
     let mut params = *params;
     spec.params.apply_adjusts(&mut params.scale);
-    let outcomes = run_campaign(&campaign_jobs(&plan), &params);
+    let outcomes = run_plan(&spec, &params);
     let per_robot = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
     for (chunk, jobs) in outcomes
@@ -585,7 +579,7 @@ pub fn fig10_prefetch(params: &ExperimentParams) -> Vec<Fig10Row> {
     let (spec, plan) = checked(manifests::FIG10_PREFETCH);
     let mut params = *params;
     spec.params.apply_adjusts(&mut params.scale);
-    let outcomes = run_campaign(&campaign_jobs(&plan), &params);
+    let outcomes = run_plan(&spec, &params);
     let width = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
     let mut per_pf_ratios: Vec<Vec<f64>> = vec![Vec::new(); width];
@@ -659,8 +653,8 @@ pub struct Fig11Row {
 /// functions. Per robot: one no-FCP baseline (the manifest's prelude),
 /// then the 3 × 2 × 2 parameter sweep.
 pub fn fig11_fcp(params: &ExperimentParams) -> Vec<Fig11Row> {
-    let (_, plan) = checked(manifests::FIG11_FCP);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::FIG11_FCP);
+    let outcomes = run_plan(&spec, params);
     let per_robot = plan.groups[0].variants_per_robot;
     let mut rows = Vec::new();
     for (chunk, jobs) in outcomes
@@ -719,8 +713,8 @@ pub struct Fig12Row {
 /// (paper: 1.2× legacy, 1.61× optimized, 2.11× approximable). Per robot:
 /// the upgraded-baseline reference (prelude), then Tartan per tier.
 pub fn fig12_end_to_end(params: &ExperimentParams) -> Vec<Fig12Row> {
-    let (_, plan) = checked(manifests::FIG12_END_TO_END);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::FIG12_END_TO_END);
+    let outcomes = run_plan(&spec, params);
     let per_robot = plan.groups[0].variants_per_robot;
     let tiers = per_robot - 1;
     let mut rows = Vec::new();
@@ -778,8 +772,8 @@ pub struct UpgradeRow {
 /// §III-A: 32 B cachelines cut unnecessary data movement; write-through
 /// producer/consumer regions cut L3 traffic.
 pub fn baseline_upgrades(params: &ExperimentParams) -> Vec<UpgradeRow> {
-    let (_, plan) = checked(manifests::BASELINE_UPGRADES);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, _plan) = checked(manifests::BASELINE_UPGRADES);
+    let outcomes = run_plan(&spec, params);
     let mut rows = Vec::new();
     for pair in outcomes.chunks_exact(2) {
         let (legacy, upgraded) = (&pair[0], &pair[1]);
@@ -832,8 +826,8 @@ pub struct AblationRow {
 /// second variant of each group is Tartan's default and the normalization
 /// baseline.
 pub fn ablations(params: &ExperimentParams) -> Vec<AblationRow> {
-    let (_, plan) = checked(manifests::ABLATIONS);
-    let outcomes = run_campaign(&campaign_jobs(&plan), params);
+    let (spec, plan) = checked(manifests::ABLATIONS);
+    let outcomes = run_plan(&spec, params);
     let mut rows = Vec::new();
     for (gi, group) in plan.groups.iter().enumerate() {
         let chunk = &outcomes[group.first..group.first + group.len];
@@ -892,7 +886,7 @@ pub fn format_table1() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::run_robot;
+    use tartan_core::run_robot;
     use tartan_robots::SoftwareConfig;
     use tartan_sim::MachineConfig;
 

@@ -1,32 +1,35 @@
 #![warn(missing_docs)]
 
-//! Tartan's top level: the hardware/software configuration matrix and the
-//! experiment drivers that regenerate every figure and table of the paper's
-//! evaluation (§VIII).
+//! Tartan's configuration matrix and experiment runner: build a machine +
+//! robot, run the pipeline, and snapshot everything the figures need as a
+//! [`RunOutcome`].
 //!
-//! Each `figN_*`/`tableN_*` function in [`experiments`] runs the relevant
-//! robots on the relevant machine configurations, returns typed result
-//! rows, and can render them as text tables. The `bench` crate and the
-//! `paper_figures` example drive them at paper scale; integration tests
-//! use [`tartan_robots::Scale::small`].
+//! The figure/table drivers that consume these runs live one layer up, in
+//! `tartan-campaign` (`experiments`): they expand the checked-in scenario
+//! manifests and execute them through the campaign engine. This crate
+//! stays at the single-run level — [`run_robot`] plus the
+//! [`overhead`] area/power model — so the scenario and campaign layers
+//! can both link it without cycles.
 //!
 //! # Examples
 //!
-//! ```no_run
-//! use tartan_core::{experiments, runner::ExperimentParams};
+//! ```
+//! use tartan_core::{run_robot, ExperimentParams, MachineConfig, RobotKind, SoftwareConfig};
 //!
-//! let params = ExperimentParams::quick();
-//! let rows = experiments::fig12_end_to_end(&params);
-//! println!("{}", experiments::format_fig12(&rows));
+//! let out = run_robot(
+//!     RobotKind::DeliBot,
+//!     MachineConfig::tartan(),
+//!     SoftwareConfig::approximable(),
+//!     &ExperimentParams::quick(),
+//! );
+//! assert!(out.wall_cycles > 0);
 //! ```
 
-pub mod experiments;
 pub mod overhead;
 pub mod runner;
 
 pub use runner::{
-    probe_spec, run_campaign, run_campaign_with_jobs, run_robot, CampaignJob, ExperimentParams,
-    RunOutcome,
+    run_campaign, run_campaign_with_jobs, run_robot, CampaignJob, ExperimentParams, RunOutcome,
 };
 
 pub use tartan_robots::{NeuralExec, NnsKind, RobotKind, Scale, SoftwareConfig};

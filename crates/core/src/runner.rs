@@ -2,7 +2,7 @@
 //! snapshots everything the figures need.
 
 use tartan_robots::{RobotKind, Scale, SoftwareConfig};
-use tartan_scenario::{ConfigId, RunParams, ScenarioError, ScenarioSpec};
+use tartan_scenario::{ConfigId, RunParams};
 use tartan_sim::telemetry::{
     CacheCounters, FaultCounters, PhaseEntry, Report, ReportBuilder, RobotRunStats, ScopeCounters,
     SupervisionCounters,
@@ -290,40 +290,6 @@ pub fn run_campaign_with_jobs(
     tartan_par::par_map(host_jobs, jobs, |(kind, hw, sw)| {
         run_robot(*kind, hw.clone(), *sw, params)
     })
-}
-
-/// Runs every planned job of a scenario at the probe scale and returns
-/// one stats record per job, in plan order.
-///
-/// This is the coverage signal behind `tartan_gen`: the spec expands as
-/// usual (so sweep axes, presets, FCP/fault plans all take effect), but
-/// the workload runs at [`Scale::probe`] — with the spec's own `adjust`
-/// list applied on top, so scale-bending scenarios still probe
-/// differently from unbent ones — and for the spec's `steps` (default
-/// 1). Milliseconds per job instead of hundreds, which is what makes
-/// enumerating and shrinking hundreds of scenarios affordable.
-///
-/// # Errors
-///
-/// Whatever [`ScenarioSpec::expand`] reports: unresolvable presets or
-/// invalid machine geometry, with field-path context.
-pub fn probe_spec(spec: &ScenarioSpec) -> Result<Vec<RobotRunStats>, ScenarioError> {
-    let plan = spec.expand()?;
-    let mut scale = Scale::probe();
-    spec.params.apply_adjusts(&mut scale);
-    let params = ExperimentParams {
-        scale,
-        steps: spec.params.steps.unwrap_or(1) as usize,
-        seed: spec.params.seed.unwrap_or(42),
-    };
-    Ok(plan
-        .jobs
-        .iter()
-        .map(|job| {
-            run_robot(job.robot, job.machine.clone(), job.software, &params)
-                .to_run_stats(&job.config)
-        })
-        .collect())
 }
 
 /// Geometric mean of an iterator of positive numbers.

@@ -17,6 +17,15 @@
 //!   figure the bench prints, sensitive to regressions that per-run
 //!   medians smear (e.g. one robot getting 10× slower).
 //!
+//! When **both** documents carry the v3 `warm` section (a cold/warm split
+//! from `bench_tier1 --store`), the same two figures are compared for the
+//! warm (store-served) pass as well, so a store-path slowdown is caught
+//! even when simulation time is unchanged. A document whose warm rows
+//! lack the v3 fields (`robot`/`config`/`host_nanos`/`cold_host_nanos`)
+//! is rejected with a single-line error and exit 2 — never a panic. A
+//! warm section present in only one input is reported and skipped: the
+//! cold figures still compare.
+//!
 //! A regression is declared when either figure degrades by more than
 //! `--threshold` percent (default 50 — generous on purpose: the gate is
 //! for 2× blowups, not 5% jitter). `--warn-only` reports but always exits
@@ -28,13 +37,13 @@
 
 use std::fs;
 
+use tartan::campaign::cli;
 use tartan::scenario::json::{parse as parse_json, JsonValue};
 
 const USAGE: &str = "usage: bench_compare BASELINE CURRENT [--threshold PCT] [--warn-only]";
 
 fn usage_error(msg: &str) -> ! {
-    eprintln!("bench_compare: {msg}\n{USAGE}");
-    std::process::exit(2);
+    cli::usage_error("bench_compare", USAGE, msg)
 }
 
 /// One run's identity and host time, pulled out of a `runs` array entry.
@@ -44,10 +53,27 @@ struct RunTime {
     host_nanos: f64,
 }
 
+/// The warm (store-served) half of a v3 cold/warm split.
+struct WarmDoc {
+    total_host_nanos: f64,
+    runs: Vec<RunTime>,
+}
+
+impl WarmDoc {
+    fn runs_per_sec(&self) -> f64 {
+        if self.total_host_nanos > 0.0 {
+            self.runs.len() as f64 / (self.total_host_nanos / 1e9)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The slice of a `BENCH_host.json` document this tool compares.
 struct BenchDoc {
     runs_per_sec: f64,
     runs: Vec<RunTime>,
+    warm: Option<WarmDoc>,
 }
 
 fn num(v: Option<&JsonValue>) -> Option<f64> {
@@ -76,10 +102,7 @@ fn load(path: &str) -> BenchDoc {
         eprintln!("bench_compare: {path}: {e}");
         std::process::exit(2);
     });
-    let bad = |what: &str| -> ! {
-        eprintln!("bench_compare: {path}: missing or malformed {what}");
-        std::process::exit(2);
-    };
+    let bad = |what: &str| -> ! { cli::input_error("bench_compare", path, what) };
     let Some(runs_per_sec) = num(doc.get("runs_per_sec")) else {
         bad("\"runs_per_sec\"");
     };
@@ -104,7 +127,45 @@ fn load(path: &str) -> BenchDoc {
     if runs.is_empty() {
         bad("\"runs\" array (empty)");
     }
-    BenchDoc { runs_per_sec, runs }
+    // The v3 warm section is optional, but when present it must carry the
+    // fields the warm comparison divides by — a half-written row dies
+    // here with a single line, not a panic in the ratio math.
+    let warm = doc.get("warm").map(|section| {
+        let Some(total_host_nanos) = num(section.get("total_host_nanos")) else {
+            bad("warm \"total_host_nanos\"");
+        };
+        let Some(JsonValue::Arr(entries)) = section.get("runs") else {
+            bad("warm \"runs\" array");
+        };
+        let mut runs = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let (Some(robot), Some(config), Some(host_nanos), Some(_cold)) = (
+                string(entry.get("robot")),
+                string(entry.get("config")),
+                num(entry.get("host_nanos")),
+                num(entry.get("cold_host_nanos")),
+            ) else {
+                bad("warm runs[] entry (robot/config/host_nanos/cold_host_nanos)");
+            };
+            runs.push(RunTime {
+                robot,
+                config,
+                host_nanos,
+            });
+        }
+        if runs.is_empty() {
+            bad("warm \"runs\" array (empty)");
+        }
+        WarmDoc {
+            total_host_nanos,
+            runs,
+        }
+    });
+    BenchDoc {
+        runs_per_sec,
+        runs,
+        warm,
+    }
 }
 
 /// Median of a non-empty slice (mean of the middle two when even).
@@ -116,6 +177,23 @@ fn median(values: &mut [f64]) -> f64 {
     } else {
         (values[n / 2 - 1] + values[n / 2]) / 2.0
     }
+}
+
+/// Pairs `current` runs with `baseline` by `(robot, config)` and returns
+/// the per-run host-time ratios plus the count left unmatched.
+fn pair_ratios(baseline: &[RunTime], current: &[RunTime]) -> (Vec<f64>, usize) {
+    let mut ratios = Vec::new();
+    let mut unmatched = 0usize;
+    for cur in current {
+        let base = baseline
+            .iter()
+            .find(|b| b.robot == cur.robot && b.config == cur.config);
+        match base {
+            Some(b) if b.host_nanos > 0.0 => ratios.push(cur.host_nanos / b.host_nanos),
+            _ => unmatched += 1,
+        }
+    }
+    (ratios, unmatched)
 }
 
 fn main() {
@@ -146,18 +224,7 @@ fn main() {
 
     // Pair runs by (robot, config); unmatched runs are reported but never
     // counted — a grown or shrunk matrix is not by itself a regression.
-    let mut ratios: Vec<f64> = Vec::new();
-    let mut unmatched = 0usize;
-    for cur in &current.runs {
-        let base = baseline
-            .runs
-            .iter()
-            .find(|b| b.robot == cur.robot && b.config == cur.config);
-        match base {
-            Some(b) if b.host_nanos > 0.0 => ratios.push(cur.host_nanos / b.host_nanos),
-            _ => unmatched += 1,
-        }
-    }
+    let (mut ratios, unmatched) = pair_ratios(&baseline.runs, &current.runs);
     if unmatched > 0 {
         println!("bench_compare: {unmatched} run(s) have no baseline counterpart; skipped");
     }
@@ -196,6 +263,55 @@ fn main() {
         );
         regressed = true;
     }
+
+    // Warm (store-served) comparison: same figures, same threshold, only
+    // when both sides measured a warm pass.
+    match (&baseline.warm, &current.warm) {
+        (Some(base_warm), Some(cur_warm)) => {
+            let (mut warm_ratios, warm_unmatched) =
+                pair_ratios(&base_warm.runs, &cur_warm.runs);
+            if warm_unmatched > 0 {
+                println!(
+                    "bench_compare: {warm_unmatched} warm run(s) have no baseline counterpart; skipped"
+                );
+            }
+            if warm_ratios.is_empty() {
+                println!("bench_compare: no warm runs match; warm comparison skipped");
+            } else {
+                let warm_median = median(&mut warm_ratios);
+                let base_rps = base_warm.runs_per_sec();
+                let cur_rps = cur_warm.runs_per_sec();
+                let warm_slowdown = if cur_rps > 0.0 {
+                    base_rps / cur_rps
+                } else {
+                    f64::INFINITY
+                };
+                println!(
+                    "bench_compare: warm: {} matched run(s): median host_nanos ratio \
+                     {warm_median:.3}, runs/s {base_rps:.3} -> {cur_rps:.3} \
+                     (slowdown {warm_slowdown:.3})",
+                    warm_ratios.len(),
+                );
+                if warm_median > limit {
+                    println!(
+                        "bench_compare: REGRESSION: median warm (store-served) host time grew \
+                         {warm_median:.2}x (limit {limit:.2}x)"
+                    );
+                    regressed = true;
+                }
+                if warm_slowdown > limit {
+                    println!(
+                        "bench_compare: REGRESSION: warm (store-served) throughput fell \
+                         {warm_slowdown:.2}x (limit {limit:.2}x)"
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        (None, None) => {}
+        _ => println!("bench_compare: warm section present in only one input; skipped"),
+    }
+
     if !regressed {
         println!("bench_compare: OK (within threshold)");
     } else if warn_only {

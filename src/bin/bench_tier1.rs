@@ -4,8 +4,9 @@
 //! `results/BENCH_host.json` with host wall-time and throughput.
 //!
 //! The run matrix comes from the checked-in `scenarios/bench_tier1.json`
-//! manifest and fans out across host cores (`--jobs N`, default: all
-//! cores); results are collected in submission order, so
+//! manifest and executes through the unified campaign engine
+//! (DESIGN.md §18), fanning out across host cores (`--jobs N`, default:
+//! all cores); results are collected in submission order, so
 //! `BENCH_tier1.json` is byte-identical for any job count. CI runs this on
 //! every push and uploads both exports as workflow artifacts, so per-robot
 //! cycle counts, miss rates, NPU statistics, and simulator throughput are
@@ -13,77 +14,77 @@
 //!
 //! `--store DIR` adds a cold/warm split: the cold pass seeds the result
 //! store (records keyed exactly like `tartan_run`'s), then a warm pass
-//! times the same matrix served entirely from the store, and
-//! `BENCH_host.json` gains a `warm` section so cache speedup is a measured
-//! number instead of being silently mixed into one figure. Every
-//! invocation also appends one summary line to
-//! `results/BENCH_history.jsonl` (see `SCHEMA.md`), the input to
-//! `bench_compare`'s regression check.
+//! re-runs the same campaign with the engine's resume path so the matrix
+//! is served entirely from the store, and `BENCH_host.json` gains a
+//! `warm` section so cache speedup is a measured number instead of being
+//! silently mixed into one figure. Every invocation also appends one
+//! summary line to `results/BENCH_history.jsonl` (see `SCHEMA.md`), the
+//! input to `bench_compare`'s regression check.
 //!
 //! Exits non-zero if any run's stats fail schema validation.
 
 use std::fs::{self, OpenOptions};
 use std::io::Write as _;
-use std::path::{Path, PathBuf};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
 
+use tartan::campaign::{cli, Campaign, CampaignOptions, CampaignSpec, Engine, PhaseClock};
 use tartan::core::experiments::manifests;
-use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
-use tartan::par;
-use tartan::scenario::RunParams;
+use tartan::core::{ExperimentParams, ScenarioSpec};
 use tartan::sim::telemetry::{
     validate_bench_history_line, validate_host_bench_json, validate_stats_json, BenchHistoryLine,
     HostBenchExport, HostRunStats, StatsExport, WarmBenchStats,
 };
-use tartan::store::{sha256_hex, ResultStore};
+
+const USAGE: &str = "usage: bench_tier1 [--jobs N] [--store DIR]";
 
 /// Single-line I/O failure in the scenario layer's `path: reason` style.
 fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
-    eprintln!("bench_tier1: {}: {reason}", path.display());
-    std::process::exit(1);
+    cli::die("bench_tier1", path, reason)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (jobs, rest) = match par::parse_jobs_flag(&args) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("bench_tier1: {e}");
-            std::process::exit(2);
-        }
+    let flags = cli::FlagSet {
+        store: true,
+        ..cli::FlagSet::jobs_only()
     };
-    let mut store_dir: Option<PathBuf> = None;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--store" => match it.next() {
-                Some(d) => store_dir = Some(PathBuf::from(d)),
-                None => {
-                    eprintln!("bench_tier1: --store needs a directory");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!(
-                    "bench_tier1: unrecognized argument {other:?} (--jobs N and --store DIR are accepted)"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let parsed = cli::parse_args(&args, &flags)
+        .unwrap_or_else(|e| cli::usage_error("bench_tier1", USAGE, &e));
+    let jobs = parsed.jobs;
 
-    let params = ExperimentParams::quick();
     let spec = ScenarioSpec::from_json(manifests::BENCH_TIER1)
         .expect("checked-in bench scenario must parse");
     let plan = spec.expand().expect("checked-in bench scenario must expand");
+    // The bench matrix always runs at test scale, whatever the manifest's
+    // base params say — the export must be comparable across commits.
+    let campaign = Campaign {
+        spec,
+        plan,
+        params: ExperimentParams::quick(),
+    };
 
-    let campaign = Instant::now();
-    let timed = par::par_map(jobs, &plan.jobs, |job| {
-        let start = Instant::now();
-        let out = run_robot(job.robot, job.machine.clone(), job.software, &params);
-        (out, start.elapsed())
+    // Cold pass: simulate every job fresh; with `--store` the engine also
+    // seeds the store with records keyed exactly like tartan_run's.
+    let engine = Engine::new(CampaignSpec {
+        campaigns: vec![campaign.clone()],
+        options: CampaignOptions {
+            jobs,
+            store: parsed.store.clone(),
+            keep_outcomes: true,
+            tool: "bench_tier1",
+            ..CampaignOptions::default()
+        },
     });
-    let total_host_nanos = campaign.elapsed().as_nanos() as u64;
+    let mut clock = PhaseClock::start();
+    let report = engine
+        .run(&mut clock, None)
+        .unwrap_or_else(|e| die(&e.path, e.reason));
+    let result = &report.campaigns[0];
+    if !result.failures.is_empty() {
+        std::process::exit(1);
+    }
+    let total_host_nanos = report.exec_host_nanos;
 
     let mut export = StatsExport {
         generator: "bench_tier1".into(),
@@ -98,18 +99,20 @@ fn main() {
         warm: None,
     };
     let mut schema_ok = true;
-    for (job, (out, elapsed)) in plan.jobs.iter().zip(&timed) {
+    for (job, slot) in campaign.plan.jobs.iter().zip(&result.results) {
+        let out = slot.as_ref().expect("failures already handled");
+        let outcome = out.outcome.as_ref().expect("cold pass keeps outcomes");
         let config = job.config.as_str();
         println!(
             "{:<10} {:<9} {:>12} cycles  L2 miss {:>5.1}%  NPU {:>4}  host {:>9.2} ms",
             out.robot,
             config,
             out.wall_cycles,
-            100.0 * out.stats.l2.miss_ratio(),
-            out.stats.npu_invocations,
-            elapsed.as_secs_f64() * 1e3,
+            100.0 * outcome.stats.l2.miss_ratio(),
+            outcome.stats.npu_invocations,
+            out.host_nanos as f64 / 1e6,
         );
-        let run = out.to_run_stats(&job.config);
+        let run = outcome.to_run_stats(&job.config);
         let single = StatsExport {
             generator: "bench_tier1".into(),
             runs: vec![run.clone()],
@@ -123,41 +126,40 @@ fn main() {
             robot: run.robot.clone(),
             config: run.config.clone(),
             wall_cycles: run.wall_cycles,
-            host_nanos: elapsed.as_nanos() as u64,
+            host_nanos: out.host_nanos,
             cold_host_nanos: None,
         });
         export.runs.push(run);
     }
 
-    // Cold/warm split: seed the store from the cold pass, then time the
-    // same matrix served entirely from it.
-    if let Some(dir) = &store_dir {
-        let store = ResultStore::open(dir).unwrap_or_else(|e| die(&e.path, e.reason));
-        let run_params: RunParams = params.into();
-        let keys: Vec<String> = plan
-            .jobs
-            .iter()
-            .map(|job| sha256_hex(job.cache_key_text(&run_params).as_bytes()))
-            .collect();
-        for (i, (out, _)) in timed.iter().enumerate() {
-            let record = out.to_run_stats(&plan.jobs[i].config).to_json_record();
-            if let Err(e) = store.put(&keys[i], &record) {
-                eprintln!("bench_tier1: {e}");
-                std::process::exit(1);
-            }
-        }
-        let warm_campaign = Instant::now();
-        let warm_timed = par::par_map_indexed(jobs, plan.jobs.len(), |i| {
-            let start = Instant::now();
-            let got = store.get(&keys[i]);
-            (start.elapsed().as_nanos() as u64, matches!(got, Ok(Some(_))))
+    // Cold/warm split: re-run the campaign through the engine's resume
+    // path, timing the same matrix served entirely from the store.
+    if parsed.store.is_some() {
+        let warm_engine = Engine::new(CampaignSpec {
+            campaigns: vec![campaign],
+            options: CampaignOptions {
+                jobs,
+                store: parsed.store,
+                resume: true,
+                tool: "bench_tier1",
+                ..CampaignOptions::default()
+            },
         });
+        let mut warm_clock = PhaseClock::start();
+        let warm_report = warm_engine
+            .run(&mut warm_clock, None)
+            .unwrap_or_else(|e| die(&e.path, e.reason));
+        let warm_result = &warm_report.campaigns[0];
+        if !warm_result.failures.is_empty() {
+            std::process::exit(1);
+        }
         let mut warm = WarmBenchStats {
-            total_host_nanos: warm_campaign.elapsed().as_nanos() as u64,
+            total_host_nanos: warm_report.exec_host_nanos,
             runs: Vec::new(),
         };
-        for (i, &(nanos, hit)) in warm_timed.iter().enumerate() {
-            if !hit {
+        for (i, slot) in warm_result.results.iter().enumerate() {
+            let out = slot.as_ref().expect("failures already handled");
+            if !out.cached {
                 eprintln!(
                     "bench_tier1: warm pass missed {} {} in the store it just seeded",
                     host.runs[i].robot, host.runs[i].config
@@ -168,7 +170,7 @@ fn main() {
                 robot: host.runs[i].robot.clone(),
                 config: host.runs[i].config.clone(),
                 wall_cycles: host.runs[i].wall_cycles,
-                host_nanos: nanos,
+                host_nanos: out.host_nanos,
                 // Warm rows reuse the cold pass's cycle count, so carry the
                 // cold simulation time too — sim_cycles_per_host_sec divides
                 // cycles by the pass that produced them, not the store fetch.

@@ -37,8 +37,9 @@
 //! Exit codes: 0 success; 1 I/O error or an empty corpus; 2 usage.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
+use tartan::campaign::cli;
 use tartan::core::probe_spec;
 use tartan::par;
 use tartan::scenario::{
@@ -48,13 +49,11 @@ use tartan::scenario::{
 const USAGE: &str = "usage: tartan_gen [--seed N] [--budget N] [--out DIR] [--jobs N]";
 
 fn usage_error(msg: &str) -> ! {
-    eprintln!("tartan_gen: {msg}\n{USAGE}");
-    std::process::exit(2);
+    cli::usage_error("tartan_gen", USAGE, msg)
 }
 
 fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
-    eprintln!("tartan_gen: {}: {reason}", path.display());
-    std::process::exit(1);
+    cli::die("tartan_gen", path, reason)
 }
 
 fn probe(spec: &ScenarioSpec) -> Option<CoverageVector> {
@@ -65,37 +64,36 @@ fn probe(spec: &ScenarioSpec) -> Option<CoverageVector> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (jobs, rest) = match par::parse_jobs_flag(&args) {
-        Ok(parsed) => parsed,
-        Err(e) => usage_error(&e),
+    let flags = cli::FlagSet {
+        out: true,
+        default_out: "scenarios/corpus",
+        help: true,
+        extras: &["--seed", "--budget"],
+        ..cli::FlagSet::jobs_only()
     };
+    let parsed = cli::parse_args(&args, &flags).unwrap_or_else(|e| usage_error(&e));
+    if parsed.help {
+        println!("{USAGE}");
+        return;
+    }
+    let jobs = parsed.jobs;
+    let out = parsed.out_dir;
 
     let mut seed: u64 = 7;
     let mut budget: usize = 512;
-    let mut out = PathBuf::from("scenarios/corpus");
-    let mut it = rest.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .unwrap_or_else(|| usage_error(&format!("flag {flag} needs a value")))
-        };
+    for (flag, value) in &parsed.extras {
         match flag.as_str() {
             "--seed" => {
-                seed = value()
+                seed = value
                     .parse()
                     .unwrap_or_else(|e| usage_error(&format!("bad --seed: {e}")))
             }
             "--budget" => {
-                budget = value()
+                budget = value
                     .parse()
                     .unwrap_or_else(|e| usage_error(&format!("bad --budget: {e}")))
             }
-            "--out" => out = PathBuf::from(value()),
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            other => usage_error(&format!("unknown flag {other:?}")),
+            _ => unreachable!("parse_args only returns declared extras"),
         }
     }
     if budget == 0 {

@@ -1,21 +1,34 @@
-//! `tartan_run`: executes any scenario file (see `SCHEMA.md` and the
-//! checked-in examples under `scenarios/`) and writes its results as a
-//! validated `stats.json` export plus a flat CSV.
+//! `tartan_run`: executes scenario files (see `SCHEMA.md` and the
+//! checked-in examples under `scenarios/`) through the unified campaign
+//! engine and writes each scenario's results as a validated `stats.json`
+//! export plus a flat CSV.
 //!
 //! ```text
-//! tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]
-//!                 [--store DIR [--resume] [--verify N]] [--retries N]
-//!                 [--watchdog MS] [--progress[=human|jsonl]]
+//! tartan_run FILE... [--jobs N] [--out DIR] [--scale small|paper]
+//!                    [--store DIR [--resume] [--verify N]] [--retries N]
+//!                    [--watchdog MS] [--progress[=human|jsonl]]
+//!                    [--batch DIR]
 //! tartan_run --check FILE...
 //! ```
 //!
-//! Run mode expands the scenario into its ordered job list, fans it out
-//! across host cores (`--jobs N`, default: all cores; results are
-//! collected in submission order, so the outputs are byte-identical for
-//! any job count), and writes `<out>/<name>.stats.json` and
+//! Run mode expands each scenario into its ordered job list, fans the
+//! jobs out across host cores (`--jobs N`, default: all cores; results
+//! are collected in submission order, so the outputs are byte-identical
+//! for any job count), and writes `<out>/<name>.stats.json` and
 //! `<out>/<name>.csv` (default `results/`). `--scale` overrides the
-//! scenario's scale preset; the scenario's `params.adjust` list still
+//! scenarios' scale presets; each scenario's `params.adjust` list still
 //! applies on top.
+//!
+//! **Batch campaigns** (DESIGN.md §18): more than one `FILE`, or
+//! `--batch DIR` (runs every `*.json` in `DIR`, sorted), executes all
+//! scenarios as one batch. Jobs with identical cache keys **across
+//! scenarios are deduplicated**: each distinct key simulates exactly
+//! once and the result fans back to every requesting campaign, so every
+//! scenario's exports are byte-identical to running its file alone.
+//! Batch mode streams one JSON line per job lifecycle event
+//! (started/cached/done/failed, see `SCHEMA.md`) to stdout as units
+//! land, in an order that depends only on the job set — never on
+//! scheduling — followed by the per-scenario export summaries.
 //!
 //! Crash-safe campaigns (DESIGN.md §14): `--store DIR` records every
 //! completed run in a content-addressed store keyed by the SHA-256 of the
@@ -38,10 +51,12 @@
 //! store-io/export phases whose nanos sum to the campaign total by
 //! construction, one span per job, and the metrics snapshot) and
 //! `<name>.campaign_trace.json` (a Perfetto-loadable timeline with one
-//! track per worker). `--watchdog MS` flags jobs that run longer than the
-//! timeout; slow and retried job indices are summarized on stdout either
-//! way. All of this is strictly additive: the stats/CSV outputs are
-//! byte-identical with the flags on or off.
+//! track per worker). In batch mode the two artifacts cover the whole
+//! batch as `batch.campaign_profile.json`/`batch.campaign_trace.json`.
+//! `--watchdog MS` flags jobs that run longer than the timeout; slow and
+//! retried job indices are summarized on stdout either way. All of this
+//! is strictly additive: the stats/CSV outputs are byte-identical with
+//! the flags on or off.
 //!
 //! Check mode validates each file and prints one line per problem in the
 //! scenario layer's `file: field.path: reason` form — the same errors CI
@@ -55,47 +70,34 @@
 //! `TARTAN_RUN_EXIT_AFTER=N` hard-exits (code 3) after N completions,
 //! simulating a mid-campaign kill.
 
+use std::fmt::Write as _;
 use std::fs;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::path::Path;
+use std::time::Duration;
 
-use tartan::core::{run_robot, ExperimentParams, ScenarioSpec};
-use tartan::par;
-use tartan::robots::Scale;
-use tartan::scenario::json::{parse as parse_json, JsonValue};
-use tartan::scenario::RunParams;
-use tartan::sim::telemetry::{
-    campaign_trace_json, push_str, stats_export_json, validate_campaign_profile_json,
-    validate_stats_json, CampaignPhase, CampaignProfile, Counter, Heartbeat, JobFailureStats,
-    JobSpan, MetricsRegistry,
+use tartan::campaign::{
+    cli, render_exports, Campaign, CampaignEvent, CampaignOptions, CampaignReport, CampaignSpec,
+    Engine, PhaseClock,
 };
-use tartan::store::{sha256_hex, ResultStore};
+use tartan::core::ScenarioSpec;
+use tartan::sim::telemetry::{
+    campaign_trace_json, push_str, validate_campaign_profile_json, validate_stats_json,
+    CampaignProfile, CAMPAIGN_SCHEMA_VERSION,
+};
 
-const USAGE: &str = "usage: tartan_run FILE [--jobs N] [--out DIR] [--scale small|paper]\n\
+const USAGE: &str = "usage: tartan_run FILE... [--jobs N] [--out DIR] [--scale small|paper]\n\
                      \x20                [--store DIR [--resume] [--verify N]] [--retries N]\n\
                      \x20                [--watchdog MS] [--progress[=human|jsonl]]\n\
+                     \x20                [--batch DIR]\n\
                      \x20      tartan_run --check FILE...";
 
 fn usage_error(msg: &str) -> ! {
-    eprintln!("tartan_run: {msg}\n{USAGE}");
-    std::process::exit(2);
+    cli::usage_error("tartan_run", USAGE, msg)
 }
 
 /// Single-line I/O failure in the scenario layer's `path: reason` style.
 fn die(path: &Path, reason: impl std::fmt::Display) -> ! {
-    eprintln!("tartan_run: {}: {reason}", path.display());
-    std::process::exit(1);
-}
-
-/// Quotes a CSV field only when it needs it (commas, quotes, newlines).
-fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
+    cli::die("tartan_run", path, reason)
 }
 
 fn check(files: &[String]) -> ! {
@@ -125,290 +127,6 @@ fn check(files: &[String]) -> ! {
     std::process::exit(if ok { 0 } else { 1 });
 }
 
-/// One completed job, whether simulated fresh or served from the store.
-struct JobResult {
-    /// The run's `stats.json` record, verbatim — the splice/export unit.
-    record: String,
-    /// CSV columns (robot/config come back from the payload on cache hits
-    /// so a corrupted entry can never relabel a row).
-    robot: String,
-    wall_cycles: u64,
-    instructions: u64,
-    l2_demand_misses: u64,
-    /// Quality as the CSV renders it (`{}` on the f64), kept as text so a
-    /// cached row reproduces the fresh row byte-for-byte.
-    quality: String,
-    /// L2 demand miss ratio, for the console line (fresh runs only).
-    l2_miss_pct: Option<f64>,
-    /// Whether this result came out of the store.
-    cached: bool,
-}
-
-/// Store payload: one summary header line (the CSV numerics), then the
-/// full `stats.json` record verbatim. See `SCHEMA.md` ("store entry").
-fn render_payload(result: &JobResult, config: &str) -> String {
-    let mut header = String::from("{\"robot\":");
-    push_str(&mut header, &result.robot);
-    header.push_str(",\"config\":");
-    push_str(&mut header, config);
-    header.push_str(&format!(
-        ",\"wall_cycles\":{},\"instructions\":{},\"l2_demand_misses\":{},\"quality\":\"{}\"}}",
-        result.wall_cycles, result.instructions, result.l2_demand_misses, result.quality
-    ));
-    format!("{header}\n{}", result.record)
-}
-
-/// Decodes a store payload back into a [`JobResult`], cross-checking the
-/// robot/config against the job it is about to stand in for. `None` means
-/// "treat as a miss" (the caller quarantines and re-runs).
-fn parse_payload(payload: &str, want_robot: &str, want_config: &str) -> Option<JobResult> {
-    let (header, record) = payload.split_once('\n')?;
-    let v = parse_json(header).ok()?;
-    let get_str = |key: &str| match v.get(key) {
-        Some(JsonValue::Str(s)) => Some(s.clone()),
-        _ => None,
-    };
-    let get_u64 = |key: &str| match v.get(key) {
-        Some(JsonValue::Num(raw)) => raw.parse::<u64>().ok(),
-        _ => None,
-    };
-    let robot = get_str("robot")?;
-    let config = get_str("config")?;
-    if robot != want_robot || config != want_config {
-        return None;
-    }
-    Some(JobResult {
-        record: record.to_string(),
-        robot,
-        wall_cycles: get_u64("wall_cycles")?,
-        instructions: get_u64("instructions")?,
-        l2_demand_misses: get_u64("l2_demand_misses")?,
-        quality: get_str("quality")?,
-        l2_miss_pct: None,
-        cached: true,
-    })
-}
-
-/// Comma-separated job indices from a test-hook env var.
-fn env_index_set(name: &str) -> Vec<usize> {
-    std::env::var(name)
-        .ok()
-        .map(|v| {
-            v.split(',')
-                .filter(|s| !s.is_empty())
-                .filter_map(|s| s.trim().parse().ok())
-                .collect()
-        })
-        .unwrap_or_default()
-}
-
-/// xorshift64* — the deterministic sampler behind `--verify N`.
-fn xorshift64star(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    x.wrapping_mul(0x2545F491_4F6CDD1D)
-}
-
-/// How `--progress` renders its stderr heartbeats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProgressMode {
-    Human,
-    Jsonl,
-}
-
-/// Minimum gap between mid-campaign heartbeats; the first and last
-/// completions always emit one regardless.
-const HEARTBEAT_INTERVAL_NANOS: u64 = 200_000_000;
-
-/// The campaign tap (DESIGN.md §15): receives `tartan-par`'s per-job
-/// lifecycle events and aggregates them into named metrics, one
-/// [`JobSpan`] per job for the profile/trace exports, and rate-limited
-/// stderr heartbeats. Purely additive — it never touches job results or
-/// the deterministic stats/CSV outputs.
-struct ProgressObserver {
-    /// Campaign epoch; span timestamps are host nanos since this instant.
-    epoch: Instant,
-    total: usize,
-    /// `None` collects metrics and spans without printing anything.
-    mode: Option<ProgressMode>,
-    claimed: Counter,
-    started: Counter,
-    retried: Counter,
-    slow: Counter,
-    panicked: Counter,
-    done: Counter,
-    failed: Counter,
-    /// Results served from the store; bumped by the job closure, read
-    /// here for the heartbeat's cache-hit figure.
-    cached: Counter,
-    spans: Mutex<Vec<JobSpan>>,
-    finished: AtomicUsize,
-    last_beat_nanos: AtomicU64,
-}
-
-impl ProgressObserver {
-    fn new(
-        registry: &MetricsRegistry,
-        epoch: Instant,
-        total: usize,
-        mode: Option<ProgressMode>,
-    ) -> ProgressObserver {
-        ProgressObserver {
-            epoch,
-            total,
-            mode,
-            claimed: registry.counter("job.claimed"),
-            started: registry.counter("job.started"),
-            retried: registry.counter("job.retried"),
-            slow: registry.counter("job.slow"),
-            panicked: registry.counter("job.panicked"),
-            done: registry.counter("job.done"),
-            failed: registry.counter("job.failed"),
-            cached: registry.counter("job.cached"),
-            spans: Mutex::new(
-                (0..total)
-                    .map(|index| JobSpan {
-                        index,
-                        ..JobSpan::default()
-                    })
-                    .collect(),
-            ),
-            finished: AtomicUsize::new(0),
-            last_beat_nanos: AtomicU64::new(0),
-        }
-    }
-
-    fn nanos(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
-    }
-
-    fn with_span(&self, index: usize, f: impl FnOnce(&mut JobSpan)) {
-        let mut spans = self.spans.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(span) = spans.get_mut(index) {
-            f(span);
-        }
-    }
-
-    fn into_spans(self) -> Vec<JobSpan> {
-        self.spans
-            .into_inner()
-            .unwrap_or_else(|p| p.into_inner())
-    }
-
-    fn heartbeat(&self, done: usize) {
-        let Some(mode) = self.mode else { return };
-        let now = self.nanos();
-        let last = self.last_beat_nanos.load(Ordering::Relaxed);
-        // First and final completions always beat; in between, rate-limit
-        // and let the compare-exchange loser yield to the thread that won.
-        let boundary = done == 1 || done == self.total;
-        if !boundary && now.saturating_sub(last) < HEARTBEAT_INTERVAL_NANOS {
-            return;
-        }
-        if self
-            .last_beat_nanos
-            .compare_exchange(last, now, Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-            && !boundary
-        {
-            return;
-        }
-        let beat = Heartbeat {
-            done,
-            total: self.total,
-            elapsed_nanos: now,
-            cache_hits: self.cached.get(),
-            retries: self.retried.get(),
-            slow: self.slow.get(),
-            failures: self.failed.get(),
-        };
-        match mode {
-            ProgressMode::Jsonl => eprintln!("{}", beat.to_json_line()),
-            ProgressMode::Human => eprintln!("{}", beat.render_human()),
-        }
-    }
-}
-
-impl par::JobObserver for ProgressObserver {
-    fn on_claimed(&self, index: usize, worker: usize) {
-        self.claimed.inc();
-        let now = self.nanos();
-        self.with_span(index, |s| {
-            s.worker = worker;
-            s.start_nanos = now;
-        });
-    }
-
-    fn on_started(&self, _index: usize, _attempt: u32) {
-        self.started.inc();
-    }
-
-    fn on_retried(&self, _index: usize, _attempt: u32, _message: &str) {
-        self.retried.inc();
-    }
-
-    fn on_slow(&self, index: usize, _elapsed: Duration) {
-        self.slow.inc();
-        self.with_span(index, |s| s.slow = true);
-    }
-
-    fn on_panicked(&self, _index: usize, _attempts: u32, _message: &str) {
-        self.panicked.inc();
-    }
-
-    fn on_done(&self, index: usize, worker: usize, _host_nanos: u64, attempts: u32, ok: bool) {
-        self.done.inc();
-        if !ok {
-            self.failed.inc();
-        }
-        let now = self.nanos();
-        self.with_span(index, |s| {
-            s.worker = worker;
-            s.end_nanos = now;
-            s.attempts = attempts;
-            s.ok = ok;
-        });
-        let done = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
-        self.heartbeat(done);
-    }
-}
-
-/// Disjoint wall-clock attribution (DESIGN.md §15): each `mark` closes
-/// the segment since the previous mark, so the per-phase nanos sum to
-/// `total_nanos()` exactly by construction.
-struct PhaseClock {
-    t0: Instant,
-    last: Instant,
-    phases: Vec<CampaignPhase>,
-}
-
-impl PhaseClock {
-    fn start() -> PhaseClock {
-        let now = Instant::now();
-        PhaseClock {
-            t0: now,
-            last: now,
-            phases: Vec::new(),
-        }
-    }
-
-    fn mark(&mut self, name: &str) {
-        let now = Instant::now();
-        self.phases.push(CampaignPhase {
-            name: name.to_string(),
-            host_nanos: now.duration_since(self.last).as_nanos() as u64,
-        });
-        self.last = now;
-    }
-
-    fn total_nanos(&self) -> u64 {
-        self.last.duration_since(self.t0).as_nanos() as u64
-    }
-}
-
 /// `"3, 7, 11"` — the summary-line list form for job indices.
 fn fmt_indices(indices: &[usize]) -> String {
     indices
@@ -416,6 +134,137 @@ fn fmt_indices(indices: &[usize]) -> String {
         .map(|i| i.to_string())
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// One batch-mode stream line: a `campaign_schema_version` 1 `"job"`
+/// document for a per-job lifecycle event (see `SCHEMA.md`).
+fn event_json(spec: &CampaignSpec, ev: &CampaignEvent<'_>) -> String {
+    let (event, campaign, job) = match ev {
+        CampaignEvent::Started { campaign, job } => ("started", *campaign, *job),
+        CampaignEvent::Cached { campaign, job, .. } => ("cached", *campaign, *job),
+        CampaignEvent::Done { campaign, job, .. } => ("done", *campaign, *job),
+        CampaignEvent::Failed { campaign, job, .. } => ("failed", *campaign, *job),
+    };
+    let c = &spec.campaigns[campaign];
+    let j = &c.plan.jobs[job];
+    let mut line = format!("{{\"campaign_schema_version\":{CAMPAIGN_SCHEMA_VERSION},\"type\":\"job\",\"event\":");
+    push_str(&mut line, event);
+    line.push_str(",\"scenario\":");
+    push_str(&mut line, &c.spec.name);
+    let _ = write!(line, ",\"campaign\":{campaign},\"job\":{job},\"robot\":");
+    push_str(&mut line, j.robot.name());
+    line.push_str(",\"config\":");
+    push_str(&mut line, j.config.as_str());
+    line.push_str(",\"label\":");
+    push_str(&mut line, &j.label);
+    match ev {
+        CampaignEvent::Started { .. } => {}
+        CampaignEvent::Cached {
+            output, deduped, ..
+        }
+        | CampaignEvent::Done {
+            output, deduped, ..
+        } => {
+            let _ = write!(
+                line,
+                ",\"wall_cycles\":{},\"quality\":\"{}\",\"cached\":{},\"deduped\":{deduped}",
+                output.wall_cycles, output.quality, output.cached
+            );
+        }
+        CampaignEvent::Failed {
+            attempts,
+            message,
+            deduped,
+            ..
+        } => {
+            let _ = write!(line, ",\"attempts\":{attempts},\"message\":");
+            push_str(&mut line, message);
+            let _ = write!(line, ",\"deduped\":{deduped}");
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// Renders, validates, and writes one campaign's stats/CSV pair,
+/// returning `(stats_path, csv_path, runs)`.
+fn write_campaign_exports(
+    out_dir: &Path,
+    campaign: &Campaign,
+    result: &tartan::campaign::CampaignResult,
+) -> (std::path::PathBuf, std::path::PathBuf, usize) {
+    let (json, csv) = render_exports("tartan_run", campaign, result);
+    if let Err(e) = validate_stats_json(&json) {
+        eprintln!("tartan_run: stats export violates the schema: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        die(out_dir, e);
+    }
+    let stats_path = out_dir.join(format!("{}.stats.json", campaign.spec.name));
+    let csv_path = out_dir.join(format!("{}.csv", campaign.spec.name));
+    if let Err(e) = fs::write(&stats_path, &json) {
+        die(&stats_path, e);
+    }
+    if let Err(e) = fs::write(&csv_path, &csv) {
+        die(&csv_path, e);
+    }
+    let runs = result.results.iter().filter(|r| r.is_some()).count();
+    (stats_path, csv_path, runs)
+}
+
+/// Prints the store/retry/watchdog summary lines shared by both modes.
+fn print_execution_summary(report: &CampaignReport) {
+    // Store summary (satellite of DESIGN.md §15): campaign-lifetime op
+    // counts from this handle, folded into the metrics snapshot.
+    if let Some(c) = &report.store_counts {
+        println!(
+            "store: {} hit(s), {} miss(es), {} put(s), {} quarantine(s)",
+            c.hits, c.misses, c.puts, c.quarantines
+        );
+    }
+    if !report.retried_jobs.is_empty() {
+        println!(
+            "retried jobs ({} extra attempt(s)): {}",
+            report.total_retries,
+            fmt_indices(&report.retried_jobs)
+        );
+    }
+    if !report.slow_jobs.is_empty() {
+        println!("watchdog-slow jobs: {}", fmt_indices(&report.slow_jobs));
+    }
+}
+
+/// Writes the profile + Perfetto trace pair for `--progress` runs.
+fn write_profile(out_dir: &Path, scenario: &str, clock: &PhaseClock, report: &CampaignReport) {
+    let profile = CampaignProfile {
+        generator: "tartan_run".to_string(),
+        scenario: scenario.to_string(),
+        jobs: report.workers as u64,
+        total_host_nanos: clock.total_nanos(),
+        phases: clock.phases().to_vec(),
+        spans: report.spans.clone(),
+        metrics: report.registry.snapshot(),
+    };
+    let profile_json = profile.to_json();
+    if let Err(e) = validate_campaign_profile_json(&profile_json) {
+        eprintln!("tartan_run: campaign profile violates the schema: {e}");
+        std::process::exit(1);
+    }
+    let profile_path = out_dir.join(format!("{scenario}.campaign_profile.json"));
+    if let Err(e) = fs::write(&profile_path, &profile_json) {
+        die(&profile_path, e);
+    }
+    let trace = campaign_trace_json(scenario, report.workers, &profile.spans);
+    let trace_path = out_dir.join(format!("{scenario}.campaign_trace.json"));
+    if let Err(e) = fs::write(&trace_path, &trace) {
+        die(&trace_path, e);
+    }
+    println!(
+        "wrote {} and {}",
+        profile_path.display(),
+        trace_path.display()
+    );
 }
 
 fn main() {
@@ -427,425 +276,188 @@ fn main() {
         check(&args[1..]);
     }
 
-    let (jobs, rest) = match par::parse_jobs_flag(&args) {
-        Ok(v) => v,
-        Err(e) => usage_error(&e),
+    let flags = cli::FlagSet {
+        out: true,
+        default_out: "results",
+        scale: true,
+        store: true,
+        resume_verify: true,
+        retries: true,
+        watchdog: true,
+        progress: true,
+        batch: true,
+        help: false,
+        max_files: usize::MAX,
+        extras: &[],
     };
-    let mut file: Option<String> = None;
-    let mut out_dir = PathBuf::from("results");
-    let mut scale_override: Option<Scale> = None;
-    let mut store_dir: Option<PathBuf> = None;
-    let mut resume = false;
-    let mut verify: usize = 0;
-    let mut retries: u32 = 1;
-    let mut watchdog_ms: Option<u64> = None;
-    let mut progress: Option<ProgressMode> = None;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--out" => match it.next() {
-                Some(d) => out_dir = PathBuf::from(d),
-                None => usage_error("--out needs a directory"),
-            },
-            "--scale" => match it.next().map(String::as_str) {
-                Some("small") => scale_override = Some(Scale::small()),
-                Some("paper") => scale_override = Some(Scale::paper()),
-                Some(other) => usage_error(&format!("unknown scale {other:?} (small|paper)")),
-                None => usage_error("--scale needs a preset (small|paper)"),
-            },
-            "--store" => match it.next() {
-                Some(d) => store_dir = Some(PathBuf::from(d)),
-                None => usage_error("--store needs a directory"),
-            },
-            "--resume" => resume = true,
-            "--verify" => match it.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) => verify = n,
-                _ => usage_error("--verify needs a sample count"),
-            },
-            "--retries" => match it.next().map(|v| v.parse::<u32>()) {
-                Some(Ok(n)) if n >= 1 => retries = n,
-                _ => usage_error("--retries needs a count of at least 1"),
-            },
-            "--watchdog" => match it.next().map(|v| v.parse::<u64>()) {
-                Some(Ok(ms)) if ms >= 1 => watchdog_ms = Some(ms),
-                _ => usage_error("--watchdog needs a timeout in milliseconds"),
-            },
-            "--progress" | "--progress=human" => progress = Some(ProgressMode::Human),
-            "--progress=jsonl" => progress = Some(ProgressMode::Jsonl),
-            other if other.starts_with("--progress=") => {
-                usage_error(&format!("unknown progress mode {other:?} (human|jsonl)"))
-            }
-            other if other.starts_with("--") => {
-                usage_error(&format!("unrecognized flag {other}"))
-            }
-            other => {
-                if file.replace(other.to_string()).is_some() {
-                    usage_error("exactly one scenario file is expected");
-                }
-            }
-        }
+    let parsed = cli::parse_args(&args, &flags).unwrap_or_else(|e| usage_error(&e));
+    let mut files = parsed.files.clone();
+    let batch_flag = parsed.batch.is_some();
+    if let Some(dir) = &parsed.batch {
+        let entries = fs::read_dir(dir).unwrap_or_else(|e| die(dir, e));
+        let mut found: Vec<String> = entries
+            .flatten()
+            .map(|entry| entry.path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+            .map(|path| path.display().to_string())
+            .collect();
+        found.sort();
+        files.extend(found);
     }
-    let Some(file) = file else {
+    if files.is_empty() {
         usage_error("a scenario file is required");
-    };
-    if (resume || verify > 0) && store_dir.is_none() {
+    }
+    if (parsed.resume || parsed.verify > 0) && parsed.store.is_none() {
         usage_error("--resume and --verify require --store DIR");
     }
 
     // Phase attribution starts here: parse → plan → simulate → store-io
     // → export, as disjoint wall-clock segments (DESIGN.md §15).
     let mut clock = PhaseClock::start();
-    let text = fs::read_to_string(&file).unwrap_or_else(|e| {
-        eprintln!("tartan_run: {file}: {e}");
-        std::process::exit(1);
-    });
-    let spec = match ScenarioSpec::from_json(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{file}: {e}");
+    let mut campaigns: Vec<Campaign> = Vec::with_capacity(files.len());
+    for file in &files {
+        let text = fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("tartan_run: {file}: {e}");
             std::process::exit(1);
-        }
-    };
-    clock.mark("parse");
-    let plan = match spec.expand() {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{file}: {e}");
-            std::process::exit(1);
-        }
-    };
-
-    let mut params: ExperimentParams = spec.base_params().into();
-    if let Some(mut scale) = scale_override {
-        spec.params.apply_adjusts(&mut scale);
-        params.scale = scale;
-    }
-
-    let store = store_dir.map(|dir| {
-        ResultStore::open(&dir).unwrap_or_else(|e| die(&e.path, e.reason))
-    });
-    // Content addresses: SHA-256 of each job's canonical rendering
-    // (config + machine + software + scale + steps + seed + schema
-    // versions; labels deliberately excluded — see DESIGN.md §14).
-    let run_params: RunParams = params.into();
-    let keys: Vec<String> = plan
-        .jobs
-        .iter()
-        .map(|job| sha256_hex(job.cache_key_text(&run_params).as_bytes()))
-        .collect();
-
-    if let Some(title) = &spec.title {
-        println!("{title}");
-    }
-    println!(
-        "{}: {} jobs in {} group(s), steps {}, seed {}",
-        spec.name,
-        plan.jobs.len(),
-        plan.groups.len(),
-        params.steps,
-        params.seed
-    );
-
-    let panic_at = env_index_set("TARTAN_RUN_PANIC_AT");
-    let exit_after: Option<usize> = std::env::var("TARTAN_RUN_EXIT_AFTER")
-        .ok()
-        .and_then(|v| v.parse().ok());
-    let completed = AtomicUsize::new(0);
-    clock.mark("plan");
-
-    // Worker count the pool will actually use — also the trace's tracks.
-    let workers = jobs.max(1).min(plan.jobs.len().max(1));
-    let registry = MetricsRegistry::new();
-    registry.gauge("campaign.total_jobs").set(plan.jobs.len() as u64);
-    registry.gauge("campaign.workers").set(workers as u64);
-    let observer = ProgressObserver::new(&registry, clock.t0, plan.jobs.len(), progress);
-    let cached_ctr = observer.cached.clone();
-
-    let campaign = Instant::now();
-    let policy = par::RetryPolicy {
-        attempts: retries,
-        backoff: std::time::Duration::from_millis(10),
-        watchdog: watchdog_ms.map(Duration::from_millis),
-    };
-    let report = par::try_par_map_indexed_observed(jobs, plan.jobs.len(), &policy, &observer, |i| {
-        let job = &plan.jobs[i];
-        if panic_at.contains(&i) {
-            panic!("injected test panic at job {i}");
-        }
-        let config = job.config.as_str();
-        let result = store
-            .as_ref()
-            .filter(|_| resume)
-            .and_then(|s| match s.get(&keys[i]) {
-                Ok(Some(payload)) => {
-                    let parsed = parse_payload(&payload, job.robot.name(), config);
-                    if parsed.is_none() {
-                        // Hash-valid but semantically wrong for this job
-                        // (stale key scheme, hand-edited entry): self-heal.
-                        eprintln!(
-                            "tartan_run: store entry {} does not describe job {i}; quarantining",
-                            &keys[i][..12]
-                        );
-                        let _ = s.quarantine(&keys[i]);
-                    }
-                    parsed
-                }
-                Ok(None) => None,
-                Err(e) => {
-                    eprintln!("tartan_run: {e}; re-running job {i}");
-                    None
-                }
-            });
-        let result = result.unwrap_or_else(|| {
-            let out = run_robot(job.robot, job.machine.clone(), job.software, &params);
-            let fresh = JobResult {
-                record: out.to_run_stats(&job.config).to_json_record(),
-                robot: out.robot.to_string(),
-                wall_cycles: out.wall_cycles,
-                instructions: out.instructions,
-                l2_demand_misses: out.stats.l2.demand_misses(),
-                quality: format!("{}", out.quality),
-                l2_miss_pct: Some(100.0 * out.stats.l2.miss_ratio()),
-                cached: false,
-            };
-            if let Some(s) = &store {
-                // Commit immediately — a kill after this point loses
-                // nothing this job computed.
-                if let Err(e) = s.put(&keys[i], &render_payload(&fresh, config)) {
-                    eprintln!("tartan_run: {e}; result kept in memory only");
-                }
-            }
-            fresh
         });
-        if result.cached {
-            cached_ctr.inc();
+        let spec = match ScenarioSpec::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut campaign = match Campaign::from_spec(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(scale) = parsed.scale {
+            campaign.override_scale(scale);
         }
-        let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
-        if exit_after.is_some_and(|n| done >= n) {
-            // Simulated kill for the resume tests: completed jobs are
-            // already committed to the store; everything else is lost.
-            std::process::exit(3);
-        }
-        result
-    });
-    let host_secs = campaign.elapsed().as_secs_f64();
-    clock.mark("simulate");
-    // Snapshot these before `report.results` is moved out below.
-    let retried_jobs = report.retried();
-    let total_retries = report.total_retries();
+        campaigns.push(campaign);
+    }
+    clock.mark("parse");
 
-    let mut results: Vec<Option<JobResult>> = Vec::with_capacity(plan.jobs.len());
-    let mut failures: Vec<JobFailureStats> = Vec::new();
-    for (i, r) in report.results.into_iter().enumerate() {
-        let job = &plan.jobs[i];
-        match r {
-            Ok(res) => results.push(Some(res)),
-            Err(f) => {
-                eprintln!(
-                    "tartan_run: job {i} ({} {} {:?}) failed after {} attempt(s): {}",
-                    job.robot.name(),
+    let batch = batch_flag || campaigns.len() > 1;
+    let options = CampaignOptions {
+        jobs: parsed.jobs,
+        retries: parsed.retries,
+        watchdog: parsed.watchdog_ms.map(Duration::from_millis),
+        store: parsed.store.clone(),
+        resume: parsed.resume,
+        verify: parsed.verify,
+        progress: parsed.progress,
+        keep_outcomes: false,
+        tool: "tartan_run",
+    };
+
+    if !batch {
+        // Classic single-scenario mode: human console lines, byte-identical
+        // to the pre-engine binary.
+        let campaign = &campaigns[0];
+        if let Some(title) = &campaign.spec.title {
+            println!("{title}");
+        }
+        println!(
+            "{}: {} jobs in {} group(s), steps {}, seed {}",
+            campaign.spec.name,
+            campaign.plan.jobs.len(),
+            campaign.plan.groups.len(),
+            campaign.params.steps,
+            campaign.params.seed
+        );
+        let engine = Engine::new(CampaignSpec { campaigns, options });
+        let report = engine
+            .run(&mut clock, None)
+            .unwrap_or_else(|e| die(&e.path, e.reason));
+        let campaign = &engine.spec.campaigns[0];
+        let result = &report.campaigns[0];
+
+        for (job, slot) in campaign.plan.jobs.iter().zip(&result.results) {
+            let Some(out) = slot else { continue };
+            match out.l2_miss_pct {
+                Some(pct) => println!(
+                    "{:<10} {:<16} {:<14} {:>12} cycles  L2 miss {:>5.1}%  quality {}",
+                    out.robot,
                     job.config.as_str(),
                     job.label,
-                    f.attempts,
-                    f.message
-                );
-                failures.push(JobFailureStats {
-                    robot: job.robot.name().to_string(),
-                    config: job.config.as_str().to_string(),
-                    label: job.label.clone(),
-                    group: plan.groups[job.group].name.clone(),
-                    attempts: f.attempts,
-                    message: f.message,
-                });
-                results.push(None);
+                    out.wall_cycles,
+                    pct,
+                    out.quality,
+                ),
+                None => println!(
+                    "{:<10} {:<16} {:<14} {:>12} cycles  (cached)",
+                    out.robot,
+                    job.config.as_str(),
+                    job.label,
+                    out.wall_cycles,
+                ),
             }
         }
+
+        let (stats_path, csv_path, runs) =
+            write_campaign_exports(&parsed.out_dir, campaign, result);
+        clock.mark("export");
+        println!(
+            "wrote {} and {} ({} runs, {} cached, {} failed, jobs {}, {:.2} s host)",
+            stats_path.display(),
+            csv_path.display(),
+            runs,
+            result.cached_served(),
+            result.failures.len(),
+            parsed.jobs,
+            report.host_secs(),
+        );
+        print_execution_summary(&report);
+        if parsed.progress.is_some() {
+            write_profile(&parsed.out_dir, &campaign.spec.name, &clock, &report);
+        }
+        if !result.failures.is_empty() || report.verify_mismatches > 0 {
+            std::process::exit(1);
+        }
+        return;
     }
 
-    // --verify N: re-execute a seeded sample of the cache-served jobs and
-    // demand byte-identical records. A mismatch means the entry lied about
-    // its content (or determinism broke) — quarantine, repair, fail.
-    let mut verify_mismatches = 0usize;
-    if verify > 0 {
-        let mut cached_idx: Vec<usize> = results
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.as_ref().is_some_and(|r| r.cached))
-            .map(|(i, _)| i)
-            .collect();
-        let mut rng = params.seed ^ 0x9E37_79B9_7F4A_7C15;
-        let sample = verify.min(cached_idx.len());
-        for _ in 0..sample {
-            let pick = (xorshift64star(&mut rng) % cached_idx.len() as u64) as usize;
-            let i = cached_idx.swap_remove(pick);
-            let job = &plan.jobs[i];
-            let out = run_robot(job.robot, job.machine.clone(), job.software, &params);
-            let fresh = JobResult {
-                record: out.to_run_stats(&job.config).to_json_record(),
-                robot: out.robot.to_string(),
-                wall_cycles: out.wall_cycles,
-                instructions: out.instructions,
-                l2_demand_misses: out.stats.l2.demand_misses(),
-                quality: format!("{}", out.quality),
-                l2_miss_pct: Some(100.0 * out.stats.l2.miss_ratio()),
-                cached: false,
-            };
-            let cached = results[i].as_ref().expect("sampled index is Some");
-            if cached.record == fresh.record {
-                println!("verified job {i}: cached record matches re-execution");
-            } else {
-                verify_mismatches += 1;
-                eprintln!(
-                    "tartan_run: verify mismatch on job {i} ({} {}): cached record differs from re-execution; repairing entry",
-                    job.robot.name(),
-                    job.config.as_str()
-                );
-                if let Some(s) = &store {
-                    let _ = s.quarantine(&keys[i]);
-                    if let Err(e) = s.put(&keys[i], &render_payload(&fresh, job.config.as_str())) {
-                        eprintln!("tartan_run: {e}");
-                    }
-                }
-                results[i] = Some(fresh);
-            }
-        }
-        if sample < verify {
-            println!(
-                "verify: only {sample} cached result(s) available (asked for {verify})"
-            );
-        }
-    }
-    clock.mark("store-io");
+    // Batch mode: all scenarios execute as one deduplicated job set, and
+    // per-job lifecycle events stream to stdout as JSON lines in a
+    // deterministic (scheduling-independent) order.
+    let engine = Engine::new(CampaignSpec { campaigns, options });
+    let sink = |ev: &CampaignEvent<'_>| println!("{}", event_json(&engine.spec, ev));
+    let report = engine
+        .run(&mut clock, Some(&sink))
+        .unwrap_or_else(|e| die(&e.path, e.reason));
 
-    let mut records: Vec<String> = Vec::with_capacity(plan.jobs.len());
-    let mut csv =
-        String::from("robot,config,label,group,wall_cycles,instructions,l2_demand_misses,quality\n");
-    let cached_served = results
-        .iter()
-        .filter(|r| r.as_ref().is_some_and(|r| r.cached))
-        .count();
-    for (job, result) in plan.jobs.iter().zip(&results) {
-        let Some(out) = result else { continue };
-        match out.l2_miss_pct {
-            Some(pct) => println!(
-                "{:<10} {:<16} {:<14} {:>12} cycles  L2 miss {:>5.1}%  quality {}",
-                out.robot,
-                job.config.as_str(),
-                job.label,
-                out.wall_cycles,
-                pct,
-                out.quality,
-            ),
-            None => println!(
-                "{:<10} {:<16} {:<14} {:>12} cycles  (cached)",
-                out.robot,
-                job.config.as_str(),
-                job.label,
-                out.wall_cycles,
-            ),
-        }
-        csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{}\n",
-            csv_field(&out.robot),
-            csv_field(job.config.as_str()),
-            csv_field(&job.label),
-            csv_field(&plan.groups[job.group].name),
-            out.wall_cycles,
-            out.instructions,
-            out.l2_demand_misses,
-            out.quality,
-        ));
-        records.push(out.record.clone());
-    }
-
-    let json = stats_export_json("tartan_run", &records, &failures);
-    if let Err(e) = validate_stats_json(&json) {
-        eprintln!("tartan_run: stats export violates the schema: {e}");
-        std::process::exit(1);
-    }
-    if let Err(e) = fs::create_dir_all(&out_dir) {
-        die(&out_dir, e);
-    }
-    let stats_path = out_dir.join(format!("{}.stats.json", spec.name));
-    let csv_path = out_dir.join(format!("{}.csv", spec.name));
-    if let Err(e) = fs::write(&stats_path, &json) {
-        die(&stats_path, e);
-    }
-    if let Err(e) = fs::write(&csv_path, &csv) {
-        die(&csv_path, e);
+    for (campaign, result) in engine.spec.campaigns.iter().zip(&report.campaigns) {
+        let (stats_path, csv_path, runs) =
+            write_campaign_exports(&parsed.out_dir, campaign, result);
+        println!(
+            "wrote {} and {} ({} runs, {} cached, {} failed)",
+            stats_path.display(),
+            csv_path.display(),
+            runs,
+            result.cached_served(),
+            result.failures.len(),
+        );
     }
     clock.mark("export");
     println!(
-        "wrote {} and {} ({} runs, {} cached, {} failed, jobs {jobs}, {host_secs:.2} s host)",
-        stats_path.display(),
-        csv_path.display(),
-        records.len(),
-        cached_served,
-        failures.len(),
+        "batch: {} jobs across {} campaign(s), {} distinct key(s), {} simulated, {} cached, jobs {}, {:.2} s host",
+        report.total_jobs,
+        engine.spec.campaigns.len(),
+        report.distinct_keys,
+        report.simulated,
+        report.cached_units,
+        parsed.jobs,
+        report.host_secs(),
     );
-
-    // Store summary (satellite of DESIGN.md §15): campaign-lifetime op
-    // counts from this handle, folded into the metrics snapshot.
-    if let Some(s) = &store {
-        let c = s.counts();
-        registry.counter("store.hit").add(c.hits);
-        registry.counter("store.miss").add(c.misses);
-        registry.counter("store.put").add(c.puts);
-        registry.counter("store.quarantine").add(c.quarantines);
-        println!(
-            "store: {} hit(s), {} miss(es), {} put(s), {} quarantine(s)",
-            c.hits, c.misses, c.puts, c.quarantines
-        );
+    print_execution_summary(&report);
+    if parsed.progress.is_some() {
+        write_profile(&parsed.out_dir, "batch", &clock, &report);
     }
-    if !retried_jobs.is_empty() {
-        println!(
-            "retried jobs ({total_retries} extra attempt(s)): {}",
-            fmt_indices(&retried_jobs)
-        );
-    }
-    if !report.slow.is_empty() {
-        println!("watchdog-slow jobs: {}", fmt_indices(&report.slow));
-    }
-
-    if progress.is_some() {
-        let mut spans = observer.into_spans();
-        for (i, span) in spans.iter_mut().enumerate() {
-            let job = &plan.jobs[i];
-            span.robot = job.robot.name().to_string();
-            span.config = job.config.as_str().to_string();
-            span.label = job.label.clone();
-            span.cached = results[i].as_ref().is_some_and(|r| r.cached);
-        }
-        let profile = CampaignProfile {
-            generator: "tartan_run".to_string(),
-            scenario: spec.name.clone(),
-            jobs: workers as u64,
-            total_host_nanos: clock.total_nanos(),
-            phases: clock.phases.clone(),
-            spans,
-            metrics: registry.snapshot(),
-        };
-        let profile_json = profile.to_json();
-        if let Err(e) = validate_campaign_profile_json(&profile_json) {
-            eprintln!("tartan_run: campaign profile violates the schema: {e}");
-            std::process::exit(1);
-        }
-        let profile_path = out_dir.join(format!("{}.campaign_profile.json", spec.name));
-        if let Err(e) = fs::write(&profile_path, &profile_json) {
-            die(&profile_path, e);
-        }
-        let trace = campaign_trace_json(&spec.name, workers, &profile.spans);
-        let trace_path = out_dir.join(format!("{}.campaign_trace.json", spec.name));
-        if let Err(e) = fs::write(&trace_path, &trace) {
-            die(&trace_path, e);
-        }
-        println!(
-            "wrote {} and {}",
-            profile_path.display(),
-            trace_path.display()
-        );
-    }
-    if !failures.is_empty() || verify_mismatches > 0 {
+    if report.any_failures() || report.verify_mismatches > 0 {
         std::process::exit(1);
     }
 }

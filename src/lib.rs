@@ -19,8 +19,11 @@
 //! * [`kernels`] — ray-casting, collision detection, graph search, RRT,
 //!   MCL, EKF, ICP, controllers, behavior trees,
 //! * [`robots`] — DeliBot, PatrolBot, MoveBot, HomeBot, FlyBot, CarriBot,
-//! * [`core`] — the configuration matrix and per-figure experiment drivers,
-//! * [`par`] — the deterministic host-parallel campaign engine
+//! * [`core`] — the configuration matrix and single-run experiment runner,
+//! * [`campaign`] — the unified campaign engine: multi-scenario batches,
+//!   cross-campaign job dedupe, store-backed resume/verify, and the
+//!   per-figure experiment drivers (see `DESIGN.md` §18),
+//! * [`par`] — the deterministic host-parallel worker pool
 //!   (order-preserving scoped worker pool; see `DESIGN.md` §12),
 //! * [`scenario`] — typed scenario specs, validated JSON serialization, and
 //!   sweep expansion into ordered job lists (see `DESIGN.md` §13),
@@ -36,7 +39,16 @@
 //! println!("{}", experiments::format_fig12(&rows));
 //! ```
 
-pub use tartan_core as core;
+/// The configuration matrix and experiment runner ([`tartan_core`]), plus
+/// — for continuity with the layout before the campaign engine split —
+/// the figure drivers and probe entry point that now live in
+/// [`tartan_campaign`].
+pub mod core {
+    pub use tartan_campaign::{experiments, probe_spec};
+    pub use tartan_core::*;
+}
+
+pub use tartan_campaign as campaign;
 pub use tartan_kernels as kernels;
 pub use tartan_nn as nn;
 pub use tartan_nns as nns;

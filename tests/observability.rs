@@ -344,6 +344,105 @@ fn bench_compare_splits_regression_from_baseline_by_exit_code() {
     let _ = fs::remove_dir_all(dir);
 }
 
+/// `host_doc` plus a v3 `warm` section. `warm_factor` scales only the
+/// warm timings, so a warm-only regression can be synthesized against an
+/// identical cold matrix. `malformed` drops `cold_host_nanos` from the
+/// first warm row.
+fn warm_host_doc(factor: u64, warm_factor: u64, runs_per_sec: f64, malformed: bool) -> String {
+    let warm_runs: Vec<String> = [("DeliBot", 1u64), ("MoveBot", 2u64)]
+        .iter()
+        .map(|(robot, ms)| {
+            let cold = if malformed && *robot == "DeliBot" {
+                String::new()
+            } else {
+                format!(",\"cold_host_nanos\":{}", ms * factor * 40_000_000)
+            };
+            format!(
+                "{{\"robot\":\"{robot}\",\"config\":\"tartan\",\"wall_cycles\":1000,\
+                 \"host_nanos\":{}{cold}}}",
+                ms * warm_factor * 1_000
+            )
+        })
+        .collect();
+    let warm = format!(
+        ",\"warm\":{{\"total_host_nanos\":{},\"runs\":[{}]}}",
+        10 * warm_factor * 1_000,
+        warm_runs.join(",")
+    );
+    let base = host_doc(factor, runs_per_sec);
+    let spliced = base.trim_end().strip_suffix('}').unwrap().to_string();
+    spliced + &warm + "}\n"
+}
+
+#[test]
+fn bench_compare_validates_and_compares_warm_sections() {
+    let (dir, _) = sandbox("benchwarm");
+    let cold_only = dir.join("cold_only.json");
+    let warm_a = dir.join("warm_a.json");
+    let warm_b = dir.join("warm_b.json");
+    let warm_slow = dir.join("warm_slow.json");
+    let broken = dir.join("broken.json");
+    fs::write(&cold_only, host_doc(1, 20.0)).unwrap();
+    fs::write(&warm_a, warm_host_doc(1, 1, 20.0, false)).unwrap();
+    fs::write(&warm_b, warm_host_doc(1, 1, 20.0, false)).unwrap();
+    fs::write(&warm_slow, warm_host_doc(1, 3, 20.0, false)).unwrap();
+    fs::write(&broken, warm_host_doc(1, 1, 20.0, true)).unwrap();
+
+    let compare = |a: &Path, b: &Path| {
+        Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+            .arg(a)
+            .arg(b)
+            .output()
+            .expect("spawn bench_compare")
+    };
+
+    // Both sides warm and identical: compared and within threshold.
+    let ok = compare(&warm_a, &warm_b);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(
+        stdout.contains("bench_compare: warm: 2 matched run(s)"),
+        "warm figures must be compared: {stdout}"
+    );
+
+    // A warm-only slowdown regresses even though the cold matrix is
+    // byte-identical.
+    let regressed = compare(&warm_a, &warm_slow);
+    assert_eq!(regressed.status.code(), Some(1), "{regressed:?}");
+    let stdout = String::from_utf8_lossy(&regressed.stdout);
+    assert!(
+        stdout.contains("REGRESSION: median warm (store-served) host time"),
+        "{stdout}"
+    );
+
+    // One-sided warm: noted and skipped; the cold verdict stands.
+    let one_sided = compare(&cold_only, &warm_a);
+    assert_eq!(one_sided.status.code(), Some(0), "{one_sided:?}");
+    let stdout = String::from_utf8_lossy(&one_sided.stdout);
+    assert!(
+        stdout.contains("warm section present in only one input; skipped"),
+        "{stdout}"
+    );
+
+    // A warm row missing the v3 cold_host_nanos field is a single-line
+    // usage error (exit 2), not a panic.
+    let malformed = compare(&warm_a, &broken);
+    assert_eq!(malformed.status.code(), Some(2), "{malformed:?}");
+    let stderr = String::from_utf8_lossy(&malformed.stderr);
+    assert!(
+        stderr.contains(
+            "missing or malformed warm runs[] entry (robot/config/host_nanos/cold_host_nanos)"
+        ),
+        "{stderr}"
+    );
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "diagnosis must be a single line: {stderr}"
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
 #[test]
 fn campaign_validators_reject_malformed_documents() {
     // Not JSON at all.
